@@ -1,0 +1,28 @@
+"""Ablation — sensitivity to the partitioner choice (ParHIP substitute).
+
+The paper assumes a quality partitioner ("minimized edge cuts ...
+load-balanced"). This bench quantifies what happens without one: hash/random
+partitioning inflates the edge cut, which inflates boundary vertices and
+remote-edge state — the §5 bottleneck — while LDG/BFS keep both down.
+
+Expected: cut% (hash) >> cut% (ldg); peak average state follows the same
+order; all partitioners still produce valid circuits (correctness is
+partitioner-independent).
+"""
+
+from repro.bench.experiments import ablation_partitioner
+from repro.bench.workloads import load_workload
+from repro.partitioning import ldg_partition
+
+
+def test_partitioner_ablation(benchmark):
+    g, spec = load_workload("G40k/P8")
+    benchmark.pedantic(
+        ldg_partition, args=(g, spec.n_parts), rounds=1, iterations=1
+    )
+    rows = ablation_partitioner("G40k/P8")
+    by = {r["Partitioner"]: r for r in rows}
+    assert by["ldg"]["Cut %"] < by["hash"]["Cut %"]
+    assert by["bfs"]["Cut %"] < by["hash"]["Cut %"]
+    # More cut => more remote-edge state (the §5 memory bottleneck).
+    assert by["ldg"]["Peak avg state (Longs)"] < by["hash"]["Peak avg state (Longs)"]

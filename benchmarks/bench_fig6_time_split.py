@@ -1,0 +1,32 @@
+"""Fig. 6 — split of user compute time per partition and level (G50k/P8).
+
+Regenerates the stacked-bar data: for every partition at every level, the
+seconds spent in copy_source (child serialization), copy_sink (parent
+deserialization), create_partition (building the local structures) and the
+Phase-1 tour itself.
+
+Expected shape vs paper: at level 0 all 8 partitions appear and object
+creation is a visible share; at higher levels only the merged parents
+appear, per-partition time grows up the levels (bigger merged partitions),
+and the Phase-1 share grows as data movement shrinks relative to traversal
+(paper: ~33% at level 0 growing to ~51% at level 3).
+"""
+
+from repro.bench.experiments import fig6_time_split, run_workload
+from repro.bsp.accounting import CAT_PHASE1
+
+
+def test_fig6_split(benchmark):
+    res = run_workload("G50k/P8")
+    benchmark.pedantic(lambda: res, rounds=1, iterations=1)
+    rows = fig6_time_split("G50k/P8")
+    levels = sorted({r["level"] for r in rows})
+    assert levels == [0, 1, 2, 3]
+    by_level = {l: [r for r in rows if r["level"] == l] for l in levels}
+    # Level 0 runs all 8 partitions; the tree halves the count per level.
+    assert len(by_level[0]) == 8
+    assert len([r for r in by_level[3] if r[CAT_PHASE1] > 0]) == 1
+    # Per-partition compute grows toward the root (merged partitions bigger).
+    mean0 = sum(r[CAT_PHASE1] for r in by_level[0]) / 8
+    top = max(r[CAT_PHASE1] for r in by_level[3])
+    assert top > mean0

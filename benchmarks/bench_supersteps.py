@@ -1,0 +1,25 @@
+"""§4.3 — coordination cost: supersteps per workload.
+
+The paper reports "2, 3, 3, 4 supersteps for 2, 3, 4, 8 partitions", i.e.
+``ceil(log2 n) + 1``. This bench regenerates that row and times the merge-
+tree construction itself (Alg. 2), which the paper argues is cheap (it runs
+on the meta-graph only).
+"""
+
+from repro.bench.experiments import supersteps_experiment
+from repro.bench.workloads import load_workload
+from repro.core.merge_tree import build_merge_tree
+from repro.graph.metagraph import build_metagraph
+from repro.partitioning import partition
+
+
+def test_superstep_counts(benchmark):
+    g, spec = load_workload("G50k/P8")
+    pg = partition(g, spec.n_parts, method="ldg", seed=0)
+    mg = build_metagraph(pg)
+    tree = benchmark(build_merge_tree, mg)
+    assert tree.n_levels == 4
+    rows = supersteps_experiment()
+    assert [r["Supersteps"] for r in rows] == [2, 3, 3, 4, 4]
+    for r in rows:
+        assert r["Supersteps"] == r["ceil(log2 n)+1"]

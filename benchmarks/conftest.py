@@ -1,0 +1,18 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one paper artifact (table/figure) and prints its
+rows/series — run with ``pytest benchmarks/ --benchmark-only -s`` to see the
+full reproduction, or without ``-s`` for just the timing table. Workload
+graphs are generated once and cached under ``.workload_cache/``.
+"""
+
+import pytest
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _warm_workloads():
+    """Generate/caches the five Table-1 graphs once per session."""
+    from repro.bench.workloads import load_workload, workload_names
+
+    for name in workload_names():
+        load_workload(name)

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Mini scaling & memory study — the paper's §4.3/§5 analysis on your laptop.
+
+Reproduces the two headline findings at reduced scale:
+
+1. **Weak scaling is inefficient** (Fig. 5): holding input-per-partition
+   constant while adding partitions *increases* total time, because merge
+   levels add coordination and data movement.
+2. **Remote edges are the memory bottleneck, and §5 fixes it** (Figs. 8-9):
+   the average per-partition state grows up the merge tree under the
+   paper's implemented design ("eager"), while the proposed dedup+deferred
+   strategy cuts state 50-75% at intermediate levels.
+
+Run:  python examples/scaling_study.py        (~1 minute)
+"""
+
+from repro.bench.harness import format_table, print_header
+from repro.core import find_euler_circuit, ideal_series, measured_series
+from repro.generate import eulerian_rmat
+
+def weak_scaling() -> None:
+    print_header("Weak scaling (constant vertices per partition)")
+    rows = []
+    for scale, n_parts in ((13, 2), (14, 4), (15, 8)):
+        graph, _ = eulerian_rmat(scale, avg_degree=5.0, seed=5)
+        res = find_euler_circuit(graph, n_parts=n_parts, seed=0, verify=True)
+        rep = res.report
+        rows.append(
+            {
+                "graph": f"2^{scale} RMAT",
+                "parts": n_parts,
+                "vertices/part": graph.n_vertices // n_parts,
+                "supersteps": rep.n_supersteps,
+                "total (s)": rep.total_seconds,
+                "compute (s)": rep.compute_seconds,
+            }
+        )
+    print(format_table(rows))
+    print(
+        "-> total time grows despite constant load per partition: the "
+        "paper's weak-scaling inefficiency."
+    )
+
+def memory_strategies() -> None:
+    print_header("Memory state per level: eager vs proposed (Longs)")
+    graph, _ = eulerian_rmat(15, avg_degree=5.0, seed=5)
+    eager = find_euler_circuit(graph, n_parts=8, strategy="eager", seed=0)
+    proposed = find_euler_circuit(graph, n_parts=8, strategy="proposed", seed=0)
+    cur = measured_series(eager.report, "eager")
+    idl = ideal_series(eager.report)
+    pro = measured_series(proposed.report, "proposed")
+    rows = [
+        {
+            "level": lvl,
+            "eager avg": cur.average[i],
+            "ideal avg": idl.average[i],
+            "proposed avg": pro.average[i],
+            "saving %": 100 * (1 - pro.average[i] / cur.average[i]),
+        }
+        for i, lvl in enumerate(cur.levels)
+    ]
+    print(format_table(rows))
+    print(
+        "-> eager average grows up the tree (remote edges accumulate); the "
+        "proposed strategy recovers 50-75% at intermediate levels and "
+        "nothing at the root, exactly as §5 predicts."
+    )
+
+if __name__ == "__main__":
+    weak_scaling()
+    memory_strategies()

@@ -1,0 +1,58 @@
+"""repro — partition-centric distributed Euler circuits.
+
+Reproduction of Jaiswal & Simmhan, "A Partition-centric Distributed
+Algorithm for Identifying Euler Circuits in Large Graphs" (IPDPS 2019
+workshops, arXiv:1903.06950), as a complete Python library:
+
+* :mod:`repro.graph` — graph/partition/meta-graph substrate;
+* :mod:`repro.generate` — R-MAT, eulerizer and structured workloads (§4.2);
+* :mod:`repro.partitioning` — ParHIP-substitute partitioners + metrics;
+* :mod:`repro.bsp` — partition- and vertex-centric BSP engines;
+* :mod:`repro.core` — Phases 1-3, merge tree, §5 improvements, driver;
+* :mod:`repro.baselines` — Hierholzer, Fleury, Makki;
+* :mod:`repro.bench` — the experiment harness (every table & figure).
+
+Quickstart::
+
+    from repro.generate import eulerian_rmat
+    from repro.core import find_euler_circuit
+
+    graph, _ = eulerian_rmat(scale=14, seed=1)
+    result = find_euler_circuit(graph, n_parts=4, verify=True)
+    print(result.circuit, result.report.n_supersteps)
+"""
+
+from .core import EulerCircuit, EulerResult, find_euler_circuit, verify_circuit
+from .errors import (
+    BSPError,
+    DisconnectedGraphError,
+    GraphFormatError,
+    InvalidCircuitError,
+    InvariantViolation,
+    NotEulerianError,
+    PartitionError,
+    ReproError,
+)
+from .graph import Graph, GraphBuilder, PartitionedGraph, is_eulerian
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "EulerCircuit",
+    "EulerResult",
+    "find_euler_circuit",
+    "verify_circuit",
+    "Graph",
+    "GraphBuilder",
+    "PartitionedGraph",
+    "is_eulerian",
+    "ReproError",
+    "GraphFormatError",
+    "NotEulerianError",
+    "DisconnectedGraphError",
+    "PartitionError",
+    "InvariantViolation",
+    "InvalidCircuitError",
+    "BSPError",
+    "__version__",
+]

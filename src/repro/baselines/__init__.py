@@ -1,0 +1,29 @@
+"""Baseline Euler-circuit algorithms the paper compares against (§2.2).
+
+* :func:`hierholzer_circuit` / :func:`hierholzer_path` — sequential O(|E|).
+* :func:`fleury_circuit` — sequential O(|E|^2) (small graphs only).
+* :func:`makki_circuit` — Makki's vertex-centric distributed algorithm with
+  O(|E|) supersteps and one active vertex per superstep.
+* :func:`cycle_hook_circuit` — the PRAM-family approach (Atallah-Vishkin /
+  Awerbuch-Israeli-Shiloach): local endpoint pairing decomposes the edges
+  into closed trails, then hooking merges them.
+* :func:`makki_partition_circuit` — Makki lifted to partition granularity
+  (supersteps = cut-edge crossings, the paper's §2.2 remark).
+"""
+
+from .cycle_hook import CycleHookStats, cycle_hook_circuit
+from .makki_partition import MakkiPartitionStats, makki_partition_circuit
+from .fleury import fleury_circuit
+from .hierholzer import hierholzer_circuit, hierholzer_path
+from .makki import makki_circuit
+
+__all__ = [
+    "CycleHookStats",
+    "cycle_hook_circuit",
+    "fleury_circuit",
+    "hierholzer_circuit",
+    "hierholzer_path",
+    "makki_circuit",
+    "MakkiPartitionStats",
+    "makki_partition_circuit",
+]

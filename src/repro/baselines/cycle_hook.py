@@ -1,0 +1,168 @@
+"""PRAM-style Euler circuit: cycle decomposition + hooking (§2.2's [15,16]).
+
+Atallah & Vishkin and Awerbuch-Israeli-Shiloach find Euler circuits in
+O(log |V|) PRAM time by (a) locally pairing the edge *endpoints* at every
+vertex — any pairing decomposes the edge set into edge-disjoint closed
+trails, because degrees are even — and (b) *hooking*: wherever two distinct
+trails share a vertex, swapping the two pairings merges them, so a spanning
+set of swaps (found with union-find / connectivity) leaves one trail.
+
+This module implements that approach faithfully in its data-parallel
+structure (bulk endpoint pairing, orbit labeling, union-find hooking, final
+orbit walk) but sequentially — exactly the sense in which the paper calls
+PRAM algorithms "limited to theoretical use": the algorithmic skeleton is
+sound and linear-ish, yet there is no practical machine whose free shared
+memory realizes the O(log |V|) bound. It serves as a second parallel
+baseline for the benchmark suite, with its round-structure statistics
+exposed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.circuit import EulerCircuit
+from ..graph.graph import Graph
+from ..graph.properties import check_eulerian
+
+__all__ = ["CycleHookStats", "cycle_hook_circuit"]
+
+
+@dataclass(frozen=True)
+class CycleHookStats:
+    """Structure counters of the cycle-decomposition + hooking run."""
+
+    #: Edge-disjoint trails after local pairing (before any hooking).
+    n_initial_trails: int
+    #: Pairing swaps performed to merge everything into one trail.
+    n_hooks: int
+
+
+def cycle_hook_circuit(
+    graph: Graph, check_input: bool = True
+) -> tuple[EulerCircuit, CycleHookStats]:
+    """Find an Euler circuit by endpoint pairing + trail hooking.
+
+    Parameters
+    ----------
+    graph:
+        Connected Eulerian (multi)graph.
+    check_input:
+        Validate the input first (raises NotEulerianError otherwise).
+
+    Returns
+    -------
+    (circuit, stats):
+        The circuit plus the decomposition statistics (how many trails the
+        local phase produced and how many hooks merged them).
+    """
+    if check_input:
+        check_eulerian(graph)
+    m = graph.n_edges
+    if m == 0:
+        return (
+            EulerCircuit(np.empty(0, np.int64), np.empty(0, np.int64)),
+            CycleHookStats(0, 0),
+        )
+
+    # Endpoint k of edge e is encoded as 2*e + k, where endpoint 0 sits at
+    # edge_u[e] and endpoint 1 at edge_v[e]. `mate` is the pairing at each
+    # vertex: entering an edge-endpoint leaves through its mate.
+    offsets, _targets, eids = graph.csr
+    # CSR gives, per vertex, its incident half-edges; recover which endpoint
+    # of the undirected edge sits at this vertex.
+    seen_once = np.zeros(m, dtype=bool)
+    mate = np.empty(2 * m, dtype=np.int64)
+    ep_vertex = np.empty(2 * m, dtype=np.int64)
+    for v in range(graph.n_vertices):
+        lo, hi = int(offsets[v]), int(offsets[v + 1])
+        eps = []
+        for i in range(lo, hi):
+            e = int(eids[i])
+            u, w = int(graph.edge_u[e]), int(graph.edge_v[e])
+            if u == w:  # self loop: both endpoints at v, CSR lists it twice
+                k = 0 if not seen_once[e] else 1
+                seen_once[e] = True if k == 0 else seen_once[e]
+            else:
+                k = 0 if u == v else 1
+            eps.append(2 * e + k)
+        # Degrees are even, so the incident endpoints pair up exactly.
+        for a, b in zip(eps[0::2], eps[1::2]):
+            mate[a] = b
+            mate[b] = a
+            ep_vertex[a] = v
+            ep_vertex[b] = v
+
+    # The trail permutation: from endpoint ep, cross the edge, then follow
+    # the mate pairing at the far side: succ(ep) = mate[ep ^ 1].
+    succ = mate[np.arange(2 * m, dtype=np.int64) ^ 1]
+
+    # --- orbit labeling: which trail does each endpoint belong to? --------
+    # Each undirected closed trail appears as *two* orbits of ``succ`` (its
+    # two traversal directions); the mirror map ep -> ep^1 conjugates succ
+    # to its inverse. We label orbits, then unify each orbit with its mirror
+    # so classes identify undirected trails.
+    trail = np.full(2 * m, -1, dtype=np.int64)
+    n_orbits = 0
+    for start in range(2 * m):
+        if trail[start] != -1:
+            continue
+        ep = start
+        while trail[ep] == -1:
+            trail[ep] = n_orbits
+            ep = int(succ[ep])
+        n_orbits += 1
+
+    parent = list(range(n_orbits))
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    for e in range(m):  # unify the two direction-orbits of each trail
+        ra, rb = find(int(trail[2 * e])), find(int(trail[2 * e + 1]))
+        if ra != rb:
+            parent[rb] = ra
+    n_initial = len({find(t) for t in range(n_orbits)})
+
+    # --- hooking: merge trails sharing a vertex via pairing swaps ---------
+    # Chaining consecutive endpoint pairs at each vertex merges every trail
+    # class present there in O(deg) union-finds; each accepted hook swaps
+    # the two pairings, splicing the two trails into one.
+    n_hooks = 0
+    by_vertex: dict[int, list[int]] = {}
+    for ep in range(2 * m):
+        by_vertex.setdefault(int(ep_vertex[ep]), []).append(ep)
+    for v, eps in by_vertex.items():
+        for a, b in zip(eps[:-1], eps[1:]):
+            ra, rb = find(int(trail[a])), find(int(trail[b]))
+            if ra == rb:
+                continue
+            # Swap the pairing: (a, mate[a]), (b, mate[b]) ->
+            # (a, mate[b]), (b, mate[a]). This splices the two trails.
+            ma, mb = int(mate[a]), int(mate[b])
+            mate[a], mate[mb] = mb, a
+            mate[b], mate[ma] = ma, b
+            parent[rb] = ra
+            n_hooks += 1
+
+    # --- final walk along the (now single-trail) permutation --------------
+    succ = mate[np.arange(2 * m, dtype=np.int64) ^ 1]
+    start = 0
+    out_v = [int(ep_vertex[start])]
+    out_e: list[int] = []
+    ep = start
+    for _ in range(m):
+        out_e.append(ep >> 1)
+        ep_other = ep ^ 1
+        out_v.append(int(ep_vertex[ep_other]))
+        ep = int(succ[ep])
+    circuit = EulerCircuit(
+        vertices=np.array(out_v, dtype=np.int64),
+        edge_ids=np.array(out_e, dtype=np.int64),
+    )
+    return circuit, CycleHookStats(n_initial_trails=n_initial, n_hooks=n_hooks)

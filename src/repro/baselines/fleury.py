@@ -1,0 +1,98 @@
+"""Fleury's algorithm — the O(|E|^2) historical baseline (§2.2).
+
+Fleury (1883) walks a single trail, at each step refusing to cross a
+*bridge* of the remaining graph unless no alternative exists. Detecting
+bridges needs a connectivity check per step, giving the quadratic bound the
+paper quotes. It exists here purely as the complexity foil to Hierholzer in
+the baseline benchmark — run it only on small graphs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.graph import Graph
+from ..graph.properties import check_eulerian
+from ..core.circuit import EulerCircuit
+
+__all__ = ["fleury_circuit"]
+
+
+def fleury_circuit(
+    graph: Graph, start: int | None = None, check_input: bool = True
+) -> EulerCircuit:
+    """Compute an Euler circuit with Fleury's bridge-avoiding rule.
+
+    O(|E|^2); intended for graphs up to a few thousand edges.
+    """
+    if check_input:
+        check_eulerian(graph)
+    m = graph.n_edges
+    if m == 0:
+        return EulerCircuit(np.empty(0, np.int64), np.empty(0, np.int64))
+    # Mutable adjacency: vertex -> dict of incident unvisited eids.
+    adj: list[dict[int, None]] = [dict() for _ in range(graph.n_vertices)]
+    for e in range(m):
+        u, v = int(graph.edge_u[e]), int(graph.edge_v[e])
+        adj[u][e] = None
+        if v != u:
+            adj[v][e] = None
+
+    def other(e: int, v: int) -> int:
+        u, w = int(graph.edge_u[e]), int(graph.edge_v[e])
+        return w if v == u else u
+
+    def reachable_count(src: int) -> int:
+        """Vertices reachable from src over unvisited edges (DFS)."""
+        seen = {src}
+        stack = [src]
+        while stack:
+            x = stack.pop()
+            for e in adj[x]:
+                y = other(e, x)
+                if y not in seen:
+                    seen.add(y)
+                    stack.append(y)
+        return len(seen)
+
+    def is_bridge(v: int, e: int) -> bool:
+        """Would traversing e from v disconnect v from the rest?"""
+        if len(adj[v]) == 1:
+            return False  # forced move; Fleury takes bridges when forced
+        before = reachable_count(v)
+        _remove(e)
+        after = reachable_count(v)
+        _restore(e)
+        return after < before
+
+    def _remove(e: int) -> None:
+        u, w = int(graph.edge_u[e]), int(graph.edge_v[e])
+        adj[u].pop(e, None)
+        adj[w].pop(e, None)
+
+    def _restore(e: int) -> None:
+        u, w = int(graph.edge_u[e]), int(graph.edge_v[e])
+        adj[u][e] = None
+        adj[w][e] = None
+
+    cur = int(graph.edge_u[0]) if start is None else int(start)
+    out_v = [cur]
+    out_e: list[int] = []
+    for _ in range(m):
+        candidates = list(adj[cur])
+        if not candidates:
+            break
+        chosen = candidates[0]
+        if len(candidates) > 1:
+            for e in candidates:
+                if not is_bridge(cur, e):
+                    chosen = e
+                    break
+        _remove(chosen)
+        cur = other(chosen, cur)
+        out_e.append(chosen)
+        out_v.append(cur)
+    return EulerCircuit(
+        vertices=np.array(out_v, dtype=np.int64),
+        edge_ids=np.array(out_e, dtype=np.int64),
+    )

@@ -1,0 +1,99 @@
+"""Sequential Hierholzer algorithm — the paper's O(|E|) reference (§2.2).
+
+The classical linear-time algorithm: walk from a source along unvisited
+edges until returning; whenever the walk is stuck, splice in a new sub-tour
+starting from a vertex on the current tour that still has unvisited edges.
+We use the standard iterative stack formulation with a next-unvisited-edge
+pointer per vertex, which emits the circuit in reverse and runs in
+O(|V| + |E|) — the yardstick every distributed run is compared against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import NotEulerianError
+from ..graph.graph import Graph
+from ..graph.properties import check_eulerian, euler_path_endpoints
+from ..core.circuit import EulerCircuit
+
+__all__ = ["hierholzer_circuit", "hierholzer_path"]
+
+
+def hierholzer_circuit(
+    graph: Graph, start: int | None = None, check_input: bool = True
+) -> EulerCircuit:
+    """Compute an Euler circuit sequentially in O(|V| + |E|).
+
+    Parameters
+    ----------
+    graph:
+        Connected Eulerian (multi)graph.
+    start:
+        Optional start vertex (defaults to the first edge's endpoint).
+    check_input:
+        Validate Eulerian-ness first (raises otherwise).
+    """
+    if check_input:
+        check_eulerian(graph)
+    m = graph.n_edges
+    if m == 0:
+        return EulerCircuit(np.empty(0, np.int64), np.empty(0, np.int64))
+    if start is None:
+        start = int(graph.edge_u[0])
+    elif graph.degree(start) == 0:
+        raise NotEulerianError(f"start vertex {start} has no edges")
+    return _tour(graph, start)
+
+
+def hierholzer_path(graph: Graph, check_input: bool = True) -> EulerCircuit:
+    """Compute an Euler *path* for a graph with exactly two odd vertices.
+
+    Uses the standard reduction: conceptually join the two odd vertices by a
+    virtual edge, find the circuit, and cut it at the virtual edge. (We
+    implement it directly by starting the tour at one odd vertex; Hierholzer
+    then necessarily ends at the other.)
+    """
+    ends = euler_path_endpoints(graph)
+    if ends is None:
+        if check_input:
+            check_eulerian(graph)  # raises with diagnostics if not Eulerian
+        return hierholzer_circuit(graph, check_input=False)
+    walk = _tour(graph, ends[0])
+    return walk
+
+
+def _tour(graph: Graph, start: int) -> EulerCircuit:
+    """Iterative Hierholzer from ``start`` (circuit, or path if start is odd)."""
+    offsets, targets, eids = graph.csr
+    m = graph.n_edges
+    visited = np.zeros(m, dtype=bool)
+    ptr = offsets[:-1].copy()
+
+    stack_v = [start]
+    stack_e: list[int] = []  # edge taken to arrive at stack_v[i] (i >= 1)
+    out_v: list[int] = []
+    out_e: list[int] = []
+    while stack_v:
+        v = stack_v[-1]
+        p = ptr[v]
+        hi = offsets[v + 1]
+        while p < hi and visited[eids[p]]:
+            p += 1
+        ptr[v] = p
+        if p == hi:
+            out_v.append(v)
+            stack_v.pop()
+            if stack_e:
+                out_e.append(stack_e.pop())
+        else:
+            e = int(eids[p])
+            visited[e] = True
+            stack_v.append(int(targets[p]))
+            stack_e.append(e)
+    out_v.reverse()
+    out_e.reverse()
+    return EulerCircuit(
+        vertices=np.array(out_v, dtype=np.int64),
+        edge_ids=np.array(out_e, dtype=np.int64),
+    )

@@ -1,0 +1,40 @@
+"""Experiment harness: workloads, formatting, and one function per artifact."""
+
+from .experiments import (
+    ablation_matching,
+    ablation_partitioner,
+    baselines_experiment,
+    fig4_degree_distribution,
+    fig5_weak_scaling,
+    fig6_time_split,
+    fig7_phase1_complexity,
+    fig8_memory_state,
+    fig9_vertex_census,
+    run_workload,
+    supersteps_experiment,
+    table1,
+)
+from .harness import format_series, format_table, print_header
+from .workloads import PAPER_WORKLOADS, WorkloadSpec, load_workload, workload_names
+
+__all__ = [
+    "ablation_matching",
+    "ablation_partitioner",
+    "baselines_experiment",
+    "fig4_degree_distribution",
+    "fig5_weak_scaling",
+    "fig6_time_split",
+    "fig7_phase1_complexity",
+    "fig8_memory_state",
+    "fig9_vertex_census",
+    "run_workload",
+    "supersteps_experiment",
+    "table1",
+    "format_series",
+    "format_table",
+    "print_header",
+    "PAPER_WORKLOADS",
+    "WorkloadSpec",
+    "load_workload",
+    "workload_names",
+]

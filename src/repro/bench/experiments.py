@@ -1,0 +1,447 @@
+"""One function per paper artifact (tables & figures, §4.2-§5).
+
+Each function runs the relevant workload(s), returns structured rows/series,
+and optionally prints them in the paper's layout. The ``benchmarks/``
+pytest-benchmark files and the CLI both dispatch here, so the numbers in
+EXPERIMENTS.md, the benchmark output and interactive runs always agree.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..baselines import (
+    cycle_hook_circuit,
+    fleury_circuit,
+    hierholzer_circuit,
+    makki_circuit,
+    makki_partition_circuit,
+)
+from ..core import (
+    EulerResult,
+    fig8_table,
+    find_euler_circuit,
+    ideal_series,
+    measured_series,
+    verify_circuit,
+)
+from ..generate.eulerize import eulerize, largest_component
+from ..generate.rmat import rmat_graph
+from ..generate.synthetic import random_eulerian
+from ..graph.partition import partition_stats
+from ..partitioning import PARTITIONERS, partition
+from .harness import format_series, format_table, print_header
+from .workloads import PAPER_WORKLOADS, load_workload, workload_names
+
+__all__ = [
+    "table1",
+    "fig4_degree_distribution",
+    "fig5_weak_scaling",
+    "fig6_time_split",
+    "fig7_phase1_complexity",
+    "fig8_memory_state",
+    "fig9_vertex_census",
+    "supersteps_experiment",
+    "baselines_experiment",
+    "ablation_matching",
+    "ablation_partitioner",
+    "run_workload",
+]
+
+_RUN_CACHE: dict[tuple, EulerResult] = {}
+
+
+def run_workload(
+    name: str,
+    partitioner: str = "ldg",
+    strategy: str = "eager",
+    matching: str = "greedy",
+    seed: int = 0,
+    verify: bool = True,
+    cache: bool = True,
+) -> EulerResult:
+    """Run the full algorithm on one Table-1 workload (memoized per-config)."""
+    key = (name, partitioner, strategy, matching, seed)
+    if cache and key in _RUN_CACHE:
+        return _RUN_CACHE[key]
+    g, spec = load_workload(name)
+    res = find_euler_circuit(
+        g,
+        n_parts=spec.n_parts,
+        partitioner=partitioner,
+        strategy=strategy,
+        matching=matching,
+        seed=seed,
+        verify=verify,
+    )
+    if cache:
+        _RUN_CACHE[key] = res
+    return res
+
+
+# ---------------------------------------------------------------------------
+# Table 1
+# ---------------------------------------------------------------------------
+
+def table1(partitioner: str = "ldg", seed: int = 0, do_print: bool = True) -> list[dict]:
+    """Table 1 — characteristics of the input Eulerian graphs."""
+    rows = []
+    for name in workload_names():
+        g, spec = load_workload(name)
+        pg = partition(g, spec.n_parts, method=partitioner, seed=seed)
+        s = partition_stats(pg)
+        rows.append(
+            {
+                "Graph": name,
+                "|V|": s["n_vertices"],
+                "|E| (bidir)": s["n_bidirected_edges"],
+                "sum|Bi|": s["sum_boundary"],
+                "Parts": s["n_parts"],
+                "Cut %": 100.0 * s["cut_fraction"],
+                "Imbal %": 100.0 * s["imbalance"],
+                "paper": spec.paper_row,
+            }
+        )
+    if do_print:
+        print_header(f"Table 1 (partitioner={partitioner})")
+        print(format_table(rows))
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Fig. 4
+# ---------------------------------------------------------------------------
+
+def fig4_degree_distribution(
+    scale: int = 14, avg_degree: float = 5.0, seed: int = 7, do_print: bool = True
+) -> dict:
+    """Fig. 4 — degree distribution of the R-MAT vs the eulerized graph.
+
+    Returns log2-bucketed histograms for both, plus the summary quantities
+    the paper reports in the text (extra edges ~5%, distributions overlap).
+    """
+    raw = rmat_graph(scale, avg_degree=avg_degree, seed=seed)
+    raw_cc, _ = largest_component(raw)
+    eul, info = eulerize(raw_cc, seed=seed + 1)
+
+    def hist(g):
+        deg = g.degrees()
+        deg = deg[deg > 0]
+        buckets = np.floor(np.log2(deg)).astype(int)
+        return np.bincount(buckets)
+
+    h_raw, h_eul = hist(raw_cc), hist(eul)
+    width = max(len(h_raw), len(h_eul))
+    h_raw = np.pad(h_raw, (0, width - len(h_raw)))
+    h_eul = np.pad(h_eul, (0, width - len(h_eul)))
+    rows = [
+        {
+            "degree bucket": f"[{2**i}, {2**(i+1)})",
+            "RMAT vertices": int(h_raw[i]),
+            "Eulerian vertices": int(h_eul[i]),
+        }
+        for i in range(width)
+    ]
+    out = {
+        "rows": rows,
+        "n_odd_before": int((raw_cc.degrees() % 2 == 1).sum()),
+        "n_odd_after": int((eul.degrees() % 2 == 1).sum()),
+        "extra_edge_fraction": info.added_fraction,
+        "max_degree_before": int(raw_cc.degrees().max()),
+        "max_degree_after": int(eul.degrees().max()),
+    }
+    if do_print:
+        print_header("Fig. 4 degree distribution (RMAT vs Eulerized)")
+        print(format_table(rows))
+        print(
+            f"odd vertices: {out['n_odd_before']} -> {out['n_odd_after']}; "
+            f"extra edges: {100 * out['extra_edge_fraction']:.1f}% (paper: ~5%)"
+        )
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Fig. 5
+# ---------------------------------------------------------------------------
+
+def fig5_weak_scaling(
+    partitioner: str = "ldg", do_print: bool = True
+) -> list[dict]:
+    """Fig. 5 — total vs user-compute time across the five graphs."""
+    rows = []
+    for name in workload_names():
+        res = run_workload(name, partitioner=partitioner)
+        rep = res.report
+        rows.append(
+            {
+                "Graph": name,
+                "Total (s)": rep.total_seconds,
+                "Compute (s)": rep.compute_seconds,
+                "Platform overhead (s)": rep.total_seconds - rep.compute_seconds,
+                "Supersteps": rep.n_supersteps,
+            }
+        )
+    if do_print:
+        print_header(f"Fig. 5 weak scaling (partitioner={partitioner})")
+        print(format_table(rows))
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Fig. 6
+# ---------------------------------------------------------------------------
+
+def fig6_time_split(name: str = "G50k/P8", do_print: bool = True) -> list[dict]:
+    """Fig. 6 — per-partition, per-level split of user compute time."""
+    res = run_workload(name)
+    rows = res.report.time_split_rows()
+    if do_print:
+        print_header(f"Fig. 6 compute-time split ({name})")
+        print(format_table(rows))
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Fig. 7
+# ---------------------------------------------------------------------------
+
+def fig7_phase1_complexity(
+    names: tuple[str, ...] = ("G40k/P8", "G50k/P8"), do_print: bool = True
+) -> dict:
+    """Fig. 7 — expected O(|B|+|I|+|L|) vs observed Phase-1 time.
+
+    Returns the scatter points per graph plus a least-squares trendline and
+    the correlation coefficient; the paper's claim is that observed times
+    track the expected complexity linearly with similar slopes across graphs.
+    """
+    out: dict = {"graphs": {}}
+    for name in names:
+        res = run_workload(name)
+        pts = res.report.phase1_points()
+        xs = np.array([p["expected_cost"] for p in pts], dtype=float)
+        ys = np.array([p["observed_seconds"] for p in pts], dtype=float)
+        slope, intercept = np.polyfit(xs, ys, 1) if len(xs) >= 2 else (0.0, 0.0)
+        corr = float(np.corrcoef(xs, ys)[0, 1]) if len(xs) >= 2 else 1.0
+        out["graphs"][name] = {
+            "points": pts,
+            "slope_sec_per_unit": float(slope),
+            "intercept_sec": float(intercept),
+            "pearson_r": corr,
+        }
+        if do_print:
+            print_header(f"Fig. 7 Phase-1 complexity ({name})")
+            print(format_table(pts))
+            print(
+                f"trendline: {slope:.3e} s/unit + {intercept:.4f}s, r={corr:.4f}"
+            )
+    if do_print and len(names) == 2:
+        a, b = (out["graphs"][n]["slope_sec_per_unit"] for n in names)
+        ratio = a / b if b else float("inf")
+        print(f"slope ratio {names[0]}/{names[1]} = {ratio:.2f} (paper: ~1, similar slopes)")
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Fig. 8
+# ---------------------------------------------------------------------------
+
+def fig8_memory_state(name: str = "G50k/P8", do_print: bool = True) -> dict:
+    """Fig. 8 — cumulative & average state Longs per level.
+
+    Series: *current* (measured eager run), *ideal* (synthetic), *proposed*
+    (measured dedup+deferred run — the paper only modeled this).
+    """
+    eager = run_workload(name, strategy="eager")
+    proposed = run_workload(name, strategy="proposed")
+    series = [
+        measured_series(eager.report, label="current"),
+        ideal_series(eager.report),
+        measured_series(proposed.report, label="proposed"),
+    ]
+    rows = fig8_table(series)
+    level0_drop = 0.0
+    if rows:
+        cur0 = rows[0].get("current_cumulative", 0.0)
+        pro0 = rows[0].get("proposed_cumulative", 0.0)
+        level0_drop = (1 - pro0 / cur0) if cur0 else 0.0
+    out = {"rows": rows, "level0_cumulative_drop": level0_drop}
+    if do_print:
+        print_header(f"Fig. 8 memory state ({name})")
+        print(format_table(rows))
+        print(
+            f"level-0 cumulative drop from dedup+deferred: "
+            f"{100 * level0_drop:.0f}% (paper's analysis: ~43%)"
+        )
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Fig. 9
+# ---------------------------------------------------------------------------
+
+def fig9_vertex_census(name: str = "G50k/P8", do_print: bool = True) -> list[dict]:
+    """Fig. 9 — vertex types and remote edges per partition across levels."""
+    res = run_workload(name)
+    rows = [
+        {
+            "level": r["level"],
+            "pid": r["pid"],
+            "odd boundary": r.get("n_ob", 0),
+            "even boundary": r.get("n_eb", 0),
+            "internal": r.get("n_internal", 0),
+            "remote half-edges": r.get("n_remote_half_edges", 0),
+        }
+        for r in res.report.census_rows()
+    ]
+    if do_print:
+        print_header(f"Fig. 9 vertex/edge census ({name})")
+        print(format_table(rows))
+        verts = sum(r["odd boundary"] + r["even boundary"] + r["internal"] for r in rows)
+        rem = sum(r["remote half-edges"] for r in rows)
+        if verts:
+            print(f"remote-edge/vertex ratio across records: {rem / verts:.1f} (paper: ~7x)")
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# §4.3 supersteps & baselines & ablations
+# ---------------------------------------------------------------------------
+
+def supersteps_experiment(do_print: bool = True) -> list[dict]:
+    """§4.3 — supersteps per workload vs the expected ceil(log2 n) + 1."""
+    rows = []
+    for name in workload_names():
+        res = run_workload(name)
+        n = res.report.n_parts
+        expected = int(np.ceil(np.log2(n))) + 1 if n > 1 else 1
+        rows.append(
+            {
+                "Graph": name,
+                "Parts": n,
+                "Supersteps": res.report.n_supersteps,
+                "ceil(log2 n)+1": expected,
+                "paper": {2: 2, 3: 3, 4: 3, 8: 4}.get(n, "-"),
+            }
+        )
+    if do_print:
+        print_header("Supersteps (coordination cost, §4.3)")
+        print(format_table(rows))
+    return rows
+
+
+def baselines_experiment(
+    n_vertices: int = 400, seed: int = 3, do_print: bool = True
+) -> list[dict]:
+    """§2.2 comparison on one small graph every algorithm can handle.
+
+    Makki needs O(|E|) supersteps and Fleury O(|E|^2) time, so this runs on a
+    few-thousand-edge graph; the point is the coordination-cost *ratio*.
+    """
+    g = random_eulerian(n_vertices, n_walks=10, walk_len=n_vertices // 4, seed=seed)
+    rows = []
+
+    t0 = time.perf_counter()
+    c = hierholzer_circuit(g)
+    verify_circuit(g, c)
+    rows.append(
+        {"Algorithm": "Hierholzer (seq)", "Seconds": time.perf_counter() - t0,
+         "Supersteps": 1, "Mean active": g.n_vertices}
+    )
+    t0 = time.perf_counter()
+    c = fleury_circuit(g)
+    verify_circuit(g, c)
+    rows.append(
+        {"Algorithm": "Fleury (seq)", "Seconds": time.perf_counter() - t0,
+         "Supersteps": 1, "Mean active": 1}
+    )
+    t0 = time.perf_counter()
+    c, st = makki_circuit(g)
+    verify_circuit(g, c)
+    rows.append(
+        {"Algorithm": "Makki (vertex-centric)", "Seconds": time.perf_counter() - t0,
+         "Supersteps": st.n_supersteps, "Mean active": st.mean_active}
+    )
+    pg8 = partition(g, 8, method="ldg", seed=0)
+    t0 = time.perf_counter()
+    c, mp_stats = makki_partition_circuit(pg8)
+    verify_circuit(g, c)
+    rows.append(
+        {"Algorithm": "Makki (partition-centric)",
+         "Seconds": time.perf_counter() - t0,
+         "Supersteps": mp_stats.n_supersteps,
+         "Mean active": 1.0}
+    )
+    t0 = time.perf_counter()
+    c, hook_stats = cycle_hook_circuit(g)
+    verify_circuit(g, c)
+    rows.append(
+        {"Algorithm": "Cycle-hook (PRAM-style)",
+         "Seconds": time.perf_counter() - t0,
+         "Supersteps": "-",
+         "Mean active": f"{hook_stats.n_initial_trails} trails"}
+    )
+    t0 = time.perf_counter()
+    res = find_euler_circuit(g, n_parts=8, verify=True)
+    rows.append(
+        {"Algorithm": "Partition-centric (ours)", "Seconds": time.perf_counter() - t0,
+         "Supersteps": res.report.n_supersteps, "Mean active": "-"}
+    )
+    if do_print:
+        print_header(
+            f"Baselines (|V|={g.n_vertices}, |E|={g.n_edges}): coordination cost"
+        )
+        print(format_table(rows))
+        makki = next(r for r in rows if "Makki" in r["Algorithm"])
+        ours = next(r for r in rows if "ours" in r["Algorithm"])
+        print(
+            f"Makki/partition-centric superstep ratio: "
+            f"{makki['Supersteps'] / ours['Supersteps']:.0f}x"
+        )
+    return rows
+
+
+def ablation_matching(name: str = "G40k/P8", do_print: bool = True) -> list[dict]:
+    """Design ablation: greedy max-weight vs random merge-tree matching."""
+    rows = []
+    for policy in ("greedy", "random"):
+        res = run_workload(name, matching=policy, cache=False)
+        state = res.report.state_by_level()
+        peak_avg = max(r["avg_longs"] for r in state)
+        rows.append(
+            {
+                "Matching": policy,
+                "Supersteps": res.report.n_supersteps,
+                "Peak avg state (Longs)": peak_avg,
+                "Final cumulative (Longs)": state[-1]["cumulative_longs"],
+                "Compute (s)": res.report.compute_seconds,
+            }
+        )
+    if do_print:
+        print_header(f"Ablation: merge-tree matching policy ({name})")
+        print(format_table(rows))
+    return rows
+
+
+def ablation_partitioner(name: str = "G40k/P8", do_print: bool = True) -> list[dict]:
+    """Sensitivity of cut %, state and time to the partitioner choice."""
+    rows = []
+    g, spec = load_workload(name)
+    for method in PARTITIONERS:
+        pg = partition(g, spec.n_parts, method=method, seed=0)
+        res = run_workload(name, partitioner=method, cache=False)
+        state = res.report.state_by_level()
+        rows.append(
+            {
+                "Partitioner": method,
+                "Cut %": 100.0 * pg.edge_cut_fraction(),
+                "Imbal %": 100.0 * pg.imbalance(),
+                "Peak avg state (Longs)": max(r["avg_longs"] for r in state),
+                "Compute (s)": res.report.compute_seconds,
+            }
+        )
+    if do_print:
+        print_header(f"Ablation: partitioner choice ({name})")
+        print(format_table(rows))
+    return rows

@@ -1,0 +1,62 @@
+"""Plain-text table/series formatting for the experiment harness.
+
+Every benchmark prints the rows/series its paper artifact reports, via these
+helpers, so ``pytest benchmarks/ --benchmark-only -s`` regenerates the whole
+evaluation section as readable text (and EXPERIMENTS.md quotes it).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+__all__ = ["format_table", "format_series", "print_header"]
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def format_table(
+    rows: Iterable[dict], columns: Sequence[str] | None = None, title: str = ""
+) -> str:
+    """Render dict rows as an aligned ASCII table."""
+    rows = list(rows)
+    if not rows:
+        return f"{title}\n(empty)" if title else "(empty)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    cells = [[_fmt(r.get(c, "")) for c in columns] for r in rows]
+    widths = [
+        max(len(str(c)), *(len(row[i]) for row in cells)) for i, c in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(str(c).rjust(w) for c, w in zip(columns, widths))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in cells:
+        lines.append("  ".join(v.rjust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(name: str, xs: Sequence, ys: Sequence) -> str:
+    """Render one figure series as ``name: (x, y) (x, y) ...``."""
+    pts = " ".join(f"({_fmt(x)}, {_fmt(y)})" for x, y in zip(xs, ys))
+    return f"{name}: {pts}"
+
+
+def print_header(title: str) -> None:
+    """Banner separating experiments in benchmark output."""
+    bar = "=" * max(60, len(title) + 4)
+    print(f"\n{bar}\n  {title}\n{bar}")

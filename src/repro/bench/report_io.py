@@ -1,0 +1,73 @@
+"""Persist execution reports and experiment rows as JSON.
+
+The benchmark harness prints its artifacts; downstream analysis (plotting,
+regression tracking across commits) wants them on disk. This module flattens
+an :class:`~repro.core.driver.ExecutionReport` into plain JSON-serializable
+dicts and round-trips experiment row lists.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..core.driver import ExecutionReport
+
+__all__ = ["report_to_dict", "save_report", "save_rows", "load_rows"]
+
+
+def report_to_dict(report: ExecutionReport) -> dict:
+    """Flatten a report into JSON-serializable primitives.
+
+    Captures the run configuration, the Fig. 5 headline times, and the full
+    per-level series (Fig. 6 splits, Fig. 7 points, Fig. 8 state, Fig. 9
+    census) plus the merge tree and stage DAG.
+    """
+    return {
+        "config": {
+            "n_parts": report.n_parts,
+            "strategy": report.strategy,
+            "partitioner": report.partitioner,
+            "matching": report.matching,
+        },
+        "totals": {
+            "n_supersteps": report.n_supersteps,
+            "total_seconds": report.total_seconds,
+            "compute_seconds": report.compute_seconds,
+            "setup_seconds": report.setup_seconds,
+            "phase3_seconds": report.phase3_seconds,
+        },
+        "time_split_rows": report.time_split_rows(),
+        "phase1_points": report.phase1_points(),
+        "state_by_level": report.state_by_level(),
+        "census_rows": report.census_rows(),
+        "merge_tree": [
+            [
+                {"child": m.child, "parent": m.parent, "weight": m.weight}
+                for m in level
+            ]
+            for level in report.tree.levels
+        ],
+        "stage_dag": report.stage_dag(),
+    }
+
+
+def save_report(report: ExecutionReport, path) -> Path:
+    """Write the flattened report to ``path`` (creating parents)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(report_to_dict(report), indent=2, default=float))
+    return path
+
+
+def save_rows(rows: list[dict], path) -> Path:
+    """Write experiment rows (e.g. a Table-1 regeneration) as JSON."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(rows, indent=2, default=float))
+    return path
+
+
+def load_rows(path) -> list[dict]:
+    """Read rows previously written by :func:`save_rows`."""
+    return json.loads(Path(path).read_text())

@@ -1,0 +1,132 @@
+"""Cost accounting for BSP runs — the quantities the paper's §4.3 reports.
+
+Three cost families, mirroring the paper's complexity measures (§3.5) and
+its experimental breakdowns (Figs. 5–9):
+
+* **coordination** — number of barrier-synchronized supersteps;
+* **computation** — per-partition wall time, split into the categories of
+  Fig. 6 (``create_partition``, ``copy_source``, ``copy_sink``,
+  ``phase1_tour``);
+* **communication & memory** — Longs (8-byte words) transferred between
+  partitions and Longs of retained partition state per level, the
+  platform-independent unit of §4.3 ("we report the number of Int64 values
+  ... compared to reporting the raw GB of RAM").
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+__all__ = [
+    "CAT_CREATE",
+    "CAT_COPY_SRC",
+    "CAT_COPY_SINK",
+    "CAT_PHASE1",
+    "PartitionStepRecord",
+    "RunStats",
+]
+
+#: Fig. 6 category: building the partition object (adjacency, indices).
+CAT_CREATE = "create_partition"
+#: Fig. 6 category: serializing a child partition being shipped to its parent.
+CAT_COPY_SRC = "copy_source"
+#: Fig. 6 category: deserializing/absorbing a child at the parent.
+CAT_COPY_SINK = "copy_sink"
+#: Fig. 6 category: the Phase-1 traversal itself.
+CAT_PHASE1 = "phase1_tour"
+
+
+@dataclass
+class PartitionStepRecord:
+    """Everything measured for one partition in one superstep (= one level)."""
+
+    pid: int
+    superstep: int
+    #: Wall seconds by category (Fig. 6 stacking).
+    timings: dict[str, float] = field(default_factory=dict)
+    #: Longs of in-memory state retained *after* this superstep (Fig. 8).
+    state_longs: int = 0
+    #: Longs shipped to another partition at the end of this superstep.
+    sent_longs: int = 0
+    #: Census of live vertices/edges for Fig. 9: keys ``n_internal``,
+    #: ``n_eb``, ``n_ob``, ``n_remote_half_edges``, ``n_local_edges``.
+    census: dict[str, int] = field(default_factory=dict)
+
+    def add_time(self, category: str, seconds: float) -> None:
+        """Accumulate wall time under a Fig. 6 category."""
+        self.timings[category] = self.timings.get(category, 0.0) + seconds
+
+    @property
+    def compute_seconds(self) -> float:
+        """Total user-compute seconds across categories."""
+        return sum(self.timings.values())
+
+
+@dataclass
+class RunStats:
+    """Aggregated statistics for a whole BSP run.
+
+    ``records[s]`` holds the :class:`PartitionStepRecord` of every partition
+    active in superstep ``s``; ``superstep_wall`` is the barrier-to-barrier
+    wall time (compute + engine overhead), whose sum is the Fig. 5 "Total
+    Time" while the record sums are its "Compute Time".
+    """
+
+    records: list[list[PartitionStepRecord]] = field(default_factory=list)
+    superstep_wall: list[float] = field(default_factory=list)
+    #: Wall seconds spent outside compute (scheduling, delivery, barrier).
+    platform_overhead: float = 0.0
+
+    @property
+    def n_supersteps(self) -> int:
+        """Coordination cost — the paper expects ``ceil(log2 n) + 1``."""
+        return len(self.records)
+
+    @property
+    def total_seconds(self) -> float:
+        """End-to-end wall time (Fig. 5 blue line)."""
+        return sum(self.superstep_wall)
+
+    @property
+    def compute_seconds(self) -> float:
+        """Sum of user-compute time across partitions (Fig. 5 red line)."""
+        return sum(r.compute_seconds for step in self.records for r in step)
+
+    def time_split(self) -> dict[str, float]:
+        """Total seconds per Fig. 6 category across the whole run."""
+        out: dict[str, float] = defaultdict(float)
+        for step in self.records:
+            for rec in step:
+                for cat, sec in rec.timings.items():
+                    out[cat] += sec
+        return dict(out)
+
+    def state_by_level(self) -> list[dict]:
+        """Fig. 8 series: per superstep, cumulative / average / max state Longs."""
+        out = []
+        for s, step in enumerate(self.records):
+            active = [r for r in step if r.census or r.state_longs]
+            longs = [r.state_longs for r in active]
+            out.append(
+                {
+                    "level": s,
+                    "n_partitions": len(active),
+                    "cumulative_longs": int(sum(longs)),
+                    "avg_longs": (sum(longs) / len(longs)) if longs else 0.0,
+                    "max_longs": max(longs) if longs else 0,
+                }
+            )
+        return out
+
+    def census_table(self) -> list[dict]:
+        """Fig. 9 rows: one dict per (level, partition) with the vertex/edge census."""
+        rows = []
+        for s, step in enumerate(self.records):
+            for rec in step:
+                if not rec.census:
+                    continue
+                row = {"level": s, "pid": rec.pid}
+                row.update(rec.census)
+                rows.append(row)
+        return rows

@@ -1,0 +1,57 @@
+"""Mailboxes with barrier-deferred bulk delivery (Pregel/BSP semantics).
+
+Messages sent during superstep ``s`` become visible only at superstep
+``s+1`` — the defining property of the BSP model [Valiant 1990] that the
+paper's algorithm relies on to avoid race conditions (§2.1). The
+:class:`MailRouter` enforces this by double-buffering: sends go to the
+*pending* buffer; :meth:`MailRouter.barrier` swaps buffers.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Hashable
+
+__all__ = ["MailRouter"]
+
+
+class MailRouter:
+    """Double-buffered message router keyed by destination id."""
+
+    def __init__(self) -> None:
+        self._pending: dict[Hashable, list[Any]] = defaultdict(list)
+        self._current: dict[Hashable, list[Any]] = {}
+        #: Number of messages delivered across all barriers (diagnostics).
+        self.total_messages = 0
+
+    def send(self, dst: Hashable, message: Any) -> None:
+        """Queue ``message`` for ``dst``; visible after the next barrier."""
+        self._pending[dst].append(message)
+
+    def send_many(self, dst: Hashable, messages) -> None:
+        """Queue several messages for ``dst``."""
+        self._pending[dst].extend(messages)
+
+    def barrier(self) -> None:
+        """End the superstep: pending messages become current deliveries."""
+        self._current = dict(self._pending)
+        self.total_messages += sum(len(v) for v in self._current.values())
+        self._pending = defaultdict(list)
+
+    def receive(self, dst: Hashable) -> list[Any]:
+        """Messages addressed to ``dst`` in the current superstep."""
+        return self._current.get(dst, [])
+
+    @property
+    def has_pending(self) -> bool:
+        """True if any message awaits the next barrier."""
+        return any(self._pending.values())
+
+    @property
+    def has_current(self) -> bool:
+        """True if any message is deliverable in the current superstep."""
+        return any(self._current.values())
+
+    def destinations(self):
+        """Ids with deliverable messages this superstep."""
+        return [d for d, v in self._current.items() if v]

@@ -1,0 +1,142 @@
+"""Command-line interface: ``repro-euler`` (or ``python -m repro.cli``).
+
+Subcommands
+-----------
+``run``
+    Find an Euler circuit in an edge-list file (or a generated workload) and
+    print the execution report; optionally write the circuit out.
+``generate``
+    Produce an eulerized R-MAT graph as an edge-list file.
+``experiment``
+    Regenerate one of the paper's tables/figures by name (``table1``,
+    ``fig4`` ... ``fig9``, ``supersteps``, ``baselines``, ``ablations``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from . import bench
+from .core import find_euler_circuit
+from .generate.eulerize import eulerian_rmat
+from .graph.io import load_edge_list, save_edge_list
+
+__all__ = ["main", "build_parser"]
+
+_EXPERIMENTS = {
+    "table1": lambda: bench.table1(),
+    "fig4": lambda: bench.fig4_degree_distribution(),
+    "fig5": lambda: bench.fig5_weak_scaling(),
+    "fig6": lambda: bench.fig6_time_split(),
+    "fig7": lambda: bench.fig7_phase1_complexity(),
+    "fig8": lambda: bench.fig8_memory_state(),
+    "fig9": lambda: bench.fig9_vertex_census(),
+    "supersteps": lambda: bench.supersteps_experiment(),
+    "baselines": lambda: bench.baselines_experiment(),
+    "ablations": lambda: (bench.ablation_matching(), bench.ablation_partitioner()),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree (exposed for tests and ``--help`` docs)."""
+    p = argparse.ArgumentParser(
+        prog="repro-euler",
+        description="Partition-centric distributed Euler circuits "
+        "(Jaiswal & Simmhan, IPDPS 2019 workshops).",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="find an Euler circuit")
+    run.add_argument("input", help="edge-list file, or workload name like G40k/P8")
+    run.add_argument("--parts", type=int, default=4, help="number of partitions")
+    run.add_argument("--partitioner", default="ldg",
+                     choices=("ldg", "bfs", "hash", "random"))
+    run.add_argument("--strategy", default="eager",
+                     choices=("eager", "dedup", "deferred", "proposed"))
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--verify", action="store_true", help="verify the circuit")
+    run.add_argument("--out", help="write the circuit's vertex sequence here")
+
+    gen = sub.add_parser("generate", help="generate an eulerized R-MAT graph")
+    gen.add_argument("output", help="edge-list file to write")
+    gen.add_argument("--scale", type=int, default=14, help="log2 vertex count")
+    gen.add_argument("--avg-degree", type=float, default=5.0)
+    gen.add_argument("--seed", type=int, default=0)
+
+    post = sub.add_parser(
+        "postman",
+        help="closed covering route on a non-Eulerian graph (edge revisits)",
+    )
+    post.add_argument("input", help="edge-list file")
+    post.add_argument("--parts", type=int, default=4)
+    post.add_argument("--seed", type=int, default=0)
+
+    exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    exp.add_argument("name", choices=sorted(_EXPERIMENTS))
+    return p
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "generate":
+        g, info = eulerian_rmat(args.scale, avg_degree=args.avg_degree, seed=args.seed)
+        save_edge_list(g, args.output)
+        print(
+            f"wrote {args.output}: |V|={g.n_vertices} |E|={g.n_edges} "
+            f"(+{100 * info.added_fraction:.1f}% eulerization edges)"
+        )
+        return 0
+    if args.command == "experiment":
+        _EXPERIMENTS[args.name]()
+        return 0
+    if args.command == "postman":
+        from .extensions import chinese_postman_route
+
+        g = load_edge_list(args.input)
+        route = chinese_postman_route(g, n_parts=args.parts, seed=args.seed)
+        print(
+            f"route: {route.n_steps} steps over {g.n_edges} edges "
+            f"({route.n_revisits} revisits, "
+            f"{100 * route.deadhead_fraction:.1f}% deadheading), "
+            f"closed={route.is_closed}"
+        )
+        return 0
+    # run
+    if args.input in bench.PAPER_WORKLOADS:
+        g, spec = bench.load_workload(args.input)
+        n_parts = args.parts if args.parts != 4 else spec.n_parts
+    else:
+        g = load_edge_list(args.input)
+        n_parts = args.parts
+    res = find_euler_circuit(
+        g,
+        n_parts=n_parts,
+        partitioner=args.partitioner,
+        strategy=args.strategy,
+        seed=args.seed,
+        verify=args.verify,
+    )
+    rep = res.report
+    print(
+        f"circuit: {res.circuit.n_edges} edges, closed={res.circuit.is_closed}\n"
+        f"partitions={rep.n_parts} supersteps={rep.n_supersteps} "
+        f"total={rep.total_seconds:.2f}s compute={rep.compute_seconds:.2f}s"
+    )
+    for row in rep.state_by_level():
+        print(
+            f"  level {row['level']}: partitions={row['n_partitions']} "
+            f"state={row['cumulative_longs']:,} Longs "
+            f"(avg {row['avg_longs']:,.0f})"
+        )
+    if args.out:
+        np.savetxt(args.out, res.circuit.vertices, fmt="%d")
+        print(f"wrote circuit vertex sequence to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,98 @@
+"""The paper's §5 *analytic* memory model, applied to a measured eager trace.
+
+Section 5 of the paper estimates the impact of the two heuristics on the
+memory trace of an eager run ("We analytically model the impact of these
+two strategies on the memory usage of G40/8P and G50/8P ... based on the
+previous experiments' traces"). This module reproduces that analysis:
+
+* **dedup** — of each cut edge only one directed copy is held, so a
+  partition's held-row count shrinks to the rows the placement plan assigns
+  it;
+* **deferred** — rows due at future merge levels leave the active
+  partition entirely (they live on leaf machines), so active partitions
+  hold *no* remote rows between levels.
+
+Because this repo also *implements* the strategies, the model can be
+validated: :func:`model_error` compares the modeled series against a
+measured ``proposed`` run (an experiment the paper could not do).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.partition import PartitionedGraph
+from .driver import ExecutionReport
+from .improvements import plan_remote_placement
+from .memory_model import Fig8Series
+from .merge_tree import MergeTree
+from .merging import LONGS
+
+__all__ = ["modeled_proposed_series", "model_error"]
+
+
+def modeled_proposed_series(
+    pg: PartitionedGraph,
+    tree: MergeTree,
+    eager_report: ExecutionReport,
+    label: str = "modeled",
+) -> Fig8Series:
+    """Predict the dedup+deferred state series from an eager run's records.
+
+    For every (level, partition) record of the eager run, the model keeps
+    the vertex/local-edge/pathMap Longs unchanged and replaces the
+    remote-edge component: at level 0 the partition holds only the rows the
+    dedup placement assigns it whose merge level is 0; at higher levels it
+    holds none (deferred shipping turns arrivals into local edges
+    immediately).
+    """
+    placement = plan_remote_placement(pg, tree, dedup=True)
+    level0_held = {
+        pid: int(
+            sum(
+                1
+                for e in rows[:, 2].tolist()
+                if placement.merge_level[int(e)] == 0
+            )
+        )
+        for pid, rows in placement.rows_for.items()
+    }
+
+    levels: list[int] = []
+    cumulative: list[float] = []
+    average: list[float] = []
+    for step in eager_report.run_stats.records:
+        active = [r for r in step if r.census or r.state_longs]
+        if not active:
+            continue
+        lvl = active[0].superstep
+        modeled = []
+        for rec in active:
+            held_eager = rec.census.get("n_remote_half_edges", 0)
+            if lvl == 0:
+                held_model = level0_held.get(rec.pid, 0)
+            else:
+                held_model = 0
+            modeled.append(
+                rec.state_longs - LONGS.REMOTE * (held_eager - held_model)
+            )
+        levels.append(lvl)
+        cumulative.append(float(sum(modeled)))
+        average.append(float(np.mean(modeled)))
+    return Fig8Series(label=label, levels=levels, cumulative=cumulative, average=average)
+
+
+def model_error(modeled: Fig8Series, measured: Fig8Series) -> dict:
+    """Relative error of the analytic model against a measured proposed run.
+
+    Returns per-level relative errors on the cumulative series plus their
+    mean absolute value. Levels present in only one series are skipped.
+    """
+    errs: dict[int, float] = {}
+    for lvl, cum in zip(modeled.levels, modeled.cumulative):
+        if lvl in measured.levels:
+            ref = measured.cumulative[measured.levels.index(lvl)]
+            if ref:
+                errs[lvl] = (cum - ref) / ref
+    mean_abs = float(np.mean([abs(e) for e in errs.values()])) if errs else 0.0
+    return {"per_level": errs, "mean_abs_relative_error": mean_abs}

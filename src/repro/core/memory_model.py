@@ -1,0 +1,86 @@
+"""Memory-state analysis: the paper's Fig. 8 "current / ideal / proposed".
+
+The measured series come from actual runs (the driver records state Longs per
+partition per level, for whichever §5 strategy was selected). This module
+adds the two *synthetic* series the paper plots alongside:
+
+* **ideal** — the weak-scaling aspiration (§4.3): a merged partition's state
+  matches its children's initial state, so the *average* per-partition state
+  stays constant at its level-0 value and the cumulative is that average
+  times the number of live partitions at each level;
+* **analytic proposed** — the paper's §5 back-of-envelope applied to a
+  *measured eager trace*: remote-edge Longs halve under dedup, and under
+  deferred transfer a level only holds the remote edges due to become local
+  at the next merge. Comparing this against a *measured* ``proposed`` run is
+  an extension beyond the paper (which only analyzes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .driver import ExecutionReport
+from .merging import LONGS
+
+__all__ = ["Fig8Series", "ideal_series", "measured_series", "fig8_table"]
+
+
+@dataclass(frozen=True)
+class Fig8Series:
+    """One line of Fig. 8: per-level cumulative and average state Longs."""
+
+    label: str
+    levels: list[int]
+    cumulative: list[float]
+    average: list[float]
+
+
+def measured_series(report: ExecutionReport, label: str | None = None) -> Fig8Series:
+    """Per-level measured state from a run (whatever its strategy was)."""
+    rows = report.state_by_level()
+    return Fig8Series(
+        label=label or report.strategy,
+        levels=[r["level"] for r in rows],
+        cumulative=[float(r["cumulative_longs"]) for r in rows],
+        average=[float(r["avg_longs"]) for r in rows],
+    )
+
+
+def ideal_series(report: ExecutionReport) -> Fig8Series:
+    """The paper's "ideal" line derived from a run's level-0 state.
+
+    Average is pinned at the level-0 average; cumulative multiplies it by
+    the number of live partitions per level (halving as the tree closes).
+    """
+    rows = report.state_by_level()
+    if not rows:
+        return Fig8Series("ideal", [], [], [])
+    avg0 = float(rows[0]["avg_longs"])
+    levels = [r["level"] for r in rows]
+    n_parts = [max(1, r["n_partitions"]) for r in rows]
+    return Fig8Series(
+        label="ideal",
+        levels=levels,
+        cumulative=[avg0 * n for n in n_parts],
+        average=[avg0] * len(levels),
+    )
+
+
+def fig8_table(series: list[Fig8Series]) -> list[dict]:
+    """Join several series into printable per-level rows."""
+    levels = sorted({l for s in series for l in s.levels})
+    rows = []
+    for l in levels:
+        row: dict = {"level": l}
+        for s in series:
+            if l in s.levels:
+                i = s.levels.index(l)
+                row[f"{s.label}_cumulative"] = s.cumulative[i]
+                row[f"{s.label}_avg"] = s.average[i]
+        rows.append(row)
+    return rows
+
+
+def remote_edge_longs(n_half_edges: int) -> int:
+    """Longs charged for remote half-edges (2 per row, see LONGS)."""
+    return LONGS.REMOTE * n_half_edges

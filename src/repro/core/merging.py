@@ -1,0 +1,232 @@
+"""Phase 2 runtime: partition state and pairwise merging across levels.
+
+A live partition between Phase-1 runs is exactly what the paper says remains
+in memory after Phase 1 (§3.2): the coarse OB-pair edges just produced, the
+boundary vertices, and the remote half-edges it holds (which of those it
+holds depends on the §5 strategy). :func:`merge_states` implements the
+child→parent absorption: remote edges between the two groups become local
+raw edges, their endpoints' remote degrees drop (possibly turning boundary
+vertices internal), and both sides' coarse edges become the local edge set
+for the next Phase-1 run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..graph.partition import PartitionView
+from .phase1 import EDGE_COARSE, EDGE_RAW, LocalEdge
+
+__all__ = ["PartitionState", "state_from_view", "merge_states", "LONGS"]
+
+
+class LONGS:
+    """Longs-per-record accounting constants (§4.3's Int64 state metric).
+
+    The paper counts 8-byte Long values of partition state *as loaded for a
+    Phase-1 run* (Fig. 8 measures the state "maintained as part of the
+    partitions' state at different levels", which is why its last-level
+    average is ~50% of the level-0 cumulative: the root holds all
+    newly-localized edges). We charge:
+
+    * ``VERTEX`` = 1 per live vertex (id; the OB/EB/internal type packs into
+      spare bits),
+    * ``LOCAL_DIRECTED`` = 1 per *directed* local edge — an undirected local
+      edge costs 2, matching the paper's §5 observation that the bi-directed
+      representation "doubles the memory usage",
+    * ``REMOTE`` = 2 per held remote half-edge (src id + dst id); dropping
+      one direction (the §5 dedup) therefore halves remote-edge state,
+    * ``COARSE`` = 3 per coarse OB-pair edge (two endpoints + fragment id),
+    * ``PATHMAP`` = 4 per pathMap entry (path id, type, src, dst).
+    """
+
+    VERTEX = 1
+    LOCAL_DIRECTED = 1
+    BOUNDARY = 2  # resident (between-levels) cost of a boundary vertex
+    REMOTE = 2
+    COARSE = 3
+    PATHMAP = 4
+
+
+def phase1_state_longs(
+    n_live_vertices: int,
+    n_raw_local: int,
+    n_coarse_local: int,
+    n_held_rows: int,
+    n_pathmap_entries: int,
+) -> int:
+    """Longs of partition state at the *start* of a Phase-1 run (Fig. 8 unit).
+
+    ``n_raw_local`` counts undirected raw local edges (charged as two
+    directed Longs each); ``n_coarse_local`` counts coarse OB-pair edges.
+    """
+    return (
+        LONGS.VERTEX * n_live_vertices
+        + 2 * LONGS.LOCAL_DIRECTED * n_raw_local
+        + LONGS.COARSE * n_coarse_local
+        + LONGS.REMOTE * n_held_rows
+        + LONGS.PATHMAP * n_pathmap_entries
+    )
+
+
+@dataclass
+class PartitionState:
+    """In-memory state of one live (possibly merged) partition.
+
+    Attributes
+    ----------
+    pid:
+        Current partition id (a parent keeps its id across merges).
+    level:
+        The level whose Phase 1 most recently ran on this state.
+    coarse:
+        Coarse OB-pair edges ``(src, dst, fid)`` produced by that run; they
+        are the only unconsumed local objects.
+    held:
+        Remote half-edge rows ``(src, dst, eid, dst_pid)`` resident in this
+        partition's memory (strategy-dependent subset of the true cut).
+    remote_deg:
+        *True* remote half-edge degree per vertex (storage-independent; what
+        OB/EB classification needs). Vertices with degree 0 are dropped.
+    n_pathmap_entries:
+        PathMap entries retained (for the Longs metric).
+    member_leaves:
+        Original leaf partition ids merged into this state (deferred
+        shipments are keyed on them).
+    """
+
+    pid: int
+    level: int
+    coarse: list[tuple[int, int, int]] = field(default_factory=list)
+    held: np.ndarray = field(
+        default_factory=lambda: np.empty((0, 4), dtype=np.int64)
+    )
+    remote_deg: dict[int, int] = field(default_factory=dict)
+    n_pathmap_entries: int = 0
+    member_leaves: tuple[int, ...] = ()
+
+    def state_longs(self) -> int:
+        """Longs of retained state (Fig. 8's unit), per :class:`LONGS`."""
+        n_boundary = sum(1 for d in self.remote_deg.values() if d > 0)
+        return (
+            LONGS.BOUNDARY * n_boundary
+            + LONGS.REMOTE * int(self.held.shape[0])
+            + LONGS.COARSE * len(self.coarse)
+            + LONGS.PATHMAP * self.n_pathmap_entries
+        )
+
+    def census(self) -> dict[str, int]:
+        """Live-object counts for Fig. 9 (post-Phase-1 snapshot)."""
+        return {
+            "n_boundary": sum(1 for d in self.remote_deg.values() if d > 0),
+            "n_remote_half_edges": int(self.held.shape[0]),
+            "n_coarse_edges": len(self.coarse),
+        }
+
+
+def state_from_view(
+    view: PartitionView, held_rows: np.ndarray, member_leaves: tuple[int, ...]
+) -> tuple[PartitionState, list[LocalEdge], dict[int, int]]:
+    """Level-0 setup: build the initial state and Phase-1 inputs.
+
+    Returns ``(state, local_edges, remote_degree)`` where ``local_edges``
+    and ``remote_degree`` feed :func:`repro.core.phase1.run_phase1`.
+    ``held_rows`` comes from the strategy's
+    :func:`~repro.core.improvements.plan_remote_placement`.
+    """
+    remote_deg: dict[int, int] = {}
+    for src in view.remote[:, 0].tolist():
+        remote_deg[src] = remote_deg.get(src, 0) + 1
+    state = PartitionState(
+        pid=view.pid,
+        level=0,
+        held=held_rows,
+        remote_deg=remote_deg,
+        member_leaves=member_leaves,
+    )
+    return state, [], remote_deg
+
+
+def local_edges_level0(view: PartitionView, edge_u, edge_v) -> list[LocalEdge]:
+    """The raw local edges of a level-0 partition as Phase-1 input tuples."""
+    eids = view.local_eids
+    return [
+        (int(edge_u[e]), int(edge_v[e]), EDGE_RAW, int(e)) for e in eids.tolist()
+    ]
+
+
+def merge_states(
+    parent: PartitionState,
+    child: PartitionState,
+    in_group: set[int],
+    extra_rows: np.ndarray | None = None,
+) -> tuple[PartitionState, list[LocalEdge], dict[int, int]]:
+    """Absorb ``child`` into ``parent`` (one merge-tree edge).
+
+    Parameters
+    ----------
+    parent, child:
+        Post-Phase-1 states of the two partitions being merged.
+    in_group:
+        The set of *original leaf* partition ids in the merged group; held
+        rows whose destination leaf lies inside become local edges.
+    extra_rows:
+        Additional half-edge rows shipped in by the deferred strategy (they
+        are all internal to the group by construction).
+
+    Returns
+    -------
+    (state, local_edges, remote_degree):
+        The merged state (Phase 1 not yet run: its ``coarse`` is empty and
+        ``level`` advanced) plus the Phase-1 inputs: local edges = both
+        sides' coarse OB-pairs + newly-localized raw edges; remote degrees
+        reflect the consumed cut.
+    """
+    rows_list = [parent.held, child.held]
+    if extra_rows is not None and extra_rows.size:
+        rows_list.append(extra_rows)
+    rows = np.concatenate([r for r in rows_list if r.size], axis=0) if any(
+        r.size for r in rows_list
+    ) else np.empty((0, 4), dtype=np.int64)
+
+    if rows.size:
+        internal_mask = np.fromiter(
+            (int(d) in in_group for d in rows[:, 3]), count=rows.shape[0], dtype=bool
+        )
+        internal = rows[internal_mask]
+        external = rows[~internal_mask]
+    else:
+        internal = external = rows.reshape(0, 4)
+
+    # One local edge per unique eid (under eager placement both directed
+    # copies of a cut edge meet here; under dedup exactly one exists).
+    local_edges: list[LocalEdge] = []
+    remote_deg = dict(parent.remote_deg)
+    for v, d in child.remote_deg.items():
+        remote_deg[v] = remote_deg.get(v, 0) + d
+    if internal.size:
+        _, first = np.unique(internal[:, 2], return_index=True)
+        for i in first.tolist():
+            src, dst, eid, _ = internal[i].tolist()
+            local_edges.append((int(src), int(dst), EDGE_RAW, int(eid)))
+            for endpoint in (int(src), int(dst)):
+                remote_deg[endpoint] = remote_deg.get(endpoint, 0) - 1
+    remote_deg = {v: d for v, d in remote_deg.items() if d > 0}
+
+    for src, dst, fid in parent.coarse:
+        local_edges.append((src, dst, EDGE_COARSE, fid))
+    for src, dst, fid in child.coarse:
+        local_edges.append((src, dst, EDGE_COARSE, fid))
+
+    state = PartitionState(
+        pid=parent.pid,
+        level=parent.level + 1,
+        coarse=[],
+        held=external,
+        remote_deg=remote_deg,
+        n_pathmap_entries=parent.n_pathmap_entries + child.n_pathmap_entries,
+        member_leaves=tuple(sorted(set(parent.member_leaves) | set(child.member_leaves))),
+    )
+    return state, local_edges, remote_deg

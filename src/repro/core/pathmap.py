@@ -1,0 +1,214 @@
+"""Fragments, the pathMap, and the (spillable) fragment store.
+
+Phase 1 (Alg. 1) replaces runs of local edges with coarse objects the paper
+calls *paths* (between two odd boundary vertices — the "OB-pair" that acts as
+a single coarse edge at the next level) and *cycles* (anchored at an even
+boundary vertex or an internal vertex). We call both **fragments**.
+
+A fragment's body is a sequence of *items*, each either a raw graph edge or a
+reference to a lower-level fragment traversed forward or backward. This is
+exactly the paper's book-keeping "persisted to disk" in Phase 1 and consumed
+by Phase 3's recursive unrolling; :class:`FragmentStore` keeps it in memory
+by default and can spill bodies to disk (``spill_dir``), mirroring the
+paper's design that only the pathMap *metadata* stays resident.
+
+Item encoding (plain tuples, kept deliberately simple and pickle-friendly):
+
+``(ITEM_EDGE, eid, dst)``
+    Raw undirected edge ``eid`` traversed so that it *ends* at vertex ``dst``.
+``(ITEM_FRAG, fid, dst, forward)``
+    Lower-level path fragment ``fid`` traversed toward ``dst``; ``forward``
+    is True when traversed from its ``src`` to its ``dst``.
+
+The implied junction sequence of a fragment is ``src`` followed by each
+item's ``dst``; for cycles the last ``dst`` equals ``src``.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import threading
+from dataclasses import dataclass, field
+
+__all__ = [
+    "ITEM_EDGE",
+    "ITEM_FRAG",
+    "KIND_PATH",
+    "KIND_CYCLE",
+    "Fragment",
+    "FragmentStore",
+    "PathMap",
+]
+
+ITEM_EDGE = 0
+ITEM_FRAG = 1
+
+KIND_PATH = "path"
+KIND_CYCLE = "cycle"
+
+
+@dataclass
+class Fragment:
+    """One local path or cycle found by Phase 1.
+
+    Attributes
+    ----------
+    fid:
+        Globally unique fragment id (assigned by :class:`FragmentStore`).
+    kind:
+        ``"path"`` (OB→OB; becomes a coarse edge) or ``"cycle"``.
+    level:
+        Merge-tree level at which Phase 1 created it.
+    pid:
+        Partition that created it.
+    src, dst:
+        Endpoints; equal for cycles.
+    items:
+        Item tuples (see module docstring). May be ``None`` when the body
+        has been spilled to disk — fetch through the store, not directly.
+    n_edges:
+        Number of *raw* edges the fragment expands to (cached so memory
+        accounting and sanity checks never force a load from disk).
+    """
+
+    fid: int
+    kind: str
+    level: int
+    pid: int
+    src: int
+    dst: int
+    items: list | None
+    n_edges: int
+
+    def junctions(self) -> list[int]:
+        """The vertex sequence at this fragment's own level (src first)."""
+        if self.items is None:
+            raise ValueError(f"fragment {self.fid} body is spilled; use the store")
+        out = [self.src]
+        out.extend(item[2] for item in self.items)
+        return out
+
+
+class FragmentStore:
+    """Registry of fragments with optional disk spill of bodies.
+
+    With ``spill_dir`` set, :meth:`spill` pickles a fragment's item list to
+    ``<spill_dir>/frag_<fid>.pkl`` and drops it from memory —the paper's
+    "persist the mapping to disk ... allows the sets L and I to be removed to
+    conserve memory". :meth:`items_of` transparently loads spilled bodies.
+    """
+
+    def __init__(self, spill_dir: str | os.PathLike | None = None):
+        self._frags: dict[int, Fragment] = {}
+        self._next = 0
+        self.spill_dir = os.fspath(spill_dir) if spill_dir is not None else None
+        if self.spill_dir is not None:
+            os.makedirs(self.spill_dir, exist_ok=True)
+        #: Total raw edges across registered fragments (diagnostics). Note
+        #: fragments nest, so this exceeds the graph's edge count; the sum
+        #: over *cycle* fragments alone equals it.
+        self.total_edges = 0
+        # The store is shared by all partition threads of a run (in a real
+        # cluster each machine has its own disk; here one registry stands in
+        # for all of them), so registration/spill must be thread-safe.
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        return len(self._frags)
+
+    def __contains__(self, fid: int) -> bool:
+        return fid in self._frags
+
+    def new_fragment(
+        self, kind: str, level: int, pid: int, src: int, dst: int, items: list,
+        n_edges: int,
+    ) -> Fragment:
+        """Register a fragment and assign it the next fid."""
+        if kind not in (KIND_PATH, KIND_CYCLE):
+            raise ValueError(f"bad fragment kind {kind!r}")
+        if kind == KIND_CYCLE and src != dst:
+            raise ValueError("cycle fragments must have src == dst")
+        with self._lock:
+            frag = Fragment(self._next, kind, level, pid, src, dst, items, n_edges)
+            self._frags[frag.fid] = frag
+            self._next += 1
+            self.total_edges += n_edges
+        return frag
+
+    def get(self, fid: int) -> Fragment:
+        """Fragment metadata by id (body may be spilled)."""
+        return self._frags[fid]
+
+    def items_of(self, fid: int) -> list:
+        """Fragment body, loading from the spill directory if needed."""
+        frag = self._frags[fid]
+        if frag.items is not None:
+            return frag.items
+        path = self._spill_path(fid)
+        with open(path, "rb") as f:
+            return pickle.load(f)
+
+    def spill(self, fid: int) -> None:
+        """Persist the body of ``fid`` to disk and free it from memory.
+
+        Thread-safe: concurrent spills of the same fragment (partitions
+        spill their level's fragments independently) write once.
+        """
+        if self.spill_dir is None:
+            raise ValueError("store was created without a spill_dir")
+        with self._lock:
+            frag = self._frags[fid]
+            items = frag.items
+        if items is None:
+            return
+        # Write first, clear after: a concurrent spill writes identical
+        # bytes (benign), and items_of never sees a cleared body without a
+        # complete file behind it.
+        with open(self._spill_path(fid), "wb") as f:
+            pickle.dump(items, f, protocol=pickle.HIGHEST_PROTOCOL)
+        with self._lock:
+            frag.items = None
+
+    def spill_level(self, level: int) -> int:
+        """Spill every in-memory body created at ``level``; returns count."""
+        with self._lock:
+            targets = [
+                f.fid
+                for f in self._frags.values()
+                if f.level == level and f.items is not None
+            ]
+        for fid in targets:
+            self.spill(fid)
+        return len(targets)
+
+    def all_fragments(self) -> list[Fragment]:
+        """All registered fragments (metadata records)."""
+        return list(self._frags.values())
+
+    def _spill_path(self, fid: int) -> str:
+        assert self.spill_dir is not None
+        return os.path.join(self.spill_dir, f"frag_{fid}.pkl")
+
+
+@dataclass
+class PathMap:
+    """Per-partition output of one Phase-1 run (Alg. 1's ``pathMap``).
+
+    ``ob_paths`` are the coarse OB-pair edges handed to the next level;
+    ``anchored_cycles`` are cycle fragments waiting to be spliced into the
+    final circuit by Phase 3 (EB cycles, plus internal-vertex cycles that
+    found no same-level pivot — the multi-component generalization noted in
+    DESIGN.md).
+    """
+
+    pid: int
+    level: int
+    #: Path fragments as coarse edges: tuples ``(src, dst, fid)``.
+    ob_paths: list[tuple[int, int, int]] = field(default_factory=list)
+    #: Cycle fragment ids pending Phase-3 splicing.
+    anchored_cycles: list[int] = field(default_factory=list)
+    #: Count of internal-vertex cycles merged into other fragments (stats).
+    n_merged_cycles: int = 0
+    #: Count of trivial (zero-edge) EB tours skipped (stats).
+    n_trivial: int = 0

@@ -1,0 +1,328 @@
+"""Phase 1 (Alg. 1): edge-disjoint maximal local paths and cycles.
+
+Given a partition's *live local graph* at some merge level — whose edges are
+raw graph edges and/or coarse OB-pair edges produced at lower levels — this
+module finds:
+
+1. maximal local paths between odd-degree boundary vertices (Lemma 1), each
+   registered as a ``path`` fragment and handed to the next level as a coarse
+   OB-pair edge;
+2. maximal local cycles from every even-degree boundary vertex (Lemma 2),
+   registered as anchored ``cycle`` fragments for Phase-3 splicing;
+3. cycles from remaining internal vertices, merged (``mergeInto``) into a
+   same-run fragment at a shared *pivot* vertex (Lemma 3); cycles with no
+   same-run pivot — possible only when the live local graph is disconnected,
+   our generalization beyond the paper's connected-partition assumption —
+   are kept as anchored cycles instead.
+
+The traversal uses the classic next-unvisited-edge pointer so the whole run
+is ``O(|B| + |I| + |L|)`` per partition, the complexity the paper claims in
+§3.5 and that the Fig. 7 benchmark verifies empirically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import InvariantViolation
+from .pathmap import ITEM_EDGE, ITEM_FRAG, KIND_CYCLE, KIND_PATH, FragmentStore, PathMap
+
+__all__ = ["LocalEdge", "Phase1Stats", "run_phase1", "EDGE_RAW", "EDGE_COARSE"]
+
+#: ``LocalEdge`` kind: a raw graph edge; ``ref`` is the graph edge id.
+EDGE_RAW = 0
+#: ``LocalEdge`` kind: a coarse OB-pair edge; ``ref`` is the fragment id and
+#: the tuple's ``u`` is the fragment's ``src`` (so ``u -> v`` is *forward*).
+EDGE_COARSE = 1
+
+#: A live local edge: ``(u, v, kind, ref)``.
+LocalEdge = tuple
+
+
+@dataclass
+class Phase1Stats:
+    """Input census + outcome counts of one Phase-1 run (Figs. 7 and 9)."""
+
+    n_live_vertices: int = 0
+    n_internal: int = 0
+    n_ob: int = 0
+    n_eb: int = 0
+    n_local_edges: int = 0
+    n_paths: int = 0
+    n_eb_cycles: int = 0
+    n_iv_cycles_merged: int = 0
+    n_iv_cycles_anchored: int = 0
+    n_trivial: int = 0
+
+    @property
+    def phase1_cost(self) -> int:
+        """The paper's per-partition cost term ``|B| + |I| + |L|``."""
+        return self.n_ob + self.n_eb + self.n_internal + self.n_local_edges
+
+
+def run_phase1(
+    pid: int,
+    level: int,
+    local_edges: list[LocalEdge],
+    remote_degree: dict[int, int],
+    store: FragmentStore,
+    validate: bool = False,
+) -> tuple[PathMap, Phase1Stats]:
+    """Run Alg. 1 on one partition's live local graph.
+
+    Parameters
+    ----------
+    pid, level:
+        Identity of the partition and merge level (recorded on fragments).
+    local_edges:
+        The live local edges ``(u, v, kind, ref)``; every one is consumed.
+    remote_degree:
+        Remote half-edge degree per vertex; vertices with a positive entry
+        are *boundary* vertices. Vertices appearing neither here nor on any
+        local edge do not exist at this level.
+    store:
+        Fragment registry that receives the new fragments.
+    validate:
+        When True, check Lemmas 1–2 on every walk and raise
+        :class:`~repro.errors.InvariantViolation` on failure (used by tests;
+        costs a few percent).
+
+    Returns
+    -------
+    (pathmap, stats):
+        The partition's :class:`~repro.core.pathmap.PathMap` for this level
+        and the census/outcome counters.
+    """
+    # ---- build the local adjacency (next-unvisited-pointer layout) -------
+    vidx: dict[int, int] = {}
+
+    def _local(v: int) -> int:
+        i = vidx.get(v)
+        if i is None:
+            i = len(vidx)
+            vidx[v] = i
+        return i
+
+    for u, v, _, _ in local_edges:
+        _local(u)
+        _local(v)
+    for v, rdeg in remote_degree.items():
+        if rdeg > 0:
+            _local(v)
+
+    n_local = len(vidx)
+    adj: list[list[int]] = [[] for _ in range(n_local)]
+    local_deg = [0] * n_local
+    for k, (u, v, _, _) in enumerate(local_edges):
+        iu, iv = vidx[u], vidx[v]
+        adj[iu].append(k)
+        local_deg[iu] += 1
+        if iv != iu:
+            adj[iv].append(k)
+        local_deg[iv] += 1
+        if iv == iu:  # self loop: one adjacency entry is enough to find it,
+            adj[iu].append(k)  # but keep two half-edges so degree math holds.
+
+    verts = list(vidx.keys())
+    boundary = sorted(v for v in verts if remote_degree.get(v, 0) > 0)
+    ob = [v for v in boundary if local_deg[vidx[v]] % 2 == 1]
+    eb = [v for v in boundary if local_deg[vidx[v]] % 2 == 0]
+    n_internal = n_local - len(boundary)
+
+    stats = Phase1Stats(
+        n_live_vertices=n_local,
+        n_internal=n_internal,
+        n_ob=len(ob),
+        n_eb=len(eb),
+        n_local_edges=len(local_edges),
+    )
+    if validate and len(ob) % 2 != 0:
+        raise InvariantViolation(
+            f"partition {pid} level {level}: odd number of OB vertices ({len(ob)})"
+        )
+
+    visited = bytearray(len(local_edges))
+    ptr = [0] * n_local
+
+    def walk(start: int) -> tuple[list, int]:
+        """Maximal traversal along unvisited local edges from ``start``."""
+        items: list = []
+        cur = start
+        while True:
+            i = vidx[cur]
+            lst = adj[i]
+            p = ptr[i]
+            while p < len(lst) and visited[lst[p]]:
+                p += 1
+            ptr[i] = p
+            if p == len(lst):
+                return items, cur
+            k = lst[p]
+            visited[k] = 1
+            u, v, kind, ref = local_edges[k]
+            nxt = v if cur == u else u
+            if kind == EDGE_RAW:
+                items.append((ITEM_EDGE, ref, nxt))
+            else:
+                items.append((ITEM_FRAG, ref, nxt, cur == u))
+            cur = nxt
+
+    # ---- root bookkeeping for mergeInto ----------------------------------
+    # Each OB path / EB cycle / orphan internal cycle is a *root*; internal
+    # cycles with a pivot attach to a root and are spliced in a final pass.
+    roots: list[dict] = []  # {kind, src, dst, items}
+    junction_owner: dict[int, int] = {}  # vertex -> root index
+    attachments: list[dict[int, list[list]]] = []  # per root: vertex -> cycles
+
+    def register(root_idx: int, src: int, items: list) -> None:
+        if src not in junction_owner:
+            junction_owner[src] = root_idx
+        for it in items:
+            dst = it[2]
+            if dst not in junction_owner:
+                junction_owner[dst] = root_idx
+
+    def new_root(kind: str, src: int, dst: int, items: list) -> None:
+        idx = len(roots)
+        roots.append({"kind": kind, "src": src, "dst": dst, "items": items})
+        attachments.append({})
+        register(idx, src, items)
+
+    # ---- 1) OB -> OB maximal paths (Alg. 1 lines 7-8) ---------------------
+    # Each OB initiates exactly one walk (the paper's v.visited flag): an OB
+    # that already served as the *endpoint* of an earlier path has no
+    # unvisited edges left and yields an empty walk; an OB that *initiated*
+    # may retain an even number of unvisited edges, which the internal-cycle
+    # stage consumes (they can only form cycles once all parities are even).
+    for v in sorted(ob):
+        items, end = walk(v)
+        if not items:
+            continue
+        if validate:
+            ie = vidx[end]
+            if local_deg[ie] % 2 == 0 or remote_degree.get(end, 0) == 0:
+                raise InvariantViolation(
+                    f"Lemma 1 violated: path from OB {v} ended at non-OB {end}"
+                )
+            if end == v:
+                raise InvariantViolation(
+                    f"Lemma 1 violated: path from OB {v} returned to its start"
+                )
+        new_root(KIND_PATH, v, end, items)
+        stats.n_paths += 1
+
+    # ---- 2) EB cycles (lines 9-10) ----------------------------------------
+    for v in sorted(eb):
+        items, end = walk(v)
+        if not items:
+            stats.n_trivial += 1
+            continue
+        if validate and end != v:
+            raise InvariantViolation(
+                f"Lemma 2 violated: cycle from EB {v} ended at {end}"
+            )
+        new_root(KIND_CYCLE, v, v, items)
+        stats.n_eb_cycles += 1
+
+    # ---- 3) internal-vertex cycles (lines 11-13) ---------------------------
+    for k, (u, _v, _kind, _ref) in enumerate(local_edges):
+        if visited[k]:
+            continue
+        items, end = walk(u)
+        if validate and end != u:
+            raise InvariantViolation(
+                f"Lemma 2 violated: internal cycle from {u} ended at {end}"
+            )
+        # mergeInto: find a pivot junction shared with an existing root.
+        pivot = None
+        pivot_root = -1
+        if u in junction_owner:
+            pivot, pivot_root = u, junction_owner[u]
+        else:
+            for it in items:
+                dst = it[2]
+                if dst in junction_owner:
+                    pivot, pivot_root = dst, junction_owner[dst]
+                    break
+        if pivot is None:
+            # Disconnected live local graph (generalization beyond the
+            # paper's Lemma 3 assumption): keep as an anchored cycle.
+            new_root(KIND_CYCLE, u, u, items)
+            stats.n_iv_cycles_anchored += 1
+        else:
+            rotated = _rotate_cycle(u, items, pivot)
+            attachments[pivot_root].setdefault(pivot, []).append(rotated)
+            register(pivot_root, pivot, rotated)
+            stats.n_iv_cycles_merged += 1
+
+    # ---- finalize: splice attachments, register fragments -----------------
+    pathmap = PathMap(pid=pid, level=level)
+    for idx, root in enumerate(roots):
+        items = _flatten(root["src"], root["items"], attachments[idx])
+        n_edges = _count_edges(items, store)
+        frag = store.new_fragment(
+            root["kind"], level, pid, root["src"], root["dst"], items, n_edges
+        )
+        if root["kind"] == KIND_PATH:
+            pathmap.ob_paths.append((frag.src, frag.dst, frag.fid))
+        else:
+            pathmap.anchored_cycles.append(frag.fid)
+    pathmap.n_merged_cycles = stats.n_iv_cycles_merged
+    pathmap.n_trivial = stats.n_trivial
+
+    if validate and any(b == 0 for b in visited):
+        raise InvariantViolation(
+            f"partition {pid} level {level}: Phase 1 left local edges unvisited"
+        )
+    return pathmap, stats
+
+
+def _rotate_cycle(src: int, items: list, pivot: int) -> list:
+    """Rotate a cycle's item list so its junction sequence starts at ``pivot``."""
+    if pivot == src:
+        return items
+    for i, it in enumerate(items):
+        if it[2] == pivot:
+            return items[i + 1 :] + items[: i + 1]
+    raise InvariantViolation(f"pivot {pivot} not on cycle starting at {src}")
+
+
+def _flatten(src: int, items: list, attach: dict[int, list[list]]) -> list:
+    """Expand pivot attachments into a single flat item list (iterative)."""
+    if not attach:
+        return items
+    out: list = []
+    stack: list = []
+
+    def push_attach(v: int) -> None:
+        cycles = attach.pop(v, None)
+        if cycles:
+            for cyc in reversed(cycles):
+                stack.append(iter(cyc))
+
+    stack.append(iter(items))
+    push_attach(src)
+    while stack:
+        it = stack[-1]
+        item = next(it, None)
+        if item is None:
+            stack.pop()
+            continue
+        out.append(item)
+        push_attach(item[2])
+    if attach:
+        raise InvariantViolation(
+            f"unspliced attachments remain at vertices {sorted(attach)[:8]}"
+        )
+    return out
+
+
+def _count_edges(items: list, store: FragmentStore) -> int:
+    """Raw-edge weight of an item list (coarse items weigh their n_edges)."""
+    total = 0
+    for it in items:
+        if it[0] == ITEM_EDGE:
+            total += 1
+        else:
+            total += store.get(it[1]).n_edges
+    return total

@@ -1,0 +1,242 @@
+"""Phase 3: single-pass reconstruction of the full Euler circuit.
+
+The paper describes Phase 3 (§3.2) but defers its implementation; we build
+it in full. Inputs are the fragment store (the per-level book-keeping that
+Phase 1 "persisted to disk") and the pathMaps, from which two things follow:
+
+* a **base cycle** — a cycle fragment created at the root level (after the
+  last merge there are no remote edges, so the root's Phase 1 yields only
+  cycles; with a connected graph every other root cycle merges into the
+  first via ``mergeInto``);
+* a **pending index** — every *anchored* cycle fragment (EB cycles and
+  unmerged internal cycles from all levels) indexed by each of its junction
+  vertices. Those are the paper's *pivot vertices*: whenever the unrolling
+  emits a vertex with pending cycles, it switches to unrolling the pending
+  cycle (rotated to start there) and resumes afterwards — "recursively
+  unrolling edges of a different path or cycle passing through this pivot
+  vertex and created at a lower level".
+
+The unroll is iterative (explicit stack of item iterators, no recursion
+limits) and expands each coarse item exactly once, so the whole pass is
+linear in the number of edges.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+from ..errors import InvariantViolation
+from .circuit import EulerCircuit
+from .pathmap import ITEM_EDGE, ITEM_FRAG, KIND_CYCLE, FragmentStore
+
+__all__ = ["reconstruct_circuit", "build_pending_index"]
+
+
+def build_pending_index(
+    store: FragmentStore, anchored_fids
+) -> dict[int, list[int]]:
+    """Index all anchored cycles by every junction vertex they pass through.
+
+    Returns ``vertex -> [fid, ...]`` in deterministic (fid) order. Indexing
+    *all* junctions — not just the anchor — is what makes splicing work even
+    when a cycle's anchor vertex is only reachable deep inside another
+    fragment's expansion (the multi-component generalization in DESIGN.md).
+    """
+    index: dict[int, list[int]] = defaultdict(list)
+    fids = sorted(set(anchored_fids))
+    for fid in fids:
+        frag = store.get(fid)
+        if frag.kind != KIND_CYCLE:
+            raise InvariantViolation(f"anchored fragment {fid} is not a cycle")
+        items = store.items_of(fid)
+        verts = {frag.src}
+        verts.update(item[2] for item in items)
+        for v in verts:
+            index[v].append(fid)
+    return dict(index)
+
+
+def _reverse_items(items: list, src: int) -> list:
+    """Item list for traversing a fragment backwards (dst -> src)."""
+    junctions = [src]
+    junctions.extend(item[2] for item in items)
+    out = []
+    for i in range(len(items) - 1, -1, -1):
+        it = items[i]
+        new_dst = junctions[i]
+        if it[0] == ITEM_EDGE:
+            out.append((ITEM_EDGE, it[1], new_dst))
+        else:
+            out.append((ITEM_FRAG, it[1], new_dst, not it[3]))
+    return out
+
+
+def _rotate_to(items: list, src: int, pivot: int) -> list:
+    """Rotate a cycle's items so its junction walk starts/ends at ``pivot``."""
+    if pivot == src:
+        return items
+    for i, it in enumerate(items):
+        if it[2] == pivot:
+            return items[i + 1 :] + items[: i + 1]
+    raise InvariantViolation(f"pivot {pivot} not on cycle anchored at {src}")
+
+
+def reconstruct_circuit(
+    store: FragmentStore,
+    anchored_fids,
+    base_fid: int,
+) -> EulerCircuit:
+    """Unroll the fragment hierarchy into the final Euler circuit.
+
+    Parameters
+    ----------
+    store:
+        The fragment registry (bodies may be spilled; they are loaded on
+        demand, once each).
+    anchored_fids:
+        Fragment ids of every anchored cycle produced across all levels
+        (every ``KIND_CYCLE`` fragment; path fragments are consumed by
+        reference instead). ``base_fid`` may be included; it is skipped.
+    base_fid:
+        The root-level cycle to start from (the driver passes the root
+        partition's first anchored cycle).
+
+    Raises
+    ------
+    InvariantViolation
+        If any anchored cycle is never reached — with a connected Eulerian
+        input this cannot happen; it indicates a bug or a disconnected graph
+        that slipped past validation.
+    """
+    pending = build_pending_index(store, anchored_fids)
+    consumed: set[int] = set()
+    base = store.get(base_fid)
+    consumed.add(base_fid)
+
+    out_vertices: list[int] = [base.src]
+    out_eids: list[int] = []
+    stack: list = []
+
+    def splice_at(v: int) -> None:
+        fids = pending.get(v)
+        if not fids:
+            return
+        fresh = [f for f in fids if f not in consumed]
+        pending[v] = []
+        for fid in reversed(fresh):
+            consumed.add(fid)
+            frag = store.get(fid)
+            items = _rotate_to(store.items_of(fid), frag.src, v)
+            stack.append(iter(items))
+
+    stack.append(iter(store.items_of(base_fid)))
+    splice_at(base.src)
+    while stack:
+        it = stack[-1]
+        item = next(it, None)
+        if item is None:
+            stack.pop()
+            continue
+        if item[0] == ITEM_EDGE:
+            out_eids.append(item[1])
+            out_vertices.append(item[2])
+            splice_at(item[2])
+        else:
+            _, fid, _dst, forward = item
+            frag = store.get(fid)
+            items = store.items_of(fid)
+            if not forward:
+                items = _reverse_items(items, frag.src)
+            stack.append(iter(items))
+            # The entry vertex was already emitted (it equals the current
+            # walk position); the fragment's own items emit the rest.
+
+    leftovers = sorted(
+        {f for fids in pending.values() for f in fids if f not in consumed}
+    )
+    if leftovers:
+        # Completeness fallback: a pending cycle can strand when its only
+        # contact vertices with the emitted walk are *interior* to its coarse
+        # items (so no junction-level splice point exists). Expand each
+        # stranded cycle to raw edges and splice it at any shared vertex;
+        # repeat to a fixpoint (a stranded cycle may only touch another
+        # stranded cycle's region).
+        out_vertices, out_eids, leftovers = _splice_stranded(
+            store, out_vertices, out_eids, leftovers
+        )
+    if leftovers:
+        raise InvariantViolation(
+            f"{len(leftovers)} anchored cycles were never spliced "
+            f"(e.g. fragment ids {leftovers[:8]}); the input graph is "
+            "disconnected or an invariant was violated"
+        )
+    return EulerCircuit(
+        vertices=np.array(out_vertices, dtype=np.int64),
+        edge_ids=np.array(out_eids, dtype=np.int64),
+    )
+
+
+def _expand_plain(store: FragmentStore, fid: int) -> tuple[list[int], list[int]]:
+    """Fully expand one fragment to raw vertices/edges, with no splicing."""
+    frag = store.get(fid)
+    verts = [frag.src]
+    eids: list[int] = []
+    stack = [iter(store.items_of(fid))]
+    while stack:
+        item = next(stack[-1], None)
+        if item is None:
+            stack.pop()
+            continue
+        if item[0] == ITEM_EDGE:
+            eids.append(item[1])
+            verts.append(item[2])
+        else:
+            _, sub_fid, _dst, forward = item
+            sub = store.get(sub_fid)
+            items = store.items_of(sub_fid)
+            if not forward:
+                items = _reverse_items(items, sub.src)
+            stack.append(iter(items))
+    return verts, eids
+
+
+def _splice_stranded(
+    store: FragmentStore,
+    out_vertices: list[int],
+    out_eids: list[int],
+    leftovers: list[int],
+) -> tuple[list[int], list[int], list[int]]:
+    """Splice stranded cycles into the walk at any shared raw vertex.
+
+    One splice per round (positions shift), repeated to a fixpoint; returns
+    the possibly-shorter leftover list (non-empty only for disconnected
+    inputs).
+    """
+    remaining = sorted(leftovers, key=lambda f: (-store.get(f).level, f))
+    while remaining:
+        position: dict[int, int] = {}
+        for i, v in enumerate(out_vertices):
+            if v not in position:
+                position[v] = i
+        spliced_fid = None
+        for fid in remaining:
+            verts, eids = _expand_plain(store, fid)
+            anchor = next((i for i, v in enumerate(verts) if v in position), None)
+            if anchor is None:
+                continue
+            v = verts[anchor]
+            # Rotate the closed raw walk to start and end at v.
+            rot_v = verts[anchor:-1] + verts[: anchor + 1]
+            rot_e = eids[anchor:] + eids[:anchor]
+            pos = position[v]
+            out_vertices = out_vertices[:pos] + rot_v + out_vertices[pos + 1 :]
+            out_eids = out_eids[:pos] + rot_e + out_eids[pos:]
+            spliced_fid = fid
+            break
+        if spliced_fid is None:
+            break  # fixpoint: nothing left touches the walk
+        remaining = [f for f in remaining if f != spliced_fid]
+    return out_vertices, out_eids, remaining
+

@@ -1,0 +1,65 @@
+"""Exception types for the :mod:`repro` package.
+
+All library-specific failures derive from :class:`ReproError` so callers can
+catch one base class. The distinction between *input* problems (graph is not
+Eulerian, bad partition map) and *internal* invariant violations (a lemma from
+the paper failed to hold at runtime) is deliberate: the former are expected
+user-facing errors, the latter indicate a bug and carry diagnostics.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphFormatError(ReproError):
+    """Raised when an input edge list / file cannot be parsed or is malformed."""
+
+
+class NotEulerianError(ReproError):
+    """Raised when an Euler circuit is requested on a non-Eulerian graph.
+
+    Carries the offending odd-degree vertices (up to a cap) so users can fix
+    or eulerize their input.
+    """
+
+    def __init__(self, message: str, odd_vertices=None):
+        super().__init__(message)
+        #: A (possibly truncated) list of vertices with odd degree.
+        self.odd_vertices = list(odd_vertices) if odd_vertices is not None else []
+
+
+class DisconnectedGraphError(NotEulerianError):
+    """Raised when the graph's edges span more than one connected component.
+
+    An Euler circuit requires all edges to lie in a single component. The
+    ``num_components`` attribute reports how many edge-bearing components
+    were found.
+    """
+
+    def __init__(self, message: str, num_components: int = 0):
+        super().__init__(message)
+        #: Number of connected components that contain at least one edge.
+        self.num_components = num_components
+
+
+class PartitionError(ReproError):
+    """Raised for invalid partition maps (wrong length, out-of-range ids)."""
+
+
+class InvariantViolation(ReproError):
+    """Raised when one of the paper's lemmas fails to hold at runtime.
+
+    This always indicates a bug in the library (or memory corruption), never
+    bad user input; please report it with the seed/graph that triggered it.
+    """
+
+
+class InvalidCircuitError(ReproError):
+    """Raised by :func:`repro.core.circuit.verify_circuit` on a bad circuit."""
+
+
+class BSPError(ReproError):
+    """Raised for misuse of the BSP engine (e.g. messaging a dead partition)."""

@@ -1,0 +1,20 @@
+"""Extensions beyond the paper's evaluated scope (its §6 future work).
+
+* :func:`chinese_postman_route` — non-Eulerian graphs via minimized edge
+  revisits (the paper's "generalizing to non Eulerian graphs, by allowing
+  edge revisits").
+* :func:`find_euler_path` — open Euler walks via the virtual-edge reduction.
+* :func:`find_component_circuits` — one circuit per connected component.
+"""
+
+from .components import ComponentCircuit, find_component_circuits
+from .euler_path import find_euler_path
+from .postman import PostmanRoute, chinese_postman_route
+
+__all__ = [
+    "ComponentCircuit",
+    "find_component_circuits",
+    "find_euler_path",
+    "PostmanRoute",
+    "chinese_postman_route",
+]

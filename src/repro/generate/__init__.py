@@ -1,0 +1,33 @@
+"""Workload generators: R-MAT, eulerization, structured synthetic graphs.
+
+Reproduces the paper's §4.2 input pipeline (R-MAT → eulerize) plus the
+structured workloads used by the examples and tests.
+"""
+
+from .eulerize import EulerizeInfo, eulerian_rmat, eulerize, largest_component
+from .rmat import RMAT_DEFAULTS, rmat_graph
+from .synthetic import (
+    complete_graph,
+    cycle_graph,
+    de_bruijn_reads,
+    grid_city,
+    paper_figure1_graph,
+    random_eulerian,
+    ring_of_cliques,
+)
+
+__all__ = [
+    "EulerizeInfo",
+    "eulerian_rmat",
+    "eulerize",
+    "largest_component",
+    "RMAT_DEFAULTS",
+    "rmat_graph",
+    "complete_graph",
+    "cycle_graph",
+    "de_bruijn_reads",
+    "grid_city",
+    "paper_figure1_graph",
+    "random_eulerian",
+    "ring_of_cliques",
+]

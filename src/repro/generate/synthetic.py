@@ -1,0 +1,215 @@
+"""Deterministic synthetic workloads beyond R-MAT.
+
+These exercise the algorithm on structured graphs the paper's introduction
+motivates (road networks for route planning, DNA assembly) plus convenient
+Eulerian-by-construction random graphs for tests:
+
+* :func:`cycle_graph`, :func:`complete_graph` — textbook fixtures.
+* :func:`grid_city` — a w×h street grid (torus option makes it 4-regular and
+  hence Eulerian, like an idealized city for sweeping/coverage routes).
+* :func:`ring_of_cliques` — tunable community structure; Eulerian when the
+  cliques have odd size (so clique-internal degree is even) and each bridge
+  adds degree 2 per touched vertex via paired bridges.
+* :func:`random_eulerian` — union of random closed walks: even degree by
+  construction, connected by construction (each walk starts on a visited
+  vertex), ideal for property-based testing.
+* :func:`de_bruijn_reads` — synthetic DNA reads and their de Bruijn graph,
+  substrate for the Euler-path DNA-assembly example [paper refs 6, 7].
+* :func:`paper_figure1_graph` — the exact 14-vertex, 4-partition example of
+  the paper's Fig. 1, used in unit tests and the quickstart.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.graph import Graph, GraphBuilder
+
+__all__ = [
+    "cycle_graph",
+    "complete_graph",
+    "grid_city",
+    "ring_of_cliques",
+    "random_eulerian",
+    "de_bruijn_reads",
+    "paper_figure1_graph",
+]
+
+
+def cycle_graph(n: int) -> Graph:
+    """The n-cycle ``0-1-...-(n-1)-0`` (Eulerian for n >= 3; n=2 gives a
+    double edge, n=1 a self loop)."""
+    if n <= 0:
+        return Graph(0)
+    u = np.arange(n, dtype=np.int64)
+    v = (u + 1) % n
+    return Graph(n, u, v)
+
+
+def complete_graph(n: int) -> Graph:
+    """K_n (Eulerian iff n is odd)."""
+    pairs = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    return Graph.from_edges(n, pairs)
+
+
+def grid_city(width: int, height: int, torus: bool = True) -> Graph:
+    """A street grid of ``width * height`` intersections.
+
+    With ``torus=True`` (default) the grid wraps, making every intersection
+    degree-4 and the graph Eulerian — the idealized "snow plough must cover
+    every street once" workload. With ``torus=False`` the boundary vertices
+    have odd/low degree and the result needs eulerization first.
+    """
+    if width < 2 or height < 2:
+        raise ValueError("grid_city needs width, height >= 2")
+
+    def vid(x: int, y: int) -> int:
+        return y * width + x
+
+    b = GraphBuilder(width * height)
+    for y in range(height):
+        for x in range(width):
+            if x + 1 < width:
+                b.add_edge(vid(x, y), vid(x + 1, y))
+            elif torus and width > 2:
+                b.add_edge(vid(x, y), vid(0, y))
+            if y + 1 < height:
+                b.add_edge(vid(x, y), vid(x, y + 1))
+            elif torus and height > 2:
+                b.add_edge(vid(x, y), vid(x, 0))
+    return b.build()
+
+
+def ring_of_cliques(n_cliques: int, clique_size: int) -> Graph:
+    """A ring of cliques joined by two parallel bridges per adjacent pair.
+
+    With odd ``clique_size`` every vertex keeps even degree (clique-internal
+    degree ``clique_size-1`` is even; bridge endpoints gain 2), so the result
+    is Eulerian and has a natural community structure that partitioners
+    should recover (few cut edges).
+    """
+    if n_cliques < 2 or clique_size < 3:
+        raise ValueError("need n_cliques >= 2 and clique_size >= 3")
+    if clique_size % 2 == 0:
+        raise ValueError("clique_size must be odd for an Eulerian result")
+    b = GraphBuilder(n_cliques * clique_size)
+    for c in range(n_cliques):
+        base = c * clique_size
+        for i in range(clique_size):
+            for j in range(i + 1, clique_size):
+                b.add_edge(base + i, base + j)
+        nxt = ((c + 1) % n_cliques) * clique_size
+        # Two bridges keep parity even at all four touched vertices.
+        b.add_edge(base + 0, nxt + 0)
+        b.add_edge(base + 1, nxt + 1)
+    return b.build()
+
+
+def random_eulerian(
+    n_vertices: int,
+    n_walks: int = 4,
+    walk_len: int = 16,
+    seed: int | np.random.Generator = 0,
+) -> Graph:
+    """Random connected Eulerian multigraph: a union of random closed walks.
+
+    Every closed walk touches each of its vertices an even number of times,
+    so the union has all-even degrees; each walk after the first starts at an
+    already-visited vertex, so the union is connected. Unvisited vertices are
+    dropped by compaction (the returned graph may have fewer than
+    ``n_vertices`` vertices). This is the workhorse generator for
+    property-based tests: cheap, seedable and Eulerian by construction.
+    """
+    rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+    if n_vertices < 1 or n_walks < 1 or walk_len < 2:
+        raise ValueError("need n_vertices >= 1, n_walks >= 1, walk_len >= 2")
+    visited: list[int] = [int(rng.integers(n_vertices))]
+    us: list[int] = []
+    vs: list[int] = []
+    for _ in range(n_walks):
+        start = visited[int(rng.integers(len(visited)))]
+        cur = start
+        for _ in range(walk_len - 1):
+            nxt = int(rng.integers(n_vertices))
+            if nxt == cur:  # avoid self loops; step to a shifted vertex
+                nxt = (nxt + 1) % n_vertices
+                if nxt == cur:
+                    continue
+            us.append(cur)
+            vs.append(nxt)
+            visited.append(nxt)
+            cur = nxt
+        if cur != start:
+            us.append(cur)
+            vs.append(start)
+    from ..graph.io import compact_labels
+
+    g, _ = compact_labels(np.array(us, dtype=np.int64), np.array(vs, dtype=np.int64))
+    return g
+
+
+def de_bruijn_reads(
+    genome_len: int = 200,
+    k: int = 5,
+    seed: int | np.random.Generator = 0,
+) -> tuple[str, list[str], Graph, list[str]]:
+    """Synthetic DNA reads and their de Bruijn graph (DNA-assembly substrate).
+
+    Generates a random circular genome over ``ACGT``, slides a window of
+    length ``k`` to produce every k-mer read, and builds the de Bruijn graph:
+    vertices are (k-1)-mers, one edge per k-mer occurrence joining its prefix
+    and suffix. Because the genome is circular and every k-mer is included
+    exactly once per occurrence, each vertex has even total degree in the
+    *undirected* projection used here, and an Euler circuit spells a genome
+    reconstruction — the classic Pevzner-style formulation the paper cites
+    as a motivating use case.
+
+    Returns ``(genome, reads, graph, vertex_labels)`` where
+    ``vertex_labels[v]`` is the (k-1)-mer of vertex ``v``.
+    """
+    rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+    if genome_len < k or k < 2:
+        raise ValueError("need genome_len >= k >= 2")
+    alphabet = np.array(list("ACGT"))
+    genome = "".join(alphabet[rng.integers(0, 4, size=genome_len)])
+    circular = genome + genome[: k - 1]
+    reads = [circular[i : i + k] for i in range(genome_len)]
+
+    labels: dict[str, int] = {}
+    us: list[int] = []
+    vs: list[int] = []
+    for read in reads:
+        pre, suf = read[:-1], read[1:]
+        for mer in (pre, suf):
+            if mer not in labels:
+                labels[mer] = len(labels)
+        us.append(labels[pre])
+        vs.append(labels[suf])
+    names = [None] * len(labels)
+    for mer, idx in labels.items():
+        names[idx] = mer
+    return genome, reads, Graph(len(labels), us, vs), names
+
+
+def paper_figure1_graph() -> tuple[Graph, np.ndarray]:
+    """The exact running example of the paper's Fig. 1(a).
+
+    14 vertices (paper ids 1..14 mapped to 0..13) in 4 partitions
+    P1={v1,v2}, P2={v3,v4,v5}, P3={v6..v9}, P4={v10..v14}. Returns the graph
+    and the partition map (partition ids 0..3 for P1..P4).
+    """
+    # Edges exactly as drawn in Fig. 1a (paper vertex ids, 1-based).
+    edges_1based = [
+        (1, 2), (2, 3), (3, 4), (4, 5), (3, 5), (3, 13), (1, 14),
+        (12, 13), (11, 12), (6, 11), (6, 7), (7, 8), (8, 9), (9, 10),
+        (10, 12), (12, 14),
+    ]
+    edges = [(u - 1, v - 1) for u, v in edges_1based]
+    part_1based = {
+        1: 0, 2: 0,
+        3: 1, 4: 1, 5: 1,
+        6: 2, 7: 2, 8: 2, 9: 2,
+        10: 3, 11: 3, 12: 3, 13: 3, 14: 3,
+    }
+    part = np.array([part_1based[i + 1] for i in range(14)], dtype=np.int64)
+    return Graph.from_edges(14, edges), part

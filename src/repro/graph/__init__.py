@@ -1,0 +1,59 @@
+"""Graph substrate: immutable multigraphs, partitions, meta-graphs, IO.
+
+Public surface re-exported here; see the individual modules for details:
+
+* :class:`Graph`, :class:`GraphBuilder` — undirected multigraph with edge ids.
+* :class:`PartitionedGraph`, :class:`PartitionView` — the paper's
+  ``<I, B, L, R>`` partition model with OB/EB boundary classification.
+* :class:`MetaGraph`, :func:`build_metagraph` — partition meta-graph (§3.1).
+* :func:`is_eulerian`, :func:`check_eulerian`, :func:`connected_components`,
+  :func:`odd_vertices` — structural properties.
+* :func:`save_edge_list` / :func:`load_edge_list`,
+  :func:`save_npz` / :func:`load_npz` — persistence.
+"""
+
+from .csr import build_csr, csr_degrees
+from .graph import Graph, GraphBuilder
+from .io import compact_labels, load_edge_list, load_npz, save_edge_list, save_npz
+from .metagraph import MetaGraph, build_metagraph
+from .partition import PartitionedGraph, PartitionView, partition_stats
+from .properties import (
+    all_even_degrees,
+    check_eulerian,
+    connected_components,
+    euler_path_endpoints,
+    is_connected,
+    is_eulerian,
+    n_edge_components,
+    odd_vertices,
+)
+from .traversal import bfs_distances, bfs_tree, eccentricity_sample, shortest_path
+
+__all__ = [
+    "Graph",
+    "GraphBuilder",
+    "build_csr",
+    "csr_degrees",
+    "PartitionedGraph",
+    "PartitionView",
+    "partition_stats",
+    "MetaGraph",
+    "build_metagraph",
+    "all_even_degrees",
+    "check_eulerian",
+    "connected_components",
+    "euler_path_endpoints",
+    "is_connected",
+    "is_eulerian",
+    "n_edge_components",
+    "odd_vertices",
+    "bfs_distances",
+    "bfs_tree",
+    "eccentricity_sample",
+    "shortest_path",
+    "compact_labels",
+    "load_edge_list",
+    "load_npz",
+    "save_edge_list",
+    "save_npz",
+]

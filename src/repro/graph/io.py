@@ -1,0 +1,111 @@
+"""Graph persistence: plain edge-list text and compact NPZ binary.
+
+Formats
+-------
+* **Edge list** — one ``u v`` pair per line, ``#`` comments allowed; the
+  vertex count is ``max id + 1`` unless a ``# vertices: N`` header is present.
+  This matches what common graph tools (SNAP, METIS converters) emit.
+* **NPZ** — NumPy archive with ``n_vertices``, ``edge_u``, ``edge_v`` (and an
+  optional ``part_of``); loss-less and fast, used by the benchmark harness to
+  cache generated workloads.
+"""
+
+from __future__ import annotations
+
+import io as _stdio
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import GraphFormatError
+from .graph import Graph
+
+__all__ = [
+    "save_edge_list",
+    "load_edge_list",
+    "save_npz",
+    "load_npz",
+    "compact_labels",
+]
+
+
+def save_edge_list(graph: Graph, path) -> None:
+    """Write the graph as a text edge list with a vertex-count header."""
+    path = Path(path)
+    with path.open("w") as f:
+        f.write(f"# vertices: {graph.n_vertices}\n")
+        np.savetxt(f, np.column_stack([graph.edge_u, graph.edge_v]), fmt="%d")
+
+
+def load_edge_list(path) -> Graph:
+    """Read a text edge list (``u v`` per line, ``#`` comments)."""
+    path = Path(path)
+    n_header: int | None = None
+    rows: list[str] = []
+    with path.open() as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                body = line[1:].strip()
+                if body.startswith("vertices:"):
+                    try:
+                        n_header = int(body.split(":", 1)[1])
+                    except ValueError as exc:
+                        raise GraphFormatError(
+                            f"{path}:{lineno}: bad vertices header {line!r}"
+                        ) from exc
+                continue
+            rows.append(line)
+    if rows:
+        try:
+            arr = np.loadtxt(_stdio.StringIO("\n".join(rows)), dtype=np.int64, ndmin=2)
+        except ValueError as exc:
+            raise GraphFormatError(f"{path}: malformed edge line: {exc}") from exc
+        if arr.shape[1] < 2:
+            raise GraphFormatError(f"{path}: expected two columns per edge line")
+        u, v = arr[:, 0], arr[:, 1]
+    else:
+        u = v = np.empty(0, dtype=np.int64)
+    n = n_header if n_header is not None else (int(max(u.max(), v.max())) + 1 if u.size else 0)
+    try:
+        return Graph(n, u, v)
+    except ValueError as exc:
+        raise GraphFormatError(f"{path}: {exc}") from exc
+
+
+def save_npz(graph: Graph, path, part_of: np.ndarray | None = None) -> None:
+    """Write the graph (and optionally a partition map) to an NPZ archive."""
+    data = {
+        "n_vertices": np.int64(graph.n_vertices),
+        "edge_u": np.asarray(graph.edge_u),
+        "edge_v": np.asarray(graph.edge_v),
+    }
+    if part_of is not None:
+        data["part_of"] = np.asarray(part_of, dtype=np.int64)
+    np.savez_compressed(path, **data)
+
+
+def load_npz(path) -> tuple[Graph, np.ndarray | None]:
+    """Read a graph (and partition map, if present) from an NPZ archive."""
+    with np.load(path) as z:
+        try:
+            g = Graph(int(z["n_vertices"]), z["edge_u"], z["edge_v"])
+        except KeyError as exc:
+            raise GraphFormatError(f"{path}: missing array {exc}") from exc
+        part = z["part_of"] if "part_of" in z.files else None
+    return g, part
+
+
+def compact_labels(edge_u, edge_v) -> tuple[Graph, np.ndarray]:
+    """Relabel arbitrary integer vertex ids to dense ``0..n-1``.
+
+    Returns the compacted :class:`Graph` and the sorted array of original
+    labels (``labels[new_id] == original_id``).
+    """
+    edge_u = np.asarray(edge_u, dtype=np.int64)
+    edge_v = np.asarray(edge_v, dtype=np.int64)
+    labels, inverse = np.unique(np.concatenate([edge_u, edge_v]), return_inverse=True)
+    m = edge_u.shape[0]
+    return Graph(labels.size, inverse[:m], inverse[m:]), labels

@@ -1,0 +1,122 @@
+"""BFS traversal utilities: distances, shortest paths, multi-source BFS.
+
+Substrate for the Chinese-Postman extension (pairing odd vertices by
+shortest deadhead routes) and for partition refinement. Unweighted BFS only
+— the paper's graphs are unweighted, and hop distance is the natural
+deadheading cost on them.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from .graph import Graph
+
+__all__ = ["bfs_distances", "shortest_path", "bfs_tree", "eccentricity_sample"]
+
+
+def bfs_distances(graph: Graph, source: int, cutoff: int | None = None) -> np.ndarray:
+    """Hop distance from ``source`` to every vertex (-1 if unreachable).
+
+    ``cutoff`` stops the search beyond that distance (entries stay -1).
+    """
+    n = graph.n_vertices
+    if not (0 <= source < n):
+        raise ValueError(f"source {source} out of range")
+    offsets, targets, _ = graph.csr
+    dist = np.full(n, -1, dtype=np.int64)
+    dist[source] = 0
+    frontier = np.array([source], dtype=np.int64)
+    d = 0
+    while frontier.size:
+        if cutoff is not None and d >= cutoff:
+            break
+        starts = offsets[frontier]
+        counts = offsets[frontier + 1] - starts
+        total = int(counts.sum())
+        if total == 0:
+            break
+        idx = np.repeat(starts, counts) + _ranges(counts)
+        neigh = targets[idx]
+        new = np.unique(neigh[dist[neigh] == -1])
+        if new.size == 0:
+            break
+        d += 1
+        dist[new] = d
+        frontier = new
+    return dist
+
+
+def _ranges(counts: np.ndarray) -> np.ndarray:
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    ends = np.cumsum(counts)
+    out = np.arange(total, dtype=np.int64)
+    out -= np.repeat(ends - counts, counts)
+    return out
+
+
+def bfs_tree(graph: Graph, source: int) -> tuple[np.ndarray, np.ndarray]:
+    """BFS parent pointers from ``source``.
+
+    Returns ``(parent_vertex, parent_edge)`` arrays (-1 where unreachable or
+    at the source); ``parent_edge[v]`` is the edge id used to first reach
+    ``v``.
+    """
+    n = graph.n_vertices
+    if not (0 <= source < n):
+        raise ValueError(f"source {source} out of range")
+    offsets, targets, eids = graph.csr
+    parent = np.full(n, -1, dtype=np.int64)
+    parent_edge = np.full(n, -1, dtype=np.int64)
+    seen = np.zeros(n, dtype=bool)
+    seen[source] = True
+    dq = deque([source])
+    while dq:
+        x = dq.popleft()
+        for i in range(offsets[x], offsets[x + 1]):
+            t = int(targets[i])
+            if not seen[t]:
+                seen[t] = True
+                parent[t] = x
+                parent_edge[t] = int(eids[i])
+                dq.append(t)
+    return parent, parent_edge
+
+
+def shortest_path(graph: Graph, source: int, target: int) -> tuple[list[int], list[int]]:
+    """One shortest (hop-count) path as ``(vertices, edge_ids)``.
+
+    Raises ``ValueError`` if ``target`` is unreachable. ``vertices`` has one
+    more entry than ``edge_ids``; a source==target query returns
+    ``([source], [])``.
+    """
+    if source == target:
+        return [source], []
+    parent, parent_edge = bfs_tree(graph, source)
+    if parent[target] == -1:
+        raise ValueError(f"no path from {source} to {target}")
+    verts = [target]
+    eids: list[int] = []
+    cur = target
+    while cur != source:
+        eids.append(int(parent_edge[cur]))
+        cur = int(parent[cur])
+        verts.append(cur)
+    verts.reverse()
+    eids.reverse()
+    return verts, eids
+
+
+def eccentricity_sample(graph: Graph, seeds, cutoff: int | None = None) -> int:
+    """Max BFS depth over a sample of seed vertices (diameter lower bound)."""
+    best = 0
+    for s in seeds:
+        dist = bfs_distances(graph, int(s), cutoff=cutoff)
+        reached = dist[dist >= 0]
+        if reached.size:
+            best = max(best, int(reached.max()))
+    return best

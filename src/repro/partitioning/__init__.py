@@ -1,0 +1,58 @@
+"""Graph partitioners (ParHIP substitute) and quality metrics.
+
+:func:`partition` is the façade used throughout the library: it dispatches
+on a method name so drivers and benchmarks can select partitioners by
+string.
+"""
+
+from __future__ import annotations
+
+from ..graph.graph import Graph
+from ..graph.partition import PartitionedGraph
+from .bfs_part import bfs_partition
+from .hash_part import hash_partition, random_partition
+from .ldg import bfs_order, ldg_partition
+from .metrics import edge_cut_fraction, peak_imbalance, quality_report
+from .refine import refine_partition
+
+__all__ = [
+    "partition",
+    "bfs_partition",
+    "hash_partition",
+    "random_partition",
+    "ldg_partition",
+    "bfs_order",
+    "edge_cut_fraction",
+    "peak_imbalance",
+    "quality_report",
+    "refine_partition",
+    "PARTITIONERS",
+]
+
+#: Registered partitioner names usable with :func:`partition`.
+PARTITIONERS = ("ldg", "bfs", "hash", "random")
+
+
+def partition(
+    graph: Graph, n_parts: int, method: str = "ldg", seed: int = 0
+) -> PartitionedGraph:
+    """Partition ``graph`` into ``n_parts`` using a named method.
+
+    Parameters
+    ----------
+    method:
+        One of ``"ldg"`` (default; streaming Linear Deterministic Greedy),
+        ``"bfs"`` (region growing), ``"hash"`` (deterministic hash) or
+        ``"random"``.
+    seed:
+        Seed for the stochastic methods (ignored by ``hash``).
+    """
+    if method == "ldg":
+        return ldg_partition(graph, n_parts, seed=seed)
+    if method == "bfs":
+        return bfs_partition(graph, n_parts, seed=seed)
+    if method == "hash":
+        return hash_partition(graph, n_parts, salt=seed)
+    if method == "random":
+        return random_partition(graph, n_parts, seed=seed)
+    raise ValueError(f"unknown partitioner {method!r}; choose from {PARTITIONERS}")

@@ -1,0 +1,53 @@
+"""Partition-quality metrics with the paper's exact Table-1 definitions.
+
+* **Edge-cut fraction** — ``sum_i |R_i| / |E|`` where both numerator and
+  denominator use bi-directed (half-edge) counts; numerically identical to
+  the undirected cut fraction.
+* **Peak vertex imbalance** — ``max_i | (|V| - n*|V_i|) / |V| |``, the
+  paper's asymmetric deviation-from-ideal measure (note it exceeds 1 when a
+  partition holds more than twice its fair share).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.partition import PartitionedGraph, partition_stats
+
+__all__ = ["edge_cut_fraction", "peak_imbalance", "quality_report"]
+
+
+def edge_cut_fraction(pg: PartitionedGraph) -> float:
+    """Fraction of edges whose endpoints live in different partitions."""
+    return pg.edge_cut_fraction()
+
+
+def peak_imbalance(pg: PartitionedGraph) -> float:
+    """The paper's peak vertex imbalance measure (Table 1)."""
+    return pg.imbalance()
+
+
+def quality_report(pg: PartitionedGraph) -> dict:
+    """Table-1 style summary plus per-partition boundary/remote-edge counts.
+
+    The per-partition arrays feed the Fig. 9 census benchmark.
+    """
+    stats = partition_stats(pg)
+    views = pg.views()
+    stats["per_part"] = [
+        {
+            "pid": w.pid,
+            "n_vertices": w.n_vertices,
+            "n_internal": int(w.internal.size),
+            "n_boundary": int(w.boundary.size),
+            "n_ob": int(w.ob.size),
+            "n_eb": int(w.eb.size),
+            "n_local_edges": w.n_local_edges,
+            "n_remote_half_edges": w.n_remote_edges,
+        }
+        for w in views
+    ]
+    counts = pg.vertex_counts()
+    stats["min_part_vertices"] = int(counts.min()) if counts.size else 0
+    stats["max_part_vertices"] = int(counts.max()) if counts.size else 0
+    return stats

@@ -1,0 +1,73 @@
+"""Tests for the PRAM-style cycle-decomposition + hooking baseline."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.cycle_hook import cycle_hook_circuit
+from repro.core.circuit import verify_circuit
+from repro.errors import NotEulerianError
+from repro.generate.synthetic import cycle_graph, grid_city, random_eulerian
+from repro.graph.graph import Graph
+
+from ..conftest import make_eulerian_suite
+
+
+@pytest.mark.parametrize("name,graph", make_eulerian_suite())
+def test_suite_valid(name, graph):
+    c, _ = cycle_hook_circuit(graph)
+    verify_circuit(graph, c)
+
+
+def test_single_cycle_no_hooks():
+    g = cycle_graph(12)
+    c, stats = cycle_hook_circuit(g)
+    verify_circuit(g, c)
+    assert stats.n_initial_trails == 1
+    assert stats.n_hooks == 0
+
+
+def test_hooks_equal_trails_minus_one():
+    """Hooking is a spanning-tree process over the trail-intersection graph."""
+    for g in (grid_city(8, 8), random_eulerian(80, 6, 24, seed=2)):
+        c, stats = cycle_hook_circuit(g)
+        verify_circuit(g, c)
+        assert stats.n_hooks == stats.n_initial_trails - 1
+
+
+def test_decomposition_covers_grid():
+    g = grid_city(6, 6)
+    c, stats = cycle_hook_circuit(g)
+    verify_circuit(g, c)
+    assert stats.n_initial_trails >= 1
+    assert c.n_edges == g.n_edges
+
+
+def test_empty():
+    c, stats = cycle_hook_circuit(Graph(3))
+    assert c.n_edges == 0 and stats.n_initial_trails == 0
+
+
+def test_non_eulerian_rejected():
+    with pytest.raises(NotEulerianError):
+        cycle_hook_circuit(Graph.from_edges(2, [(0, 1)]))
+
+
+def test_self_loops_and_parallel():
+    g = Graph(3, [0, 0, 0, 1, 1], [0, 1, 1, 2, 2])
+    c, _ = cycle_hook_circuit(g)
+    verify_circuit(g, c)
+
+
+def test_pure_self_loops():
+    g = Graph(1, [0, 0], [0, 0])
+    c, stats = cycle_hook_circuit(g)
+    verify_circuit(g, c)
+
+
+@settings(deadline=None, max_examples=30)
+@given(st.integers(0, 5000))
+def test_property_always_valid(seed):
+    g = random_eulerian(60, n_walks=5, walk_len=18, seed=seed)
+    c, stats = cycle_hook_circuit(g)
+    verify_circuit(g, c)
+    assert stats.n_hooks == stats.n_initial_trails - 1

@@ -1,0 +1,60 @@
+"""Tests for the Fleury baseline (small graphs only — it is O(E^2))."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.fleury import fleury_circuit
+from repro.core.circuit import verify_circuit
+from repro.errors import NotEulerianError
+from repro.generate.synthetic import cycle_graph, random_eulerian
+from repro.graph.graph import Graph
+
+
+def test_triangle(triangle):
+    verify_circuit(triangle, fleury_circuit(triangle))
+
+
+def test_figure_eight(two_triangles):
+    verify_circuit(two_triangles, fleury_circuit(two_triangles))
+
+
+def test_fig1(fig1):
+    g, _ = fig1
+    verify_circuit(g, fleury_circuit(g))
+
+
+def test_bridge_avoidance_matters():
+    """Two triangles joined through a shared vertex force Fleury to defer the
+    'bridge-like' moves; the result must still cover everything."""
+    g = Graph.from_edges(
+        5, [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 2)]
+    )
+    verify_circuit(g, fleury_circuit(g))
+
+
+def test_empty():
+    assert fleury_circuit(Graph(2)).n_edges == 0
+
+
+def test_start_respected():
+    g = cycle_graph(6)
+    c = fleury_circuit(g, start=3)
+    assert c.start == 3
+    verify_circuit(g, c)
+
+
+def test_non_eulerian_rejected():
+    with pytest.raises(NotEulerianError):
+        fleury_circuit(Graph.from_edges(2, [(0, 1)]))
+
+
+def test_self_loop():
+    g = Graph(2, [0, 0, 1], [0, 1, 0])
+    verify_circuit(g, fleury_circuit(g))
+
+
+@settings(deadline=None, max_examples=15)
+@given(st.integers(0, 2000))
+def test_property_matches_verifier(seed):
+    g = random_eulerian(20, n_walks=3, walk_len=8, seed=seed)
+    verify_circuit(g, fleury_circuit(g))

@@ -1,0 +1,82 @@
+"""Tests for the sequential Hierholzer baseline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.hierholzer import hierholzer_circuit, hierholzer_path
+from repro.core.circuit import verify_circuit
+from repro.errors import NotEulerianError
+from repro.generate.synthetic import cycle_graph, grid_city, random_eulerian
+from repro.graph.graph import Graph
+
+from ..conftest import make_eulerian_suite
+
+
+@pytest.mark.parametrize("name,graph", make_eulerian_suite())
+def test_suite_valid(name, graph):
+    verify_circuit(graph, hierholzer_circuit(graph))
+
+
+def test_empty_graph():
+    c = hierholzer_circuit(Graph(3))
+    assert c.n_edges == 0
+
+
+def test_start_vertex_respected(grid8):
+    c = hierholzer_circuit(grid8, start=17)
+    assert c.start == 17
+    verify_circuit(grid8, c)
+
+
+def test_start_without_edges_rejected():
+    g = Graph.from_edges(4, [(0, 1), (1, 2), (2, 0)])
+    with pytest.raises(NotEulerianError):
+        hierholzer_circuit(g, start=3)
+
+
+def test_non_eulerian_rejected():
+    with pytest.raises(NotEulerianError):
+        hierholzer_circuit(Graph.from_edges(2, [(0, 1)]))
+
+
+def test_check_input_can_be_skipped(triangle):
+    verify_circuit(triangle, hierholzer_circuit(triangle, check_input=False))
+
+
+def test_self_loops_and_parallel():
+    g = Graph(3, [0, 0, 0, 1, 1], [0, 1, 1, 2, 2])
+    verify_circuit(g, hierholzer_circuit(g))
+
+
+def test_linear_scaling_smoke():
+    """O(E): a 4000-edge graph completes quickly and correctly."""
+    g = grid_city(40, 50)
+    c = hierholzer_circuit(g)
+    verify_circuit(g, c)
+    assert c.n_edges == 4000
+
+
+def test_euler_path_two_odd_vertices():
+    g = Graph.from_edges(4, [(0, 1), (1, 2), (2, 0), (1, 3)])  # odd: 1, 3
+    p = hierholzer_path(g)
+    verify_circuit(g, p, require_closed=False)
+    assert {int(p.vertices[0]), int(p.vertices[-1])} == {1, 3}
+
+
+def test_euler_path_on_circuit_graph_returns_circuit(triangle):
+    p = hierholzer_path(triangle)
+    assert p.is_closed
+
+
+def test_euler_path_impossible_raises():
+    g = Graph.from_edges(4, [(0, 1), (2, 3)])  # four odd vertices
+    with pytest.raises(NotEulerianError):
+        hierholzer_path(g)
+
+
+@settings(deadline=None, max_examples=30)
+@given(st.integers(0, 5000))
+def test_property_always_valid(seed):
+    g = random_eulerian(70, n_walks=5, walk_len=22, seed=seed)
+    verify_circuit(g, hierholzer_circuit(g))

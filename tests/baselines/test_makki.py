@@ -1,0 +1,72 @@
+"""Tests for the Makki vertex-centric baseline: correctness AND the
+coordination-cost properties the paper cites (§2.2)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.makki import makki_circuit
+from repro.core import find_euler_circuit
+from repro.core.circuit import verify_circuit
+from repro.errors import NotEulerianError
+from repro.generate.synthetic import cycle_graph, grid_city, random_eulerian
+from repro.graph.graph import Graph
+
+from ..conftest import make_eulerian_suite
+
+
+@pytest.mark.parametrize("name,graph", make_eulerian_suite())
+def test_suite_valid(name, graph):
+    c, _ = makki_circuit(graph)
+    verify_circuit(graph, c)
+
+
+def test_supersteps_linear_in_edges():
+    """The paper's point: coordination cost is O(|E|) supersteps (one edge
+    walked + one backtracked per superstep)."""
+    for n in (6, 12, 24):
+        g = cycle_graph(n)
+        _, st_ = makki_circuit(g)
+        assert st_.n_supersteps == 2 * g.n_edges + 1
+
+
+def test_single_active_vertex_per_superstep(grid8):
+    _, st_ = makki_circuit(grid8)
+    assert st_.mean_active == 1.0
+
+
+def test_coordination_gap_vs_partition_centric():
+    """Makki needs orders of magnitude more supersteps than ours."""
+    g = grid_city(10, 10)
+    _, st_ = makki_circuit(g)
+    res = find_euler_circuit(g, n_parts=8)
+    assert st_.n_supersteps > 40 * res.report.n_supersteps
+
+
+def test_empty_graph():
+    c, st_ = makki_circuit(Graph(2))
+    assert c.n_edges == 0 and st_.n_supersteps == 0
+
+
+def test_start_respected(grid8):
+    c, _ = makki_circuit(grid8, start=9)
+    assert c.start == 9
+
+
+def test_non_eulerian_rejected():
+    with pytest.raises(NotEulerianError):
+        makki_circuit(Graph.from_edges(2, [(0, 1)]))
+
+
+def test_self_loops_and_parallel():
+    g = Graph(3, [0, 0, 0, 1, 1], [0, 1, 1, 2, 2])
+    c, _ = makki_circuit(g)
+    verify_circuit(g, c)
+
+
+@settings(deadline=None, max_examples=20)
+@given(st.integers(0, 3000))
+def test_property_valid_and_bounded_supersteps(seed):
+    g = random_eulerian(40, n_walks=4, walk_len=12, seed=seed)
+    c, st_ = makki_circuit(g)
+    verify_circuit(g, c)
+    assert st_.n_supersteps <= 2 * g.n_edges + 1

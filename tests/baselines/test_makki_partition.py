@@ -1,0 +1,67 @@
+"""Tests for the partition-centric Makki variant (§2.2's remark)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines import makki_circuit, makki_partition_circuit
+from repro.core import find_euler_circuit
+from repro.core.circuit import verify_circuit
+from repro.generate.synthetic import grid_city, random_eulerian
+from repro.graph.graph import Graph
+from repro.graph.partition import PartitionedGraph
+from repro.partitioning import partition
+
+
+def test_valid_on_grid(grid8):
+    pg = partition(grid8, 4, "bfs", seed=0)
+    c, stats = makki_partition_circuit(pg)
+    verify_circuit(grid8, c)
+    assert stats.n_crossings <= 2 * stats.n_cut_edges
+
+
+def test_supersteps_track_cut_not_edges():
+    """The paper: partition-centric Makki needs supersteps ~ edge cuts; the
+    vertex-centric version needs ~ 2|E|; ours needs ceil(log2 n)+1."""
+    g = grid_city(10, 10)
+    pg = partition(g, 4, "bfs", seed=0)
+    c, stats = makki_partition_circuit(pg)
+    verify_circuit(g, c)
+    _, vstats = makki_circuit(g)
+    ours = find_euler_circuit(g, n_parts=4)
+    assert stats.n_supersteps <= 2 * stats.n_cut_edges + 3
+    assert stats.n_supersteps < vstats.n_supersteps / 2
+    assert ours.report.n_supersteps < stats.n_supersteps
+
+
+def test_single_partition_no_crossings(grid8):
+    pg = PartitionedGraph(grid8, np.zeros(grid8.n_vertices, dtype=np.int64), 1)
+    c, stats = makki_partition_circuit(pg)
+    verify_circuit(grid8, c)
+    assert stats.n_crossings == 0
+    assert stats.n_supersteps == 1
+
+
+def test_empty_graph():
+    pg = PartitionedGraph(Graph(3), np.zeros(3, dtype=np.int64), 2)
+    c, stats = makki_partition_circuit(pg)
+    assert c.n_edges == 0 and stats.n_supersteps == 0
+
+
+def test_local_edges_preferred():
+    """With contiguous partitions, crossings stay well under worst case
+    (one per cut edge per direction) because local edges go first."""
+    g = grid_city(8, 8)
+    pg = partition(g, 2, "bfs", seed=0)
+    _, stats = makki_partition_circuit(pg)
+    assert stats.n_crossings <= 2 * stats.n_cut_edges
+
+
+@settings(deadline=None, max_examples=20)
+@given(st.integers(0, 2000), st.integers(1, 6))
+def test_property_valid_and_bounded(seed, n_parts):
+    g = random_eulerian(60, n_walks=4, walk_len=16, seed=seed)
+    pg = partition(g, n_parts, "ldg", seed=seed)
+    c, stats = makki_partition_circuit(pg)
+    verify_circuit(g, c)
+    assert stats.n_supersteps <= 2 * stats.n_cut_edges + 3

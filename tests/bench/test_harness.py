@@ -1,0 +1,45 @@
+"""Tests for the table/series formatters."""
+
+from repro.bench.harness import format_series, format_table, print_header
+
+
+def test_format_table_alignment():
+    rows = [{"a": 1, "b": 2.5}, {"a": 10, "b": 0.25}]
+    out = format_table(rows)
+    lines = out.splitlines()
+    assert lines[0].split() == ["a", "b"]
+    assert "10" in lines[3]
+
+
+def test_format_table_title_and_column_subset():
+    out = format_table([{"x": 1, "y": 2}], columns=["y"], title="T")
+    assert out.startswith("T\n")
+    assert "x" not in out.splitlines()[1]
+
+
+def test_format_table_empty():
+    assert "(empty)" in format_table([])
+    assert format_table([], title="T").startswith("T")
+
+
+def test_format_table_large_and_small_floats():
+    out = format_table([{"v": 123456.0, "w": 0.00123, "u": 3.14159}])
+    assert "123,456" in out
+    assert "0.0012" in out
+    assert "3.14" in out
+
+
+def test_format_table_missing_keys_blank():
+    out = format_table([{"a": 1}, {"a": 2, "b": 3}], columns=["a", "b"])
+    assert out  # does not raise
+
+
+def test_format_series():
+    s = format_series("cumulative", [0, 1], [100, 50])
+    assert s == "cumulative: (0, 100) (1, 50)"
+
+
+def test_print_header(capsys):
+    print_header("Table 1")
+    out = capsys.readouterr().out
+    assert "Table 1" in out and "=" in out

@@ -1,0 +1,42 @@
+"""Tests for JSON persistence of reports and experiment rows."""
+
+import json
+
+import pytest
+
+from repro.bench.report_io import load_rows, report_to_dict, save_report, save_rows
+from repro.core import find_euler_circuit
+from repro.generate.synthetic import grid_city
+
+
+@pytest.fixture(scope="module")
+def report():
+    return find_euler_circuit(grid_city(8, 8), n_parts=4).report
+
+
+def test_report_to_dict_structure(report):
+    d = report_to_dict(report)
+    assert d["config"]["n_parts"] == 4
+    assert d["totals"]["n_supersteps"] == 3
+    assert d["state_by_level"][0]["level"] == 0
+    assert isinstance(d["stage_dag"], str)
+    assert len(d["merge_tree"]) == 2  # two merge levels for 4 partitions
+
+
+def test_report_json_serializable(report):
+    text = json.dumps(report_to_dict(report), default=float)
+    back = json.loads(text)
+    assert back["config"]["strategy"] == "eager"
+
+
+def test_save_report_roundtrip(tmp_path, report):
+    path = save_report(report, tmp_path / "nested" / "run.json")
+    assert path.exists()
+    back = json.loads(path.read_text())
+    assert back["totals"]["compute_seconds"] >= 0
+
+
+def test_save_and_load_rows(tmp_path):
+    rows = [{"Graph": "G20k/P2", "Cut %": 22.5}, {"Graph": "G30k/P3", "Cut %": 30.1}]
+    path = save_rows(rows, tmp_path / "table1.json")
+    assert load_rows(path) == rows

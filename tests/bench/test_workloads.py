@@ -1,0 +1,43 @@
+"""Tests for the Table-1 workload registry (small generation, cached)."""
+
+import pytest
+
+from repro.bench.workloads import PAPER_WORKLOADS, load_workload, workload_names
+from repro.graph.properties import is_eulerian
+
+
+def test_registry_names_and_order():
+    assert workload_names() == ["G20k/P2", "G30k/P3", "G40k/P4", "G40k/P8", "G50k/P8"]
+
+
+def test_specs_match_paper_partition_counts():
+    parts = [PAPER_WORKLOADS[n].n_parts for n in workload_names()]
+    assert parts == [2, 3, 4, 8, 8]
+
+
+def test_g40_shares_one_graph():
+    a = PAPER_WORKLOADS["G40k/P4"]
+    b = PAPER_WORKLOADS["G40k/P8"]
+    assert (a.scale, a.avg_degree, a.seed) == (b.scale, b.avg_degree, b.seed)
+
+
+def test_unknown_workload():
+    with pytest.raises(KeyError):
+        load_workload("G99k/P7")
+
+
+def test_load_smallest_workload_eulerian_and_cached(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_WORKLOAD_CACHE", str(tmp_path))
+    g1, spec = load_workload("G20k/P2")
+    assert is_eulerian(g1)
+    assert spec.n_parts == 2
+    assert any(tmp_path.iterdir())
+    g2, _ = load_workload("G20k/P2")  # from cache
+    assert g1 == g2
+
+
+def test_load_without_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_WORKLOAD_CACHE", str(tmp_path))
+    g, _ = load_workload("G20k/P2", cache=False)
+    assert is_eulerian(g)
+    assert not any(tmp_path.iterdir())

@@ -1,0 +1,77 @@
+"""Tests for the cost-accounting structures (Fig. 5-9 quantities)."""
+
+import pytest
+
+from repro.bsp.accounting import (
+    CAT_COPY_SINK,
+    CAT_COPY_SRC,
+    CAT_CREATE,
+    CAT_PHASE1,
+    PartitionStepRecord,
+    RunStats,
+)
+
+
+def test_record_add_time_accumulates():
+    rec = PartitionStepRecord(pid=0, superstep=0)
+    rec.add_time(CAT_PHASE1, 0.5)
+    rec.add_time(CAT_PHASE1, 0.25)
+    rec.add_time(CAT_CREATE, 0.1)
+    assert rec.timings[CAT_PHASE1] == pytest.approx(0.75)
+    assert rec.compute_seconds == pytest.approx(0.85)
+
+
+def test_run_stats_totals():
+    stats = RunStats()
+    r0 = PartitionStepRecord(pid=0, superstep=0)
+    r0.add_time(CAT_PHASE1, 1.0)
+    r1 = PartitionStepRecord(pid=1, superstep=0)
+    r1.add_time(CAT_COPY_SRC, 0.5)
+    stats.records.append([r0, r1])
+    stats.superstep_wall.append(2.0)
+    assert stats.n_supersteps == 1
+    assert stats.total_seconds == 2.0
+    assert stats.compute_seconds == pytest.approx(1.5)
+    split = stats.time_split()
+    assert split == {CAT_PHASE1: 1.0, CAT_COPY_SRC: 0.5}
+
+
+def test_state_by_level_includes_records_with_state_only():
+    stats = RunStats()
+    active = PartitionStepRecord(pid=0, superstep=0, state_longs=100,
+                                 census={"n_ob": 1})
+    idle = PartitionStepRecord(pid=1, superstep=0, state_longs=40)
+    empty = PartitionStepRecord(pid=2, superstep=0)
+    stats.records.append([active, idle, empty])
+    stats.superstep_wall.append(0.0)
+    row = stats.state_by_level()[0]
+    assert row["n_partitions"] == 2  # the truly empty record is excluded
+    assert row["cumulative_longs"] == 140
+    assert row["avg_longs"] == 70
+    assert row["max_longs"] == 100
+
+
+def test_census_table_filters_empty():
+    stats = RunStats()
+    with_census = PartitionStepRecord(
+        pid=3, superstep=1, census={"n_ob": 5, "n_eb": 2}
+    )
+    without = PartitionStepRecord(pid=4, superstep=1)
+    stats.records.append([])
+    stats.records.append([with_census, without])
+    rows = stats.census_table()
+    assert rows == [{"level": 1, "pid": 3, "n_ob": 5, "n_eb": 2}]
+
+
+def test_empty_run_stats():
+    stats = RunStats()
+    assert stats.n_supersteps == 0
+    assert stats.total_seconds == 0
+    assert stats.compute_seconds == 0
+    assert stats.state_by_level() == []
+    assert stats.census_table() == []
+    assert stats.time_split() == {}
+
+
+def test_categories_are_distinct():
+    assert len({CAT_CREATE, CAT_COPY_SRC, CAT_COPY_SINK, CAT_PHASE1}) == 4

@@ -1,0 +1,132 @@
+"""Tests for the partition-centric BSP engine."""
+
+import pytest
+
+from repro.bsp.engine import BSPEngine, ComputeResult
+from repro.errors import BSPError
+
+
+def test_all_halt_immediately():
+    def compute(pid, state, msgs, rec, step):
+        return ComputeResult(state=state)
+
+    states, stats = BSPEngine().run({0: "a", 1: "b"}, compute)
+    assert stats.n_supersteps == 1
+    assert states == {0: "a", 1: "b"}
+
+
+def test_message_wakes_halted_partition():
+    log = []
+
+    def compute(pid, state, msgs, rec, step):
+        log.append((step, pid, list(msgs)))
+        if step == 0 and pid == 0:
+            return ComputeResult(state="s0", outgoing={1: ["hello"]})
+        return ComputeResult(state=state or "s")
+
+    states, stats = BSPEngine().run({0: None, 1: None}, compute)
+    assert stats.n_supersteps == 2
+    assert (1, 1, ["hello"]) in log
+
+
+def test_halt_false_keeps_partition_active():
+    def compute(pid, state, msgs, rec, step):
+        n = (state or 0) + 1
+        return ComputeResult(state=n, halt=n >= 3)
+
+    states, stats = BSPEngine().run({0: 0}, compute)
+    assert states[0] == 3
+    assert stats.n_supersteps == 3
+
+
+def test_retired_partition_leaves_states():
+    def compute(pid, state, msgs, rec, step):
+        if pid == 0:
+            return ComputeResult(state=None)
+        return ComputeResult(state="kept")
+
+    states, _ = BSPEngine().run({0: "x", 1: "y"}, compute)
+    assert 0 not in states and states[1] == "kept"
+
+
+def test_message_to_retired_partition_raises():
+    def compute(pid, state, msgs, rec, step):
+        if step == 0 and pid == 0:
+            return ComputeResult(state=None)
+        if step == 0 and pid == 1:
+            # Both decisions happen in superstep 0; commit order is pid order,
+            # so 0 retires before 1's message is routed.
+            return ComputeResult(state="y", outgoing={0: ["boom"]})
+        return ComputeResult(state=state)
+
+    with pytest.raises(BSPError):
+        BSPEngine().run({0: "x", 1: "y"}, compute)
+
+
+def test_message_to_unknown_partition_raises():
+    def compute(pid, state, msgs, rec, step):
+        return ComputeResult(state=state, outgoing={99: ["?"]})
+
+    with pytest.raises(BSPError):
+        BSPEngine().run({0: "x"}, compute)
+
+
+def test_non_compute_result_raises():
+    def compute(pid, state, msgs, rec, step):
+        return "not a ComputeResult"
+
+    with pytest.raises(BSPError):
+        BSPEngine().run({0: "x"}, compute)
+
+
+def test_no_quiescence_raises():
+    def compute(pid, state, msgs, rec, step):
+        return ComputeResult(state=0, halt=False)
+
+    with pytest.raises(BSPError):
+        BSPEngine().run({0: 0}, compute, max_supersteps=5)
+
+
+def test_parallel_matches_serial():
+    """Thread-pool execution must produce identical outcomes."""
+
+    def compute(pid, state, msgs, rec, step):
+        total = (state or 0) + sum(msgs)
+        if step < 3:
+            return ComputeResult(
+                state=total, outgoing={(pid + 1) % 4: [pid * 10 + step]}, halt=False
+            )
+        return ComputeResult(state=total)
+
+    s1, st1 = BSPEngine(max_workers=1).run({i: 0 for i in range(4)}, compute)
+    s4, st4 = BSPEngine(max_workers=4).run({i: 0 for i in range(4)}, compute)
+    assert s1 == s4
+    assert st1.n_supersteps == st4.n_supersteps
+
+
+def test_records_and_timings_collected():
+    def compute(pid, state, msgs, rec, step):
+        rec.add_time("phase1_tour", 0.25)
+        rec.state_longs = 42
+        return ComputeResult(state="s")
+
+    _, stats = BSPEngine().run({0: None, 1: None}, compute)
+    recs = stats.records[0]
+    assert len(recs) == 2
+    assert all(r.timings["phase1_tour"] == 0.25 for r in recs)
+    assert stats.compute_seconds >= 0.5
+    split = stats.time_split()
+    assert split["phase1_tour"] == pytest.approx(0.5)
+    level0 = stats.state_by_level()[0]
+    assert level0["cumulative_longs"] == 84
+    assert level0["avg_longs"] == 42
+
+
+def test_invalid_worker_count():
+    with pytest.raises(ValueError):
+        BSPEngine(max_workers=0)
+
+
+def test_empty_initial_states():
+    states, stats = BSPEngine().run({}, lambda *a: ComputeResult(state=None))
+    assert states == {} and stats.n_supersteps == 0

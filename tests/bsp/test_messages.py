@@ -1,0 +1,57 @@
+"""Tests for barrier-deferred message delivery."""
+
+from repro.bsp.messages import MailRouter
+
+
+def test_messages_invisible_before_barrier():
+    r = MailRouter()
+    r.send("a", 1)
+    assert r.receive("a") == []
+    assert r.has_pending and not r.has_current
+
+
+def test_messages_visible_after_barrier():
+    r = MailRouter()
+    r.send("a", 1)
+    r.send("a", 2)
+    r.barrier()
+    assert r.receive("a") == [1, 2]
+    assert r.has_current and not r.has_pending
+
+
+def test_barrier_clears_previous_deliveries():
+    r = MailRouter()
+    r.send("a", 1)
+    r.barrier()
+    r.barrier()
+    assert r.receive("a") == []
+    assert not r.has_current
+
+
+def test_send_many_and_destinations():
+    r = MailRouter()
+    r.send_many("x", [1, 2, 3])
+    r.send("y", 9)
+    r.barrier()
+    assert sorted(r.destinations()) == ["x", "y"]
+    assert r.receive("x") == [1, 2, 3]
+
+
+def test_total_message_count():
+    r = MailRouter()
+    r.send("a", 1)
+    r.send("b", 2)
+    r.barrier()
+    r.send("a", 3)
+    r.barrier()
+    assert r.total_messages == 3
+
+
+def test_sends_during_current_go_to_next_round():
+    r = MailRouter()
+    r.send("a", "round0")
+    r.barrier()
+    r.send("a", "round1")
+    assert r.receive("a") == ["round0"]
+    r.barrier()
+    assert r.receive("a") == ["round1"]

@@ -1,0 +1,92 @@
+"""Tests for the demonstration partition-centric programs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bsp.programs import bsp_connected_components, bsp_degree_histogram
+from repro.generate.synthetic import grid_city, random_eulerian, ring_of_cliques
+from repro.graph.graph import Graph
+from repro.graph.partition import PartitionedGraph
+from repro.graph.properties import connected_components
+from repro.partitioning import partition
+
+
+def _reference_labels(g):
+    comp = connected_components(g)
+    # Map component ids to min vertex id per component.
+    mins = {}
+    for v in range(g.n_vertices):
+        c = int(comp[v])
+        mins[c] = min(mins.get(c, v), v)
+    return np.array([mins[int(comp[v])] for v in range(g.n_vertices)])
+
+
+def test_cc_single_component():
+    g = grid_city(6, 6)
+    pg = partition(g, 4, "bfs", seed=0)
+    labels, supersteps = bsp_connected_components(pg)
+    assert (labels == 0).all()
+    assert supersteps >= 1
+
+
+def test_cc_multiple_components():
+    g = Graph.from_edges(7, [(0, 1), (1, 2), (3, 4), (5, 6)])
+    part = np.array([0, 0, 1, 1, 0, 1, 0], dtype=np.int64)
+    pg = PartitionedGraph(g, part, 2)
+    labels, _ = bsp_connected_components(pg)
+    assert np.array_equal(labels, _reference_labels(g))
+
+
+def test_cc_matches_reference_on_random():
+    for seed in range(4):
+        g = random_eulerian(80, n_walks=3, walk_len=20, seed=seed)
+        pg = partition(g, 5, "hash", seed=seed)
+        labels, _ = bsp_connected_components(pg)
+        assert np.array_equal(labels, _reference_labels(g))
+
+
+def test_cc_supersteps_bounded_by_partitions_not_diameter():
+    """A long ring (diameter n/2) in 4 contiguous chunks needs only a few
+    supersteps — the partition-centric advantage the paper leans on."""
+    from repro.generate.synthetic import cycle_graph
+
+    g = cycle_graph(400)
+    part = (np.arange(400) // 100).astype(np.int64)
+    pg = PartitionedGraph(g, part, 4)
+    labels, supersteps = bsp_connected_components(pg)
+    assert (labels == 0).all()
+    assert supersteps <= 8  # far below the 200-hop diameter
+
+
+def test_cc_parallel_engine_matches_serial():
+    g = ring_of_cliques(6, 5)
+    pg = partition(g, 3, "ldg", seed=1)
+    a, _ = bsp_connected_components(pg, max_workers=1)
+    b, _ = bsp_connected_components(pg, max_workers=4)
+    assert np.array_equal(a, b)
+
+
+def test_degree_histogram_matches_numpy():
+    g = random_eulerian(100, n_walks=5, walk_len=30, seed=7)
+    pg = partition(g, 4, "hash", seed=0)
+    hist = bsp_degree_histogram(pg)
+    deg = g.degrees()
+    expected = {int(d): int(c) for d, c in zip(*np.unique(deg, return_counts=True))}
+    assert hist == expected
+
+
+def test_degree_histogram_counts_all_vertices(grid8):
+    pg = partition(grid8, 3, "bfs", seed=0)
+    hist = bsp_degree_histogram(pg)
+    assert sum(hist.values()) == grid8.n_vertices
+    assert hist == {4: 64}  # torus grid is 4-regular
+
+
+@settings(deadline=None, max_examples=10)
+@given(st.integers(0, 300), st.integers(1, 6))
+def test_property_cc_correct(seed, n_parts):
+    g = random_eulerian(50, n_walks=2, walk_len=12, seed=seed)
+    pg = partition(g, n_parts, "random", seed=seed)
+    labels, _ = bsp_connected_components(pg)
+    assert np.array_equal(labels, _reference_labels(g))

@@ -1,0 +1,75 @@
+"""Tests for the vertex-centric BSP engine (Makki substrate)."""
+
+import pytest
+
+from repro.bsp.vertex_engine import VertexBSPEngine, VertexComputeResult
+from repro.errors import BSPError
+
+
+def test_token_ring():
+    """A token passed around a 4-ring takes 4 supersteps to return."""
+    seen = []
+
+    def compute(v, value, msgs, step):
+        seen.append(v)
+        if step < 4:
+            return VertexComputeResult(value=step, outgoing={(v + 1) % 4: ["tok"]})
+        return VertexComputeResult()
+
+    engine = VertexBSPEngine(4)
+    _, stats = engine.run({}, compute, initial_active=[0])
+    assert seen[:5] == [0, 1, 2, 3, 0]
+    assert stats.mean_active == 1.0
+
+
+def test_broadcast_flood_counts_messages():
+    """Each vertex forwards once; total messages equals edges crossed."""
+
+    def compute(v, value, msgs, step):
+        if value == "done":
+            return VertexComputeResult()
+        out = {v + 1: ["go"]} if v + 1 < 5 else {}
+        return VertexComputeResult(value="done", outgoing=out)
+
+    engine = VertexBSPEngine(5)
+    values, stats = engine.run({}, compute, initial_active=[0])
+    assert stats.total_messages == 4
+    assert all(values[v] == "done" for v in range(5))
+
+
+def test_out_of_range_vertex_raises():
+    def compute(v, value, msgs, step):
+        return VertexComputeResult(outgoing={7: ["x"]})
+
+    engine = VertexBSPEngine(3)
+    with pytest.raises(BSPError):
+        engine.run({}, compute, initial_active=[0])
+
+
+def test_max_supersteps_guard():
+    def compute(v, value, msgs, step):
+        return VertexComputeResult(outgoing={v: ["again"]})
+
+    engine = VertexBSPEngine(1)
+    with pytest.raises(BSPError):
+        engine.run({}, compute, initial_active=[0], max_supersteps=10)
+
+
+def test_halt_false_reactivates():
+    count = {"n": 0}
+
+    def compute(v, value, msgs, step):
+        count["n"] += 1
+        return VertexComputeResult(halt=count["n"] >= 3)
+
+    engine = VertexBSPEngine(1)
+    _, stats = engine.run({}, compute, initial_active=[0])
+    assert count["n"] == 3
+    assert stats.n_supersteps == 3
+
+
+def test_stats_wall_time_positive():
+    engine = VertexBSPEngine(2)
+    _, stats = engine.run({}, lambda *a: VertexComputeResult(), initial_active=[0, 1])
+    assert stats.wall_seconds >= 0
+    assert stats.active_per_superstep == [2]

@@ -1,0 +1,65 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.generate.synthetic import (
+    cycle_graph,
+    grid_city,
+    paper_figure1_graph,
+    random_eulerian,
+    ring_of_cliques,
+)
+from repro.graph.graph import Graph
+
+
+@pytest.fixture
+def fig1():
+    """The paper's Fig. 1 graph and its 4-way partition map."""
+    return paper_figure1_graph()
+
+
+@pytest.fixture
+def triangle():
+    """K3 — the smallest nontrivial Eulerian graph."""
+    return Graph.from_edges(3, [(0, 1), (1, 2), (2, 0)])
+
+
+@pytest.fixture
+def two_triangles():
+    """Two triangles sharing vertex 0 (the classic Hierholzer merge case)."""
+    return Graph.from_edges(5, [(0, 1), (1, 2), (2, 0), (0, 3), (3, 4), (4, 0)])
+
+
+@pytest.fixture
+def grid8():
+    """An 8x8 torus grid (4-regular, Eulerian)."""
+    return grid_city(8, 8)
+
+
+@pytest.fixture
+def cliques():
+    """Ring of 4 odd cliques (Eulerian, community structure)."""
+    return ring_of_cliques(4, 5)
+
+
+@pytest.fixture(params=[0, 1, 2])
+def random_eul(request):
+    """A few seeded random Eulerian multigraphs."""
+    return random_eulerian(60, n_walks=5, walk_len=18, seed=request.param)
+
+
+def make_eulerian_suite() -> list[tuple[str, Graph]]:
+    """A named collection of connected Eulerian graphs for end-to-end tests."""
+    suite = [
+        ("fig1", paper_figure1_graph()[0]),
+        ("triangle", Graph.from_edges(3, [(0, 1), (1, 2), (2, 0)])),
+        ("cycle12", cycle_graph(12)),
+        ("grid6", grid_city(6, 6)),
+        ("cliques", ring_of_cliques(3, 5)),
+    ]
+    for seed in range(4):
+        suite.append((f"rand{seed}", random_eulerian(50, 4, 16, seed=seed)))
+    return suite

@@ -1,0 +1,56 @@
+"""Tests for the §5 analytic model vs measured runs."""
+
+import pytest
+
+from repro.core import find_euler_circuit, measured_series
+from repro.core.analysis import model_error, modeled_proposed_series
+from repro.core.memory_model import Fig8Series
+from repro.generate.synthetic import random_eulerian
+
+
+@pytest.fixture(scope="module")
+def traces():
+    g = random_eulerian(300, n_walks=8, walk_len=60, seed=6)
+    eager = find_euler_circuit(g, n_parts=8, strategy="eager")
+    proposed = find_euler_circuit(g, n_parts=8, strategy="proposed")
+    return eager, proposed
+
+
+def test_model_matches_measured_exactly(traces):
+    """Our substrate satisfies the §5 model's assumptions exactly, so the
+    analytic prediction from the eager trace must equal the measured
+    dedup+deferred run level-for-level."""
+    eager, proposed = traces
+    modeled = modeled_proposed_series(
+        eager.partitioned, eager.report.tree, eager.report
+    )
+    measured = measured_series(proposed.report, "proposed")
+    err = model_error(modeled, measured)
+    assert err["mean_abs_relative_error"] < 1e-9
+    assert set(err["per_level"]) == set(modeled.levels)
+
+
+def test_model_below_eager(traces):
+    eager, _ = traces
+    modeled = modeled_proposed_series(
+        eager.partitioned, eager.report.tree, eager.report
+    )
+    current = measured_series(eager.report, "current")
+    for lvl, cum in zip(modeled.levels, modeled.cumulative):
+        ref = current.cumulative[current.levels.index(lvl)]
+        assert cum <= ref
+
+
+def test_model_error_handles_partial_overlap():
+    a = Fig8Series("m", [0, 1, 2], [100.0, 50.0, 25.0], [10, 5, 2.5])
+    b = Fig8Series("p", [0, 1], [90.0, 50.0], [9, 5])
+    err = model_error(a, b)
+    assert set(err["per_level"]) == {0, 1}
+    assert err["per_level"][0] == pytest.approx((100 - 90) / 90)
+    assert err["per_level"][1] == 0.0
+
+
+def test_model_error_empty():
+    a = Fig8Series("m", [], [], [])
+    b = Fig8Series("p", [], [], [])
+    assert model_error(a, b)["mean_abs_relative_error"] == 0.0

@@ -1,0 +1,82 @@
+"""Hypothesis property tests: the whole pipeline on random Eulerian graphs.
+
+This is the strongest correctness evidence in the suite: for arbitrary
+seeded random Eulerian multigraphs, arbitrary partition counts, partitioners
+and §5 strategies, the distributed algorithm must produce a circuit that the
+independent verifier accepts and that matches the sequential Hierholzer
+baseline edge-for-edge as a multiset.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.baselines import hierholzer_circuit
+from repro.core import STRATEGIES, find_euler_circuit, verify_circuit
+from repro.generate.synthetic import random_eulerian
+
+_SETTINGS = settings(
+    deadline=None,
+    max_examples=40,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@_SETTINGS
+@given(
+    seed=st.integers(0, 10_000),
+    n_vertices=st.integers(4, 120),
+    n_walks=st.integers(1, 8),
+    walk_len=st.integers(2, 30),
+    n_parts=st.integers(1, 9),
+)
+def test_property_distributed_circuit_always_valid(
+    seed, n_vertices, n_walks, walk_len, n_parts
+):
+    g = random_eulerian(n_vertices, n_walks=n_walks, walk_len=walk_len, seed=seed)
+    res = find_euler_circuit(g, n_parts=n_parts, validate=True)
+    verify_circuit(g, res.circuit)
+    # Coordination cost matches the paper's formula.
+    n = res.report.n_parts
+    min_supersteps = int(np.ceil(np.log2(n))) + 1 if n > 1 else 1
+    assert res.report.n_supersteps >= min_supersteps
+
+
+@_SETTINGS
+@given(
+    seed=st.integers(0, 10_000),
+    strategy=st.sampled_from(STRATEGIES),
+    partitioner=st.sampled_from(["ldg", "bfs", "hash", "random"]),
+)
+def test_property_strategies_and_partitioners(seed, strategy, partitioner):
+    g = random_eulerian(60, n_walks=5, walk_len=20, seed=seed)
+    res = find_euler_circuit(
+        g, n_parts=5, strategy=strategy, partitioner=partitioner,
+        seed=seed, validate=True,
+    )
+    verify_circuit(g, res.circuit)
+
+
+@_SETTINGS
+@given(seed=st.integers(0, 10_000))
+def test_property_matches_hierholzer_edge_multiset(seed):
+    g = random_eulerian(50, n_walks=4, walk_len=16, seed=seed)
+    ours = find_euler_circuit(g, n_parts=4).circuit
+    ref = hierholzer_circuit(g)
+    assert sorted(ours.edge_ids.tolist()) == sorted(ref.edge_ids.tolist())
+    assert ours.n_edges == ref.n_edges == g.n_edges
+
+
+@_SETTINGS
+@given(seed=st.integers(0, 10_000), n_parts=st.integers(2, 8))
+def test_property_state_accounting_sane(seed, n_parts):
+    """State Longs are non-negative, level-0 cumulative is maximal under
+    eager, and the census vertex counts never exceed the graph's."""
+    g = random_eulerian(80, n_walks=6, walk_len=24, seed=seed)
+    res = find_euler_circuit(g, n_parts=n_parts, strategy="eager")
+    state = res.report.state_by_level()
+    assert all(r["cumulative_longs"] >= 0 for r in state)
+    assert state[0]["cumulative_longs"] == max(r["cumulative_longs"] for r in state)
+    for row in res.report.census_rows():
+        live = row["n_internal"] + row["n_ob"] + row["n_eb"]
+        assert live <= g.n_vertices

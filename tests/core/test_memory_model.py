@@ -1,0 +1,66 @@
+"""Tests for the Fig. 8 memory-model series."""
+
+import pytest
+
+from repro.core import find_euler_circuit
+from repro.core.memory_model import fig8_table, ideal_series, measured_series
+from repro.generate.synthetic import random_eulerian
+
+
+@pytest.fixture(scope="module")
+def runs():
+    g = random_eulerian(300, n_walks=8, walk_len=60, seed=4)
+    eager = find_euler_circuit(g, n_parts=8, strategy="eager")
+    proposed = find_euler_circuit(g, n_parts=8, strategy="proposed")
+    return eager, proposed
+
+
+def test_measured_series_shape(runs):
+    eager, _ = runs
+    s = measured_series(eager.report, label="current")
+    assert s.label == "current"
+    assert len(s.levels) == eager.report.n_supersteps
+    assert s.cumulative[0] >= s.cumulative[-1]
+
+
+def test_ideal_series_constant_average(runs):
+    eager, _ = runs
+    s = ideal_series(eager.report)
+    assert len(set(s.average)) == 1
+    # Cumulative halves as partitions halve (8 -> 4 -> 2 -> 1).
+    assert s.cumulative[0] > s.cumulative[-1]
+    assert s.cumulative[-1] == pytest.approx(s.average[0])
+
+
+def test_proposed_below_current_at_level0(runs):
+    eager, proposed = runs
+    cur = measured_series(eager.report, "current")
+    pro = measured_series(proposed.report, "proposed")
+    assert pro.cumulative[0] < cur.cumulative[0]
+
+
+def test_fig8_table_join(runs):
+    eager, proposed = runs
+    rows = fig8_table(
+        [
+            measured_series(eager.report, "current"),
+            ideal_series(eager.report),
+            measured_series(proposed.report, "proposed"),
+        ]
+    )
+    assert rows[0]["level"] == 0
+    for key in ("current_cumulative", "ideal_cumulative", "proposed_cumulative"):
+        assert key in rows[0]
+
+
+def test_ideal_series_empty_report():
+    from repro.bsp.accounting import RunStats
+    from repro.core.driver import ExecutionReport
+    from repro.core.merge_tree import MergeTree
+
+    rep = ExecutionReport(
+        n_parts=0, strategy="eager", partitioner="ldg", matching="greedy",
+        run_stats=RunStats(), tree=MergeTree(n_parts=0),
+    )
+    s = ideal_series(rep)
+    assert s.levels == [] and s.cumulative == []

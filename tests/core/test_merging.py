@@ -1,0 +1,123 @@
+"""Tests for Phase-2 state merging and the Longs accounting."""
+
+import numpy as np
+import pytest
+
+from repro.core.merging import LONGS, PartitionState, merge_states
+from repro.core.phase1 import EDGE_COARSE, EDGE_RAW
+
+
+def _rows(rows):
+    return np.array(rows, dtype=np.int64).reshape(-1, 4)
+
+
+def test_merge_localizes_internal_edges_eager():
+    """Eager placement: both directed copies of the cut edge meet at the
+    merge and produce exactly one local edge."""
+    parent = PartitionState(
+        pid=1, level=0, held=_rows([(10, 20, 5, 0)]),
+        remote_deg={10: 1}, member_leaves=(1,),
+    )
+    child = PartitionState(
+        pid=0, level=0, held=_rows([(20, 10, 5, 1)]),
+        remote_deg={20: 1}, member_leaves=(0,),
+    )
+    state, local, rdeg = merge_states(parent, child, in_group={0, 1})
+    assert local == [(10, 20, EDGE_RAW, 5)] or local == [(20, 10, EDGE_RAW, 5)]
+    assert rdeg == {}  # both endpoints became internal
+    assert state.held.shape[0] == 0
+    assert state.member_leaves == (0, 1)
+    assert state.level == 1
+
+
+def test_merge_keeps_external_edges():
+    parent = PartitionState(
+        pid=1, level=0, held=_rows([(10, 30, 7, 2)]),
+        remote_deg={10: 1}, member_leaves=(1,),
+    )
+    child = PartitionState(
+        pid=0, level=0, held=_rows([(11, 31, 8, 3)]),
+        remote_deg={11: 1}, member_leaves=(0,),
+    )
+    state, local, rdeg = merge_states(parent, child, in_group={0, 1})
+    assert local == []
+    assert state.held.shape[0] == 2
+    assert rdeg == {10: 1, 11: 1}
+
+
+def test_merge_dedup_single_copy_localizes():
+    """Dedup placement: only one copy exists; it still becomes local and both
+    endpoints' remote degrees drop."""
+    parent = PartitionState(
+        pid=1, level=0, held=_rows([(10, 20, 5, 0)]),
+        remote_deg={10: 1}, member_leaves=(1,),
+    )
+    child = PartitionState(
+        pid=0, level=0, held=np.empty((0, 4), dtype=np.int64),
+        remote_deg={20: 1}, member_leaves=(0,),
+    )
+    state, local, rdeg = merge_states(parent, child, in_group={0, 1})
+    assert len(local) == 1 and rdeg == {}
+
+
+def test_merge_carries_coarse_edges_from_both_sides():
+    parent = PartitionState(pid=1, level=0, coarse=[(1, 2, 100)], member_leaves=(1,))
+    child = PartitionState(pid=0, level=0, coarse=[(3, 4, 101)], member_leaves=(0,))
+    state, local, _ = merge_states(parent, child, in_group={0, 1})
+    assert (1, 2, EDGE_COARSE, 100) in local
+    assert (3, 4, EDGE_COARSE, 101) in local
+    assert state.coarse == []  # next Phase 1 will refill
+
+
+def test_merge_extra_rows_deferred():
+    parent = PartitionState(pid=1, level=0, remote_deg={10: 1}, member_leaves=(1,))
+    child = PartitionState(pid=0, level=0, remote_deg={20: 1}, member_leaves=(0,))
+    extra = _rows([(10, 20, 9, 0)])
+    state, local, rdeg = merge_states(parent, child, in_group={0, 1}, extra_rows=extra)
+    assert len(local) == 1
+    assert rdeg == {}
+
+
+def test_merge_boundary_vertex_partially_internalized():
+    """A vertex with remote edges to both the merged child and a third
+    partition stays boundary with reduced degree."""
+    parent = PartitionState(
+        pid=1, level=0,
+        held=_rows([(10, 20, 5, 0), (10, 30, 6, 2)]),
+        remote_deg={10: 2}, member_leaves=(1,),
+    )
+    child = PartitionState(
+        pid=0, level=0, held=_rows([(20, 10, 5, 1)]),
+        remote_deg={20: 1}, member_leaves=(0,),
+    )
+    state, local, rdeg = merge_states(parent, child, in_group={0, 1})
+    assert rdeg == {10: 1}
+    assert state.held.shape[0] == 1  # only the external row survives
+
+
+def test_state_longs_formula():
+    s = PartitionState(
+        pid=0, level=0,
+        coarse=[(1, 2, 3)],
+        held=_rows([(1, 9, 0, 1), (2, 8, 1, 1)]),
+        remote_deg={1: 1, 2: 1, 3: 0},
+        n_pathmap_entries=4,
+    )
+    expected = LONGS.BOUNDARY * 2 + LONGS.REMOTE * 2 + LONGS.COARSE * 1 + LONGS.PATHMAP * 4
+    assert s.state_longs() == expected
+
+
+def test_census_counts():
+    s = PartitionState(
+        pid=0, level=0, coarse=[(1, 2, 3)],
+        held=_rows([(1, 9, 0, 1)]), remote_deg={1: 1},
+    )
+    c = s.census()
+    assert c == {"n_boundary": 1, "n_remote_half_edges": 1, "n_coarse_edges": 1}
+
+
+def test_pathmap_entry_counts_accumulate():
+    parent = PartitionState(pid=1, level=0, n_pathmap_entries=3, member_leaves=(1,))
+    child = PartitionState(pid=0, level=0, n_pathmap_entries=2, member_leaves=(0,))
+    state, _, _ = merge_states(parent, child, in_group={0, 1})
+    assert state.n_pathmap_entries == 5

@@ -1,0 +1,83 @@
+"""Tests for fragments and the (spillable) fragment store."""
+
+import pytest
+
+from repro.core.pathmap import (
+    ITEM_EDGE,
+    ITEM_FRAG,
+    KIND_CYCLE,
+    KIND_PATH,
+    Fragment,
+    FragmentStore,
+    PathMap,
+)
+
+
+def test_new_fragment_assigns_sequential_ids():
+    s = FragmentStore()
+    a = s.new_fragment(KIND_PATH, 0, 0, 1, 2, [(ITEM_EDGE, 0, 2)], 1)
+    b = s.new_fragment(KIND_CYCLE, 0, 0, 3, 3, [(ITEM_EDGE, 1, 3)], 1)
+    assert (a.fid, b.fid) == (0, 1)
+    assert len(s) == 2
+    assert 0 in s and 2 not in s
+    assert s.total_edges == 2
+
+
+def test_cycle_requires_matching_endpoints():
+    s = FragmentStore()
+    with pytest.raises(ValueError):
+        s.new_fragment(KIND_CYCLE, 0, 0, 1, 2, [], 0)
+
+
+def test_bad_kind_rejected():
+    s = FragmentStore()
+    with pytest.raises(ValueError):
+        s.new_fragment("walk", 0, 0, 1, 2, [], 0)
+
+
+def test_junctions_sequence():
+    s = FragmentStore()
+    f = s.new_fragment(
+        KIND_PATH, 0, 0, 5, 7, [(ITEM_EDGE, 0, 6), (ITEM_EDGE, 1, 7)], 2
+    )
+    assert f.junctions() == [5, 6, 7]
+
+
+def test_spill_and_reload(tmp_path):
+    s = FragmentStore(spill_dir=tmp_path / "frags")
+    items = [(ITEM_EDGE, 0, 2), (ITEM_FRAG, 9, 3, True)]
+    f = s.new_fragment(KIND_PATH, 0, 1, 1, 3, items, 4)
+    s.spill(f.fid)
+    assert s.get(f.fid).items is None
+    assert s.items_of(f.fid) == items
+    with pytest.raises(ValueError):
+        s.get(f.fid).junctions()
+
+
+def test_spill_level_only_that_level(tmp_path):
+    s = FragmentStore(spill_dir=tmp_path)
+    a = s.new_fragment(KIND_PATH, 0, 0, 0, 1, [(ITEM_EDGE, 0, 1)], 1)
+    b = s.new_fragment(KIND_PATH, 1, 0, 1, 2, [(ITEM_EDGE, 1, 2)], 1)
+    assert s.spill_level(0) == 1
+    assert s.get(a.fid).items is None
+    assert s.get(b.fid).items is not None
+    assert s.spill_level(0) == 0  # idempotent
+
+
+def test_spill_without_dir_raises():
+    s = FragmentStore()
+    f = s.new_fragment(KIND_PATH, 0, 0, 0, 1, [(ITEM_EDGE, 0, 1)], 1)
+    with pytest.raises(ValueError):
+        s.spill(f.fid)
+
+
+def test_items_of_in_memory_fast_path():
+    s = FragmentStore()
+    f = s.new_fragment(KIND_PATH, 0, 0, 0, 1, [(ITEM_EDGE, 0, 1)], 1)
+    assert s.items_of(f.fid) is f.items
+
+
+def test_pathmap_defaults():
+    pm = PathMap(pid=3, level=1)
+    assert pm.ob_paths == [] and pm.anchored_cycles == []
+    assert pm.n_merged_cycles == 0 and pm.n_trivial == 0

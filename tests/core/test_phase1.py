@@ -1,0 +1,211 @@
+"""Tests for Phase 1 (Alg. 1) — including the paper's Lemmas 1-3 as properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.pathmap import ITEM_EDGE, ITEM_FRAG, KIND_CYCLE, KIND_PATH, FragmentStore
+from repro.core.phase1 import EDGE_COARSE, EDGE_RAW, run_phase1
+from repro.generate.synthetic import paper_figure1_graph, random_eulerian
+from repro.graph.partition import PartitionedGraph
+
+
+def _phase1_inputs(pg, pid):
+    """Build (local_edges, remote_degree) for a level-0 partition view."""
+    view = pg.view(pid)
+    u, v = pg.graph.edge_u, pg.graph.edge_v
+    local = [(int(u[e]), int(v[e]), EDGE_RAW, int(e)) for e in view.local_eids]
+    rdeg = {}
+    for src in view.remote[:, 0].tolist():
+        rdeg[src] = rdeg.get(src, 0) + 1
+    return local, rdeg
+
+
+def test_fig1_p2_single_eb_cycle(fig1):
+    g, part = fig1
+    pg = PartitionedGraph(g, part)
+    store = FragmentStore()
+    local, rdeg = _phase1_inputs(pg, 1)  # P2
+    pm, stats = run_phase1(1, 0, local, rdeg, store, validate=True)
+    assert stats.n_ob == 0 and stats.n_eb == 1 and stats.n_internal == 2
+    assert len(pm.ob_paths) == 0
+    assert len(pm.anchored_cycles) == 1
+    cyc = store.get(pm.anchored_cycles[0])
+    assert cyc.kind == KIND_CYCLE and cyc.src == 2  # v3
+    assert cyc.n_edges == 3
+
+
+def test_fig1_p3_single_ob_path(fig1):
+    g, part = fig1
+    pg = PartitionedGraph(g, part)
+    store = FragmentStore()
+    local, rdeg = _phase1_inputs(pg, 2)  # P3
+    pm, stats = run_phase1(2, 0, local, rdeg, store, validate=True)
+    assert stats.n_ob == 2
+    assert len(pm.ob_paths) == 1
+    src, dst, fid = pm.ob_paths[0]
+    assert {src, dst} == {5, 8}  # v6 -> v9 (paper's e6,9 OB-pair)
+    assert store.get(fid).n_edges == 3
+
+
+def test_fig1_p4_two_ob_paths(fig1):
+    g, part = fig1
+    pg = PartitionedGraph(g, part)
+    store = FragmentStore()
+    local, rdeg = _phase1_inputs(pg, 3)  # P4
+    pm, stats = run_phase1(3, 0, local, rdeg, store, validate=True)
+    assert stats.n_ob == 4 and stats.n_paths == 2
+    assert len(pm.anchored_cycles) == 0
+    # Fig. 1b shows one valid pairing (e10,11 and e13,14); any perfect
+    # matching of the four OBs consuming all 4 local edges is correct.
+    endpoints = sorted(v for s, d, _ in pm.ob_paths for v in (s, d))
+    assert endpoints == [9, 10, 12, 13]  # v10, v11, v13, v14
+    assert sum(store.get(f).n_edges for _, _, f in pm.ob_paths) == 4
+
+
+def test_trivial_eb_skipped():
+    """A boundary vertex with remote edges but zero local edges yields a
+    trivial tour (counted, no fragment)."""
+    store = FragmentStore()
+    pm, stats = run_phase1(0, 0, [], {7: 2}, store, validate=True)
+    assert stats.n_trivial == 1
+    assert stats.n_eb == 1
+    assert len(store) == 0
+
+
+def test_internal_only_partition_single_cycle(triangle):
+    """A partition with no boundary (whole graph) gives one anchored cycle."""
+    store = FragmentStore()
+    local = [(u, v, EDGE_RAW, e) for e, u, v in triangle.iter_edges()]
+    pm, stats = run_phase1(0, 0, local, {}, store, validate=True)
+    assert len(pm.anchored_cycles) == 1
+    assert stats.n_iv_cycles_anchored == 1
+    assert store.get(pm.anchored_cycles[0]).n_edges == 3
+
+
+def test_figure_eight_single_walk_consumes_all(two_triangles):
+    """Two triangles sharing vertex 0: the first maximal walk starts at 0 and
+    passes back through it, so one internal cycle covers all six edges."""
+    store = FragmentStore()
+    local = [(u, v, EDGE_RAW, e) for e, u, v in two_triangles.iter_edges()]
+    pm, stats = run_phase1(0, 0, local, {}, store, validate=True)
+    assert stats.n_iv_cycles_anchored == 1 and stats.n_iv_cycles_merged == 0
+    assert store.get(pm.anchored_cycles[0]).n_edges == 6
+
+
+def test_merge_into_at_pivot():
+    """A second internal cycle touching the first only at a mid-walk vertex
+    must merge into it (mergeInto, Lemma 3): triangle 0-1-2 plus triangle
+    1-3-4 discovered after the first walk closed."""
+    from repro.graph.graph import Graph
+
+    g = Graph.from_edges(5, [(0, 1), (1, 2), (2, 0), (1, 3), (3, 4), (4, 1)])
+    store = FragmentStore()
+    local = [(u, v, EDGE_RAW, e) for e, u, v in g.iter_edges()]
+    pm, stats = run_phase1(0, 0, local, {}, store, validate=True)
+    assert stats.n_iv_cycles_merged == 1
+    assert stats.n_iv_cycles_anchored == 1  # the first (base) cycle
+    assert len(pm.anchored_cycles) == 1
+    assert store.get(pm.anchored_cycles[0]).n_edges == 6
+    # The merged fragment passes through the pivot twice.
+    junctions = store.get(pm.anchored_cycles[0]).junctions()
+    assert junctions.count(1) == 2
+
+
+def test_disconnected_partition_anchors_orphans():
+    """Two vertex-disjoint triangles in one partition: Lemma 3's assumption
+    fails, the generalization anchors the second cycle separately."""
+    from repro.graph.graph import Graph
+
+    g = Graph.from_edges(6, [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)])
+    store = FragmentStore()
+    local = [(u, v, EDGE_RAW, e) for e, u, v in g.iter_edges()]
+    pm, stats = run_phase1(0, 0, local, {}, store, validate=True)
+    assert stats.n_iv_cycles_anchored == 2
+    assert len(pm.anchored_cycles) == 2
+
+
+def test_coarse_edges_traversed_with_orientation():
+    """A coarse OB-pair edge is consumed like a local edge and referenced
+    with the right direction flag."""
+    store = FragmentStore()
+    # Pretend level-0 produced a path 1 -> 2 (fid 0).
+    prior = store.new_fragment(KIND_PATH, 0, 0, 1, 2, [(ITEM_EDGE, 0, 2)], 1)
+    # At level 1: coarse edge (1,2) plus raw edge (2,1) close a cycle.
+    local = [
+        (1, 2, EDGE_COARSE, prior.fid),
+        (2, 1, EDGE_RAW, 5),
+    ]
+    pm, stats = run_phase1(0, 1, local, {}, store, validate=True)
+    assert len(pm.anchored_cycles) == 1
+    items = store.items_of(pm.anchored_cycles[0])
+    frag_items = [it for it in items if it[0] == ITEM_FRAG]
+    assert len(frag_items) == 1
+    _, fid, dst, forward = frag_items[0]
+    assert fid == prior.fid
+    # Traversal from vertex 1 along (1,2) is forward; from 2 it is backward.
+    assert forward == (dst == 2)
+    assert store.get(pm.anchored_cycles[0]).n_edges == 2
+
+
+def test_self_loop_consumed():
+    from repro.graph.graph import Graph
+
+    g = Graph(2, [0, 0, 0], [0, 1, 1])  # self loop at 0 + double edge 0-1
+    store = FragmentStore()
+    local = [(u, v, EDGE_RAW, e) for e, u, v in g.iter_edges()]
+    pm, stats = run_phase1(0, 0, local, {}, store, validate=True)
+    total = sum(store.get(f).n_edges for f in pm.anchored_cycles)
+    assert total == 3
+
+
+def test_parallel_edges_consumed_once_each():
+    from repro.graph.graph import Graph
+
+    g = Graph(2, [0, 0], [1, 1])
+    store = FragmentStore()
+    local = [(u, v, EDGE_RAW, e) for e, u, v in g.iter_edges()]
+    pm, _ = run_phase1(0, 0, local, {}, store, validate=True)
+    items = store.items_of(pm.anchored_cycles[0])
+    assert sorted(it[1] for it in items) == [0, 1]
+
+
+@settings(deadline=None, max_examples=30)
+@given(st.integers(0, 1000), st.integers(1, 5))
+def test_property_lemmas_and_conservation(seed, n_parts):
+    """Lemmas 1-3 hold (validate=True raises otherwise) and Phase 1 conserves
+    edges: every local edge lands in exactly one fragment; paths pair up OBs."""
+    g = random_eulerian(50, n_walks=4, walk_len=16, seed=seed)
+    rng = np.random.default_rng(seed)
+    part = rng.integers(0, n_parts, size=g.n_vertices, dtype=np.int64)
+    pg = PartitionedGraph(g, part, n_parts)
+    for pid in range(n_parts):
+        store = FragmentStore()
+        local, rdeg = _phase1_inputs(pg, pid)
+        pm, stats = run_phase1(pid, 0, local, rdeg, store, validate=True)
+        # Lemma 1 consequence: exactly n_ob/2 paths.
+        assert stats.n_paths == stats.n_ob // 2
+        # Conservation: fragments cover all local edges exactly once.
+        seen: list[int] = []
+
+        def collect(fid):
+            for it in store.items_of(fid):
+                assert it[0] == ITEM_EDGE  # level 0: no coarse refs
+                seen.append(it[1])
+
+        for _, _, fid in pm.ob_paths:
+            collect(fid)
+        for fid in pm.anchored_cycles:
+            collect(fid)
+        assert sorted(seen) == sorted(e for _, _, _, e in local)
+        # Parity: path endpoints at v match v's local-degree parity.
+        end_count: dict[int, int] = {}
+        for s, d, _ in pm.ob_paths:
+            end_count[s] = end_count.get(s, 0) + 1
+            end_count[d] = end_count.get(d, 0) + 1
+        ldeg: dict[int, int] = {}
+        for u, v, _, _ in local:
+            ldeg[u] = ldeg.get(u, 0) + 1
+            ldeg[v] = ldeg.get(v, 0) + 1
+        for v, d in ldeg.items():
+            assert d % 2 == end_count.get(v, 0) % 2

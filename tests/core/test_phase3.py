@@ -1,0 +1,147 @@
+"""Tests for Phase 3 reconstruction (the part the paper deferred)."""
+
+import numpy as np
+import pytest
+
+from repro.core.circuit import verify_circuit
+from repro.core.pathmap import ITEM_EDGE, ITEM_FRAG, KIND_CYCLE, KIND_PATH, FragmentStore
+from repro.core.phase3 import _reverse_items, _rotate_to, build_pending_index, reconstruct_circuit
+from repro.errors import InvariantViolation
+from repro.graph.graph import Graph
+
+
+def test_reverse_items_edges():
+    # Path 5 -e0-> 6 -e1-> 7 reversed: 7 -e1-> 6 -e0-> 5.
+    items = [(ITEM_EDGE, 0, 6), (ITEM_EDGE, 1, 7)]
+    assert _reverse_items(items, 5) == [(ITEM_EDGE, 1, 6), (ITEM_EDGE, 0, 5)]
+
+
+def test_reverse_items_flips_frag_orientation():
+    items = [(ITEM_FRAG, 3, 6, True), (ITEM_EDGE, 1, 7)]
+    rev = _reverse_items(items, 5)
+    assert rev == [(ITEM_EDGE, 1, 6), (ITEM_FRAG, 3, 5, False)]
+
+
+def test_rotate_to():
+    # Cycle 1 -a-> 2 -b-> 3 -c-> 1 rotated to start at 3.
+    items = [(ITEM_EDGE, 0, 2), (ITEM_EDGE, 1, 3), (ITEM_EDGE, 2, 1)]
+    rot = _rotate_to(items, 1, 3)
+    assert rot == [(ITEM_EDGE, 2, 1), (ITEM_EDGE, 0, 2), (ITEM_EDGE, 1, 3)]
+    assert _rotate_to(items, 1, 1) is items
+    with pytest.raises(InvariantViolation):
+        _rotate_to(items, 1, 99)
+
+
+def test_pending_index_covers_all_junctions():
+    store = FragmentStore()
+    f = store.new_fragment(
+        KIND_CYCLE, 0, 0, 1, 1,
+        [(ITEM_EDGE, 0, 2), (ITEM_EDGE, 1, 3), (ITEM_EDGE, 2, 1)], 3,
+    )
+    idx = build_pending_index(store, [f.fid])
+    assert set(idx) == {1, 2, 3}
+    assert all(idx[v] == [f.fid] for v in (1, 2, 3))
+
+
+def test_pending_index_rejects_paths():
+    store = FragmentStore()
+    f = store.new_fragment(KIND_PATH, 0, 0, 1, 2, [(ITEM_EDGE, 0, 2)], 1)
+    with pytest.raises(InvariantViolation):
+        build_pending_index(store, [f.fid])
+
+
+def test_reconstruct_single_cycle(triangle):
+    store = FragmentStore()
+    f = store.new_fragment(
+        KIND_CYCLE, 0, 0, 0, 0,
+        [(ITEM_EDGE, 0, 1), (ITEM_EDGE, 1, 2), (ITEM_EDGE, 2, 0)], 3,
+    )
+    c = reconstruct_circuit(store, [f.fid], f.fid)
+    verify_circuit(triangle, c)
+
+
+def test_reconstruct_splices_pending_cycle(two_triangles):
+    """Base cycle 0-1-2-0 plus pending cycle 0-3-4-0 splice into one circuit."""
+    store = FragmentStore()
+    base = store.new_fragment(
+        KIND_CYCLE, 1, 0, 0, 0,
+        [(ITEM_EDGE, 0, 1), (ITEM_EDGE, 1, 2), (ITEM_EDGE, 2, 0)], 3,
+    )
+    pend = store.new_fragment(
+        KIND_CYCLE, 0, 0, 0, 0,
+        [(ITEM_EDGE, 3, 3), (ITEM_EDGE, 4, 4), (ITEM_EDGE, 5, 0)], 3,
+    )
+    c = reconstruct_circuit(store, [base.fid, pend.fid], base.fid)
+    verify_circuit(two_triangles, c)
+
+
+def test_reconstruct_expands_nested_fragments_both_directions():
+    """A cycle whose items are two coarse paths, one traversed backward."""
+    g = Graph.from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+    store = FragmentStore()
+    p1 = store.new_fragment(
+        KIND_PATH, 0, 0, 0, 2, [(ITEM_EDGE, 0, 1), (ITEM_EDGE, 1, 2)], 2
+    )
+    p2 = store.new_fragment(
+        KIND_PATH, 0, 1, 0, 2, [(ITEM_EDGE, 3, 3), (ITEM_EDGE, 2, 2)], 2
+    )
+    # Level-1 cycle at 0: forward along p1 (0->2), backward along p2 (2->0).
+    cyc = store.new_fragment(
+        KIND_CYCLE, 1, 1, 0, 0,
+        [(ITEM_FRAG, p1.fid, 2, True), (ITEM_FRAG, p2.fid, 0, False)], 4,
+    )
+    c = reconstruct_circuit(store, [cyc.fid], cyc.fid)
+    verify_circuit(g, c)
+    assert c.vertices.tolist() == [0, 1, 2, 3, 0]
+
+
+def test_reconstruct_splice_inside_nested_expansion():
+    """A pending cycle whose only contact point is *inside* a coarse path's
+    expansion must still be spliced (the all-junction pending index)."""
+    g = Graph.from_edges(5, [(0, 1), (1, 2), (2, 0), (1, 3), (3, 4), (4, 1)])
+    store = FragmentStore()
+    # Path 0->2 via 1 found at level 0 (consumes e0, e1).
+    p = store.new_fragment(
+        KIND_PATH, 0, 0, 0, 2, [(ITEM_EDGE, 0, 1), (ITEM_EDGE, 1, 2)], 2
+    )
+    # Pending cycle at vertex 1 (level 0): 1-3-4-1.
+    pend = store.new_fragment(
+        KIND_CYCLE, 0, 0, 1, 1,
+        [(ITEM_EDGE, 3, 3), (ITEM_EDGE, 4, 4), (ITEM_EDGE, 5, 1)], 3,
+    )
+    # Level-1 base cycle: coarse path 0->2, then edge 2-0. Vertex 1 only
+    # appears inside the coarse expansion.
+    base = store.new_fragment(
+        KIND_CYCLE, 1, 0, 0, 0,
+        [(ITEM_FRAG, p.fid, 2, True), (ITEM_EDGE, 2, 0)], 3,
+    )
+    c = reconstruct_circuit(store, [base.fid, pend.fid], base.fid)
+    verify_circuit(g, c)
+
+
+def test_unspliced_cycle_raises():
+    """A pending cycle sharing no vertex with the base walk is an error
+    (disconnected input)."""
+    store = FragmentStore()
+    base = store.new_fragment(
+        KIND_CYCLE, 0, 0, 0, 0,
+        [(ITEM_EDGE, 0, 1), (ITEM_EDGE, 1, 2), (ITEM_EDGE, 2, 0)], 3,
+    )
+    orphan = store.new_fragment(
+        KIND_CYCLE, 0, 0, 5, 5,
+        [(ITEM_EDGE, 3, 6), (ITEM_EDGE, 4, 7), (ITEM_EDGE, 5, 5)], 3,
+    )
+    with pytest.raises(InvariantViolation, match="never spliced"):
+        reconstruct_circuit(store, [base.fid, orphan.fid], base.fid)
+
+
+def test_reconstruct_with_spilled_fragments(tmp_path, triangle):
+    """Phase 3 must read bodies back from disk transparently."""
+    store = FragmentStore(spill_dir=tmp_path)
+    f = store.new_fragment(
+        KIND_CYCLE, 0, 0, 0, 0,
+        [(ITEM_EDGE, 0, 1), (ITEM_EDGE, 1, 2), (ITEM_EDGE, 2, 0)], 3,
+    )
+    store.spill(f.fid)
+    c = reconstruct_circuit(store, [f.fid], f.fid)
+    verify_circuit(triangle, c)

@@ -1,0 +1,23 @@
+"""Tests for the execution-DAG rendering (Fig. 3 analogue)."""
+
+from repro.core import find_euler_circuit
+from repro.generate.synthetic import grid_city
+
+
+def test_stage_dag_structure(grid8):
+    res = find_euler_circuit(grid8, n_parts=4)
+    dag = res.report.stage_dag()
+    lines = dag.splitlines()
+    assert lines[0].startswith("stage 0 (level 0): Phase1 on partitions [0, 1, 2, 3]")
+    assert "shuffle" in lines[1]
+    assert any("P" in l and "->" in l for l in lines)
+    assert dag.rstrip().endswith("done")
+    # 3 stages for 4 partitions, each with a barrier line.
+    assert sum(1 for l in lines if l.startswith("stage")) == 3
+
+
+def test_stage_dag_single_partition(grid8):
+    res = find_euler_circuit(grid8, n_parts=1)
+    dag = res.report.stage_dag()
+    assert "stage 0" in dag
+    assert "shuffle" not in dag

@@ -1,0 +1,68 @@
+"""Tests for per-component Euler circuits."""
+
+import numpy as np
+import pytest
+
+from repro.core.circuit import verify_circuit
+from repro.errors import NotEulerianError
+from repro.extensions.components import find_component_circuits
+from repro.generate.synthetic import cycle_graph, random_eulerian
+from repro.graph.graph import Graph
+
+
+def test_two_triangles_two_circuits():
+    g = Graph.from_edges(6, [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)])
+    out = find_component_circuits(g, n_parts=2)
+    assert len(out) == 2
+    covered = np.concatenate([c.circuit.edge_ids for c in out])
+    assert sorted(covered.tolist()) == list(range(6))
+    for c in out:
+        verts = set(c.circuit.vertices.tolist())
+        assert verts <= {0, 1, 2} or verts <= {3, 4, 5}
+
+
+def test_circuits_valid_in_original_ids():
+    g = Graph.from_edges(7, [(0, 1), (1, 2), (2, 0), (4, 5), (5, 6), (6, 4)])
+    for c in find_component_circuits(g):
+        eids = c.circuit.edge_ids
+        verts = c.circuit.vertices
+        eu, ev = g.edge_u[eids], g.edge_v[eids]
+        a, b = verts[:-1], verts[1:]
+        assert bool((((a == eu) & (b == ev)) | ((a == ev) & (b == eu))).all())
+        assert verts[0] == verts[-1]
+
+
+def test_single_component_matches_driver():
+    g = cycle_graph(9)
+    out = find_component_circuits(g, n_parts=3)
+    assert len(out) == 1
+    verify_circuit(g, out[0].circuit)
+
+
+def test_isolated_vertices_ignored():
+    g = Graph.from_edges(10, [(0, 1), (1, 2), (2, 0)])
+    out = find_component_circuits(g)
+    assert len(out) == 1
+    assert out[0].circuit.n_edges == 3
+
+
+def test_empty_graph():
+    assert find_component_circuits(Graph(4)) == []
+
+
+def test_non_eulerian_component_rejected():
+    g = Graph.from_edges(5, [(0, 1), (1, 2), (2, 0), (3, 4)])
+    with pytest.raises(NotEulerianError):
+        find_component_circuits(g)
+
+
+def test_partition_share_proportional():
+    # Big component + tiny one: no crash, both valid.
+    big = random_eulerian(100, n_walks=6, walk_len=40, seed=1)
+    nb = big.n_vertices
+    edges = [(int(u) + 3, int(v) + 3) for _, u, v in big.iter_edges()]
+    g = Graph.from_edges(nb + 3, [(0, 1), (1, 2), (2, 0)] + edges)
+    out = find_component_circuits(g, n_parts=8)
+    assert len(out) == 2
+    total = sum(c.circuit.n_edges for c in out)
+    assert total == g.n_edges

@@ -1,0 +1,86 @@
+"""Tests for the Chinese Postman extension (the paper's §6 future work)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import DisconnectedGraphError
+from repro.extensions.postman import chinese_postman_route
+from repro.generate.rmat import rmat_graph
+from repro.generate.eulerize import largest_component
+from repro.generate.synthetic import cycle_graph, grid_city
+from repro.graph.graph import Graph
+
+
+def _validate_route(g, route):
+    """Route covers every edge >= once, steps are incident, walk is closed."""
+    counts = np.bincount(route.edge_ids, minlength=g.n_edges)
+    assert (counts >= 1).all()
+    assert route.is_closed
+    eu, ev = g.edge_u[route.edge_ids], g.edge_v[route.edge_ids]
+    a, b = route.vertices[:-1], route.vertices[1:]
+    ok = ((a == eu) & (b == ev)) | ((a == ev) & (b == eu))
+    assert bool(ok.all())
+    assert route.n_steps == g.n_edges + route.n_revisits
+
+
+def test_eulerian_input_needs_no_revisits():
+    g = cycle_graph(8)
+    route = chinese_postman_route(g, n_parts=2)
+    _validate_route(g, route)
+    assert route.n_revisits == 0
+    assert route.deadhead_fraction == 0.0
+
+
+def test_path_graph_revisits_everything():
+    # A path must be walked out and back: revisits == edges.
+    g = Graph.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+    route = chinese_postman_route(g, n_parts=1)
+    _validate_route(g, route)
+    assert route.n_revisits == 3
+
+
+def test_open_grid_moderate_deadheading():
+    g = grid_city(6, 6, torus=False)
+    route = chinese_postman_route(g, n_parts=4)
+    _validate_route(g, route)
+    # Deadheading bounded: never more than one extra pass over the graph.
+    assert 0 < route.deadhead_fraction < 1.0
+
+
+def test_star_graph():
+    g = Graph.from_edges(5, [(0, 1), (0, 2), (0, 3), (0, 4)])
+    route = chinese_postman_route(g, n_parts=2)
+    _validate_route(g, route)
+    assert route.n_revisits == 4  # every spoke walked twice
+
+
+def test_empty_graph():
+    route = chinese_postman_route(Graph(3))
+    assert route.n_steps == 0 and route.is_closed
+
+
+def test_disconnected_rejected():
+    g = Graph.from_edges(4, [(0, 1), (2, 3)])
+    with pytest.raises(DisconnectedGraphError):
+        chinese_postman_route(g)
+
+
+def test_rmat_component_route():
+    g = rmat_graph(9, avg_degree=3, seed=5)
+    cc, _ = largest_component(g)
+    route = chinese_postman_route(cc, n_parts=4)
+    _validate_route(cc, route)
+    # Greedy matching keeps deadheading well under a full second pass.
+    assert route.deadhead_fraction < 0.6
+
+
+@settings(deadline=None, max_examples=15)
+@given(st.integers(0, 1000))
+def test_property_cover_and_closure(seed):
+    g = rmat_graph(7, avg_degree=2.5, seed=seed)
+    cc, _ = largest_component(g)
+    if cc.n_edges == 0:
+        return
+    route = chinese_postman_route(cc, n_parts=3)
+    _validate_route(cc, route)

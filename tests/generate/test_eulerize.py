@@ -1,0 +1,101 @@
+"""Tests for largest-component extraction and the eulerizer (§4.2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.generate.eulerize import eulerian_rmat, eulerize, largest_component
+from repro.generate.rmat import rmat_graph
+from repro.graph.graph import Graph
+from repro.graph.properties import all_even_degrees, is_eulerian, odd_vertices
+
+
+def test_largest_component_picks_biggest():
+    g = Graph.from_edges(7, [(0, 1), (1, 2), (2, 0), (3, 4)])
+    cc, labels = largest_component(g)
+    assert cc.n_vertices == 3 and cc.n_edges == 3
+    assert labels.tolist() == [0, 1, 2]
+
+
+def test_largest_component_relabels_compactly():
+    g = Graph.from_edges(10, [(7, 9), (9, 8)])
+    cc, labels = largest_component(g)
+    assert cc.n_vertices == 3
+    assert sorted(labels.tolist()) == [7, 8, 9]
+
+
+def test_largest_component_no_edges_identity():
+    g = Graph(4)
+    cc, labels = largest_component(g)
+    assert cc is g
+    assert labels.tolist() == [0, 1, 2, 3]
+
+
+def test_eulerize_fixes_all_parities():
+    g = Graph.from_edges(4, [(0, 1), (1, 2), (2, 3)])  # path: 0,3 odd
+    out, info = eulerize(g, seed=0)
+    assert all_even_degrees(out)
+    assert info.n_odd == 2 and info.n_added == 1
+
+
+def test_eulerize_already_even_noop(triangle):
+    out, info = eulerize(triangle, seed=0)
+    assert out is triangle
+    assert info.n_added == 0 and info.added_fraction == 0.0
+
+
+def test_eulerize_degree_bump_is_exactly_one():
+    g = rmat_graph(9, seed=1)
+    cc, _ = largest_component(g)
+    odd_before = set(odd_vertices(cc).tolist())
+    out, _ = eulerize(cc, seed=2)
+    deg_before, deg_after = cc.degrees(), out.degrees()
+    diff = deg_after - deg_before
+    for v in range(cc.n_vertices):
+        assert diff[v] == (1 if v in odd_before else 0)
+
+
+def test_eulerize_avoids_duplicates_when_possible():
+    # Star K1,3 + one edge: odd vertices can always pair without duplicating.
+    g = rmat_graph(11, seed=3)
+    cc, _ = largest_component(g)
+    out, info = eulerize(cc, seed=4)
+    assert info.n_parallel == 0
+
+
+def test_eulerize_parallel_fallback_still_even():
+    # Two vertices, one edge: the only possible fix duplicates (0,1).
+    g = Graph.from_edges(2, [(0, 1)])
+    out, info = eulerize(g, seed=0)
+    assert all_even_degrees(out)
+    assert info.n_parallel == 1 and info.n_added == 1
+
+
+def test_eulerize_added_fraction_small_on_rmat():
+    g = rmat_graph(12, seed=7)
+    cc, _ = largest_component(g)
+    _, info = eulerize(cc, seed=8)
+    # Paper reports ~5%; allow a loose band.
+    assert 0.0 < info.added_fraction < 0.15
+
+
+def test_eulerian_rmat_end_to_end():
+    g, info = eulerian_rmat(10, seed=5)
+    assert is_eulerian(g)
+    assert g.n_edges > 0
+
+
+@settings(deadline=None, max_examples=25)
+@given(st.integers(0, 10000))
+def test_property_eulerize_always_even(seed):
+    g = rmat_graph(7, avg_degree=3, seed=seed)
+    cc, _ = largest_component(g)
+    out, _ = eulerize(cc, seed=seed + 1)
+    assert all_even_degrees(out)
+
+
+@settings(deadline=None, max_examples=15)
+@given(st.integers(0, 10000))
+def test_property_eulerian_rmat_connected_and_even(seed):
+    g, _ = eulerian_rmat(8, avg_degree=4, seed=seed)
+    assert is_eulerian(g)

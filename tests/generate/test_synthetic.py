@@ -1,0 +1,118 @@
+"""Tests for the structured synthetic generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.generate.synthetic import (
+    complete_graph,
+    cycle_graph,
+    de_bruijn_reads,
+    grid_city,
+    paper_figure1_graph,
+    random_eulerian,
+    ring_of_cliques,
+)
+from repro.graph.properties import (
+    all_even_degrees,
+    euler_path_endpoints,
+    is_connected,
+    is_eulerian,
+)
+
+
+def test_cycle_graph():
+    g = cycle_graph(5)
+    assert g.n_vertices == 5 and g.n_edges == 5
+    assert is_eulerian(g)
+    assert cycle_graph(0).n_edges == 0
+
+
+def test_complete_graph_parity():
+    assert is_eulerian(complete_graph(5))
+    assert not is_eulerian(complete_graph(4))
+
+
+def test_grid_city_torus_is_4_regular_eulerian():
+    g = grid_city(5, 7)
+    assert (g.degrees() == 4).all()
+    assert is_eulerian(g)
+
+
+def test_grid_city_open_has_odd_boundary():
+    g = grid_city(4, 4, torus=False)
+    assert not all_even_degrees(g)
+    assert is_connected(g)
+
+
+def test_grid_city_validates_size():
+    with pytest.raises(ValueError):
+        grid_city(1, 5)
+
+
+def test_ring_of_cliques_eulerian():
+    g = ring_of_cliques(4, 5)
+    assert is_eulerian(g)
+    assert g.n_vertices == 20
+
+
+def test_ring_of_cliques_validates():
+    with pytest.raises(ValueError):
+        ring_of_cliques(1, 5)
+    with pytest.raises(ValueError):
+        ring_of_cliques(3, 4)  # even clique size breaks parity
+
+
+def test_random_eulerian_connected_even():
+    for seed in range(5):
+        g = random_eulerian(30, n_walks=3, walk_len=10, seed=seed)
+        assert is_eulerian(g)
+
+
+def test_random_eulerian_deterministic():
+    a = random_eulerian(25, seed=3)
+    b = random_eulerian(25, seed=3)
+    assert a == b
+
+
+def test_random_eulerian_validates():
+    with pytest.raises(ValueError):
+        random_eulerian(0)
+    with pytest.raises(ValueError):
+        random_eulerian(5, walk_len=1)
+
+
+def test_de_bruijn_graph_has_euler_structure():
+    genome, reads, g, labels = de_bruijn_reads(genome_len=60, k=4, seed=1)
+    assert len(reads) == 60
+    assert g.n_edges == 60  # one edge per k-mer occurrence
+    assert all_even_degrees(g)
+    # Each vertex label is a (k-1)-mer.
+    assert all(len(s) == 3 for s in labels)
+    # Circuit or at worst path must exist on the undirected projection.
+    assert is_eulerian(g) or euler_path_endpoints(g) is not None
+
+
+def test_de_bruijn_validates():
+    with pytest.raises(ValueError):
+        de_bruijn_reads(genome_len=3, k=5)
+
+
+def test_paper_figure1_shape():
+    g, part = paper_figure1_graph()
+    assert g.n_vertices == 14 and g.n_edges == 16
+    assert is_eulerian(g)
+    assert np.bincount(part).tolist() == [2, 3, 4, 5]
+
+
+@settings(deadline=None, max_examples=20)
+@given(
+    st.integers(5, 60),
+    st.integers(1, 6),
+    st.integers(2, 20),
+    st.integers(0, 1000),
+)
+def test_property_random_eulerian_invariants(n, walks, wl, seed):
+    g = random_eulerian(n, n_walks=walks, walk_len=wl, seed=seed)
+    assert is_eulerian(g)
+    assert g.n_vertices <= n

@@ -1,0 +1,112 @@
+"""Unit tests for CSR adjacency construction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.graph.csr import build_csr, csr_degrees
+
+
+def test_empty_graph():
+    offsets, targets, eids = build_csr(0, [], [])
+    assert offsets.tolist() == [0]
+    assert targets.size == 0 and eids.size == 0
+
+
+def test_no_edges_some_vertices():
+    offsets, targets, eids = build_csr(3, [], [])
+    assert offsets.tolist() == [0, 0, 0, 0]
+
+
+def test_single_edge_both_directions():
+    offsets, targets, eids = build_csr(2, [0], [1])
+    assert offsets.tolist() == [0, 1, 2]
+    assert targets.tolist() == [1, 0]
+    assert eids.tolist() == [0, 0]
+
+
+def test_triangle_structure():
+    offsets, targets, eids = build_csr(3, [0, 1, 2], [1, 2, 0])
+    assert csr_degrees(offsets).tolist() == [2, 2, 2]
+    # Vertex 0 is incident to edges 0 (0-1) and 2 (2-0).
+    assert sorted(eids[offsets[0] : offsets[1]].tolist()) == [0, 2]
+
+
+def test_self_loop_contributes_two_half_edges():
+    offsets, targets, eids = build_csr(2, [0], [0])
+    assert csr_degrees(offsets).tolist() == [2, 0]
+    assert targets.tolist() == [0, 0]
+
+
+def test_parallel_edges_keep_distinct_ids():
+    offsets, targets, eids = build_csr(2, [0, 0], [1, 1])
+    assert csr_degrees(offsets).tolist() == [2, 2]
+    assert sorted(eids[offsets[0] : offsets[1]].tolist()) == [0, 1]
+
+
+def test_half_edge_order_deterministic_within_vertex():
+    # Stable sort: per vertex, u-side half-edges (ascending eid) come before
+    # v-side half-edges (ascending eid).
+    u, v = [2, 0, 0, 1], [3, 1, 2, 2]
+    offsets, targets, eids = build_csr(4, u, v)
+    for w in range(4):
+        chunk = eids[offsets[w] : offsets[w + 1]].tolist()
+        u_side = [i for i in range(4) if u[i] == w]
+        v_side = [i for i in range(4) if v[i] == w and u[i] != w]
+        assert chunk == u_side + v_side
+
+
+def test_out_of_range_endpoint_raises():
+    with pytest.raises(ValueError):
+        build_csr(2, [0], [2])
+    with pytest.raises(ValueError):
+        build_csr(2, [-1], [0])
+
+
+def test_mismatched_arrays_raise():
+    with pytest.raises(ValueError):
+        build_csr(3, [0, 1], [1])
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 19), st.integers(0, 19)), min_size=0, max_size=60
+    )
+)
+def test_property_half_edge_conservation(edges):
+    """Every undirected edge yields exactly two half-edges; degrees sum to 2|E|."""
+    u = np.array([e[0] for e in edges], dtype=np.int64)
+    v = np.array([e[1] for e in edges], dtype=np.int64)
+    offsets, targets, eids = build_csr(20, u, v)
+    assert targets.shape[0] == 2 * len(edges)
+    assert int(csr_degrees(offsets).sum()) == 2 * len(edges)
+    # Each eid appears exactly twice.
+    if len(edges):
+        counts = np.bincount(eids, minlength=len(edges))
+        assert (counts == 2).all()
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 9), st.integers(0, 9)), min_size=1, max_size=40
+    )
+)
+def test_property_targets_match_edge_lists(edges):
+    """For each vertex, the multiset of (target, eid) matches the edge list."""
+    u = np.array([e[0] for e in edges], dtype=np.int64)
+    v = np.array([e[1] for e in edges], dtype=np.int64)
+    offsets, targets, eids = build_csr(10, u, v)
+    for w in range(10):
+        got = sorted(
+            zip(
+                eids[offsets[w] : offsets[w + 1]].tolist(),
+                targets[offsets[w] : offsets[w + 1]].tolist(),
+            )
+        )
+        expected = []
+        for i, (a, b) in enumerate(edges):
+            if a == w:
+                expected.append((i, b))
+            if b == w:
+                expected.append((i, a))
+        assert got == sorted(expected)

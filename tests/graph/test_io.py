@@ -1,0 +1,94 @@
+"""Tests for graph persistence (edge list + NPZ) and label compaction."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph.graph import Graph
+from repro.graph.io import (
+    compact_labels,
+    load_edge_list,
+    load_npz,
+    save_edge_list,
+    save_npz,
+)
+
+
+def test_edge_list_roundtrip(tmp_path, two_triangles):
+    path = tmp_path / "g.txt"
+    save_edge_list(two_triangles, path)
+    g = load_edge_list(path)
+    assert g == two_triangles
+
+
+def test_edge_list_preserves_isolated_via_header(tmp_path):
+    g0 = Graph(10, [0], [1])
+    path = tmp_path / "g.txt"
+    save_edge_list(g0, path)
+    assert load_edge_list(path).n_vertices == 10
+
+
+def test_edge_list_no_header_infers_vertices(tmp_path):
+    path = tmp_path / "g.txt"
+    path.write_text("0 3\n2 1\n")
+    g = load_edge_list(path)
+    assert g.n_vertices == 4 and g.n_edges == 2
+
+
+def test_edge_list_comments_and_blanks(tmp_path):
+    path = tmp_path / "g.txt"
+    path.write_text("# a comment\n\n0 1\n# another\n1 2\n")
+    assert load_edge_list(path).n_edges == 2
+
+
+def test_edge_list_empty_file(tmp_path):
+    path = tmp_path / "g.txt"
+    path.write_text("")
+    g = load_edge_list(path)
+    assert g.n_vertices == 0 and g.n_edges == 0
+
+
+def test_edge_list_malformed_raises(tmp_path):
+    path = tmp_path / "g.txt"
+    path.write_text("0 x\n")
+    with pytest.raises(GraphFormatError):
+        load_edge_list(path)
+
+
+def test_edge_list_bad_header_raises(tmp_path):
+    path = tmp_path / "g.txt"
+    path.write_text("# vertices: nope\n0 1\n")
+    with pytest.raises(GraphFormatError):
+        load_edge_list(path)
+
+
+def test_edge_list_single_column_raises(tmp_path):
+    path = tmp_path / "g.txt"
+    path.write_text("0\n1\n")
+    with pytest.raises(GraphFormatError):
+        load_edge_list(path)
+
+
+def test_npz_roundtrip_with_partition(tmp_path, grid8):
+    path = tmp_path / "g.npz"
+    part = np.arange(grid8.n_vertices, dtype=np.int64) % 4
+    save_npz(grid8, path, part_of=part)
+    g, p = load_npz(path)
+    assert g == grid8
+    assert np.array_equal(p, part)
+
+
+def test_npz_roundtrip_without_partition(tmp_path, triangle):
+    path = tmp_path / "g.npz"
+    save_npz(triangle, path)
+    g, p = load_npz(path)
+    assert g == triangle and p is None
+
+
+def test_compact_labels():
+    g, labels = compact_labels([100, 7], [7, 42])
+    assert g.n_vertices == 3
+    assert labels.tolist() == [7, 42, 100]
+    # Edge 0 was (100, 7) -> (2, 0) after relabel.
+    assert g.endpoints(0) == (2, 0)
+    assert g.endpoints(1) == (0, 1)

@@ -1,0 +1,66 @@
+"""Tests for the partition meta-graph (paper §3.1)."""
+
+import numpy as np
+
+from repro.graph.metagraph import MetaGraph, build_metagraph
+from repro.graph.partition import PartitionedGraph
+
+
+def test_fig1_metagraph_weights(fig1):
+    """Fig. 1a's cut edges: P1-P2 (e2,3), P1-P4 (e1,14), P2-P4 (e3,13),
+    P3-P4 (e6,11 e9,10)."""
+    g, part = fig1
+    mg = build_metagraph(PartitionedGraph(g, part))
+    assert mg.vertices == [0, 1, 2, 3]
+    assert mg.weight(0, 1) == 1
+    assert mg.weight(0, 3) == 1
+    assert mg.weight(1, 3) == 1
+    assert mg.weight(2, 3) == 2  # heaviest, merged first in the paper
+    assert mg.weight(0, 2) == 0
+    assert mg.weight(1, 2) == 0
+
+
+def test_weight_symmetry(fig1):
+    g, part = fig1
+    mg = build_metagraph(PartitionedGraph(g, part))
+    assert mg.weight(3, 2) == mg.weight(2, 3)
+
+
+def test_edges_sorted_deterministic(fig1):
+    g, part = fig1
+    mg = build_metagraph(PartitionedGraph(g, part))
+    top = mg.edges_sorted()[0]
+    assert top == (2, 2, 3)
+    ws = [w for w, _, _ in mg.edges_sorted()]
+    assert ws == sorted(ws, reverse=True)
+
+
+def test_merged_contracts_and_accumulates():
+    mg = MetaGraph([0, 1, 2, 3], {(0, 1): 5, (0, 2): 1, (1, 2): 2, (2, 3): 4})
+    out = mg.merged([(0, 1)], {0: 1})
+    assert out.vertices == [1, 2, 3]
+    # (0,2) and (1,2) collapse onto (1,2): 1 + 2 = 3; (0,1) disappears.
+    assert out.weight(1, 2) == 3
+    assert out.weight(2, 3) == 4
+    assert (1, 1) not in out.weights
+
+
+def test_merged_drops_self_edges():
+    mg = MetaGraph([0, 1], {(0, 1): 7})
+    out = mg.merged([(0, 1)], {0: 1})
+    assert out.vertices == [1]
+    assert out.weights == {}
+
+
+def test_metagraph_no_cut_edges(triangle):
+    pg = PartitionedGraph(triangle, np.zeros(3, dtype=np.int64), 2)
+    mg = build_metagraph(pg)
+    assert mg.vertices == [0, 1]
+    assert mg.weights == {}
+
+
+def test_metagraph_total_weight_equals_cut(fig1):
+    g, part = fig1
+    pg = PartitionedGraph(g, part)
+    mg = build_metagraph(pg)
+    assert sum(mg.weights.values()) == pg.n_cut_edges

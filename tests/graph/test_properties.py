@@ -1,0 +1,116 @@
+"""Tests for structural properties: parity, connectivity, Eulerian checks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import DisconnectedGraphError, NotEulerianError
+from repro.generate.synthetic import cycle_graph, random_eulerian
+from repro.graph.graph import Graph
+from repro.graph.properties import (
+    all_even_degrees,
+    check_eulerian,
+    connected_components,
+    euler_path_endpoints,
+    is_connected,
+    is_eulerian,
+    n_edge_components,
+    odd_vertices,
+)
+
+
+def test_odd_vertices_path_graph():
+    g = Graph.from_edges(3, [(0, 1), (1, 2)])
+    assert odd_vertices(g).tolist() == [0, 2]
+
+
+def test_odd_vertices_always_even_count():
+    # Handshaking lemma on a few fixed graphs.
+    for edges in ([(0, 1)], [(0, 1), (1, 2), (2, 3)], [(0, 1), (0, 2), (0, 3)]):
+        g = Graph.from_edges(4, edges)
+        assert odd_vertices(g).size % 2 == 0
+
+
+def test_all_even_degrees(triangle):
+    assert all_even_degrees(triangle)
+    assert not all_even_degrees(Graph.from_edges(2, [(0, 1)]))
+
+
+def test_connected_components_labels():
+    g = Graph.from_edges(5, [(0, 1), (2, 3)])
+    comp = connected_components(g)
+    assert comp[0] == comp[1]
+    assert comp[2] == comp[3]
+    assert comp[0] != comp[2]
+    assert comp[4] not in (comp[0], comp[2])  # isolated vertex, own label
+
+
+def test_connected_components_empty():
+    assert connected_components(Graph(0)).size == 0
+
+
+def test_n_edge_components():
+    g = Graph.from_edges(6, [(0, 1), (2, 3)])
+    assert n_edge_components(g) == 2
+    assert n_edge_components(Graph(3)) == 0
+
+
+def test_is_connected_ignores_isolated():
+    g = Graph.from_edges(5, [(0, 1), (1, 2)])
+    assert is_connected(g)
+    assert not is_connected(g, ignore_isolated=False)
+
+
+def test_is_eulerian_cases(triangle, two_triangles):
+    assert is_eulerian(triangle)
+    assert is_eulerian(two_triangles)
+    assert is_eulerian(Graph(7))  # edgeless
+    assert not is_eulerian(Graph.from_edges(2, [(0, 1)]))  # odd degrees
+    # even degrees but two components:
+    g = Graph.from_edges(6, [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)])
+    assert not is_eulerian(g)
+
+
+def test_check_eulerian_odd_raises_with_vertices():
+    g = Graph.from_edges(2, [(0, 1)])
+    with pytest.raises(NotEulerianError) as exc:
+        check_eulerian(g)
+    assert set(exc.value.odd_vertices) == {0, 1}
+
+
+def test_check_eulerian_disconnected_raises():
+    g = Graph.from_edges(6, [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)])
+    with pytest.raises(DisconnectedGraphError) as exc:
+        check_eulerian(g)
+    assert exc.value.num_components == 2
+
+
+def test_euler_path_endpoints():
+    path = Graph.from_edges(3, [(0, 1), (1, 2)])
+    assert euler_path_endpoints(path) == (0, 2)
+    assert euler_path_endpoints(cycle_graph(5)) is None  # circuit, not path
+    four_odd = Graph.from_edges(4, [(0, 1), (2, 3)])
+    assert euler_path_endpoints(four_odd) is None
+
+
+def test_large_cycle_connected():
+    g = cycle_graph(500)
+    assert is_connected(g)
+    assert int(connected_components(g).max()) == 0
+
+
+@given(st.integers(0, 6))
+def test_property_random_eulerian_is_eulerian(seed):
+    g = random_eulerian(40, n_walks=4, walk_len=12, seed=seed)
+    assert is_eulerian(g)
+
+
+@given(
+    st.lists(st.tuples(st.integers(0, 14), st.integers(0, 14)), max_size=40)
+)
+def test_property_component_labels_consistent_with_edges(edges):
+    """Both endpoints of every edge share a component label."""
+    g = Graph.from_edges(15, edges)
+    comp = connected_components(g)
+    for u, v in edges:
+        assert comp[u] == comp[v]

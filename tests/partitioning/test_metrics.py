@@ -1,0 +1,51 @@
+"""Tests for partition-quality metrics (Table 1 definitions)."""
+
+import numpy as np
+import pytest
+
+from repro.graph.graph import Graph
+from repro.graph.partition import PartitionedGraph
+from repro.partitioning.metrics import edge_cut_fraction, peak_imbalance, quality_report
+
+
+def test_cut_fraction_all_local(triangle):
+    pg = PartitionedGraph(triangle, np.zeros(3, dtype=np.int64), 2)
+    assert edge_cut_fraction(pg) == 0.0
+
+
+def test_cut_fraction_all_remote():
+    g = Graph.from_edges(2, [(0, 1)])
+    pg = PartitionedGraph(g, np.array([0, 1]))
+    assert edge_cut_fraction(pg) == 1.0
+
+
+def test_cut_fraction_mixed(fig1):
+    g, part = fig1
+    pg = PartitionedGraph(g, part)
+    # Fig. 1a has 5 cut edges of 16.
+    assert edge_cut_fraction(pg) == pytest.approx(5 / 16)
+
+
+def test_peak_imbalance_perfect_split():
+    g = Graph.from_edges(4, [(0, 1), (2, 3)])
+    pg = PartitionedGraph(g, np.array([0, 0, 1, 1]))
+    assert peak_imbalance(pg) == 0.0
+
+
+def test_peak_imbalance_can_exceed_one():
+    # One partition with all 4 vertices of a 2-way split:
+    g = Graph.from_edges(4, [(0, 1), (2, 3)])
+    pg = PartitionedGraph(g, np.zeros(4, dtype=np.int64), 2)
+    # max(|4 - 2*4|, |4 - 2*0|)/4 = 1.0
+    assert peak_imbalance(pg) == pytest.approx(1.0)
+
+
+def test_quality_report_per_part_rows(fig1):
+    g, part = fig1
+    rep = quality_report(PartitionedGraph(g, part))
+    assert len(rep["per_part"]) == 4
+    p2 = rep["per_part"][1]
+    assert p2["n_ob"] == 0 and p2["n_eb"] == 1 and p2["n_internal"] == 2
+    assert rep["min_part_vertices"] == 2
+    assert rep["max_part_vertices"] == 5
+    assert rep["sum_boundary"] == sum(r["n_boundary"] for r in rep["per_part"])

@@ -1,0 +1,147 @@
+"""Tests for the hash/LDG/BFS partitioners and the facade."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.generate.synthetic import grid_city, random_eulerian, ring_of_cliques
+from repro.partitioning import (
+    PARTITIONERS,
+    bfs_order,
+    bfs_partition,
+    hash_partition,
+    ldg_partition,
+    partition,
+    random_partition,
+)
+
+
+def _total_assignment(pg):
+    assert pg.part_of.shape == (pg.graph.n_vertices,)
+    assert pg.part_of.min(initial=0) >= 0
+    assert pg.part_of.max(initial=0) < pg.n_parts
+
+
+@pytest.mark.parametrize("method", PARTITIONERS)
+def test_every_method_assigns_all_vertices(method, grid8):
+    pg = partition(grid8, 4, method=method, seed=1)
+    _total_assignment(pg)
+    assert pg.n_parts == 4
+
+
+@pytest.mark.parametrize("method", PARTITIONERS)
+def test_every_method_deterministic(method, grid8):
+    a = partition(grid8, 4, method=method, seed=7)
+    b = partition(grid8, 4, method=method, seed=7)
+    assert np.array_equal(a.part_of, b.part_of)
+
+
+def test_unknown_method_raises(grid8):
+    with pytest.raises(ValueError):
+        partition(grid8, 2, method="metis")
+
+
+def test_single_partition_no_cut(grid8):
+    for method in PARTITIONERS:
+        pg = partition(grid8, 1, method=method)
+        assert pg.edge_cut_fraction() == 0.0
+
+
+def test_hash_partition_balanced():
+    g = random_eulerian(400, n_walks=10, walk_len=50, seed=0)
+    pg = hash_partition(g, 4)
+    counts = pg.vertex_counts()
+    assert counts.min() > 0.6 * counts.max()
+
+
+def test_random_partition_seeded():
+    g = grid_city(6, 6)
+    a = random_partition(g, 3, seed=1)
+    b = random_partition(g, 3, seed=2)
+    assert not np.array_equal(a.part_of, b.part_of)
+
+
+def test_ldg_beats_hash_on_structured_graph():
+    """LDG must exploit locality: far fewer cut edges than hashing on a
+    community-structured graph."""
+    g = ring_of_cliques(8, 7)
+    cut_ldg = ldg_partition(g, 4).edge_cut_fraction()
+    cut_hash = hash_partition(g, 4).edge_cut_fraction()
+    assert cut_ldg < 0.5 * cut_hash
+
+
+def test_bfs_beats_hash_on_grid():
+    g = grid_city(12, 12)
+    cut_bfs = bfs_partition(g, 4).edge_cut_fraction()
+    cut_hash = hash_partition(g, 4).edge_cut_fraction()
+    assert cut_bfs < 0.5 * cut_hash
+
+
+def test_ldg_respects_capacity_slack():
+    g = random_eulerian(300, n_walks=8, walk_len=40, seed=1)
+    pg = ldg_partition(g, 4, slack=0.05)
+    cap = int(np.ceil(g.n_vertices / 4 * 1.05))
+    assert pg.vertex_counts().max() <= cap
+
+
+def test_bfs_partition_capacity():
+    g = grid_city(10, 10)
+    pg = bfs_partition(g, 5)
+    assert pg.vertex_counts().max() <= int(np.ceil(100 / 5))
+
+
+def test_ldg_orders():
+    g = grid_city(6, 6)
+    for order in ("bfs", "natural", "random"):
+        pg = ldg_partition(g, 3, order=order)
+        _total_assignment(pg)
+    explicit = np.arange(g.n_vertices, dtype=np.int64)[::-1].copy()
+    pg = ldg_partition(g, 3, order=explicit)
+    _total_assignment(pg)
+    with pytest.raises(ValueError):
+        ldg_partition(g, 3, order="zigzag")
+    with pytest.raises(ValueError):
+        ldg_partition(g, 3, order=np.zeros(g.n_vertices, dtype=np.int64))
+
+
+def test_bfs_order_is_permutation(grid8):
+    order = bfs_order(grid8, seed=3)
+    assert sorted(order.tolist()) == list(range(grid8.n_vertices))
+
+
+def test_bfs_order_component_contiguous():
+    # BFS order visits a whole component before restarting.
+    from repro.graph.graph import Graph
+
+    g = Graph.from_edges(6, [(0, 1), (1, 2), (3, 4), (4, 5)])
+    order = bfs_order(g, seed=0).tolist()
+    comp_of = [0, 0, 0, 1, 1, 1]
+    labels = [comp_of[v] for v in order]
+    # Labels form at most 2 contiguous runs.
+    runs = 1 + sum(1 for i in range(1, 6) if labels[i] != labels[i - 1])
+    assert runs == 2
+
+
+def test_invalid_n_parts(grid8):
+    for fn in (hash_partition, random_partition, ldg_partition, bfs_partition):
+        with pytest.raises(ValueError):
+            fn(grid8, 0)
+
+
+def test_partition_handles_disconnected_graph():
+    from repro.graph.graph import Graph
+
+    g = Graph.from_edges(8, [(0, 1), (2, 3)])  # plus isolated 4..7
+    for method in PARTITIONERS:
+        pg = partition(g, 3, method=method, seed=0)
+        _total_assignment(pg)
+
+
+@settings(deadline=None, max_examples=20)
+@given(st.integers(0, 500), st.integers(1, 6))
+def test_property_ldg_total_and_balanced(seed, n_parts):
+    g = random_eulerian(80, n_walks=5, walk_len=20, seed=seed)
+    pg = ldg_partition(g, n_parts, seed=seed)
+    _total_assignment(pg)
+    cap = int(np.ceil(g.n_vertices / n_parts * 1.05))
+    assert pg.vertex_counts().max() <= cap

@@ -1,0 +1,47 @@
+"""Tests for the repro-euler CLI."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.generate.synthetic import grid_city
+from repro.graph.io import load_edge_list, save_edge_list
+
+
+def test_parser_subcommands():
+    p = build_parser()
+    args = p.parse_args(["run", "g.txt", "--parts", "3"])
+    assert args.command == "run" and args.parts == 3
+    args = p.parse_args(["generate", "out.txt", "--scale", "8"])
+    assert args.scale == 8
+    args = p.parse_args(["experiment", "table1"])
+    assert args.name == "table1"
+
+
+def test_generate_then_run(tmp_path, capsys):
+    out = tmp_path / "g.txt"
+    assert main(["generate", str(out), "--scale", "8", "--seed", "1"]) == 0
+    g = load_edge_list(out)
+    assert g.n_edges > 0
+    circ_file = tmp_path / "circuit.txt"
+    rc = main(
+        ["run", str(out), "--parts", "3", "--verify", "--out", str(circ_file)]
+    )
+    assert rc == 0
+    printed = capsys.readouterr().out
+    assert "supersteps" in printed
+    verts = np.loadtxt(circ_file, dtype=np.int64)
+    assert verts.shape[0] == g.n_edges + 1
+
+
+def test_run_with_strategy(tmp_path, capsys):
+    out = tmp_path / "g.txt"
+    save_edge_list(grid_city(6, 6), out)
+    rc = main(["run", str(out), "--strategy", "proposed", "--verify"])
+    assert rc == 0
+    assert "closed=True" in capsys.readouterr().out
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(SystemExit):
+        main(["experiment", "fig99"])

@@ -1,0 +1,44 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    BSPError,
+    DisconnectedGraphError,
+    GraphFormatError,
+    InvalidCircuitError,
+    InvariantViolation,
+    NotEulerianError,
+    PartitionError,
+    ReproError,
+)
+
+
+def test_hierarchy():
+    for exc in (
+        GraphFormatError,
+        NotEulerianError,
+        DisconnectedGraphError,
+        PartitionError,
+        InvariantViolation,
+        InvalidCircuitError,
+        BSPError,
+    ):
+        assert issubclass(exc, ReproError)
+    assert issubclass(DisconnectedGraphError, NotEulerianError)
+
+
+def test_not_eulerian_carries_odd_vertices():
+    e = NotEulerianError("msg", odd_vertices=[3, 5])
+    assert e.odd_vertices == [3, 5]
+    assert NotEulerianError("msg").odd_vertices == []
+
+
+def test_disconnected_carries_component_count():
+    e = DisconnectedGraphError("msg", num_components=4)
+    assert e.num_components == 4
+
+
+def test_catchable_as_base():
+    with pytest.raises(ReproError):
+        raise InvalidCircuitError("bad")

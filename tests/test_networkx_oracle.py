@@ -1,0 +1,76 @@
+"""Cross-validation against networkx as an independent oracle.
+
+networkx ships its own Eulerian machinery; these tests check our structural
+predicates and circuits against it on randomized inputs — a fully
+independent implementation to catch systematic errors our own verifier
+might share with the algorithms.
+"""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines import hierholzer_circuit
+from repro.core import find_euler_circuit
+from repro.generate.rmat import rmat_graph
+from repro.generate.synthetic import random_eulerian
+from repro.graph.graph import Graph
+from repro.graph.properties import is_eulerian
+
+
+def _to_nx(g: Graph) -> nx.MultiGraph:
+    G = nx.MultiGraph()
+    G.add_nodes_from(range(g.n_vertices))
+    for eid, u, v in g.iter_edges():
+        G.add_edge(u, v, key=eid)
+    return G
+
+
+@settings(deadline=None, max_examples=25)
+@given(st.integers(0, 3000))
+def test_is_eulerian_matches_networkx_on_random_eulerian(seed):
+    g = random_eulerian(40, n_walks=3, walk_len=12, seed=seed)
+    G = _to_nx(g)
+    # nx.is_eulerian requires full connectivity incl. isolated vertices;
+    # our generator compacts, so both should agree on these inputs.
+    assert is_eulerian(g) == nx.is_eulerian(G)
+
+
+@settings(deadline=None, max_examples=25)
+@given(st.integers(0, 3000))
+def test_is_eulerian_matches_networkx_on_rmat_cc(seed):
+    from repro.generate.eulerize import largest_component
+
+    g = rmat_graph(7, avg_degree=3, seed=seed)
+    cc, _ = largest_component(g)
+    if cc.n_edges == 0:
+        return
+    assert is_eulerian(cc) == nx.is_eulerian(_to_nx(cc))
+
+
+@settings(deadline=None, max_examples=15)
+@given(st.integers(0, 2000))
+def test_our_circuits_accepted_by_networkx_structure(seed):
+    """Our circuit, replayed edge-key by edge-key, must consume the
+    networkx multigraph exactly."""
+    g = random_eulerian(40, n_walks=4, walk_len=12, seed=seed)
+    circ = find_euler_circuit(g, n_parts=3).circuit
+    G = _to_nx(g)
+    verts = circ.vertices.tolist()
+    for (a, b), eid in zip(zip(verts[:-1], verts[1:]), circ.edge_ids.tolist()):
+        assert G.has_edge(a, b, key=eid)
+        G.remove_edge(a, b, key=eid)
+    assert G.number_of_edges() == 0
+
+
+@settings(deadline=None, max_examples=15)
+@given(st.integers(0, 2000))
+def test_hierholzer_equivalent_to_networkx_eulerian_circuit(seed):
+    """Same edge multiset as networkx's own eulerian_circuit."""
+    g = random_eulerian(30, n_walks=3, walk_len=10, seed=seed)
+    ours = hierholzer_circuit(g)
+    G = _to_nx(g)
+    nx_edges = list(nx.eulerian_circuit(G, keys=True))
+    assert len(nx_edges) == ours.n_edges
+    assert sorted(k for _, _, k in nx_edges) == sorted(ours.edge_ids.tolist())
