@@ -11,8 +11,15 @@ Reproduces the two headline findings at reduced scale:
    paper's implemented design ("eager"), while the proposed dedup+deferred
    strategy cuts state 50-75% at intermediate levels.
 
+3. **Executor backends are interchangeable**: the same run on the serial,
+   thread and process backends produces the identical circuit; only the
+   wall-clock/serialization profile changes (the process backend pays real
+   pickle round-trips, like the paper's cluster shuffle).
+
 Run:  python examples/scaling_study.py        (~1 minute)
 """
+
+import numpy as np
 
 from repro.bench.harness import format_table, print_header
 from repro.core import find_euler_circuit, ideal_series, measured_series
@@ -66,6 +73,34 @@ def memory_strategies() -> None:
         "nothing at the root, exactly as §5 predicts."
     )
 
+def executor_backends() -> None:
+    print_header("Executor backends: same circuit, different deployment")
+    graph, _ = eulerian_rmat(14, avg_degree=5.0, seed=5)
+    rows = []
+    baseline = None
+    for executor, workers in (("serial", 1), ("thread", 4), ("process", 4)):
+        res = find_euler_circuit(
+            graph, n_parts=4, seed=0, executor=executor, engine_workers=workers
+        )
+        if baseline is None:
+            baseline = res.circuit
+        assert np.array_equal(baseline.vertices, res.circuit.vertices)
+        rows.append(
+            {
+                "executor": executor,
+                "workers": workers,
+                "total (s)": res.report.total_seconds,
+                "compute (s)": res.report.compute_seconds,
+                "circuit edges": res.circuit.n_edges,
+            }
+        )
+    print(format_table(rows))
+    print(
+        "-> bit-identical circuits on every backend; the process backend's "
+        "extra wall time is the honest cost of state serialization."
+    )
+
 if __name__ == "__main__":
     weak_scaling()
     memory_strategies()
+    executor_backends()

@@ -15,9 +15,25 @@ from .experiments import (
     table1,
 )
 from .harness import format_series, format_table, print_header
+from .report_io import (
+    SCHEMA_VERSION,
+    context_to_dict,
+    load_rows,
+    report_to_dict,
+    save_context,
+    save_report,
+    save_rows,
+)
 from .workloads import PAPER_WORKLOADS, WorkloadSpec, load_workload, workload_names
 
 __all__ = [
+    "SCHEMA_VERSION",
+    "context_to_dict",
+    "report_to_dict",
+    "save_context",
+    "save_report",
+    "save_rows",
+    "load_rows",
     "ablation_matching",
     "ablation_partitioner",
     "baselines_experiment",

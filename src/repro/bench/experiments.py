@@ -61,9 +61,18 @@ def run_workload(
     seed: int = 0,
     verify: bool = True,
     cache: bool = True,
+    executor: str | None = None,
+    workers: int = 1,
 ) -> EulerResult:
-    """Run the full algorithm on one Table-1 workload (memoized per-config)."""
-    key = (name, partitioner, strategy, matching, seed)
+    """Run the full algorithm on one Table-1 workload (memoized per-config).
+
+    The returned :class:`EulerResult` carries the full pipeline artifact in
+    ``.context`` (a :class:`~repro.pipeline.RunContext`); benchmarks read
+    their figure series from it via ``.report``. ``executor``/``workers``
+    select the BSP backend, so scaling experiments can compare serial,
+    thread and process execution of the same workload.
+    """
+    key = (name, partitioner, strategy, matching, seed, executor, workers)
     if cache and key in _RUN_CACHE:
         return _RUN_CACHE[key]
     g, spec = load_workload(name)
@@ -75,6 +84,8 @@ def run_workload(
         matching=matching,
         seed=seed,
         verify=verify,
+        executor=executor,
+        engine_workers=workers,
     )
     if cache:
         _RUN_CACHE[key] = res

@@ -2,8 +2,11 @@
 
 The benchmark harness prints its artifacts; downstream analysis (plotting,
 regression tracking across commits) wants them on disk. This module flattens
-an :class:`~repro.core.driver.ExecutionReport` into plain JSON-serializable
-dicts and round-trips experiment row lists.
+an :class:`~repro.pipeline.context.ExecutionReport` — or the full
+:class:`~repro.pipeline.context.RunContext` pipeline artifact — into plain
+JSON-serializable dicts and round-trips experiment row lists. Every artifact
+is stamped with the pipeline's ``schema_version`` so readers can detect
+layout changes across commits.
 """
 
 from __future__ import annotations
@@ -11,9 +14,17 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
-from ..core.driver import ExecutionReport
+from ..pipeline.context import SCHEMA_VERSION, ExecutionReport, RunContext
 
-__all__ = ["report_to_dict", "save_report", "save_rows", "load_rows"]
+__all__ = [
+    "SCHEMA_VERSION",
+    "report_to_dict",
+    "context_to_dict",
+    "save_report",
+    "save_context",
+    "save_rows",
+    "load_rows",
+]
 
 
 def report_to_dict(report: ExecutionReport) -> dict:
@@ -24,6 +35,7 @@ def report_to_dict(report: ExecutionReport) -> dict:
     census) plus the merge tree and stage DAG.
     """
     return {
+        "schema_version": SCHEMA_VERSION,
         "config": {
             "n_parts": report.n_parts,
             "strategy": report.strategy,
@@ -41,6 +53,7 @@ def report_to_dict(report: ExecutionReport) -> dict:
         "phase1_points": report.phase1_points(),
         "state_by_level": report.state_by_level(),
         "census_rows": report.census_rows(),
+        "deferred_resident_longs": list(report.deferred_resident_longs),
         "merge_tree": [
             [
                 {"child": m.child, "parent": m.parent, "weight": m.weight}
@@ -52,11 +65,53 @@ def report_to_dict(report: ExecutionReport) -> dict:
     }
 
 
+def context_to_dict(ctx: RunContext) -> dict:
+    """Flatten the full pipeline artifact (config + stage products).
+
+    Supersets :func:`report_to_dict` with the resolved execution config
+    (executor backend, workers, seed), the input-graph summary, and the
+    fragment-store census — the audit trail of a staged run.
+    """
+    out = report_to_dict(ctx.report)
+    out["config"].update(
+        {
+            "requested_parts": ctx.config.n_parts,
+            "seed": ctx.config.seed,
+            "executor": ctx.config.executor_name,
+            "workers": ctx.config.workers,
+            "validate": ctx.config.validate,
+            "verify": ctx.config.verify,
+        }
+    )
+    out["graph"] = {"n_vertices": ctx.n_vertices, "n_edges": ctx.n_edges}
+    out["circuit"] = {
+        "n_edges": int(ctx.circuit.n_edges) if ctx.circuit is not None else 0,
+        "verified": ctx.verified,
+    }
+    store = ctx.store
+    if store is not None:
+        frags = store.all_fragments()
+        out["fragments"] = {
+            "n_fragments": len(frags),
+            "n_paths": sum(1 for f in frags if f.kind == "path"),
+            "n_cycles": sum(1 for f in frags if f.kind == "cycle"),
+        }
+    return out
+
+
 def save_report(report: ExecutionReport, path) -> Path:
     """Write the flattened report to ``path`` (creating parents)."""
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(json.dumps(report_to_dict(report), indent=2, default=float))
+    return path
+
+
+def save_context(ctx: RunContext, path) -> Path:
+    """Write the flattened pipeline artifact to ``path`` (creating parents)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(context_to_dict(ctx), indent=2, default=float))
     return path
 
 

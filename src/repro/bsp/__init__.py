@@ -15,6 +15,13 @@ from .accounting import (
     RunStats,
 )
 from .engine import BSPEngine, ComputeResult
+from .executors import (
+    EXECUTORS,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    make_executor,
+)
 from .programs import bsp_connected_components, bsp_degree_histogram
 from .messages import MailRouter
 from .vertex_engine import VertexBSPEngine, VertexComputeResult, VertexRunStats
@@ -22,6 +29,11 @@ from .vertex_engine import VertexBSPEngine, VertexComputeResult, VertexRunStats
 __all__ = [
     "BSPEngine",
     "ComputeResult",
+    "EXECUTORS",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "make_executor",
     "bsp_connected_components",
     "bsp_degree_histogram",
     "MailRouter",

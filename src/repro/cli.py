@@ -20,6 +20,7 @@ import sys
 import numpy as np
 
 from . import bench
+from .bsp import EXECUTORS
 from .core import find_euler_circuit
 from .generate.eulerize import eulerian_rmat
 from .graph.io import load_edge_list, save_edge_list
@@ -57,7 +58,15 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--strategy", default="eager",
                      choices=("eager", "dedup", "deferred", "proposed"))
     run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--executor", default=None,
+                     choices=sorted(EXECUTORS),
+                     help="BSP backend (default: serial, or thread when "
+                          "--workers > 1)")
+    run.add_argument("--workers", type=int, default=1,
+                     help="worker count for the thread/process backends")
     run.add_argument("--verify", action="store_true", help="verify the circuit")
+    run.add_argument("--report-json",
+                     help="write the full run artifact (RunContext) as JSON here")
     run.add_argument("--out", help="write the circuit's vertex sequence here")
 
     gen = sub.add_parser("generate", help="generate an eulerized R-MAT graph")
@@ -119,13 +128,21 @@ def main(argv: list[str] | None = None) -> int:
         strategy=args.strategy,
         seed=args.seed,
         verify=args.verify,
+        executor=args.executor,
+        engine_workers=args.workers,
     )
     rep = res.report
     print(
         f"circuit: {res.circuit.n_edges} edges, closed={res.circuit.is_closed}\n"
         f"partitions={rep.n_parts} supersteps={rep.n_supersteps} "
+        f"executor={res.context.config.executor_name} "
         f"total={rep.total_seconds:.2f}s compute={rep.compute_seconds:.2f}s"
     )
+    if args.report_json:
+        from .bench.report_io import save_context
+
+        path = save_context(res.context, args.report_json)
+        print(f"wrote run artifact to {path}")
     for row in rep.state_by_level():
         print(
             f"  level {row['level']}: partitions={row['n_partitions']} "

@@ -1,167 +1,24 @@
-"""The end-to-end driver: partition → merge-tree BSP run → circuit.
+"""The end-to-end driver — a thin façade over :mod:`repro.pipeline`.
 
-:func:`find_euler_circuit` is the library's main entry point. It reproduces
-the paper's full pipeline on the BSP engine:
-
-1. validate the input (Eulerian degrees + connected edges);
-2. partition the graph (ParHIP substitute, §4.2);
-3. build the static merge tree from the meta-graph (Alg. 2);
-4. run one BSP superstep per merge level: Phase 1 concurrently on all live
-   partitions, then child→parent state transfer (Phase 2), with the §5
-   remote-edge strategy applied; every superstep records the Fig. 5–9
-   quantities;
-5. Phase 3: unroll the fragment hierarchy into the final circuit (the part
-   the paper left to future work) and optionally verify it.
-
-Each child partition's state is genuinely ``pickle``-serialized for the
-transfer, so the copy_source/copy_sink timings and transfer byte counts are
-real measurements (the single-machine analogue of Spark's shuffle).
+:func:`find_euler_circuit` is the library's main entry point. The actual
+work lives in the staged pipeline (``Setup`` → ``SuperstepProgram`` →
+``Reconstruct``, see ARCHITECTURE.md); this module keeps the stable
+call-signature, the :class:`EulerResult` return type, and re-exports
+:class:`ExecutionReport` for existing imports.
 """
 
 from __future__ import annotations
 
-import pickle
-import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
-import numpy as np
-
-from ..bsp.accounting import (
-    CAT_COPY_SINK,
-    CAT_COPY_SRC,
-    CAT_CREATE,
-    CAT_PHASE1,
-    RunStats,
-)
-from ..bsp.engine import BSPEngine, ComputeResult
-from ..errors import NotEulerianError
 from ..graph.graph import Graph
-from ..graph.metagraph import build_metagraph
 from ..graph.partition import PartitionedGraph
-from ..graph.properties import check_eulerian
-from ..partitioning import partition as partition_graph
-from .circuit import EulerCircuit, verify_circuit
-from .improvements import DeferredStore, plan_remote_placement, strategy_flags
-from .merge_tree import MergeTree, build_merge_tree
-from .merging import (
-    PartitionState,
-    local_edges_level0,
-    merge_states,
-    phase1_state_longs,
-)
-from .phase1 import EDGE_RAW
-from .pathmap import KIND_CYCLE, FragmentStore
-from .phase1 import run_phase1
-from .phase3 import reconstruct_circuit
+from ..pipeline import RunConfig, RunContext, run_pipeline
+from ..pipeline.context import ExecutionReport  # noqa: F401  (re-export)
+from .circuit import EulerCircuit
+from .pathmap import FragmentStore
 
 __all__ = ["ExecutionReport", "EulerResult", "find_euler_circuit"]
-
-
-@dataclass
-class ExecutionReport:
-    """Everything the benchmarks need about one run.
-
-    The raw per-superstep records live in ``run_stats``; the convenience
-    accessors below produce exactly the series of the paper's figures.
-    """
-
-    n_parts: int
-    strategy: str
-    partitioner: str
-    matching: str
-    run_stats: RunStats
-    tree: MergeTree
-    #: Seconds spent in Phase 3 (not part of the BSP run).
-    phase3_seconds: float = 0.0
-    #: Seconds spent partitioning + planning (outside the BSP run).
-    setup_seconds: float = 0.0
-    #: Longs resident on leaf machines per level (deferred strategy only).
-    deferred_resident_longs: list[int] = field(default_factory=list)
-
-    @property
-    def n_supersteps(self) -> int:
-        """Coordination cost; the paper reports ``ceil(log2 n) + 1``."""
-        return self.run_stats.n_supersteps
-
-    @property
-    def total_seconds(self) -> float:
-        """Fig. 5 "Total Time" analogue (BSP wall + setup + Phase 3)."""
-        return self.run_stats.total_seconds + self.setup_seconds + self.phase3_seconds
-
-    @property
-    def compute_seconds(self) -> float:
-        """Fig. 5 "Compute Time" analogue (user code inside supersteps)."""
-        return self.run_stats.compute_seconds
-
-    def time_split_rows(self) -> list[dict]:
-        """Fig. 6 rows: per (level, partition), seconds per category."""
-        rows = []
-        for step in self.run_stats.records:
-            for rec in step:
-                if not rec.timings:
-                    continue
-                rows.append(
-                    {
-                        "level": rec.superstep,
-                        "pid": rec.pid,
-                        CAT_CREATE: rec.timings.get(CAT_CREATE, 0.0),
-                        CAT_COPY_SRC: rec.timings.get(CAT_COPY_SRC, 0.0),
-                        CAT_COPY_SINK: rec.timings.get(CAT_COPY_SINK, 0.0),
-                        CAT_PHASE1: rec.timings.get(CAT_PHASE1, 0.0),
-                    }
-                )
-        return rows
-
-    def phase1_points(self) -> list[dict]:
-        """Fig. 7 points: expected ``|B|+|I|+|L|`` vs observed Phase-1 secs."""
-        pts = []
-        for step in self.run_stats.records:
-            for rec in step:
-                if "phase1_cost" not in rec.census:
-                    continue
-                pts.append(
-                    {
-                        "level": rec.superstep,
-                        "pid": rec.pid,
-                        "expected_cost": rec.census["phase1_cost"],
-                        "observed_seconds": rec.timings.get(CAT_PHASE1, 0.0),
-                    }
-                )
-        return pts
-
-    def state_by_level(self) -> list[dict]:
-        """Fig. 8 series (cumulative / average Longs per level)."""
-        return self.run_stats.state_by_level()
-
-    def census_rows(self) -> list[dict]:
-        """Fig. 9 rows (per level & partition vertex/edge census)."""
-        return self.run_stats.census_table()
-
-    def stage_dag(self) -> str:
-        """Text rendering of the execution DAG (the paper's Fig. 3 analogue).
-
-        One stage per superstep: which partitions ran Phase 1 at that level,
-        and which child→parent state transfers crossed the following
-        barrier, mirroring the Spark stage DAG the paper screenshots.
-        """
-        lines = []
-        for s, step in enumerate(self.run_stats.records):
-            ran = sorted(r.pid for r in step if "phase1_tour" in r.timings)
-            lines.append(
-                f"stage {s} (level {s}): Phase1 on partitions "
-                f"{ran if ran else '[]'}"
-            )
-            transfers = sorted(
-                (m.child, m.parent)
-                for m in (self.tree.levels[s] if s < len(self.tree.levels) else [])
-            )
-            if transfers:
-                arrows = ", ".join(f"P{c}->P{p}" for c, p in transfers)
-                lines.append(f"  barrier; shuffle: {arrows}")
-            else:
-                lines.append("  barrier; done" if s == len(self.run_stats.records) - 1
-                             else "  barrier")
-        return "\n".join(lines)
 
 
 @dataclass
@@ -172,6 +29,9 @@ class EulerResult:
     report: ExecutionReport
     partitioned: PartitionedGraph
     store: FragmentStore
+    #: The full staged-pipeline artifact (every stage product; see
+    #: :class:`repro.pipeline.RunContext`).
+    context: RunContext | None = None
 
 
 def find_euler_circuit(
@@ -186,40 +46,27 @@ def find_euler_circuit(
     verify: bool = False,
     check_input: bool = True,
     engine_workers: int = 1,
+    executor: str | None = None,
 ) -> EulerResult:
     """Find an Euler circuit with the partition-centric distributed algorithm.
 
-    Parameters
-    ----------
-    graph:
-        A connected Eulerian undirected (multi)graph.
-    n_parts:
-        Number of initial partitions ("machines"); clamped to the vertex
-        count.
-    partitioner:
-        ``"ldg"`` | ``"bfs"`` | ``"hash"`` | ``"random"`` (see
-        :mod:`repro.partitioning`).
-    strategy:
-        Remote-edge memory strategy: ``"eager"`` (the paper's implemented
-        algorithm), ``"dedup"``, ``"deferred"`` or ``"proposed"``
-        (= dedup + deferred, the §5 proposal).
-    matching:
-        Merge-tree matching policy: ``"greedy"`` (paper) or ``"random"``.
-    seed:
-        Seed for partitioning / random matching.
-    spill_dir:
-        Directory for spilling fragment bodies to disk (paper's design);
-        ``None`` keeps them in memory.
-    validate:
-        Check Lemmas 1–3 during Phase 1 (slower; tests use it).
-    verify:
-        Verify the final circuit against the graph before returning.
-    check_input:
-        Check the graph is Eulerian+connected up front (disable only if the
-        caller already did).
-    engine_workers:
-        Thread-pool width for concurrent partition execution (1 = serial
-        deterministic timings).
+    Parameters mirror the paper's pipeline: ``n_parts`` initial partitions
+    ("machines", clamped to the vertex count) are partitioned with
+    ``partitioner`` (``"ldg"`` | ``"bfs"`` | ``"hash"`` | ``"random"``),
+    merged up a static tree built with ``matching`` (``"greedy"`` |
+    ``"random"``) under the §5 remote-edge ``strategy`` (``"eager"`` |
+    ``"dedup"`` | ``"deferred"`` | ``"proposed"``). ``spill_dir`` spills
+    fragment bodies to disk; ``validate`` checks Lemmas 1–3 during Phase 1;
+    ``verify`` checks the final circuit; ``check_input`` pre-checks the
+    graph is Eulerian + connected.
+
+    ``executor`` selects the BSP backend: ``"serial"`` (deterministic
+    timings), ``"thread"``, or ``"process"`` (one OS process per worker with
+    real pickle round-trips — the truthful analogue of the paper's
+    distributed machines). ``engine_workers`` sets the pool width; the
+    default ``executor=None`` keeps the historical behavior (serial when
+    ``engine_workers == 1``, threads otherwise). Every backend produces an
+    identical circuit and fragment store.
 
     Raises
     ------
@@ -228,175 +75,18 @@ def find_euler_circuit(
     InvalidCircuitError
         If ``verify=True`` and the produced circuit is invalid (a bug).
     """
-    t_setup = time.perf_counter()
-    if check_input:
-        check_eulerian(graph)
-    store = FragmentStore(spill_dir=spill_dir)
-    if graph.n_edges == 0:
-        empty = EulerCircuit(
-            vertices=np.empty(0, dtype=np.int64), edge_ids=np.empty(0, dtype=np.int64)
-        )
-        report = ExecutionReport(
-            n_parts=0,
-            strategy=strategy,
-            partitioner=partitioner,
-            matching=matching,
-            run_stats=RunStats(),
-            tree=MergeTree(n_parts=0),
-        )
-        pg = PartitionedGraph(graph, np.zeros(graph.n_vertices, dtype=np.int64), 1)
-        return EulerResult(empty, report, pg, store)
-
-    n_parts = max(1, min(n_parts, graph.n_vertices))
-    dedup, deferred = strategy_flags(strategy)
-
-    pg = partition_graph(graph, n_parts, method=partitioner, seed=seed)
-    mg = build_metagraph(pg)
-    tree = build_merge_tree(mg, policy=matching, seed=seed)
-    placement = plan_remote_placement(pg, tree, dedup=dedup)
-
-    deferred_store = DeferredStore()
-    held0: dict[int, np.ndarray] = {}
-    for pid in range(n_parts):
-        rows = placement.rows_for[pid]
-        if deferred and rows.size:
-            lv = np.fromiter(
-                (placement.merge_level[int(e)] for e in rows[:, 2]),
-                count=rows.shape[0],
-                dtype=np.int64,
-            )
-            held0[pid] = rows[lv == 0]
-            for level in np.unique(lv[lv > 0]).tolist():
-                deferred_store.deposit(pid, int(level), rows[lv == level])
-        else:
-            held0[pid] = rows
-
-    # child -> (parent, level at which it must ship its state)
-    send_plan: dict[int, tuple[int, int]] = {}
-    for level, merges in enumerate(tree.levels):
-        for m in merges:
-            send_plan[m.child] = (m.parent, level)
-    n_levels = len(tree.levels) + 1
-    edge_u, edge_v = graph.edge_u, graph.edge_v
-    setup_seconds = time.perf_counter() - t_setup
-
-    def compute(pid, state, messages, rec, superstep):
-        level = superstep
-        if superstep == 0:
-            t0 = time.perf_counter()
-            view = pg.view(pid)
-            local_edges = local_edges_level0(view, edge_u, edge_v)
-            remote_deg: dict[int, int] = {}
-            for src in view.remote[:, 0].tolist():
-                remote_deg[src] = remote_deg.get(src, 0) + 1
-            state = PartitionState(
-                pid=pid, level=0, held=held0[pid], remote_deg=remote_deg,
-                member_leaves=(pid,),
-            )
-            rec.add_time(CAT_CREATE, time.perf_counter() - t0)
-        elif messages:
-            t0 = time.perf_counter()
-            children = [pickle.loads(blob) for blob in messages]
-            rec.add_time(CAT_COPY_SINK, time.perf_counter() - t0)
-            t0 = time.perf_counter()
-            local_edges = []
-            for child in children:
-                group = set(state.member_leaves) | set(child.member_leaves)
-                extra = None
-                if deferred:
-                    extra = deferred_store.ship(sorted(group), level - 1)
-                state, le, _ = merge_states(state, child, group, extra_rows=extra)
-                local_edges.extend(le)
-            remote_deg = state.remote_deg
-            rec.add_time(CAT_CREATE, time.perf_counter() - t0)
-        else:
-            # Idle partition carrying state (skipped this level, or waiting
-            # to ship at a later level). Record its resident state so the
-            # Fig. 8 cumulative series counts it.
-            rec.state_longs = state.state_longs() if state else 0
-            target = send_plan.get(pid)
-            if target is not None and target[1] == level:
-                t0 = time.perf_counter()
-                blob = pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
-                rec.add_time(CAT_COPY_SRC, time.perf_counter() - t0)
-                rec.sent_longs = state.state_longs()
-                return ComputeResult(state=None, outgoing={target[0]: [blob]})
-            still_waiting = target is not None and target[1] > level
-            return ComputeResult(state=state, halt=not still_waiting)
-
-        pre_entries = state.n_pathmap_entries
-        t0 = time.perf_counter()
-        pathmap, stats = run_phase1(
-            pid, level, local_edges, remote_deg, store, validate=validate
-        )
-        rec.add_time(CAT_PHASE1, time.perf_counter() - t0)
-        state.level = level
-        state.coarse = list(pathmap.ob_paths)
-        state.n_pathmap_entries = pre_entries + len(pathmap.ob_paths) + len(
-            pathmap.anchored_cycles
-        )
-        if store.spill_dir is not None:
-            store.spill_level(level)
-
-        # Fig. 8 unit: state as loaded for this Phase-1 run (vertices + local
-        # edges + held remote edges + carried pathMap metadata).
-        n_raw_local = sum(1 for le in local_edges if le[2] == EDGE_RAW)
-        rec.state_longs = phase1_state_longs(
-            stats.n_live_vertices,
-            n_raw_local,
-            len(local_edges) - n_raw_local,
-            int(state.held.shape[0]),
-            pre_entries,
-        )
-        rec.census = {
-            "n_internal": stats.n_internal,
-            "n_ob": stats.n_ob,
-            "n_eb": stats.n_eb,
-            "n_local_edges": stats.n_local_edges,
-            "n_remote_half_edges": int(state.held.shape[0]),
-            "phase1_cost": stats.phase1_cost,
-            "n_paths": stats.n_paths,
-            "n_anchored_cycles": len(pathmap.anchored_cycles),
-        }
-
-        target = send_plan.get(pid)
-        if target is not None and target[1] == level:
-            t0 = time.perf_counter()
-            blob = pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
-            rec.add_time(CAT_COPY_SRC, time.perf_counter() - t0)
-            rec.sent_longs = state.state_longs()
-            return ComputeResult(state=None, outgoing={target[0]: [blob]})
-        still_waiting = target is not None
-        return ComputeResult(state=state, halt=not still_waiting)
-
-    engine = BSPEngine(max_workers=engine_workers)
-    states = {pid: None for pid in range(n_parts)}
-    final_states, run_stats = engine.run(states, compute, max_supersteps=n_levels + 2)
-
-    report = ExecutionReport(
+    config = RunConfig(
         n_parts=n_parts,
-        strategy=strategy,
         partitioner=partitioner,
+        strategy=strategy,
         matching=matching,
-        run_stats=run_stats,
-        tree=tree,
-        setup_seconds=setup_seconds,
+        seed=seed,
+        executor=executor,
+        workers=engine_workers,
+        spill_dir=spill_dir,
+        validate=validate,
+        verify=verify,
+        check_input=check_input,
     )
-
-    # ---- Phase 3 ----------------------------------------------------------
-    t3 = time.perf_counter()
-    cycles = [f for f in store.all_fragments() if f.kind == KIND_CYCLE]
-    if not cycles:
-        raise NotEulerianError("no cycle fragments produced (empty partition run?)")
-    # Base = the highest-level cycle (the root partition's unified cycle).
-    # Note the *partition id* running the final Phase 1 with real content may
-    # differ from tree.root when empty partitions pad the tree, so we key on
-    # level (and fid for determinism), not pid.
-    top_level = max(f.level for f in cycles)
-    base_fid = min(f.fid for f in cycles if f.level == top_level)
-    circuit = reconstruct_circuit(store, [f.fid for f in cycles], base_fid)
-    report.phase3_seconds = time.perf_counter() - t3
-
-    if verify:
-        verify_circuit(graph, circuit)
-    return EulerResult(circuit, report, pg, store)
+    ctx = run_pipeline(graph, config)
+    return EulerResult(ctx.circuit, ctx.report, ctx.partitioned, ctx.store, ctx)

@@ -106,6 +106,10 @@ class PartitionState:
     remote_deg: dict[int, int] = field(default_factory=dict)
     n_pathmap_entries: int = 0
     member_leaves: tuple[int, ...] = ()
+    #: Raw-edge counts of the coarse fragments in ``coarse`` (fid → n_edges).
+    #: Travels with the state so an out-of-process Phase-1 run can weigh
+    #: coarse items without reaching back into the parent's fragment store.
+    coarse_meta: dict[int, int] = field(default_factory=dict)
 
     def state_longs(self) -> int:
         """Longs of retained state (Fig. 8's unit), per :class:`LONGS`."""
@@ -228,5 +232,6 @@ def merge_states(
         remote_deg=remote_deg,
         n_pathmap_entries=parent.n_pathmap_entries + child.n_pathmap_entries,
         member_leaves=tuple(sorted(set(parent.member_leaves) | set(child.member_leaves))),
+        coarse_meta={**parent.coarse_meta, **child.coarse_meta},
     )
     return state, local_edges, remote_deg

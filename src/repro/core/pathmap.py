@@ -37,8 +37,10 @@ __all__ = [
     "KIND_PATH",
     "KIND_CYCLE",
     "Fragment",
+    "FragmentBatch",
     "FragmentStore",
     "PathMap",
+    "make_fid",
 ]
 
 ITEM_EDGE = 0
@@ -46,6 +48,24 @@ ITEM_FRAG = 1
 
 KIND_PATH = "path"
 KIND_CYCLE = "cycle"
+
+# Structured fragment-id packing: fid = ((level+1) << 52) | (pid << 32) | seq.
+# A partition runs Phase 1 at most once per merge level, so (level, pid, seq)
+# — with seq counting that run's fragments — is globally unique *without any
+# shared counter*. Every executor backend (serial, thread, process) therefore
+# mints bit-identical fids, which is what makes circuits reproducible across
+# backends and lets out-of-process Phase-1 runs allocate ids independently.
+_FID_LEVEL_SHIFT = 52
+_FID_PID_SHIFT = 32
+
+
+def make_fid(level: int, pid: int, seq: int) -> int:
+    """Deterministic, coordination-free fragment id for (level, pid, seq)."""
+    if not (0 <= pid < (1 << (_FID_LEVEL_SHIFT - _FID_PID_SHIFT))):
+        raise ValueError(f"pid {pid} out of fid range")
+    if not (0 <= seq < (1 << _FID_PID_SHIFT)):
+        raise ValueError(f"fragment seq {seq} out of fid range")
+    return ((level + 1) << _FID_LEVEL_SHIFT) | (pid << _FID_PID_SHIFT) | seq
 
 
 @dataclass
@@ -88,6 +108,52 @@ class Fragment:
         out = [self.src]
         out.extend(item[2] for item in self.items)
         return out
+
+
+class FragmentBatch:
+    """Picklable per-(partition, level) fragment sink for one Phase-1 run.
+
+    Duck-types the :class:`FragmentStore` surface Phase 1 touches
+    (:meth:`new_fragment` and :meth:`get(...).n_edges <get>`), but assigns
+    structured ids via :func:`make_fid` and buffers the fragments locally so
+    the run can execute in a worker process and travel back through a pickle.
+    The engine's commit hook then :meth:`adopts <FragmentStore.adopt>` the
+    batch into the global store in pid order — the only store mutation point.
+
+    ``known_edges`` maps previously-registered fragment ids (the coarse
+    OB-pair edges entering this level) to their raw-edge counts, the one
+    piece of store metadata Phase 1 reads for fragments it did not create.
+    """
+
+    def __init__(self, pid: int, level: int, known_edges: dict[int, int] | None = None):
+        self.pid = pid
+        self.level = level
+        self.fragments: list[Fragment] = []
+        self._known = dict(known_edges or {})
+        self._by_fid: dict[int, Fragment] = {}
+
+    def new_fragment(
+        self, kind: str, level: int, pid: int, src: int, dst: int, items: list,
+        n_edges: int,
+    ) -> Fragment:
+        """Register a fragment under a structured (level, pid, seq) fid."""
+        if kind not in (KIND_PATH, KIND_CYCLE):
+            raise ValueError(f"bad fragment kind {kind!r}")
+        if kind == KIND_CYCLE and src != dst:
+            raise ValueError("cycle fragments must have src == dst")
+        fid = make_fid(level, pid, len(self.fragments))
+        frag = Fragment(fid, kind, level, pid, src, dst, items, n_edges)
+        self.fragments.append(frag)
+        self._by_fid[fid] = frag
+        return frag
+
+    def get(self, fid: int) -> Fragment:
+        """Metadata lookup: batch-local fragments, else known prior paths."""
+        frag = self._by_fid.get(fid)
+        if frag is not None:
+            return frag
+        # A stub carrying the only field Phase 1 reads for prior fragments.
+        return Fragment(fid, KIND_PATH, -1, -1, -1, -1, None, self._known[fid])
 
 
 class FragmentStore:
@@ -134,6 +200,21 @@ class FragmentStore:
             self._frags[frag.fid] = frag
             self._next += 1
             self.total_edges += n_edges
+        return frag
+
+    def adopt(self, frag: Fragment) -> Fragment:
+        """Register a pre-built fragment (e.g. from a :class:`FragmentBatch`).
+
+        The fragment keeps its structured fid; ids minted by
+        :func:`make_fid` cannot collide with each other, and ``_next`` is
+        bumped past them so mixed sequential allocation stays safe.
+        """
+        with self._lock:
+            if frag.fid in self._frags:
+                raise ValueError(f"fragment {frag.fid} already registered")
+            self._frags[frag.fid] = frag
+            self._next = max(self._next, frag.fid + 1)
+            self.total_edges += frag.n_edges
         return frag
 
     def get(self, fid: int) -> Fragment:

@@ -18,11 +18,19 @@ module finds:
 The traversal uses the classic next-unvisited-edge pointer so the whole run
 is ``O(|B| + |I| + |L|)`` per partition, the complexity the paper claims in
 §3.5 and that the Fig. 7 benchmark verifies empirically.
+
+The adjacency is built in a flat array layout (vectorized with NumPy): a
+sorted vertex-id index, CSR-style half-edge offsets, a flat incident-edge
+array and one next-unvisited pointer per vertex — no per-edge dicts or
+per-vertex Python lists. The offset/pointer arrays are materialized as flat
+Python lists for the walk itself, where scalar indexing is cheapest.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+
+import numpy as np
 
 from ..errors import InvariantViolation
 from .pathmap import ITEM_EDGE, ITEM_FRAG, KIND_CYCLE, KIND_PATH, FragmentStore, PathMap
@@ -93,40 +101,37 @@ def run_phase1(
         The partition's :class:`~repro.core.pathmap.PathMap` for this level
         and the census/outcome counters.
     """
-    # ---- build the local adjacency (next-unvisited-pointer layout) -------
-    vidx: dict[int, int] = {}
+    # ---- build the local adjacency (flat-array CSR layout) ----------------
+    # Vertex index: sorted unique ids over edge endpoints + boundary
+    # vertices; CSR half-edge layout: ``adjacency[offsets[i]:offsets[i+1]]``
+    # lists the incident edge ids of local vertex ``i`` in input order (a
+    # self loop contributes two consecutive entries, so degree math holds).
+    m = len(local_edges)
+    eu = np.fromiter((e[0] for e in local_edges), dtype=np.int64, count=m)
+    ev = np.fromiter((e[1] for e in local_edges), dtype=np.int64, count=m)
+    bnd_ids = np.fromiter(
+        (v for v, d in remote_degree.items() if d > 0), dtype=np.int64
+    )
+    vert_ids = np.unique(np.concatenate((eu, ev, bnd_ids)))
+    n_local = int(vert_ids.size)
+    vidx = {v: i for i, v in enumerate(vert_ids.tolist())}
 
-    def _local(v: int) -> int:
-        i = vidx.get(v)
-        if i is None:
-            i = len(vidx)
-            vidx[v] = i
-        return i
+    half_vertex = np.empty(2 * m, dtype=np.int64)
+    half_vertex[0::2] = np.searchsorted(vert_ids, eu)
+    half_vertex[1::2] = np.searchsorted(vert_ids, ev)
+    # Stable sort groups half-edges by vertex while preserving edge order.
+    adjacency = np.repeat(np.arange(m, dtype=np.int64), 2)[
+        np.argsort(half_vertex, kind="stable")
+    ]
+    local_deg = np.bincount(half_vertex, minlength=n_local)
+    offsets = np.zeros(n_local + 1, dtype=np.int64)
+    np.cumsum(local_deg, out=offsets[1:])
 
-    for u, v, _, _ in local_edges:
-        _local(u)
-        _local(v)
-    for v, rdeg in remote_degree.items():
-        if rdeg > 0:
-            _local(v)
-
-    n_local = len(vidx)
-    adj: list[list[int]] = [[] for _ in range(n_local)]
-    local_deg = [0] * n_local
-    for k, (u, v, _, _) in enumerate(local_edges):
-        iu, iv = vidx[u], vidx[v]
-        adj[iu].append(k)
-        local_deg[iu] += 1
-        if iv != iu:
-            adj[iv].append(k)
-        local_deg[iv] += 1
-        if iv == iu:  # self loop: one adjacency entry is enough to find it,
-            adj[iu].append(k)  # but keep two half-edges so degree math holds.
-
-    verts = list(vidx.keys())
-    boundary = sorted(v for v in verts if remote_degree.get(v, 0) > 0)
-    ob = [v for v in boundary if local_deg[vidx[v]] % 2 == 1]
-    eb = [v for v in boundary if local_deg[vidx[v]] % 2 == 0]
+    is_boundary = np.isin(vert_ids, bnd_ids, assume_unique=True)
+    odd_deg = (local_deg & 1).astype(bool)
+    boundary = vert_ids[is_boundary].tolist()  # sorted by construction
+    ob = vert_ids[is_boundary & odd_deg].tolist()
+    eb = vert_ids[is_boundary & ~odd_deg].tolist()
     n_internal = n_local - len(boundary)
 
     stats = Phase1Stats(
@@ -141,8 +146,13 @@ def run_phase1(
             f"partition {pid} level {level}: odd number of OB vertices ({len(ob)})"
         )
 
-    visited = bytearray(len(local_edges))
-    ptr = [0] * n_local
+    # The walk is a per-edge scalar loop; flat Python lists index faster than
+    # NumPy scalars there, so materialize the arrays once. ``ptr`` holds each
+    # vertex's next-unvisited cursor into the flat adjacency.
+    visited = bytearray(m)
+    adj_flat = adjacency.tolist()
+    ptr = offsets[:-1].tolist()
+    adj_end = offsets[1:].tolist()
 
     def walk(start: int) -> tuple[list, int]:
         """Maximal traversal along unvisited local edges from ``start``."""
@@ -150,14 +160,14 @@ def run_phase1(
         cur = start
         while True:
             i = vidx[cur]
-            lst = adj[i]
+            end = adj_end[i]
             p = ptr[i]
-            while p < len(lst) and visited[lst[p]]:
+            while p < end and visited[adj_flat[p]]:
                 p += 1
             ptr[i] = p
-            if p == len(lst):
+            if p == end:
                 return items, cur
-            k = lst[p]
+            k = adj_flat[p]
             visited[k] = 1
             u, v, kind, ref = local_edges[k]
             nxt = v if cur == u else u

@@ -1,0 +1,29 @@
+"""The staged run pipeline: Setup → SuperstepProgram → Reconstruct.
+
+The paper's algorithm is a pipeline (validate → partition → merge tree →
+per-level Phase 1 + state transfer → Phase 3); this package makes each stage
+an explicit, reusable unit communicating through a typed
+:class:`~repro.pipeline.context.RunContext` — the single audit artifact the
+benchmarks read. The compute stage is a picklable
+:class:`~repro.pipeline.program.SuperstepProgram`, which is what lets the
+BSP engine run it on interchangeable executor backends (serial, thread,
+process) with identical results. See ARCHITECTURE.md for the stage diagram
+and the RunContext → figure field mapping.
+"""
+
+from .context import SCHEMA_VERSION, ExecutionReport, RunConfig, RunContext
+from .program import SuperstepProgram
+from .reconstruct import Reconstruct
+from .runner import run_pipeline
+from .setup import Setup
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "ExecutionReport",
+    "RunConfig",
+    "RunContext",
+    "Setup",
+    "SuperstepProgram",
+    "Reconstruct",
+    "run_pipeline",
+]

@@ -1,0 +1,199 @@
+"""Pipeline stage 2 — SuperstepProgram: the BSP compute function as a class.
+
+One instance runs Phase 1 + the child→parent state transfer (Phase 2) for
+every partition at every merge level. The instance is a plain picklable
+value — static plan data only — so the ``process`` executor can install it
+once per worker and run partitions out of process with real serialization
+boundaries, exactly like the paper's one-machine-per-partition deployment:
+
+* fragments created during a run go into a :class:`FragmentBatch` with
+  structured, coordination-free ids (:func:`repro.core.pathmap.make_fid`)
+  and travel back in ``ComputeResult.payload``;
+* the engine's commit hook (:meth:`SuperstepProgram.make_commit`) adopts
+  each batch into the parent-side :class:`FragmentStore` in pid order, the
+  single mutation point for shared state — so serial, thread and process
+  backends produce bit-identical fragment stores and circuits.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+
+import numpy as np
+
+from ..bsp.accounting import (
+    CAT_COPY_SINK,
+    CAT_COPY_SRC,
+    CAT_CREATE,
+    CAT_PHASE1,
+    PartitionStepRecord,
+)
+from ..bsp.engine import ComputeResult
+from ..core.merging import (
+    PartitionState,
+    local_edges_level0,
+    phase1_state_longs,
+)
+from ..core.merging import merge_states
+from ..core.pathmap import KIND_PATH, FragmentBatch, FragmentStore
+from ..core.phase1 import EDGE_RAW, run_phase1
+from ..graph.partition import PartitionedGraph
+
+__all__ = ["SuperstepProgram"]
+
+
+class SuperstepProgram:
+    """Per-partition compute for one superstep (= one merge level).
+
+    Parameters
+    ----------
+    pg:
+        The partitioned graph (each worker's copy stands in for the static
+        partition a machine loads once).
+    held0:
+        Remote half-edge rows each partition holds at level 0 (strategy
+        placement).
+    send_plan:
+        ``child -> (parent, superstep)`` shipping plan from the static tree.
+    extras:
+        Deferred-strategy shipments keyed ``(parent, superstep)`` — the rows
+        the leaves release into that parent's merge (empty unless deferred).
+    deferred, validate:
+        Strategy flag and Lemma-checking flag, as in the driver.
+    """
+
+    def __init__(
+        self,
+        pg: PartitionedGraph,
+        held0: dict[int, np.ndarray],
+        send_plan: dict[int, tuple[int, int]],
+        extras: dict[tuple[int, int], np.ndarray],
+        deferred: bool,
+        validate: bool,
+    ):
+        self.pg = pg
+        self.held0 = held0
+        self.send_plan = send_plan
+        self.extras = extras
+        self.deferred = deferred
+        self.validate = validate
+
+    # ---- the compute function (runs on any executor backend) --------------
+    def __call__(
+        self,
+        pid: int,
+        state: PartitionState | None,
+        messages: list,
+        rec: PartitionStepRecord,
+        superstep: int,
+    ) -> ComputeResult:
+        level = superstep
+        if superstep == 0:
+            t0 = time.perf_counter()
+            view = self.pg.view(pid)
+            graph = self.pg.graph
+            local_edges = local_edges_level0(view, graph.edge_u, graph.edge_v)
+            remote_deg: dict[int, int] = {}
+            for src in view.remote[:, 0].tolist():
+                remote_deg[src] = remote_deg.get(src, 0) + 1
+            state = PartitionState(
+                pid=pid, level=0, held=self.held0[pid], remote_deg=remote_deg,
+                member_leaves=(pid,),
+            )
+            rec.add_time(CAT_CREATE, time.perf_counter() - t0)
+        elif messages:
+            t0 = time.perf_counter()
+            children = [pickle.loads(blob) for blob in messages]
+            rec.add_time(CAT_COPY_SINK, time.perf_counter() - t0)
+            t0 = time.perf_counter()
+            # All rows the leaves release for this merge arrive with the
+            # first child; merge_states re-examines retained rows as the
+            # group grows, so this is equivalent to per-child shipping.
+            extra = self.extras.get((pid, superstep)) if self.deferred else None
+            local_edges = []
+            for child in children:
+                group = set(state.member_leaves) | set(child.member_leaves)
+                state, le, _ = merge_states(state, child, group, extra_rows=extra)
+                extra = None
+                local_edges.extend(le)
+            remote_deg = state.remote_deg
+            rec.add_time(CAT_CREATE, time.perf_counter() - t0)
+        else:
+            # Idle partition carrying state (skipped this level, or waiting
+            # to ship at a later level). Record its resident state so the
+            # Fig. 8 cumulative series counts it.
+            rec.state_longs = state.state_longs() if state else 0
+            target = self.send_plan.get(pid)
+            if target is not None and target[1] == level:
+                t0 = time.perf_counter()
+                blob = pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
+                rec.add_time(CAT_COPY_SRC, time.perf_counter() - t0)
+                rec.sent_longs = state.state_longs()
+                return ComputeResult(state=None, outgoing={target[0]: [blob]})
+            still_waiting = target is not None and target[1] > level
+            return ComputeResult(state=state, halt=not still_waiting)
+
+        pre_entries = state.n_pathmap_entries
+        batch = FragmentBatch(pid, level, known_edges=state.coarse_meta)
+        t0 = time.perf_counter()
+        pathmap, stats = run_phase1(
+            pid, level, local_edges, remote_deg, batch, validate=self.validate
+        )
+        rec.add_time(CAT_PHASE1, time.perf_counter() - t0)
+        state.level = level
+        state.coarse = list(pathmap.ob_paths)
+        state.coarse_meta = {
+            f.fid: f.n_edges for f in batch.fragments if f.kind == KIND_PATH
+        }
+        state.n_pathmap_entries = pre_entries + len(pathmap.ob_paths) + len(
+            pathmap.anchored_cycles
+        )
+
+        # Fig. 8 unit: state as loaded for this Phase-1 run (vertices + local
+        # edges + held remote edges + carried pathMap metadata).
+        n_raw_local = sum(1 for le in local_edges if le[2] == EDGE_RAW)
+        rec.state_longs = phase1_state_longs(
+            stats.n_live_vertices,
+            n_raw_local,
+            len(local_edges) - n_raw_local,
+            int(state.held.shape[0]),
+            pre_entries,
+        )
+        rec.census = {
+            "n_internal": stats.n_internal,
+            "n_ob": stats.n_ob,
+            "n_eb": stats.n_eb,
+            "n_local_edges": stats.n_local_edges,
+            "n_remote_half_edges": int(state.held.shape[0]),
+            "phase1_cost": stats.phase1_cost,
+            "n_paths": stats.n_paths,
+            "n_anchored_cycles": len(pathmap.anchored_cycles),
+        }
+
+        target = self.send_plan.get(pid)
+        if target is not None and target[1] == level:
+            t0 = time.perf_counter()
+            blob = pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
+            rec.add_time(CAT_COPY_SRC, time.perf_counter() - t0)
+            rec.sent_longs = state.state_longs()
+            return ComputeResult(
+                state=None, outgoing={target[0]: [blob]}, payload=batch
+            )
+        still_waiting = target is not None
+        return ComputeResult(state=state, halt=not still_waiting, payload=batch)
+
+    # ---- parent-side commit (the single shared-state mutation point) ------
+    def make_commit(self, store: FragmentStore):
+        """Commit hook adopting each superstep's fragment batches in pid order."""
+
+        def on_commit(pid, rec, res, superstep) -> None:
+            batch = res.payload
+            if batch is None:
+                return
+            for frag in batch.fragments:
+                store.adopt(frag)
+            if store.spill_dir is not None:
+                store.spill_level(batch.level)
+
+        return on_commit

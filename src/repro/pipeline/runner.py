@@ -1,0 +1,56 @@
+"""Orchestrate the staged pipeline: Setup → BSP run → Reconstruct.
+
+:func:`run_pipeline` is the engine-room behind
+:func:`repro.core.driver.find_euler_circuit`; it returns the full
+:class:`~repro.pipeline.context.RunContext` so benchmarks and tools can
+audit every stage product, not just the circuit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..bsp.engine import BSPEngine
+from ..core.circuit import EulerCircuit
+from ..core.pathmap import FragmentStore
+from ..graph.graph import Graph
+from ..graph.partition import PartitionedGraph
+from ..graph.properties import check_eulerian
+from .context import RunConfig, RunContext
+from .reconstruct import Reconstruct
+from .setup import Setup
+
+__all__ = ["run_pipeline"]
+
+
+def run_pipeline(graph: Graph, config: RunConfig) -> RunContext:
+    """Run the full partition-centric pipeline; returns the run artifact."""
+    ctx = RunContext.for_graph(graph, config)
+    ctx.store = FragmentStore(spill_dir=config.spill_dir)
+
+    if graph.n_edges == 0:
+        if config.check_input:
+            check_eulerian(graph)
+        ctx.circuit = EulerCircuit(
+            vertices=np.empty(0, dtype=np.int64),
+            edge_ids=np.empty(0, dtype=np.int64),
+        )
+        ctx.partitioned = PartitionedGraph(
+            graph, np.zeros(graph.n_vertices, dtype=np.int64), 1
+        )
+        return ctx
+
+    program = Setup().run(graph, ctx)
+
+    n_levels = len(ctx.tree.levels) + 1
+    engine = BSPEngine(max_workers=config.workers, executor=config.executor)
+    states = {pid: None for pid in range(ctx.n_parts)}
+    ctx.final_states, ctx.run_stats = engine.run(
+        states,
+        program,
+        max_supersteps=n_levels + 2,
+        on_commit=program.make_commit(ctx.store),
+    )
+
+    Reconstruct().run(graph, ctx)
+    return ctx

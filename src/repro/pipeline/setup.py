@@ -1,0 +1,108 @@
+"""Pipeline stage 1 — Setup: validate, partition, plan the whole run.
+
+Everything static about a run is decided here, before the first superstep:
+the partitioning, the meta-graph, the static merge tree (Alg. 2), the §5
+remote-edge placement, the child→parent shipping plan, and — for the
+deferred strategy — the exact half-edge rows each merge will pull off the
+leaf machines. Precomputing the deferred shipments from the static tree is
+what lets the superstep program run in worker *processes*: the program
+carries plain data, never a handle to shared mutable planning state.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..core.improvements import DeferredStore, plan_remote_placement, strategy_flags
+from ..core.merge_tree import build_merge_tree
+from ..graph.graph import Graph
+from ..graph.metagraph import build_metagraph
+from ..graph.properties import check_eulerian
+from ..partitioning import partition as partition_graph
+from .context import RunContext
+from .program import SuperstepProgram
+
+__all__ = ["Setup"]
+
+
+class Setup:
+    """Build every static input of the BSP run and the superstep program."""
+
+    def run(self, graph: Graph, ctx: RunContext) -> SuperstepProgram:
+        """Fill ``ctx``'s setup fields; return the program for the engine."""
+        cfg = ctx.config
+        t_setup = time.perf_counter()
+        if cfg.check_input:
+            check_eulerian(graph)
+
+        n_parts = max(1, min(cfg.n_parts, graph.n_vertices))
+        dedup, deferred = strategy_flags(cfg.strategy)
+
+        pg = partition_graph(graph, n_parts, method=cfg.partitioner, seed=cfg.seed)
+        mg = build_metagraph(pg)
+        tree = build_merge_tree(mg, policy=cfg.matching, seed=cfg.seed)
+        placement = plan_remote_placement(pg, tree, dedup=dedup)
+
+        # Remote half-edge placement: what each partition holds at level 0,
+        # and (deferred strategy) what stays parked on the leaf machines.
+        deferred_store = DeferredStore()
+        held0: dict[int, np.ndarray] = {}
+        for pid in range(n_parts):
+            rows = placement.rows_for[pid]
+            if deferred and rows.size:
+                lv = np.fromiter(
+                    (placement.merge_level[int(e)] for e in rows[:, 2]),
+                    count=rows.shape[0],
+                    dtype=np.int64,
+                )
+                held0[pid] = rows[lv == 0]
+                for level in np.unique(lv[lv > 0]).tolist():
+                    deferred_store.deposit(pid, int(level), rows[lv == level])
+            else:
+                held0[pid] = rows
+
+        # child -> (parent, superstep at which it must ship its state)
+        send_plan: dict[int, tuple[int, int]] = {}
+        for level, merges in enumerate(tree.levels):
+            for m in merges:
+                send_plan[m.child] = (m.parent, level)
+
+        # Deferred shipments, resolved against the static tree: the rows the
+        # merge at tree level L pulls off the leaves arrive at the parent's
+        # superstep L+1. Recording the leaves' residual state per level gives
+        # the Fig. 8 leaf-memory overlay for free.
+        extras: dict[tuple[int, int], np.ndarray] = {}
+        if deferred:
+            leaves = {pid: {pid} for pid in range(n_parts)}
+            resident = [deferred_store.resident_longs()]
+            for level, merges in enumerate(tree.levels):
+                for m in merges:
+                    group = leaves[m.parent] | leaves[m.child]
+                    rows = deferred_store.ship(sorted(group), level)
+                    if rows.size:
+                        key = (m.parent, level + 1)
+                        extras[key] = (
+                            np.concatenate([extras[key], rows])
+                            if key in extras
+                            else rows
+                        )
+                    leaves[m.parent] = group
+                resident.append(deferred_store.resident_longs())
+            ctx.deferred_resident_longs = resident
+
+        ctx.n_parts = n_parts
+        ctx.partitioned = pg
+        ctx.metagraph = mg
+        ctx.tree = tree
+        program = SuperstepProgram(
+            pg=pg,
+            held0=held0,
+            send_plan=send_plan,
+            extras=extras,
+            deferred=deferred,
+            validate=cfg.validate,
+        )
+        ctx.setup_seconds = time.perf_counter() - t_setup
+        return program

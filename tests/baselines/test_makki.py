@@ -11,7 +11,7 @@ from repro.errors import NotEulerianError
 from repro.generate.synthetic import cycle_graph, grid_city, random_eulerian
 from repro.graph.graph import Graph
 
-from ..conftest import make_eulerian_suite
+from tests.helpers import make_eulerian_suite
 
 
 @pytest.mark.parametrize("name,graph", make_eulerian_suite())

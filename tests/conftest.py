@@ -6,7 +6,6 @@ import numpy as np
 import pytest
 
 from repro.generate.synthetic import (
-    cycle_graph,
     grid_city,
     paper_figure1_graph,
     random_eulerian,
@@ -51,15 +50,5 @@ def random_eul(request):
     return random_eulerian(60, n_walks=5, walk_len=18, seed=request.param)
 
 
-def make_eulerian_suite() -> list[tuple[str, Graph]]:
-    """A named collection of connected Eulerian graphs for end-to-end tests."""
-    suite = [
-        ("fig1", paper_figure1_graph()[0]),
-        ("triangle", Graph.from_edges(3, [(0, 1), (1, 2), (2, 0)])),
-        ("cycle12", cycle_graph(12)),
-        ("grid6", grid_city(6, 6)),
-        ("cliques", ring_of_cliques(3, 5)),
-    ]
-    for seed in range(4):
-        suite.append((f"rand{seed}", random_eulerian(50, 4, 16, seed=seed)))
-    return suite
+# Re-exported for older imports; the canonical home is tests/helpers.py.
+from tests.helpers import make_eulerian_suite  # noqa: E402,F401

@@ -14,7 +14,7 @@ from repro.generate.synthetic import (
 )
 from repro.graph.graph import Graph
 
-from ..conftest import make_eulerian_suite
+from tests.helpers import make_eulerian_suite
 
 
 @pytest.mark.parametrize("name,graph", make_eulerian_suite())
