@@ -95,6 +95,12 @@ def context_to_dict(ctx: RunContext) -> dict:
             "n_fragments": len(frags),
             "n_paths": sum(1 for f in frags if f.kind == "path"),
             "n_cycles": sum(1 for f in frags if f.kind == "cycle"),
+            # Resident columnar footprint: packed ItemArray rows still in
+            # memory (spilled bodies excluded) — the data-plane analogue of
+            # the paper's "persist ... to conserve memory" bookkeeping.
+            "n_item_rows": sum(
+                int(f.items.shape[0]) for f in frags if f.items is not None
+            ),
         }
     return out
 

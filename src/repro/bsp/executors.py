@@ -18,7 +18,12 @@ paper's Spark cluster:
     The compute program is installed once per worker (the "static graph
     loaded on every machine" cost); each task round-trips ``(state,
     messages)`` through real pickling, so nothing can leak between
-    partitions except through messages and the returned results.
+    partitions except through messages and the returned results. What
+    crosses that boundary is columnar: partition states are packed int64
+    arrays (held rows, CoarseTable, remote-degree table) and a returned
+    :class:`~repro.core.pathmap.FragmentBatch` pickles all its fragment
+    bodies as one concatenated ItemArray buffer plus a metadata table —
+    a few raw buffers per task instead of per-element tuple encoding.
 
 All backends produce ``(pid, record, result)`` triples that the engine
 commits in pid order, so the *outcome* of a run is identical under every
@@ -29,6 +34,7 @@ this end-to-end.
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Any, Callable, Hashable
 
@@ -62,8 +68,6 @@ def run_task(compute: Callable, task: SuperstepTask):
     compute time the program did not categorize is still recorded, so the
     Fig. 5 compute line never under-counts.
     """
-    import time
-
     pid, state, messages, superstep = task
     rec = PartitionStepRecord(pid=pid, superstep=superstep)
     t0 = time.perf_counter()

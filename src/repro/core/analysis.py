@@ -48,13 +48,7 @@ def modeled_proposed_series(
     """
     placement = plan_remote_placement(pg, tree, dedup=True)
     level0_held = {
-        pid: int(
-            sum(
-                1
-                for e in rows[:, 2].tolist()
-                if placement.merge_level[int(e)] == 0
-            )
-        )
+        pid: int(np.count_nonzero(placement.merge_level_by_eid[rows[:, 2]] == 0))
         for pid, rows in placement.rows_for.items()
     }
 

@@ -58,13 +58,22 @@ class RemotePlacement:
 
     ``rows_for[pid]`` is an ``int64 (k, 4)`` array of half-edges
     ``(src, dst, eid, dst_pid)`` placed in partition ``pid``'s memory, and
-    ``merge_level`` maps each cut eid to the level at whose end the two
-    incident groups merge (from the static merge tree), which the deferred
-    strategy keys shipments on.
+    ``merge_level_by_eid`` maps each cut eid to the level at whose end the
+    two incident groups merge (from the static merge tree), which the
+    deferred strategy keys shipments on — a dense ``int64 (n_edges,)``
+    column, −1 for non-cut edges, so planning code fancy-indexes held rows'
+    eid column instead of looping a dict. :attr:`merge_level` derives the
+    legacy dict view on demand.
     """
 
     rows_for: dict[int, np.ndarray]
-    merge_level: dict[int, int]
+    merge_level_by_eid: np.ndarray
+
+    @property
+    def merge_level(self) -> dict[int, int]:
+        """``{cut eid: merge level}`` — derived view of the dense column."""
+        cut = np.flatnonzero(self.merge_level_by_eid >= 0)
+        return dict(zip(cut.tolist(), self.merge_level_by_eid[cut].tolist()))
 
 
 def plan_remote_placement(
@@ -84,41 +93,64 @@ def plan_remote_placement(
     pu = pg.part_of[u[cut_eids]] if cut_eids.size else np.empty(0, np.int64)
     pv = pg.part_of[v[cut_eids]] if cut_eids.size else np.empty(0, np.int64)
 
-    merge_level = {
-        int(e): tree.merge_level_of(int(a), int(b))
-        for e, a, b in zip(cut_eids, pu, pv)
-    }
+    # Merge level per cut edge, computed once per *partition pair* (at most
+    # n_parts^2, versus one tree walk per cut edge) and broadcast back.
+    pair_keys, pair_inverse = np.unique(pu * pg.n_parts + pv, return_inverse=True)
+    pair_levels = np.fromiter(
+        (
+            tree.merge_level_of(int(k) // pg.n_parts, int(k) % pg.n_parts)
+            for k in pair_keys
+        ),
+        dtype=np.int64,
+        count=pair_keys.size,
+    )
+    lv = pair_levels[pair_inverse]
+    merge_level_by_eid = np.full(pg.graph.n_edges, -1, dtype=np.int64)
+    if cut_eids.size:
+        merge_level_by_eid[cut_eids] = lv
 
-    rows: dict[int, list[tuple[int, int, int, int]]] = defaultdict(list)
+    cu = u[cut_eids]
+    cv = v[cut_eids]
     if not dedup:
-        for e, a, b in zip(cut_eids.tolist(), pu.tolist(), pv.tolist()):
-            uu, vv = int(u[e]), int(v[e])
-            rows[a].append((uu, vv, e, b))
-            rows[b].append((vv, uu, e, a))
+        # Both directed copies: (u,v) held by u's side, (v,u) by v's side.
+        owners = np.concatenate((pu, pv))
+        all_rows = np.empty((2 * cut_eids.size, 4), dtype=np.int64)
+        all_rows[: cut_eids.size] = np.stack((cu, cv, cut_eids, pv), axis=1)
+        all_rows[cut_eids.size:] = np.stack((cv, cu, cut_eids, pu), axis=1)
+        eid_col = np.concatenate((cut_eids, cut_eids))
     else:
-        # "Heavier" = more cumulative remote half-edges under eager placement.
+        # "Heavier" = more cumulative remote half-edges under eager
+        # placement; the lighter side holds, ties break toward the smaller
+        # pid.
         weight = np.zeros(pg.n_parts, dtype=np.int64)
         np.add.at(weight, pu, 1)
         np.add.at(weight, pv, 1)
-        for e, a, b in zip(cut_eids.tolist(), pu.tolist(), pv.tolist()):
-            uu, vv = int(u[e]), int(v[e])
-            # Lighter side holds; ties break toward the smaller pid.
-            if (weight[a], a) <= (weight[b], b):
-                rows[a].append((uu, vv, e, b))
-            else:
-                rows[b].append((vv, uu, e, a))
-
-    rows_arr = {
-        pid: (
-            np.array(r, dtype=np.int64).reshape(-1, 4)
-            if r
-            else np.empty((0, 4), dtype=np.int64)
+        wa, wb = weight[pu], weight[pv]
+        a_holds = (wa < wb) | ((wa == wb) & (pu <= pv))
+        owners = np.where(a_holds, pu, pv)
+        all_rows = np.stack(
+            (
+                np.where(a_holds, cu, cv),
+                np.where(a_holds, cv, cu),
+                cut_eids,
+                np.where(a_holds, pv, pu),
+            ),
+            axis=1,
         )
-        for pid, r in rows.items()
+        eid_col = cut_eids
+
+    # Group rows by owning partition (within a partition: ascending eid).
+    order = np.lexsort((eid_col, owners))
+    all_rows = all_rows[order]
+    owners = owners[order]
+    starts = np.searchsorted(owners, np.arange(pg.n_parts + 1))
+    rows_arr = {
+        pid: all_rows[starts[pid]:starts[pid + 1]] for pid in range(pg.n_parts)
     }
-    for pid in range(pg.n_parts):
-        rows_arr.setdefault(pid, np.empty((0, 4), dtype=np.int64))
-    return RemotePlacement(rows_for=rows_arr, merge_level=merge_level)
+    return RemotePlacement(
+        rows_for=rows_arr,
+        merge_level_by_eid=merge_level_by_eid,
+    )
 
 
 class DeferredStore:

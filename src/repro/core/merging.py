@@ -8,6 +8,14 @@ child→parent absorption: remote edges between the two groups become local
 raw edges, their endpoints' remote degrees drop (possibly turning boundary
 vertices internal), and both sides' coarse edges become the local edge set
 for the next Phase-1 run.
+
+Everything a state carries is a packed ``int64`` array — the **CoarseTable**
+``(k, 4)`` of ``(src, dst, fid, n_edges)`` rows, the held half-edge rows
+``(r, 4)``, and the remote-degree table ``(b, 2)`` — so the child→parent
+merge is pure array algebra (``np.isin`` on the destination-leaf column
+replaces the old per-row generator) and a pickled state is a handful of raw
+buffers, which is what the process executor ships across its worker
+boundary.
 """
 
 from __future__ import annotations
@@ -17,9 +25,22 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..graph.partition import PartitionView
-from .phase1 import EDGE_COARSE, EDGE_RAW, LocalEdge
+from .phase1 import (
+    EDGE_COARSE,
+    EDGE_RAW,
+    empty_edge_table,
+    remote_deg_table,
+)
 
-__all__ = ["PartitionState", "state_from_view", "merge_states", "LONGS"]
+__all__ = [
+    "PartitionState",
+    "state_from_view",
+    "merge_states",
+    "local_edges_level0",
+    "as_coarse",
+    "empty_coarse",
+    "LONGS",
+]
 
 
 class LONGS:
@@ -71,6 +92,32 @@ def phase1_state_longs(
     )
 
 
+def empty_coarse() -> np.ndarray:
+    """A zero-row CoarseTable."""
+    return np.empty((0, 4), dtype=np.int64)
+
+
+def as_coarse(coarse) -> np.ndarray:
+    """Normalize to the ``(k, 4) int64`` CoarseTable ``(src, dst, fid, n_edges)``.
+
+    Accepts a CoarseTable, a legacy ``(k, 3)`` array or list of
+    ``(src, dst, fid)`` tuples (``n_edges`` filled with 0), or ``(..., 4)``
+    tuples.
+    """
+    if not isinstance(coarse, np.ndarray):
+        if not coarse:
+            return empty_coarse()
+        coarse = np.array(coarse, dtype=np.int64)
+    coarse = coarse.astype(np.int64, copy=False)
+    if coarse.ndim != 2 or coarse.shape[1] not in (3, 4):
+        raise ValueError(f"CoarseTable must be (k, 3|4); got {coarse.shape}")
+    if coarse.shape[1] == 3:
+        out = np.zeros((coarse.shape[0], 4), dtype=np.int64)
+        out[:, :3] = coarse
+        return out
+    return coarse
+
+
 @dataclass
 class PartitionState:
     """In-memory state of one live (possibly merged) partition.
@@ -82,13 +129,17 @@ class PartitionState:
     level:
         The level whose Phase 1 most recently ran on this state.
     coarse:
-        Coarse OB-pair edges ``(src, dst, fid)`` produced by that run; they
-        are the only unconsumed local objects.
+        CoarseTable of the OB-pair edges produced by that run — rows
+        ``(src, dst, fid, n_edges)``; they are the only unconsumed local
+        objects. The ``n_edges`` column travels with the state so an
+        out-of-process Phase-1 run can weigh coarse items without reaching
+        back into the parent's fragment store.
     held:
         Remote half-edge rows ``(src, dst, eid, dst_pid)`` resident in this
         partition's memory (strategy-dependent subset of the true cut).
     remote_deg:
-        *True* remote half-edge degree per vertex (storage-independent; what
+        *True* remote half-edge degree per vertex as a sorted ``(b, 2)``
+        table of ``(vertex, degree > 0)`` rows (storage-independent; what
         OB/EB classification needs). Vertices with degree 0 are dropped.
     n_pathmap_entries:
         PathMap entries retained (for the Longs metric).
@@ -99,66 +150,119 @@ class PartitionState:
 
     pid: int
     level: int
-    coarse: list[tuple[int, int, int]] = field(default_factory=list)
+    coarse: np.ndarray = field(default_factory=empty_coarse)
     held: np.ndarray = field(
         default_factory=lambda: np.empty((0, 4), dtype=np.int64)
     )
-    remote_deg: dict[int, int] = field(default_factory=dict)
+    remote_deg: np.ndarray = field(
+        default_factory=lambda: np.empty((0, 2), dtype=np.int64)
+    )
     n_pathmap_entries: int = 0
     member_leaves: tuple[int, ...] = ()
-    #: Raw-edge counts of the coarse fragments in ``coarse`` (fid → n_edges).
-    #: Travels with the state so an out-of-process Phase-1 run can weigh
-    #: coarse items without reaching back into the parent's fragment store.
-    coarse_meta: dict[int, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        # Normalize the legacy forms (tuple lists / degree dicts) once at
+        # the boundary; everything downstream assumes packed arrays.
+        self.coarse = as_coarse(self.coarse)
+        self.remote_deg = remote_deg_table(self.remote_deg)
+
+    def known_coarse_edges(self) -> dict[int, int]:
+        """``fid -> n_edges`` for the coarse edges (Phase-1 batch metadata)."""
+        return dict(
+            zip(self.coarse[:, 2].tolist(), self.coarse[:, 3].tolist())
+        )
 
     def state_longs(self) -> int:
         """Longs of retained state (Fig. 8's unit), per :class:`LONGS`."""
-        n_boundary = sum(1 for d in self.remote_deg.values() if d > 0)
         return (
-            LONGS.BOUNDARY * n_boundary
+            LONGS.BOUNDARY * int(self.remote_deg.shape[0])
             + LONGS.REMOTE * int(self.held.shape[0])
-            + LONGS.COARSE * len(self.coarse)
+            + LONGS.COARSE * int(self.coarse.shape[0])
             + LONGS.PATHMAP * self.n_pathmap_entries
         )
 
     def census(self) -> dict[str, int]:
         """Live-object counts for Fig. 9 (post-Phase-1 snapshot)."""
         return {
-            "n_boundary": sum(1 for d in self.remote_deg.values() if d > 0),
+            "n_boundary": int(self.remote_deg.shape[0]),
             "n_remote_half_edges": int(self.held.shape[0]),
-            "n_coarse_edges": len(self.coarse),
+            "n_coarse_edges": int(self.coarse.shape[0]),
         }
 
 
+def _remote_deg_from_rows(held_rows: np.ndarray) -> np.ndarray:
+    """Remote-degree table implied by held half-edge rows (src column)."""
+    if held_rows.size == 0:
+        return np.empty((0, 2), dtype=np.int64)
+    verts, counts = np.unique(held_rows[:, 0], return_counts=True)
+    return np.stack((verts, counts.astype(np.int64)), axis=1)
+
+
 def state_from_view(
-    view: PartitionView, held_rows: np.ndarray, member_leaves: tuple[int, ...]
-) -> tuple[PartitionState, list[LocalEdge], dict[int, int]]:
+    pid: int | PartitionView,
+    remote_rows: np.ndarray,
+    held_rows: np.ndarray | None = None,
+    member_leaves: tuple[int, ...] = (),
+) -> tuple[PartitionState, np.ndarray, np.ndarray]:
     """Level-0 setup: build the initial state and Phase-1 inputs.
 
-    Returns ``(state, local_edges, remote_degree)`` where ``local_edges``
-    and ``remote_degree`` feed :func:`repro.core.phase1.run_phase1`.
-    ``held_rows`` comes from the strategy's
-    :func:`~repro.core.improvements.plan_remote_placement`.
+    Takes the partition id plus its true remote half-edge rows (e.g. from
+    :meth:`~repro.graph.partition.PartitionedGraph.remote_rows_of`); a full
+    :class:`~repro.graph.partition.PartitionView` is also accepted in place
+    of ``pid`` for convenience. Returns ``(state, local_edges,
+    remote_degree)`` where ``local_edges`` (an empty EdgeTable — level-0
+    edges come from :func:`local_edges_level0`) and ``remote_degree`` feed
+    :func:`repro.core.phase1.run_phase1`. ``held_rows`` comes from the
+    strategy's :func:`~repro.core.improvements.plan_remote_placement`.
+
+    Note the degree table derives from the *true cut* rows, not from
+    ``held_rows`` (the strategy-dependent resident subset).
     """
-    remote_deg: dict[int, int] = {}
-    for src in view.remote[:, 0].tolist():
-        remote_deg[src] = remote_deg.get(src, 0) + 1
+    if isinstance(pid, PartitionView):
+        # Legacy call shape (view, held_rows, member_leaves): remap the
+        # positionals so old callers keep their meaning.
+        view = pid
+        pid = view.pid
+        if held_rows is not None and not isinstance(held_rows, np.ndarray):
+            member_leaves = tuple(held_rows)  # legacy third positional
+        held_rows = remote_rows  # legacy second positional
+        remote_rows = view.remote
+    if held_rows is None:
+        held_rows = np.empty((0, 4), dtype=np.int64)
+    remote_deg = _remote_deg_from_rows(remote_rows)
     state = PartitionState(
-        pid=view.pid,
+        pid=pid,
         level=0,
         held=held_rows,
         remote_deg=remote_deg,
         member_leaves=member_leaves,
     )
-    return state, [], remote_deg
+    return state, empty_edge_table(), remote_deg
 
 
-def local_edges_level0(view: PartitionView, edge_u, edge_v) -> list[LocalEdge]:
-    """The raw local edges of a level-0 partition as Phase-1 input tuples."""
-    eids = view.local_eids
-    return [
-        (int(edge_u[e]), int(edge_v[e]), EDGE_RAW, int(e)) for e in eids.tolist()
-    ]
+def local_edges_level0(local_eids, edge_u, edge_v) -> np.ndarray:
+    """The raw local edges of a level-0 partition as an EdgeTable.
+
+    ``local_eids`` is the partition's ``L_i`` eid array (a
+    :class:`~repro.graph.partition.PartitionView` is also accepted).
+    """
+    eids = getattr(local_eids, "local_eids", local_eids)
+    out = np.empty((eids.size, 4), dtype=np.int64)
+    out[:, 0] = edge_u[eids]
+    out[:, 1] = edge_v[eids]
+    out[:, 2] = EDGE_RAW
+    out[:, 3] = eids
+    return out
+
+
+def _coarse_as_edges(coarse: np.ndarray) -> np.ndarray:
+    """CoarseTable rows as EdgeTable rows ``(src, dst, EDGE_COARSE, fid)``."""
+    out = np.empty((coarse.shape[0], 4), dtype=np.int64)
+    out[:, 0] = coarse[:, 0]
+    out[:, 1] = coarse[:, 1]
+    out[:, 2] = EDGE_COARSE
+    out[:, 3] = coarse[:, 2]
+    return out
 
 
 def merge_states(
@@ -166,7 +270,7 @@ def merge_states(
     child: PartitionState,
     in_group: set[int],
     extra_rows: np.ndarray | None = None,
-) -> tuple[PartitionState, list[LocalEdge], dict[int, int]]:
+) -> tuple[PartitionState, np.ndarray, np.ndarray]:
     """Absorb ``child`` into ``parent`` (one merge-tree edge).
 
     Parameters
@@ -184,9 +288,9 @@ def merge_states(
     -------
     (state, local_edges, remote_degree):
         The merged state (Phase 1 not yet run: its ``coarse`` is empty and
-        ``level`` advanced) plus the Phase-1 inputs: local edges = both
-        sides' coarse OB-pairs + newly-localized raw edges; remote degrees
-        reflect the consumed cut.
+        ``level`` advanced) plus the Phase-1 inputs: an EdgeTable of both
+        sides' coarse OB-pairs + newly-localized raw edges, and the merged
+        remote-degree table reflecting the consumed cut.
     """
     rows_list = [parent.held, child.held]
     if extra_rows is not None and extra_rows.size:
@@ -196,42 +300,74 @@ def merge_states(
     ) else np.empty((0, 4), dtype=np.int64)
 
     if rows.size:
-        internal_mask = np.fromiter(
-            (int(d) in in_group for d in rows[:, 3]), count=rows.shape[0], dtype=bool
-        )
+        # in_group is a handful of leaf pids; an OR of equality scans beats
+        # sort-based np.isin on the (large) row count.
+        dst_leaf = rows[:, 3]
+        internal_mask = np.zeros(rows.shape[0], dtype=bool)
+        for member in in_group:
+            internal_mask |= dst_leaf == member
         internal = rows[internal_mask]
         external = rows[~internal_mask]
     else:
         internal = external = rows.reshape(0, 4)
 
-    # One local edge per unique eid (under eager placement both directed
-    # copies of a cut edge meet here; under dedup exactly one exists).
-    local_edges: list[LocalEdge] = []
-    remote_deg = dict(parent.remote_deg)
-    for v, d in child.remote_deg.items():
-        remote_deg[v] = remote_deg.get(v, 0) + d
+    # One local edge per unique eid, in ascending-eid order (under eager
+    # placement both directed copies of a cut edge meet here; under dedup
+    # exactly one exists).
     if internal.size:
         _, first = np.unique(internal[:, 2], return_index=True)
-        for i in first.tolist():
-            src, dst, eid, _ = internal[i].tolist()
-            local_edges.append((int(src), int(dst), EDGE_RAW, int(eid)))
-            for endpoint in (int(src), int(dst)):
-                remote_deg[endpoint] = remote_deg.get(endpoint, 0) - 1
-    remote_deg = {v: d for v, d in remote_deg.items() if d > 0}
+        localized = internal[first]
+        raw_edges = np.empty((localized.shape[0], 4), dtype=np.int64)
+        raw_edges[:, 0] = localized[:, 0]
+        raw_edges[:, 1] = localized[:, 1]
+        raw_edges[:, 2] = EDGE_RAW
+        raw_edges[:, 3] = localized[:, 2]
+        drops = np.concatenate((localized[:, 0], localized[:, 1]))
+    else:
+        raw_edges = empty_edge_table()
+        drops = np.empty(0, dtype=np.int64)
 
-    for src, dst, fid in parent.coarse:
-        local_edges.append((src, dst, EDGE_COARSE, fid))
-    for src, dst, fid in child.coarse:
-        local_edges.append((src, dst, EDGE_COARSE, fid))
+    # Merged remote degrees: sum both sides, subtract one per endpoint of
+    # every localized edge, keep positive rows (all vectorized).
+    all_v = np.concatenate(
+        (parent.remote_deg[:, 0], child.remote_deg[:, 0], drops)
+    )
+    all_d = np.concatenate(
+        (
+            parent.remote_deg[:, 1],
+            child.remote_deg[:, 1],
+            np.full(drops.size, -1, dtype=np.int64),
+        )
+    )
+    if all_v.size:
+        max_v = int(all_v.max())
+        if 0 <= int(all_v.min()) and max_v <= max(1 << 16, 8 * all_v.size):
+            # Dense vertex-id space (the pipeline's case): one bincount
+            # beats the sort inside np.unique.
+            deg = np.bincount(all_v, weights=all_d, minlength=max_v + 1)
+            verts = np.flatnonzero(deg > 0)
+            remote_deg = np.stack(
+                (verts, deg[verts].astype(np.int64)), axis=1
+            )
+        else:
+            verts, inverse = np.unique(all_v, return_inverse=True)
+            deg = np.bincount(inverse, weights=all_d).astype(np.int64)
+            keep = deg > 0
+            remote_deg = np.stack((verts[keep], deg[keep]), axis=1)
+    else:
+        remote_deg = np.empty((0, 2), dtype=np.int64)
+
+    local_edges = np.concatenate(
+        (raw_edges, _coarse_as_edges(parent.coarse), _coarse_as_edges(child.coarse))
+    )
 
     state = PartitionState(
         pid=parent.pid,
         level=parent.level + 1,
-        coarse=[],
+        coarse=empty_coarse(),
         held=external,
         remote_deg=remote_deg,
         n_pathmap_entries=parent.n_pathmap_entries + child.n_pathmap_entries,
         member_leaves=tuple(sorted(set(parent.member_leaves) | set(child.member_leaves))),
-        coarse_meta={**parent.coarse_meta, **child.coarse_meta},
     )
     return state, local_edges, remote_deg

@@ -12,30 +12,42 @@ by Phase 3's recursive unrolling; :class:`FragmentStore` keeps it in memory
 by default and can spill bodies to disk (``spill_dir``), mirroring the
 paper's design that only the pathMap *metadata* stays resident.
 
-Item encoding (plain tuples, kept deliberately simple and pickle-friendly):
+Item encoding — the **ItemArray**, one packed ``int64 (n, 4)`` NumPy array
+per body, columns ``(tag, ref, dst, forward)``:
 
-``(ITEM_EDGE, eid, dst)``
-    Raw undirected edge ``eid`` traversed so that it *ends* at vertex ``dst``.
+``(ITEM_EDGE, eid, dst, fwd)``
+    Raw undirected edge ``eid`` traversed so that it *ends* at vertex ``dst``
+    (``fwd`` records the traversal direction; nothing downstream reads it
+    for edges, but keeping the row uniform lets every body share one dtype).
 ``(ITEM_FRAG, fid, dst, forward)``
     Lower-level path fragment ``fid`` traversed toward ``dst``; ``forward``
-    is True when traversed from its ``src`` to its ``dst``.
+    is 1 when traversed from its ``src`` to its ``dst``.
 
-The implied junction sequence of a fragment is ``src`` followed by each
-item's ``dst``; for cycles the last ``dst`` equals ``src``.
+The implied junction sequence of a fragment is ``src`` followed by the
+``dst`` column; for cycles the last ``dst`` equals ``src``. The packed form
+is what makes the data plane columnar end-to-end: slicing, reversal and
+rotation are array ops, spills write raw buffers, and a whole body crosses
+the process-executor pickle boundary as a single buffer instead of ``n``
+tuples. :func:`as_items` normalizes the legacy tuple form (3-tuples for
+edges, 4-tuples for fragment refs) at the API boundary, so hand-built test
+bodies keep working.
 """
 
 from __future__ import annotations
 
 import os
-import pickle
 import threading
 from dataclasses import dataclass, field
+
+import numpy as np
 
 __all__ = [
     "ITEM_EDGE",
     "ITEM_FRAG",
     "KIND_PATH",
     "KIND_CYCLE",
+    "as_items",
+    "empty_items",
     "Fragment",
     "FragmentBatch",
     "FragmentStore",
@@ -48,6 +60,34 @@ ITEM_FRAG = 1
 
 KIND_PATH = "path"
 KIND_CYCLE = "cycle"
+
+_KINDS = (KIND_PATH, KIND_CYCLE)  # index = wire encoding in batch pickles
+
+
+def empty_items() -> np.ndarray:
+    """A zero-row ItemArray."""
+    return np.empty((0, 4), dtype=np.int64)
+
+
+def as_items(items) -> np.ndarray:
+    """Normalize a fragment body to the packed ``(n, 4) int64`` ItemArray.
+
+    Accepts an ItemArray (returned as-is, re-typed if needed) or the legacy
+    list of item tuples — ``(ITEM_EDGE, eid, dst)`` /
+    ``(ITEM_FRAG, fid, dst, forward)``; edge tuples get ``forward = 1``.
+    """
+    if isinstance(items, np.ndarray):
+        if items.ndim != 2 or items.shape[1] != 4:
+            raise ValueError(f"ItemArray must be (n, 4); got {items.shape}")
+        return items.astype(np.int64, copy=False)
+    out = np.empty((len(items), 4), dtype=np.int64)
+    for i, it in enumerate(items):
+        out[i, 0] = it[0]
+        out[i, 1] = it[1]
+        out[i, 2] = it[2]
+        out[i, 3] = int(it[3]) if len(it) > 3 else 1
+    return out
+
 
 # Structured fragment-id packing: fid = ((level+1) << 52) | (pid << 32) | seq.
 # A partition runs Phase 1 at most once per merge level, so (level, pid, seq)
@@ -85,8 +125,9 @@ class Fragment:
     src, dst:
         Endpoints; equal for cycles.
     items:
-        Item tuples (see module docstring). May be ``None`` when the body
-        has been spilled to disk — fetch through the store, not directly.
+        The body as an ItemArray (see module docstring). May be ``None``
+        when the body has been spilled to disk — fetch through the store,
+        not directly.
     n_edges:
         Number of *raw* edges the fragment expands to (cached so memory
         accounting and sanity checks never force a load from disk).
@@ -98,16 +139,14 @@ class Fragment:
     pid: int
     src: int
     dst: int
-    items: list | None
+    items: np.ndarray | None
     n_edges: int
 
     def junctions(self) -> list[int]:
         """The vertex sequence at this fragment's own level (src first)."""
         if self.items is None:
             raise ValueError(f"fragment {self.fid} body is spilled; use the store")
-        out = [self.src]
-        out.extend(item[2] for item in self.items)
-        return out
+        return [self.src] + self.items[:, 2].tolist()
 
 
 class FragmentBatch:
@@ -120,6 +159,10 @@ class FragmentBatch:
     The engine's commit hook then :meth:`adopts <FragmentStore.adopt>` the
     batch into the global store in pid order — the only store mutation point.
 
+    The batch pickles *columnar*: all bodies concatenate into one packed
+    ItemArray plus an ``(k, 7)`` metadata table, so the worker→parent copy is
+    a few raw buffers regardless of how many fragments the run produced.
+
     ``known_edges`` maps previously-registered fragment ids (the coarse
     OB-pair edges entering this level) to their raw-edge counts, the one
     piece of store metadata Phase 1 reads for fragments it did not create.
@@ -131,20 +174,25 @@ class FragmentBatch:
         self.fragments: list[Fragment] = []
         self._known = dict(known_edges or {})
         self._by_fid: dict[int, Fragment] = {}
+        # Range-check (level, pid) once; per-fragment ids are base + seq.
+        self._fid_base = make_fid(level, pid, 0)
 
     def new_fragment(
-        self, kind: str, level: int, pid: int, src: int, dst: int, items: list,
+        self, kind: str, level: int, pid: int, src: int, dst: int, items,
         n_edges: int,
     ) -> Fragment:
         """Register a fragment under a structured (level, pid, seq) fid."""
-        if kind not in (KIND_PATH, KIND_CYCLE):
+        if kind not in _KINDS:
             raise ValueError(f"bad fragment kind {kind!r}")
         if kind == KIND_CYCLE and src != dst:
             raise ValueError("cycle fragments must have src == dst")
-        fid = make_fid(level, pid, len(self.fragments))
-        frag = Fragment(fid, kind, level, pid, src, dst, items, n_edges)
+        seq = len(self.fragments)
+        if seq >= (1 << _FID_PID_SHIFT):
+            raise ValueError(f"fragment seq {seq} out of fid range")
+        frag = Fragment(self._fid_base + seq, kind, level, pid, src, dst,
+                        as_items(items), n_edges)
         self.fragments.append(frag)
-        self._by_fid[fid] = frag
+        self._by_fid[frag.fid] = frag
         return frag
 
     def get(self, fid: int) -> Fragment:
@@ -155,13 +203,54 @@ class FragmentBatch:
         # A stub carrying the only field Phase 1 reads for prior fragments.
         return Fragment(fid, KIND_PATH, -1, -1, -1, -1, None, self._known[fid])
 
+    # ---- columnar pickling -------------------------------------------------
+    def __getstate__(self) -> dict:
+        frags = self.fragments
+        k = len(frags)
+        meta = np.empty((k, 7), dtype=np.int64)
+        for i, f in enumerate(frags):
+            meta[i] = (f.fid, _KINDS.index(f.kind), f.level, f.pid, f.src,
+                       f.dst, f.n_edges)
+        lengths = np.fromiter(
+            (f.items.shape[0] for f in frags), dtype=np.int64, count=k
+        )
+        packed = (
+            np.concatenate([f.items for f in frags]) if k else empty_items()
+        )
+        return {
+            "pid": self.pid,
+            "level": self.level,
+            "known": self._known,
+            "meta": meta,
+            "lengths": lengths,
+            "packed": packed,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.pid = state["pid"]
+        self.level = state["level"]
+        self._known = state["known"]
+        self.fragments = []
+        self._by_fid = {}
+        self._fid_base = make_fid(self.level, self.pid, 0)
+        meta, lengths, packed = state["meta"], state["lengths"], state["packed"]
+        bounds = np.cumsum(lengths)[:-1] if lengths.size else lengths
+        bodies = np.split(packed, bounds) if lengths.size else []
+        for row, items in zip(meta, bodies):
+            fid, kind_ix, level, pid, src, dst, n_edges = row.tolist()
+            frag = Fragment(fid, _KINDS[kind_ix], level, pid, src, dst,
+                            items, n_edges)
+            self.fragments.append(frag)
+            self._by_fid[fid] = frag
+
 
 class FragmentStore:
     """Registry of fragments with optional disk spill of bodies.
 
-    With ``spill_dir`` set, :meth:`spill` pickles a fragment's item list to
-    ``<spill_dir>/frag_<fid>.pkl`` and drops it from memory —the paper's
-    "persist the mapping to disk ... allows the sets L and I to be removed to
+    With ``spill_dir`` set, :meth:`spill` writes a fragment's ItemArray to
+    ``<spill_dir>/frag_<fid>.npy`` — a raw ``.npy`` buffer dump, no
+    per-element encoding — and drops it from memory: the paper's "persist
+    the mapping to disk ... allows the sets L and I to be removed to
     conserve memory". :meth:`items_of` transparently loads spilled bodies.
     """
 
@@ -175,6 +264,10 @@ class FragmentStore:
         #: fragments nest, so this exceeds the graph's edge count; the sum
         #: over *cycle* fragments alone equals it.
         self.total_edges = 0
+        # Per-level registry of fids whose bodies may still be in memory —
+        # spill_level() drains from here instead of scanning every fragment
+        # ever registered (which made it O(total fragments) *per level*).
+        self._unspilled_by_level: dict[int, list[int]] = {}
         # The store is shared by all partition threads of a run (in a real
         # cluster each machine has its own disk; here one registry stands in
         # for all of them), so registration/spill must be thread-safe.
@@ -187,19 +280,21 @@ class FragmentStore:
         return fid in self._frags
 
     def new_fragment(
-        self, kind: str, level: int, pid: int, src: int, dst: int, items: list,
+        self, kind: str, level: int, pid: int, src: int, dst: int, items,
         n_edges: int,
     ) -> Fragment:
         """Register a fragment and assign it the next fid."""
-        if kind not in (KIND_PATH, KIND_CYCLE):
+        if kind not in _KINDS:
             raise ValueError(f"bad fragment kind {kind!r}")
         if kind == KIND_CYCLE and src != dst:
             raise ValueError("cycle fragments must have src == dst")
+        items = as_items(items)
         with self._lock:
             frag = Fragment(self._next, kind, level, pid, src, dst, items, n_edges)
             self._frags[frag.fid] = frag
             self._next += 1
             self.total_edges += n_edges
+            self._unspilled_by_level.setdefault(level, []).append(frag.fid)
         return frag
 
     def adopt(self, frag: Fragment) -> Fragment:
@@ -215,20 +310,20 @@ class FragmentStore:
             self._frags[frag.fid] = frag
             self._next = max(self._next, frag.fid + 1)
             self.total_edges += frag.n_edges
+            if frag.items is not None:
+                self._unspilled_by_level.setdefault(frag.level, []).append(frag.fid)
         return frag
 
     def get(self, fid: int) -> Fragment:
         """Fragment metadata by id (body may be spilled)."""
         return self._frags[fid]
 
-    def items_of(self, fid: int) -> list:
-        """Fragment body, loading from the spill directory if needed."""
+    def items_of(self, fid: int) -> np.ndarray:
+        """Fragment body (ItemArray), loading from the spill dir if needed."""
         frag = self._frags[fid]
         if frag.items is not None:
             return frag.items
-        path = self._spill_path(fid)
-        with open(path, "rb") as f:
-            return pickle.load(f)
+        return np.load(self._spill_path(fid))
 
     def spill(self, fid: int) -> None:
         """Persist the body of ``fid`` to disk and free it from memory.
@@ -246,18 +341,21 @@ class FragmentStore:
         # Write first, clear after: a concurrent spill writes identical
         # bytes (benign), and items_of never sees a cleared body without a
         # complete file behind it.
-        with open(self._spill_path(fid), "wb") as f:
-            pickle.dump(items, f, protocol=pickle.HIGHEST_PROTOCOL)
+        np.save(self._spill_path(fid), items, allow_pickle=False)
         with self._lock:
             frag.items = None
 
     def spill_level(self, level: int) -> int:
-        """Spill every in-memory body created at ``level``; returns count."""
+        """Spill every in-memory body created at ``level``; returns count.
+
+        Drains the per-level unspilled index, so repeated calls (the commit
+        hook spills after every batch) cost O(new fragments at that level),
+        not O(all fragments ever registered).
+        """
         with self._lock:
+            candidates = self._unspilled_by_level.pop(level, [])
             targets = [
-                f.fid
-                for f in self._frags.values()
-                if f.level == level and f.items is not None
+                fid for fid in candidates if self._frags[fid].items is not None
             ]
         for fid in targets:
             self.spill(fid)
@@ -269,7 +367,15 @@ class FragmentStore:
 
     def _spill_path(self, fid: int) -> str:
         assert self.spill_dir is not None
-        return os.path.join(self.spill_dir, f"frag_{fid}.pkl")
+        return os.path.join(self.spill_dir, f"frag_{fid}.npy")
+
+
+def _empty_ob_paths() -> np.ndarray:
+    return np.empty((0, 3), dtype=np.int64)
+
+
+def _empty_fids() -> np.ndarray:
+    return np.empty(0, dtype=np.int64)
 
 
 @dataclass
@@ -285,10 +391,13 @@ class PathMap:
 
     pid: int
     level: int
-    #: Path fragments as coarse edges: tuples ``(src, dst, fid)``.
-    ob_paths: list[tuple[int, int, int]] = field(default_factory=list)
-    #: Cycle fragment ids pending Phase-3 splicing.
-    anchored_cycles: list[int] = field(default_factory=list)
+    #: Path fragments as coarse edges: ``int64 (k, 3)`` rows ``(src, dst, fid)``.
+    ob_paths: np.ndarray = field(default_factory=_empty_ob_paths)
+    #: Raw-edge weight of each ``ob_paths`` row (``int64 (k,)``), aligned by
+    #: index — together they form the next level's CoarseTable.
+    ob_path_edges: np.ndarray = field(default_factory=_empty_fids)
+    #: Cycle fragment ids pending Phase-3 splicing (``int64 (c,)``).
+    anchored_cycles: np.ndarray = field(default_factory=_empty_fids)
     #: Count of internal-vertex cycles merged into other fragments (stats).
     n_merged_cycles: int = 0
     #: Count of trivial (zero-edge) EB tours skipped (stats).

@@ -19,11 +19,18 @@ The traversal uses the classic next-unvisited-edge pointer so the whole run
 is ``O(|B| + |I| + |L|)`` per partition, the complexity the paper claims in
 §3.5 and that the Fig. 7 benchmark verifies empirically.
 
-The adjacency is built in a flat array layout (vectorized with NumPy): a
-sorted vertex-id index, CSR-style half-edge offsets, a flat incident-edge
-array and one next-unvisited pointer per vertex — no per-edge dicts or
-per-vertex Python lists. The offset/pointer arrays are materialized as flat
-Python lists for the walk itself, where scalar indexing is cheapest.
+Data plane: the live local edges arrive as an **EdgeTable** — one packed
+``int64 (m, 4)`` array with columns ``(u, v, kind, ref)`` — and the remote
+degrees as an ``int64 (r, 2)`` table (see :func:`edge_table` /
+:func:`remote_deg_table`, which also normalize the legacy tuple/dict forms).
+The adjacency build is fully vectorized over the table's columns (sorted
+vertex index, CSR half-edge offsets, next-unvisited pointers). The walk
+itself stays a Python loop — it is inherently sequential scalar chasing, and
+flat Python lists index faster than NumPy scalars there — but it emits only
+one packed integer per consumed edge (``edge_index << 1 | direction``); the
+run's ItemArrays are then *decoded from the EdgeTable columns in one batched
+vectorized gather per run* (each fragment's body is a view into the decoded
+block), so no per-edge Python tuples exist anywhere in the pipeline.
 """
 
 from __future__ import annotations
@@ -33,18 +40,68 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..errors import InvariantViolation
-from .pathmap import ITEM_EDGE, ITEM_FRAG, KIND_CYCLE, KIND_PATH, FragmentStore, PathMap
+from .pathmap import ITEM_FRAG, KIND_CYCLE, KIND_PATH, FragmentStore, PathMap
 
-__all__ = ["LocalEdge", "Phase1Stats", "run_phase1", "EDGE_RAW", "EDGE_COARSE"]
+__all__ = [
+    "LocalEdge",
+    "Phase1Stats",
+    "run_phase1",
+    "edge_table",
+    "empty_edge_table",
+    "remote_deg_table",
+    "EDGE_RAW",
+    "EDGE_COARSE",
+]
 
-#: ``LocalEdge`` kind: a raw graph edge; ``ref`` is the graph edge id.
+#: Edge kind: a raw graph edge; ``ref`` is the graph edge id. Equals
+#: ``ITEM_EDGE`` so the EdgeTable kind column doubles as the ItemArray tag.
 EDGE_RAW = 0
-#: ``LocalEdge`` kind: a coarse OB-pair edge; ``ref`` is the fragment id and
-#: the tuple's ``u`` is the fragment's ``src`` (so ``u -> v`` is *forward*).
+#: Edge kind: a coarse OB-pair edge; ``ref`` is the fragment id and the
+#: row's ``u`` is the fragment's ``src`` (so ``u -> v`` is *forward*).
+#: Equals ``ITEM_FRAG`` for the same reason.
 EDGE_COARSE = 1
 
-#: A live local edge: ``(u, v, kind, ref)``.
+#: Legacy alias: one live local edge as a ``(u, v, kind, ref)`` tuple.
+#: The pipeline now moves EdgeTables; :func:`edge_table` converts.
 LocalEdge = tuple
+
+
+def empty_edge_table() -> np.ndarray:
+    """A zero-row EdgeTable."""
+    return np.empty((0, 4), dtype=np.int64)
+
+
+def edge_table(local_edges) -> np.ndarray:
+    """Normalize live local edges to the packed ``(m, 4) int64`` EdgeTable.
+
+    Accepts an EdgeTable (returned as-is, re-typed if needed) or the legacy
+    list of ``(u, v, kind, ref)`` tuples.
+    """
+    if isinstance(local_edges, np.ndarray):
+        if local_edges.ndim != 2 or local_edges.shape[1] != 4:
+            raise ValueError(f"EdgeTable must be (m, 4); got {local_edges.shape}")
+        return local_edges.astype(np.int64, copy=False)
+    return np.array(local_edges, dtype=np.int64).reshape(-1, 4)
+
+
+def remote_deg_table(remote_degree) -> np.ndarray:
+    """Normalize remote degrees to a sorted ``(r, 2) int64`` table.
+
+    Rows are ``(vertex, degree)`` with ``degree > 0`` (zero/negative rows
+    are dropped), sorted by vertex. Accepts such a table or the legacy
+    ``{vertex: degree}`` dict.
+    """
+    if isinstance(remote_degree, np.ndarray):
+        if remote_degree.size == 0:
+            return np.empty((0, 2), dtype=np.int64)
+        tab = remote_degree.astype(np.int64, copy=False).reshape(-1, 2)
+    else:
+        tab = np.fromiter(
+            (x for vd in remote_degree.items() for x in vd), dtype=np.int64,
+            count=2 * len(remote_degree),
+        ).reshape(-1, 2)
+    tab = tab[tab[:, 1] > 0]
+    return tab[np.argsort(tab[:, 0], kind="stable")]
 
 
 @dataclass
@@ -71,8 +128,8 @@ class Phase1Stats:
 def run_phase1(
     pid: int,
     level: int,
-    local_edges: list[LocalEdge],
-    remote_degree: dict[int, int],
+    local_edges,
+    remote_degree,
     store: FragmentStore,
     validate: bool = False,
 ) -> tuple[PathMap, Phase1Stats]:
@@ -83,11 +140,13 @@ def run_phase1(
     pid, level:
         Identity of the partition and merge level (recorded on fragments).
     local_edges:
-        The live local edges ``(u, v, kind, ref)``; every one is consumed.
+        The live local edges as an EdgeTable (or legacy tuple list); every
+        one is consumed.
     remote_degree:
-        Remote half-edge degree per vertex; vertices with a positive entry
-        are *boundary* vertices. Vertices appearing neither here nor on any
-        local edge do not exist at this level.
+        Remote half-edge degrees as an ``(r, 2)`` table (or legacy dict);
+        vertices with a positive entry are *boundary* vertices. Vertices
+        appearing neither here nor on any local edge do not exist at this
+        level.
     store:
         Fragment registry that receives the new fragments.
     validate:
@@ -101,102 +160,194 @@ def run_phase1(
         The partition's :class:`~repro.core.pathmap.PathMap` for this level
         and the census/outcome counters.
     """
+    edges = edge_table(local_edges)
+    rdeg = remote_deg_table(remote_degree)
+
     # ---- build the local adjacency (flat-array CSR layout) ----------------
-    # Vertex index: sorted unique ids over edge endpoints + boundary
-    # vertices; CSR half-edge layout: ``adjacency[offsets[i]:offsets[i+1]]``
-    # lists the incident edge ids of local vertex ``i`` in input order (a
-    # self loop contributes two consecutive entries, so degree math holds).
-    m = len(local_edges)
-    eu = np.fromiter((e[0] for e in local_edges), dtype=np.int64, count=m)
-    ev = np.fromiter((e[1] for e in local_edges), dtype=np.int64, count=m)
-    bnd_ids = np.fromiter(
-        (v for v, d in remote_degree.items() if d > 0), dtype=np.int64
+    # CSR half-edge layout: ``slots offsets[i]:offsets[i+1]`` list the
+    # incident half-edges of local vertex ``i`` in input order (a self loop
+    # contributes two consecutive slots, so degree math holds).
+    #
+    # Vertex indexing has two modes. *Dense* (the pipeline's case: vertex
+    # ids are graph ids, bounded by |V|): local index = global id, no remap
+    # at all. *Sparse* (arbitrary ids, e.g. hand-built tests): a sorted
+    # unique id table with searchsorted compaction. Both produce identical
+    # walks — local indices ascend in global-id order either way.
+    m = int(edges.shape[0])
+    eu = edges[:, 0]
+    ev = edges[:, 1]
+    bnd_ids = rdeg[:, 0]
+    bnd_deg = rdeg[:, 1]
+    id_space = 1 + int(
+        max(
+            eu.max() if m else -1,
+            ev.max() if m else -1,
+            bnd_ids.max() if bnd_ids.size else -1,
+        )
     )
-    vert_ids = np.unique(np.concatenate((eu, ev, bnd_ids)))
-    n_local = int(vert_ids.size)
-    vidx = {v: i for i, v in enumerate(vert_ids.tolist())}
+    min_id = int(
+        min(
+            eu.min() if m else id_space,
+            ev.min() if m else id_space,
+            bnd_ids.min() if bnd_ids.size else id_space,
+        )
+    ) if id_space else 0
+    # Dense when the id space is proportionate to the live size (or trivially
+    # small); the 2^16 floor covers small graphs without letting a tiny
+    # partition of a multi-million-id graph pay O(id_space) allocations.
+    dense = min_id >= 0 and id_space <= max(
+        1 << 16, 8 * (2 * m + int(bnd_ids.size)) + 1024
+    )
 
     half_vertex = np.empty(2 * m, dtype=np.int64)
-    half_vertex[0::2] = np.searchsorted(vert_ids, eu)
-    half_vertex[1::2] = np.searchsorted(vert_ids, ev)
-    # Stable sort groups half-edges by vertex while preserving edge order.
-    adjacency = np.repeat(np.arange(m, dtype=np.int64), 2)[
-        np.argsort(half_vertex, kind="stable")
-    ]
-    local_deg = np.bincount(half_vertex, minlength=n_local)
-    offsets = np.zeros(n_local + 1, dtype=np.int64)
+    if dense:
+        vert_ids = None
+        size = id_space
+        half_vertex[0::2] = eu
+        half_vertex[1::2] = ev
+        bnd_loc = bnd_ids
+    else:
+        vert_ids = np.unique(np.concatenate((eu, ev, bnd_ids)))
+        size = int(vert_ids.size)
+        half_vertex[0::2] = np.searchsorted(vert_ids, eu)
+        half_vertex[1::2] = np.searchsorted(vert_ids, ev)
+        bnd_loc = np.searchsorted(vert_ids, bnd_ids)
+
+    # Stable sort groups half-edges by vertex while preserving edge order
+    # (radix sort on int keys, O(m)).
+    order = np.argsort(half_vertex, kind="stable")
+    local_deg = np.bincount(half_vertex, minlength=size)
+    offsets = np.zeros(size + 1, dtype=np.int64)
     np.cumsum(local_deg, out=offsets[1:])
 
-    is_boundary = np.isin(vert_ids, bnd_ids, assume_unique=True)
+    # Per-slot walk tables, fully precomputed: consuming sorted half-edge
+    # slot ``p`` appends ``slot_enc[p]`` (packed ``edge << 1 | forward``),
+    # emits global junction ``slot_dst[p]`` and moves to local vertex
+    # ``slot_next[p]``; ``slot_edge[p]`` keys the visited bitmap. The scalar
+    # walk then does nothing but indexed reads — no id lookups, no
+    # direction branch.
+    edge_of = order >> 1  # sorted slot -> edge index
+    u_side = (order & 1) == 0
+    eu_loc = half_vertex[0::2]
+    ev_loc = half_vertex[1::2]
+    slot_next_arr = np.where(u_side, ev_loc[edge_of], eu_loc[edge_of])
+    # The packed value doubles as the visited key: edge index = enc >> 1.
+    slot_enc = np.where(u_side, (edge_of << 1) | 1, edge_of << 1).tolist()
+    slot_next = slot_next_arr.tolist()
+    slot_dst = (
+        slot_next if dense else vert_ids[slot_next_arr].tolist()
+    )
+    # Local index -> global id; a range in dense mode (identity, O(1)).
+    vert_l = range(size) if dense else vert_ids.tolist()
+
+    is_boundary = np.zeros(size, dtype=bool)
+    is_boundary[bnd_loc] = True
     odd_deg = (local_deg & 1).astype(bool)
-    boundary = vert_ids[is_boundary].tolist()  # sorted by construction
-    ob = vert_ids[is_boundary & odd_deg].tolist()
-    eb = vert_ids[is_boundary & ~odd_deg].tolist()
-    n_internal = n_local - len(boundary)
+    # Local indices, ascending — which is global-id order in both modes.
+    ob = np.flatnonzero(is_boundary & odd_deg).tolist()
+    eb = np.flatnonzero(is_boundary & ~odd_deg).tolist()
+    n_local = (
+        int(np.count_nonzero((local_deg > 0) | is_boundary)) if dense else size
+    )
+    n_internal = n_local - len(ob) - len(eb)
 
     stats = Phase1Stats(
         n_live_vertices=n_local,
         n_internal=n_internal,
         n_ob=len(ob),
         n_eb=len(eb),
-        n_local_edges=len(local_edges),
+        n_local_edges=m,
     )
     if validate and len(ob) % 2 != 0:
         raise InvariantViolation(
             f"partition {pid} level {level}: odd number of OB vertices ({len(ob)})"
         )
 
-    # The walk is a per-edge scalar loop; flat Python lists index faster than
-    # NumPy scalars there, so materialize the arrays once. ``ptr`` holds each
-    # vertex's next-unvisited cursor into the flat adjacency.
+    def remote_deg_of(v: int) -> int:
+        i = int(np.searchsorted(bnd_ids, v))
+        if i < bnd_ids.size and int(bnd_ids[i]) == v:
+            return int(bnd_deg[i])
+        return 0
+
+    # The walk is a per-edge scalar loop; flat Python lists index faster
+    # than NumPy scalars there, so the slot tables were materialized as
+    # lists above. ``ptr`` holds each vertex's next-unvisited cursor into
+    # the flat slot sequence.
     visited = bytearray(m)
-    adj_flat = adjacency.tolist()
     ptr = offsets[:-1].tolist()
     adj_end = offsets[1:].tolist()
+    eu_i = eu_loc.tolist()  # per-edge local endpoint index (cycle starts)
 
-    def walk(start: int) -> tuple[list, int]:
-        """Maximal traversal along unvisited local edges from ``start``."""
-        items: list = []
+    def walk(
+        start: int,
+        # Default-arg binding makes the hot loop's lookups LOAD_FAST.
+        ptr=ptr, adj_end=adj_end, visited=visited,
+        slot_enc=slot_enc, slot_dst=slot_dst, slot_next=slot_next,
+    ) -> tuple[list[int], list[int], int]:
+        """Maximal traversal along unvisited local edges from ``start``.
+
+        ``start`` and the returned end vertex are *local* indices; the
+        returned packed edge sequence and parallel junction (dst) sequence
+        use edge indices and global vertex ids respectively.
+        """
+        enc: list[int] = []
+        dsts: list[int] = []
+        e_append = enc.append
+        d_append = dsts.append
         cur = start
         while True:
-            i = vidx[cur]
-            end = adj_end[i]
-            p = ptr[i]
-            while p < end and visited[adj_flat[p]]:
+            end = adj_end[cur]
+            p = ptr[cur]
+            while p < end and visited[slot_enc[p] >> 1]:
                 p += 1
-            ptr[i] = p
+            ptr[cur] = p
             if p == end:
-                return items, cur
-            k = adj_flat[p]
-            visited[k] = 1
-            u, v, kind, ref = local_edges[k]
-            nxt = v if cur == u else u
-            if kind == EDGE_RAW:
-                items.append((ITEM_EDGE, ref, nxt))
-            else:
-                items.append((ITEM_FRAG, ref, nxt, cur == u))
-            cur = nxt
+                return enc, dsts, cur
+            e = slot_enc[p]
+            visited[e >> 1] = 1
+            e_append(e)
+            d_append(slot_dst[p])
+            cur = slot_next[p]
 
     # ---- root bookkeeping for mergeInto ----------------------------------
     # Each OB path / EB cycle / orphan internal cycle is a *root*; internal
     # cycles with a pivot attach to a root and are spliced in a final pass.
-    roots: list[dict] = []  # {kind, src, dst, items}
-    junction_owner: dict[int, int] = {}  # vertex -> root index
-    attachments: list[dict[int, list[list]]] = []  # per root: vertex -> cycles
+    # A walk body is the pair of parallel lists (enc, dst). Junction
+    # ownership (vertex -> first owning root) is a flat list in dense mode,
+    # a dict keyed by global id otherwise; ``owner_get(v)`` returns -1 for
+    # unowned either way.
+    roots: list[dict] = []  # {kind, src, dst, enc, dsts}
+    attachments: list[dict[int, list[tuple[list, list]]]] = []
 
-    def register(root_idx: int, src: int, items: list) -> None:
-        if src not in junction_owner:
-            junction_owner[src] = root_idx
-        for it in items:
-            dst = it[2]
-            if dst not in junction_owner:
-                junction_owner[dst] = root_idx
+    if dense:
+        owner_l = [-1] * size
+        owner_get = owner_l.__getitem__
 
-    def new_root(kind: str, src: int, dst: int, items: list) -> None:
+        def register(root_idx: int, src: int, dsts: list[int]) -> None:
+            if owner_l[src] < 0:
+                owner_l[src] = root_idx
+            for dst in dsts:
+                if owner_l[dst] < 0:
+                    owner_l[dst] = root_idx
+    else:
+        junction_owner: dict[int, int] = {}
+
+        def owner_get(v: int) -> int:
+            return junction_owner.get(v, -1)
+
+        def register(root_idx: int, src: int, dsts: list[int]) -> None:
+            if src not in junction_owner:
+                junction_owner[src] = root_idx
+            for dst in dsts:
+                if dst not in junction_owner:
+                    junction_owner[dst] = root_idx
+
+    def new_root(kind: str, src: int, dst: int, enc: list, dsts: list) -> None:
         idx = len(roots)
-        roots.append({"kind": kind, "src": src, "dst": dst, "items": items})
+        roots.append({"kind": kind, "src": src, "dst": dst, "enc": enc,
+                      "dsts": dsts})
         attachments.append({})
-        register(idx, src, items)
+        register(idx, src, dsts)
 
     # ---- 1) OB -> OB maximal paths (Alg. 1 lines 7-8) ---------------------
     # Each OB initiates exactly one walk (the paper's v.visited flag): an OB
@@ -204,79 +355,138 @@ def run_phase1(
     # unvisited edges left and yields an empty walk; an OB that *initiated*
     # may retain an even number of unvisited edges, which the internal-cycle
     # stage consumes (they can only form cycles once all parities are even).
-    for v in sorted(ob):
-        items, end = walk(v)
-        if not items:
+    for vi in ob:
+        v = vert_l[vi]
+        enc, dsts, end_i = walk(vi)
+        if not enc:
             continue
         if validate:
-            ie = vidx[end]
-            if local_deg[ie] % 2 == 0 or remote_degree.get(end, 0) == 0:
+            end = vert_l[end_i]
+            if local_deg[end_i] % 2 == 0 or remote_deg_of(end) == 0:
                 raise InvariantViolation(
                     f"Lemma 1 violated: path from OB {v} ended at non-OB {end}"
                 )
-            if end == v:
+            if end_i == vi:
                 raise InvariantViolation(
                     f"Lemma 1 violated: path from OB {v} returned to its start"
                 )
-        new_root(KIND_PATH, v, end, items)
+        new_root(KIND_PATH, v, vert_l[end_i], enc, dsts)
         stats.n_paths += 1
 
     # ---- 2) EB cycles (lines 9-10) ----------------------------------------
-    for v in sorted(eb):
-        items, end = walk(v)
-        if not items:
+    for vi in eb:
+        enc, dsts, end_i = walk(vi)
+        if not enc:
             stats.n_trivial += 1
             continue
-        if validate and end != v:
+        v = vert_l[vi]
+        if validate and end_i != vi:
             raise InvariantViolation(
-                f"Lemma 2 violated: cycle from EB {v} ended at {end}"
+                f"Lemma 2 violated: cycle from EB {v} ended at {vert_l[end_i]}"
             )
-        new_root(KIND_CYCLE, v, v, items)
+        new_root(KIND_CYCLE, v, v, enc, dsts)
         stats.n_eb_cycles += 1
 
     # ---- 3) internal-vertex cycles (lines 11-13) ---------------------------
-    for k, (u, _v, _kind, _ref) in enumerate(local_edges):
-        if visited[k]:
-            continue
-        items, end = walk(u)
-        if validate and end != u:
+    # ``bytearray.find(0, k)`` skips visited runs at C speed.
+    k = visited.find(0)
+    while k != -1:
+        ui = eu_i[k]
+        u = vert_l[ui]
+        enc, dsts, end_i = walk(ui)
+        if validate and end_i != ui:
             raise InvariantViolation(
-                f"Lemma 2 violated: internal cycle from {u} ended at {end}"
+                f"Lemma 2 violated: internal cycle from {u} ended at "
+                f"{vert_l[end_i]}"
             )
         # mergeInto: find a pivot junction shared with an existing root.
         pivot = None
-        pivot_root = -1
-        if u in junction_owner:
-            pivot, pivot_root = u, junction_owner[u]
+        pivot_root = owner_get(u)
+        if pivot_root >= 0:
+            pivot = u
         else:
-            for it in items:
-                dst = it[2]
-                if dst in junction_owner:
-                    pivot, pivot_root = dst, junction_owner[dst]
+            for dst in dsts:
+                r = owner_get(dst)
+                if r >= 0:
+                    pivot, pivot_root = dst, r
                     break
         if pivot is None:
             # Disconnected live local graph (generalization beyond the
             # paper's Lemma 3 assumption): keep as an anchored cycle.
-            new_root(KIND_CYCLE, u, u, items)
+            new_root(KIND_CYCLE, u, u, enc, dsts)
             stats.n_iv_cycles_anchored += 1
         else:
-            rotated = _rotate_cycle(u, items, pivot)
-            attachments[pivot_root].setdefault(pivot, []).append(rotated)
-            register(pivot_root, pivot, rotated)
+            rot_enc, rot_dsts = _rotate_cycle(u, enc, dsts, pivot)
+            attachments[pivot_root].setdefault(pivot, []).append(
+                (rot_enc, rot_dsts)
+            )
+            register(pivot_root, pivot, rot_dsts)
             stats.n_iv_cycles_merged += 1
+        k = visited.find(0, k)
 
-    # ---- finalize: splice attachments, register fragments -----------------
+    # ---- finalize: splice attachments, decode ItemArrays, register --------
+    # One *batched* vectorized decode for every fragment of the run: the
+    # packed walks concatenate into a single sequence, the EdgeTable's kind
+    # column *is* the ItemArray tag column (EDGE_RAW == ITEM_EDGE,
+    # EDGE_COARSE == ITEM_FRAG) and ref carries over unchanged; per-fragment
+    # bodies are then views into the one decoded block. This keeps the
+    # NumPy fixed cost per *run*, not per fragment — partitions routinely
+    # produce tens of thousands of tiny path fragments.
+    n_roots = len(roots)
+    flat_enc: list[int] = []
+    flat_dst: list[int] = []
+    lengths = np.empty(n_roots, dtype=np.int64)
+    for idx, root in enumerate(roots):
+        enc, dsts = _flatten(
+            root["src"], root["enc"], root["dsts"], attachments[idx]
+        )
+        lengths[idx] = len(enc)
+        flat_enc.extend(enc)
+        flat_dst.extend(dsts)
+    seq = np.array(flat_enc, dtype=np.int64)
+    ks = seq >> 1
+    decoded = np.empty((seq.size, 4), dtype=np.int64)
+    decoded[:, 0] = edges[ks, 2]
+    decoded[:, 1] = edges[ks, 3]
+    decoded[:, 2] = flat_dst
+    decoded[:, 3] = seq & 1
+    bounds = np.zeros(n_roots + 1, dtype=np.int64)
+    np.cumsum(lengths, out=bounds[1:])
+    # Raw-edge weights: every root is non-empty, so reduceat is safe; coarse
+    # items add their fragments' cached counts (few per run).
+    is_frag = decoded[:, 0] == ITEM_FRAG
+    n_frag_rows = (
+        np.add.reduceat(is_frag.astype(np.int64), bounds[:-1])
+        if n_roots
+        else np.empty(0, dtype=np.int64)
+    )
+    extra_edges = np.zeros(n_roots, dtype=np.int64)
+    frag_positions = np.flatnonzero(is_frag)
+    if frag_positions.size:
+        owners = np.searchsorted(bounds[1:], frag_positions, side="right")
+        frag_refs = decoded[frag_positions, 1]
+        for ridx, ref in zip(owners.tolist(), frag_refs.tolist()):
+            extra_edges[ridx] += store.get(ref).n_edges
+    n_edges_arr = lengths - n_frag_rows + extra_edges
+
+    ob_rows: list[tuple[int, int, int]] = []
+    ob_edges: list[int] = []
+    anchored: list[int] = []
     pathmap = PathMap(pid=pid, level=level)
     for idx, root in enumerate(roots):
-        items = _flatten(root["src"], root["items"], attachments[idx])
-        n_edges = _count_edges(items, store)
+        items = decoded[bounds[idx]:bounds[idx + 1]]
+        n_edges = int(n_edges_arr[idx])
         frag = store.new_fragment(
             root["kind"], level, pid, root["src"], root["dst"], items, n_edges
         )
         if root["kind"] == KIND_PATH:
-            pathmap.ob_paths.append((frag.src, frag.dst, frag.fid))
+            ob_rows.append((frag.src, frag.dst, frag.fid))
+            ob_edges.append(n_edges)
         else:
-            pathmap.anchored_cycles.append(frag.fid)
+            anchored.append(frag.fid)
+    pathmap.ob_paths = np.array(ob_rows, dtype=np.int64).reshape(-1, 3)
+    pathmap.ob_path_edges = np.array(ob_edges, dtype=np.int64)
+    pathmap.anchored_cycles = np.array(anchored, dtype=np.int64)
     pathmap.n_merged_cycles = stats.n_iv_cycles_merged
     pathmap.n_trivial = stats.n_trivial
 
@@ -287,52 +497,78 @@ def run_phase1(
     return pathmap, stats
 
 
-def _rotate_cycle(src: int, items: list, pivot: int) -> list:
-    """Rotate a cycle's item list so its junction sequence starts at ``pivot``."""
+def _rotate_cycle(
+    src: int, enc: list, dsts: list, pivot: int
+) -> tuple[list, list]:
+    """Rotate a cycle walk so its junction sequence starts at ``pivot``."""
     if pivot == src:
-        return items
-    for i, it in enumerate(items):
-        if it[2] == pivot:
-            return items[i + 1 :] + items[: i + 1]
-    raise InvariantViolation(f"pivot {pivot} not on cycle starting at {src}")
+        return enc, dsts
+    try:
+        i = dsts.index(pivot)
+    except ValueError:
+        raise InvariantViolation(
+            f"pivot {pivot} not on cycle starting at {src}"
+        ) from None
+    return enc[i + 1:] + enc[: i + 1], dsts[i + 1:] + dsts[: i + 1]
 
 
-def _flatten(src: int, items: list, attach: dict[int, list[list]]) -> list:
-    """Expand pivot attachments into a single flat item list (iterative)."""
+def _flatten(
+    src: int, enc: list, dsts: list, attach: dict[int, list[tuple[list, list]]]
+) -> tuple[list, list]:
+    """Expand pivot attachments into one flat walk (iterative).
+
+    The no-attachment fast path (the overwhelmingly common case) returns the
+    walk unchanged. Roots that absorbed internal cycles — at the merge
+    tree's root that is one walk spanning most of the graph — are spliced
+    *by segment*: candidate splice positions come from one vectorized
+    ``isin`` of each walk's junction column against the attachment keys, and
+    the runs between them are bulk list-``extend``s; only actual splice
+    points (one per attached cycle, plus cheap stale repeats of the same
+    vertices) run scalar code.
+    """
     if not attach:
-        return items
-    out: list = []
-    stack: list = []
+        return enc, dsts
+    keys = np.fromiter(attach.keys(), dtype=np.int64, count=len(attach))
+    out_enc: list = []
+    out_dsts: list = []
+    stack: list = []  # frames: [enc, dsts, hit_positions, hit_cursor, pos]
+
+    def push(c_enc: list, c_dsts: list) -> None:
+        hits = np.flatnonzero(
+            np.isin(np.array(c_dsts, dtype=np.int64), keys)
+        ).tolist()
+        stack.append([c_enc, c_dsts, hits, 0, 0])
 
     def push_attach(v: int) -> None:
         cycles = attach.pop(v, None)
         if cycles:
-            for cyc in reversed(cycles):
-                stack.append(iter(cyc))
+            for c_enc, c_dsts in reversed(cycles):
+                push(c_enc, c_dsts)
 
-    stack.append(iter(items))
+    push(enc, dsts)
     push_attach(src)
     while stack:
-        it = stack[-1]
-        item = next(it, None)
-        if item is None:
+        top = stack[-1]
+        c_enc, c_dsts, hits, hi, pos = top
+        # Next live splice point (attachments already consumed are skipped).
+        n_hits = len(hits)
+        while hi < n_hits and (hits[hi] < pos or c_dsts[hits[hi]] not in attach):
+            hi += 1
+        top[3] = hi
+        if hi >= n_hits:
+            if pos < len(c_dsts):
+                out_enc.extend(c_enc[pos:])
+                out_dsts.extend(c_dsts[pos:])
             stack.pop()
             continue
-        out.append(item)
-        push_attach(item[2])
+        h = hits[hi]
+        out_enc.extend(c_enc[pos:h + 1])
+        out_dsts.extend(c_dsts[pos:h + 1])
+        top[3] = hi + 1
+        top[4] = h + 1
+        push_attach(c_dsts[h])
     if attach:
         raise InvariantViolation(
             f"unspliced attachments remain at vertices {sorted(attach)[:8]}"
         )
-    return out
-
-
-def _count_edges(items: list, store: FragmentStore) -> int:
-    """Raw-edge weight of an item list (coarse items weigh their n_edges)."""
-    total = 0
-    for it in items:
-        if it[0] == ITEM_EDGE:
-            total += 1
-        else:
-            total += store.get(it[1]).n_edges
-    return total
+    return out_enc, out_dsts

@@ -16,9 +16,17 @@ Phase 1 "persisted to disk") and the pathMaps, from which two things follow:
   unrolling edges of a different path or cycle passing through this pivot
   vertex and created at a lower level".
 
-The unroll is iterative (explicit stack of item iterators, no recursion
-limits) and expands each coarse item exactly once, so the whole pass is
-linear in the number of edges.
+The unroll consumes ItemArrays (packed ``int64 (n, 4)`` bodies, see
+:mod:`repro.core.pathmap`): fragment reversal and rotation are pure array
+ops (:func:`_reverse_items` / :func:`_rotate_to`), and each pushed body's
+columns are extracted to flat lists in one C-speed pass. The emit loop
+itself stays scalar — the pending-splice check is inherently per emitted
+vertex, and on real workloads pending junctions are dense (level-0 EB
+cycles touch most vertices), so a bulk-slice scheme would degenerate into
+single-row array appends. :func:`_expand_plain`, which faces no pending
+checks, *is* segment-vectorized: contiguous raw-edge runs between fragment
+references are bulk-copied as slices. Each coarse item expands exactly
+once, so the pass is linear in the number of edges either way.
 """
 
 from __future__ import annotations
@@ -45,42 +53,46 @@ def build_pending_index(
     fragment's expansion (the multi-component generalization in DESIGN.md).
     """
     index: dict[int, list[int]] = defaultdict(list)
-    fids = sorted(set(anchored_fids))
+    fids = sorted(set(int(f) for f in anchored_fids))
     for fid in fids:
         frag = store.get(fid)
         if frag.kind != KIND_CYCLE:
             raise InvariantViolation(f"anchored fragment {fid} is not a cycle")
         items = store.items_of(fid)
-        verts = {frag.src}
-        verts.update(item[2] for item in items)
-        for v in verts:
+        verts = np.unique(np.append(items[:, 2], frag.src))
+        for v in verts.tolist():
             index[v].append(fid)
     return dict(index)
 
 
-def _reverse_items(items: list, src: int) -> list:
-    """Item list for traversing a fragment backwards (dst -> src)."""
-    junctions = [src]
-    junctions.extend(item[2] for item in items)
-    out = []
-    for i in range(len(items) - 1, -1, -1):
-        it = items[i]
-        new_dst = junctions[i]
-        if it[0] == ITEM_EDGE:
-            out.append((ITEM_EDGE, it[1], new_dst))
-        else:
-            out.append((ITEM_FRAG, it[1], new_dst, not it[3]))
+def _reverse_items(items: np.ndarray, src: int) -> np.ndarray:
+    """ItemArray for traversing a fragment backwards (dst -> src).
+
+    Row ``i`` of the result is row ``n-1-i`` of the input with its ``dst``
+    replaced by the *preceding* junction and its direction flag flipped
+    (the flip only matters for ``ITEM_FRAG`` rows; edge rows keep a
+    consistent traversal direction for free).
+    """
+    n = items.shape[0]
+    out = items[::-1].copy()
+    junctions = np.empty(n, dtype=np.int64)
+    if n:
+        junctions[0] = src
+        junctions[1:] = items[:-1, 2]
+    out[:, 2] = junctions[::-1]
+    out[:, 3] = 1 - out[:, 3]
     return out
 
 
-def _rotate_to(items: list, src: int, pivot: int) -> list:
+def _rotate_to(items: np.ndarray, src: int, pivot: int) -> np.ndarray:
     """Rotate a cycle's items so its junction walk starts/ends at ``pivot``."""
     if pivot == src:
         return items
-    for i, it in enumerate(items):
-        if it[2] == pivot:
-            return items[i + 1 :] + items[: i + 1]
-    raise InvariantViolation(f"pivot {pivot} not on cycle anchored at {src}")
+    hits = np.flatnonzero(items[:, 2] == pivot)
+    if hits.size == 0:
+        raise InvariantViolation(f"pivot {pivot} not on cycle anchored at {src}")
+    i = int(hits[0])
+    return np.concatenate((items[i + 1:], items[:i + 1]))
 
 
 def reconstruct_circuit(
@@ -117,42 +129,59 @@ def reconstruct_circuit(
 
     out_vertices: list[int] = [base.src]
     out_eids: list[int] = []
-    stack: list = []
+    stack: list = []  # frames: [tags, refs, dsts, fwds, pos]
+
+    def push(items: np.ndarray) -> None:
+        # Column lists, extracted once per body (C-speed): the unroll loop
+        # itself stays scalar because the pending-splice check is inherently
+        # per emitted vertex, and on real workloads the pending junctions
+        # are *dense* (level-0 EB cycles touch most vertices), so a
+        # bulk-run/slice scheme degenerates to singles with array overhead.
+        stack.append([
+            items[:, 0].tolist(),
+            items[:, 1].tolist(),
+            items[:, 2].tolist(),
+            items[:, 3].tolist(),
+            0,
+        ])
 
     def splice_at(v: int) -> None:
-        fids = pending.get(v)
+        fids = pending.pop(v, None)
         if not fids:
             return
         fresh = [f for f in fids if f not in consumed]
-        pending[v] = []
         for fid in reversed(fresh):
             consumed.add(fid)
             frag = store.get(fid)
-            items = _rotate_to(store.items_of(fid), frag.src, v)
-            stack.append(iter(items))
+            push(_rotate_to(store.items_of(fid), frag.src, v))
 
-    stack.append(iter(store.items_of(base_fid)))
+    pending_get = pending.get
+    push(store.items_of(base_fid))
     splice_at(base.src)
     while stack:
-        it = stack[-1]
-        item = next(it, None)
-        if item is None:
+        frame = stack[-1]
+        tags, refs, dsts, fwds, pos = frame
+        if pos >= len(tags):
             stack.pop()
             continue
-        if item[0] == ITEM_EDGE:
-            out_eids.append(item[1])
-            out_vertices.append(item[2])
-            splice_at(item[2])
+        frame[4] = pos + 1
+        dst = dsts[pos]
+        if tags[pos] == ITEM_EDGE:
+            out_eids.append(refs[pos])
+            out_vertices.append(dst)
+            if pending_get(dst) is not None:
+                splice_at(dst)
         else:
-            _, fid, _dst, forward = item
-            frag = store.get(fid)
-            items = store.items_of(fid)
-            if not forward:
-                items = _reverse_items(items, frag.src)
-            stack.append(iter(items))
+            ref = refs[pos]
+            sub = store.items_of(ref)
+            if not fwds[pos]:
+                sub = _reverse_items(sub, store.get(ref).src)
+            push(sub)
             # The entry vertex was already emitted (it equals the current
             # walk position); the fragment's own items emit the rest.
 
+    out_vertices = np.array(out_vertices, dtype=np.int64)
+    out_eids = np.array(out_eids, dtype=np.int64)
     leftovers = sorted(
         {f for fids in pending.values() for f in fids if f not in consumed}
     )
@@ -172,71 +201,159 @@ def reconstruct_circuit(
             f"(e.g. fragment ids {leftovers[:8]}); the input graph is "
             "disconnected or an invariant was violated"
         )
-    return EulerCircuit(
-        vertices=np.array(out_vertices, dtype=np.int64),
-        edge_ids=np.array(out_eids, dtype=np.int64),
-    )
+    return EulerCircuit(vertices=out_vertices, edge_ids=out_eids)
 
 
-def _expand_plain(store: FragmentStore, fid: int) -> tuple[list[int], list[int]]:
+def _expand_plain(
+    store: FragmentStore, fid: int
+) -> tuple[np.ndarray, np.ndarray]:
     """Fully expand one fragment to raw vertices/edges, with no splicing."""
     frag = store.get(fid)
-    verts = [frag.src]
-    eids: list[int] = []
-    stack = [iter(store.items_of(fid))]
+    v_parts: list[np.ndarray] = [np.array([frag.src], dtype=np.int64)]
+    e_parts: list[np.ndarray] = []
+    stack: list = []  # frames: [items, frag_rows, cursor, pos]
+
+    def push(items: np.ndarray) -> None:
+        frag_rows = np.flatnonzero(items[:, 0] == ITEM_FRAG).tolist()
+        stack.append([items, frag_rows, 0, 0])
+
+    push(store.items_of(fid))
     while stack:
-        item = next(stack[-1], None)
-        if item is None:
+        frame = stack[-1]
+        items, frag_rows, fi, pos = frame
+        if fi >= len(frag_rows):
+            if pos < items.shape[0]:
+                e_parts.append(items[pos:, 1])
+                v_parts.append(items[pos:, 2])
             stack.pop()
             continue
-        if item[0] == ITEM_EDGE:
-            eids.append(item[1])
-            verts.append(item[2])
-        else:
-            _, sub_fid, _dst, forward = item
-            sub = store.get(sub_fid)
-            items = store.items_of(sub_fid)
-            if not forward:
-                items = _reverse_items(items, sub.src)
-            stack.append(iter(items))
+        h = frag_rows[fi]
+        frame[2] = fi + 1
+        frame[3] = h + 1
+        if h > pos:
+            e_parts.append(items[pos:h, 1])
+            v_parts.append(items[pos:h, 2])
+        _, ref, _dst, forward = items[h].tolist()
+        sub = store.items_of(ref)
+        if not forward:
+            sub = _reverse_items(sub, store.get(ref).src)
+        push(sub)
+    verts = np.concatenate(v_parts)
+    eids = (
+        np.concatenate(e_parts) if e_parts else np.empty(0, dtype=np.int64)
+    )
     return verts, eids
 
 
 def _splice_stranded(
     store: FragmentStore,
-    out_vertices: list[int],
-    out_eids: list[int],
+    out_vertices: np.ndarray,
+    out_eids: np.ndarray,
     leftovers: list[int],
-) -> tuple[list[int], list[int], list[int]]:
+) -> tuple[np.ndarray, np.ndarray, list[int]]:
     """Splice stranded cycles into the walk at any shared raw vertex.
 
-    One splice per round (positions shift), repeated to a fixpoint; returns
-    the possibly-shorter leftover list (non-empty only for disconnected
-    inputs).
+    The walk is held as a *rope*: the original arrays stay untouched and
+    each splice just records "insert cycle-node N at offset i of node P",
+    so a splice is O(cycle) instead of O(walk) and the final walk is
+    materialized once (the old list-concatenation rebuild made this
+    quadratic in the walk length). Returns the possibly-shorter leftover
+    list (non-empty only for disconnected inputs).
     """
     remaining = sorted(leftovers, key=lambda f: (-store.get(f).level, f))
+    # Rope nodes: nid -> [verts, eids, inserts {offset -> [child nid, ...]}].
+    # Node 0 is the base walk; every other node is a rotated stranded cycle
+    # whose verts start and end at its splice vertex.
+    nodes: dict[int, list] = {0: [out_vertices, out_eids, {}]}
+    next_nid = 1
+    # First occurrence of each vertex in *materialization order*:
+    # vertex -> (order_key, nid, offset). The hierarchical key makes rope
+    # positions comparable — a vertex inside a spliced cycle sits at its
+    # insert position (plus a suffix), so it precedes anything after that
+    # point in the parent, exactly like the repeated first-occurrence scan
+    # this rope replaces. Children at one offset emit latest-added first,
+    # hence the negated per-offset rank component.
+    first: dict[int, tuple[tuple, int, int]] = {}
+    for i, v in enumerate(out_vertices.tolist()):
+        if v not in first:
+            first[v] = ((i,), 0, i)
+    expanded: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+
     while remaining:
-        position: dict[int, int] = {}
-        for i, v in enumerate(out_vertices):
-            if v not in position:
-                position[v] = i
         spliced_fid = None
         for fid in remaining:
-            verts, eids = _expand_plain(store, fid)
-            anchor = next((i for i, v in enumerate(verts) if v in position), None)
+            if fid not in expanded:
+                expanded[fid] = _expand_plain(store, fid)
+            verts, eids = expanded[fid]
+            vlist = verts.tolist()
+            anchor = next((i for i, v in enumerate(vlist) if v in first), None)
             if anchor is None:
                 continue
-            v = verts[anchor]
+            v = vlist[anchor]
             # Rotate the closed raw walk to start and end at v.
-            rot_v = verts[anchor:-1] + verts[: anchor + 1]
-            rot_e = eids[anchor:] + eids[:anchor]
-            pos = position[v]
-            out_vertices = out_vertices[:pos] + rot_v + out_vertices[pos + 1 :]
-            out_eids = out_eids[:pos] + rot_e + out_eids[pos:]
+            rot_v = np.concatenate((verts[anchor:-1], verts[: anchor + 1]))
+            rot_e = np.concatenate((eids[anchor:], eids[:anchor]))
+            nid = next_nid
+            next_nid += 1
+            nodes[nid] = [rot_v, rot_e, {}]
+            anchor_key, seg, off = first[v]
+            siblings = nodes[seg][2].setdefault(off, [])
+            siblings.append(nid)
+            base_key = anchor_key + (-len(siblings),)
+            for j, w in enumerate(rot_v.tolist()):
+                key = base_key + (j,)
+                known = first.get(w)
+                if known is None or key < known[0]:
+                    first[w] = (key, nid, j)
             spliced_fid = fid
             break
         if spliced_fid is None:
             break  # fixpoint: nothing left touches the walk
         remaining = [f for f in remaining if f != spliced_fid]
+
+    out_vertices, out_eids = _materialize_rope(nodes)
     return out_vertices, out_eids, remaining
 
+
+def _materialize_rope(nodes: dict[int, list]) -> tuple[np.ndarray, np.ndarray]:
+    """Flatten the splice rope into contiguous vertex/edge arrays.
+
+    An insert at offset ``i`` replaces the parent's vertex at ``i`` with the
+    child's full closed walk (which starts and ends at that vertex); with
+    several children at one offset, the latest-added emits first and each
+    subsequent child drops its (duplicate) leading vertex — exactly the
+    sequence repeated first-occurrence splicing used to build by list
+    surgery.
+    """
+    v_parts: list[np.ndarray] = []
+    e_parts: list[np.ndarray] = []
+
+    def frame(nid: int, drop_first: bool) -> list:
+        verts, eids, inserts = nodes[nid]
+        # [verts, eids, inserts, sorted offsets, offset cursor, epos, vpos]
+        return [verts, eids, inserts, sorted(inserts), 0, 0, 1 if drop_first else 0]
+
+    stack = [frame(0, False)]
+    while stack:
+        fr = stack[-1]
+        verts, eids, inserts, offs, oi, epos, vpos = fr
+        if oi >= len(offs):
+            e_parts.append(eids[epos:])
+            v_parts.append(verts[vpos:])
+            stack.pop()
+            continue
+        off = offs[oi]
+        # Vertex index ``off`` is the replaced vertex; both cursors are
+        # absolute node indices (``vpos`` may lead ``epos`` by one after a
+        # dropped leading vertex or a consumed insert).
+        e_parts.append(eids[epos:off])
+        v_parts.append(verts[vpos:off])
+        fr[4] = oi + 1
+        fr[5] = off
+        fr[6] = off + 1  # skip the replaced vertex
+        children = inserts[off]
+        # LIFO: push in add order so the latest-added child emits first and
+        # keeps its leading vertex; the rest drop theirs.
+        for i, child in enumerate(children):
+            stack.append(frame(child, drop_first=i != len(children) - 1))
+    return np.concatenate(v_parts), np.concatenate(e_parts)

@@ -191,6 +191,70 @@ class PartitionedGraph:
         """All per-partition views."""
         return [self.view(pid) for pid in range(self.n_parts)]
 
+    # -- grouped light accessors (the data plane's level-0 fast path) --------
+
+    def _grouped(self):
+        """Per-pid slices of local eids and remote rows, built once.
+
+        One global radix sort replaces the per-partition O(|E|) mask scans
+        of :meth:`view` for callers that only need ``L_i`` and ``R_i`` (the
+        superstep program loading every partition at level 0). Slice order
+        matches :meth:`view`: local eids ascending; remote rows out-facing
+        then in-facing, each ascending by eid. Building twice under the
+        thread backend is benign (idempotent); the process backend builds
+        once per worker copy.
+        """
+        cached = getattr(self, "_grouped_cache", None)
+        if cached is not None:
+            return cached
+        u, v = self.graph.edge_u, self.graph.edge_v
+        pu, pv = self._pu, self._pv
+        bound = np.arange(self.n_parts + 1)
+
+        local = np.flatnonzero(self.local_mask)
+        local = local[np.argsort(pu[local], kind="stable")]
+        local_starts = np.searchsorted(pu[local], bound)
+
+        cut = np.flatnonzero(~self.local_mask)
+        n_cut = cut.size
+        rows = np.empty((2 * n_cut, 4), dtype=np.int64)
+        rows[:n_cut, 0] = u[cut]
+        rows[:n_cut, 1] = v[cut]
+        rows[:n_cut, 2] = cut
+        rows[:n_cut, 3] = pv[cut]
+        rows[n_cut:, 0] = v[cut]
+        rows[n_cut:, 1] = u[cut]
+        rows[n_cut:, 2] = cut
+        rows[n_cut:, 3] = pu[cut]
+        owners = np.concatenate((pu[cut], pv[cut]))
+        # Single-key stable sort: both blocks are already eid-ascending, so
+        # sorting by (owner, facing) alone reproduces view()'s row order
+        # (out-facing then in-facing, eids ascending) at radix-sort speed.
+        key = owners * 2
+        key[n_cut:] += 1
+        order = np.argsort(key, kind="stable")
+        rows = rows[order]
+        remote_starts = np.searchsorted(owners[order], bound)
+
+        cached = (local, local_starts, rows, remote_starts)
+        self._grouped_cache = cached
+        return cached
+
+    def build_grouped_index(self) -> None:
+        """Materialize the per-pid grouped index now (e.g. during Setup),
+        so the first superstep's partition loads are pure slicing."""
+        self._grouped()
+
+    def local_eids_of(self, pid: int) -> np.ndarray:
+        """``L_i`` (ascending eids) without building a full view."""
+        local, starts, _, _ = self._grouped()
+        return local[starts[pid]:starts[pid + 1]]
+
+    def remote_rows_of(self, pid: int) -> np.ndarray:
+        """``R_i`` rows ``(src, dst, eid, dst_pid)`` without a full view."""
+        _, _, rows, starts = self._grouped()
+        return rows[starts[pid]:starts[pid + 1]]
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
             f"PartitionedGraph(n_vertices={self.graph.n_vertices}, "

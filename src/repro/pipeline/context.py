@@ -35,7 +35,9 @@ __all__ = ["SCHEMA_VERSION", "RunConfig", "RunContext", "ExecutionReport"]
 
 #: Version of the run-artifact layout (RunContext fields / report JSON).
 #: Bump on any field addition, removal or meaning change.
-SCHEMA_VERSION = 2
+#: v3: columnar data plane — the fragment-store summary gained
+#: ``n_item_rows`` (resident packed ItemArray rows).
+SCHEMA_VERSION = 3
 
 
 @dataclass(frozen=True)

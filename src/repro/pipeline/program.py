@@ -33,10 +33,11 @@ from ..bsp.engine import ComputeResult
 from ..core.merging import (
     PartitionState,
     local_edges_level0,
+    merge_states,
     phase1_state_longs,
+    state_from_view,
 )
-from ..core.merging import merge_states
-from ..core.pathmap import KIND_PATH, FragmentBatch, FragmentStore
+from ..core.pathmap import FragmentBatch, FragmentStore
 from ..core.phase1 import EDGE_RAW, run_phase1
 from ..graph.partition import PartitionedGraph
 
@@ -91,15 +92,12 @@ class SuperstepProgram:
         level = superstep
         if superstep == 0:
             t0 = time.perf_counter()
-            view = self.pg.view(pid)
             graph = self.pg.graph
-            local_edges = local_edges_level0(view, graph.edge_u, graph.edge_v)
-            remote_deg: dict[int, int] = {}
-            for src in view.remote[:, 0].tolist():
-                remote_deg[src] = remote_deg.get(src, 0) + 1
-            state = PartitionState(
-                pid=pid, level=0, held=self.held0[pid], remote_deg=remote_deg,
-                member_leaves=(pid,),
+            local_edges = local_edges_level0(
+                self.pg.local_eids_of(pid), graph.edge_u, graph.edge_v
+            )
+            state, _, remote_deg = state_from_view(
+                pid, self.pg.remote_rows_of(pid), self.held0[pid], (pid,)
             )
             rec.add_time(CAT_CREATE, time.perf_counter() - t0)
         elif messages:
@@ -111,12 +109,19 @@ class SuperstepProgram:
             # first child; merge_states re-examines retained rows as the
             # group grows, so this is equivalent to per-child shipping.
             extra = self.extras.get((pid, superstep)) if self.deferred else None
-            local_edges = []
+            edge_parts = []
+            # The CoarseTables consumed by the merges carry the fid ->
+            # n_edges weights the Phase-1 batch needs for prior fragments;
+            # collect them before merge_states folds the tables into the
+            # level's EdgeTable.
+            known_coarse = state.known_coarse_edges()
             for child in children:
+                known_coarse.update(child.known_coarse_edges())
                 group = set(state.member_leaves) | set(child.member_leaves)
                 state, le, _ = merge_states(state, child, group, extra_rows=extra)
                 extra = None
-                local_edges.extend(le)
+                edge_parts.append(le)
+            local_edges = np.concatenate(edge_parts)
             remote_deg = state.remote_deg
             rec.add_time(CAT_CREATE, time.perf_counter() - t0)
         else:
@@ -134,29 +139,33 @@ class SuperstepProgram:
             still_waiting = target is not None and target[1] > level
             return ComputeResult(state=state, halt=not still_waiting)
 
+        if superstep == 0:
+            known_coarse = None  # level 0 consumes only raw edges
         pre_entries = state.n_pathmap_entries
-        batch = FragmentBatch(pid, level, known_edges=state.coarse_meta)
+        batch = FragmentBatch(pid, level, known_edges=known_coarse)
         t0 = time.perf_counter()
         pathmap, stats = run_phase1(
             pid, level, local_edges, remote_deg, batch, validate=self.validate
         )
         rec.add_time(CAT_PHASE1, time.perf_counter() - t0)
         state.level = level
-        state.coarse = list(pathmap.ob_paths)
-        state.coarse_meta = {
-            f.fid: f.n_edges for f in batch.fragments if f.kind == KIND_PATH
-        }
+        # CoarseTable rows (src, dst, fid, n_edges) for the just-produced
+        # OB-pair paths: ob_paths plus its aligned weight column (which
+        # replaces the old side-band ``coarse_meta`` dict).
+        state.coarse = np.concatenate(
+            (pathmap.ob_paths, pathmap.ob_path_edges[:, None]), axis=1
+        )
         state.n_pathmap_entries = pre_entries + len(pathmap.ob_paths) + len(
             pathmap.anchored_cycles
         )
 
         # Fig. 8 unit: state as loaded for this Phase-1 run (vertices + local
         # edges + held remote edges + carried pathMap metadata).
-        n_raw_local = sum(1 for le in local_edges if le[2] == EDGE_RAW)
+        n_raw_local = int(np.count_nonzero(local_edges[:, 2] == EDGE_RAW))
         rec.state_longs = phase1_state_longs(
             stats.n_live_vertices,
             n_raw_local,
-            len(local_edges) - n_raw_local,
+            int(local_edges.shape[0]) - n_raw_local,
             int(state.held.shape[0]),
             pre_entries,
         )

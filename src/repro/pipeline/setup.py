@@ -41,6 +41,9 @@ class Setup:
         dedup, deferred = strategy_flags(cfg.strategy)
 
         pg = partition_graph(graph, n_parts, method=cfg.partitioner, seed=cfg.seed)
+        # Static per-partition edge grouping: built here, once, so level-0
+        # partition loads inside the BSP run are pure array slicing.
+        pg.build_grouped_index()
         mg = build_metagraph(pg)
         tree = build_merge_tree(mg, policy=cfg.matching, seed=cfg.seed)
         placement = plan_remote_placement(pg, tree, dedup=dedup)
@@ -52,11 +55,7 @@ class Setup:
         for pid in range(n_parts):
             rows = placement.rows_for[pid]
             if deferred and rows.size:
-                lv = np.fromiter(
-                    (placement.merge_level[int(e)] for e in rows[:, 2]),
-                    count=rows.shape[0],
-                    dtype=np.int64,
-                )
+                lv = placement.merge_level_by_eid[rows[:, 2]]
                 held0[pid] = rows[lv == 0]
                 for level in np.unique(lv[lv > 0]).tolist():
                     deferred_store.deposit(pid, int(level), rows[lv == level])

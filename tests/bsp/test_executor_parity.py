@@ -3,16 +3,31 @@
 The contract the executor layer advertises: the *outcome* of a BSP run —
 circuit, fragment store, per-level census — is identical under every
 backend; only wall-clock interleaving and serialization cost differ.
+
+Representation parity rides on the same contract: ``golden_dataplane.json``
+pins the circuits and fragment censuses the *seed* tuple-based data plane
+produced (regenerate with ``make_golden_dataplane.py`` — see its docstring
+for when that is legitimate), and every backend of the columnar data plane
+must reproduce them bit for bit.
 """
+
+import hashlib
+import json
+from pathlib import Path
 
 import numpy as np
 import pytest
 
 from repro.bsp import EXECUTORS, BSPEngine, ComputeResult, make_executor
 from repro.core import find_euler_circuit, verify_circuit
+from repro.generate.eulerize import eulerian_rmat
 from repro.generate.synthetic import grid_city, random_eulerian
 
 BACKENDS = sorted(EXECUTORS)  # process, serial, thread
+
+GOLDEN = json.loads(
+    (Path(__file__).resolve().parent / "golden_dataplane.json").read_text()
+)
 
 
 def _fragment_census(store):
@@ -82,6 +97,42 @@ def test_make_executor_defaults():
     assert make_executor(None, 1).name == "serial"
     assert make_executor(None, 4).name == "thread"
     assert make_executor("process", 2).name == "process"
+
+
+@pytest.fixture(scope="module")
+def golden_graphs():
+    return {
+        "grid8": grid_city(8, 8),
+        "rmat10": eulerian_rmat(10, avg_degree=4.0, seed=5)[0],
+    }
+
+
+@pytest.mark.parametrize("case", sorted(GOLDEN["cases"]))
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_columnar_path_matches_seed_goldens(golden_graphs, case, backend):
+    """Bit-identical circuits and fragment censuses vs the recorded seed
+    (tuple-representation) outputs, on every executor backend."""
+    gname, cname = case.split("/")
+    strategy = cname.rsplit("-", 1)[0]
+    g = golden_graphs[gname]
+    res = find_euler_circuit(
+        g, n_parts=4, seed=0, strategy=strategy, executor=backend,
+        engine_workers=2, validate=True, verify=True,
+    )
+    ref = GOLDEN["cases"][case]
+    census = sorted(
+        (f.fid, f.kind, f.level, f.pid, f.src, f.dst, f.n_edges)
+        for f in res.store.all_fragments()
+    )
+    circuit_sha = hashlib.sha256(
+        res.circuit.vertices.tobytes() + b"|" + res.circuit.edge_ids.tobytes()
+    ).hexdigest()
+    assert res.circuit.edge_ids.size == ref["n_circuit_edges"]
+    assert len(census) == ref["n_fragments"]
+    assert res.circuit.vertices[:8].tolist() == ref["first_vertices"]
+    assert circuit_sha == ref["circuit_sha256"], f"{case} circuit diverged"
+    census_sha = hashlib.sha256(repr(census).encode()).hexdigest()
+    assert census_sha == ref["census_sha256"], f"{case} census diverged"
 
 
 class Doubler:

@@ -1,5 +1,6 @@
 """Tests for fragments and the (spillable) fragment store."""
 
+import numpy as np
 import pytest
 
 from repro.core.pathmap import (
@@ -10,6 +11,7 @@ from repro.core.pathmap import (
     Fragment,
     FragmentStore,
     PathMap,
+    as_items,
 )
 
 
@@ -49,7 +51,7 @@ def test_spill_and_reload(tmp_path):
     f = s.new_fragment(KIND_PATH, 0, 1, 1, 3, items, 4)
     s.spill(f.fid)
     assert s.get(f.fid).items is None
-    assert s.items_of(f.fid) == items
+    assert np.array_equal(s.items_of(f.fid), as_items(items))
     with pytest.raises(ValueError):
         s.get(f.fid).junctions()
 
@@ -79,5 +81,13 @@ def test_items_of_in_memory_fast_path():
 
 def test_pathmap_defaults():
     pm = PathMap(pid=3, level=1)
-    assert pm.ob_paths == [] and pm.anchored_cycles == []
+    assert pm.ob_paths.shape == (0, 3) and pm.anchored_cycles.size == 0
     assert pm.n_merged_cycles == 0 and pm.n_trivial == 0
+
+
+def test_as_items_normalizes_legacy_tuples():
+    arr = as_items([(ITEM_EDGE, 7, 2), (ITEM_FRAG, 9, 3, False)])
+    assert arr.dtype == np.int64 and arr.shape == (2, 4)
+    assert arr[0].tolist() == [ITEM_EDGE, 7, 2, 1]  # edge rows default fwd=1
+    assert arr[1].tolist() == [ITEM_FRAG, 9, 3, 0]
+    assert as_items(arr) is arr  # already-packed bodies pass through

@@ -51,7 +51,7 @@ def test_isolated_boundary_vertex_is_trivial():
     pm, stats = run_phase1(0, 0, [], {4: 2}, store, validate=True)
     assert stats.n_live_vertices == 1 and stats.n_eb == 1
     assert stats.n_trivial == 1
-    assert not pm.ob_paths and not pm.anchored_cycles
+    assert pm.ob_paths.size == 0 and pm.anchored_cycles.size == 0
 
 
 def test_disconnected_live_graph_anchored_fallback():
@@ -128,3 +128,26 @@ def test_coarse_cycle_consumed_at_root_level():
     assert stats.n_internal == 2
     assert len(pm.anchored_cycles) == 1
     assert store.get(pm.anchored_cycles[0]).n_edges == 3
+
+
+def test_sparse_vertex_id_space_fallback():
+    """Scattered huge vertex ids exercise the sparse (unique-remap) path;
+    results must match what the dense path gives on relabeled ids."""
+    big = 10**15
+    local = [
+        (big, big + 7, EDGE_RAW, 0),
+        (big + 7, 3 * big, EDGE_RAW, 1),
+        (3 * big, big, EDGE_RAW, 2),
+    ]
+    store = FragmentStore()
+    pm, stats = run_phase1(0, 0, local, {}, store, validate=True)
+    assert stats.n_live_vertices == 3 and stats.n_local_edges == 3
+    assert len(pm.anchored_cycles) == 1
+    frag = store.get(pm.anchored_cycles[0])
+    assert frag.n_edges == 3
+    # Same graph with compact ids (dense path): identical shape and eids.
+    dense_store = FragmentStore()
+    dense_local = [(0, 1, EDGE_RAW, 0), (1, 2, EDGE_RAW, 1), (2, 0, EDGE_RAW, 2)]
+    dpm, _ = run_phase1(0, 0, dense_local, {}, dense_store, validate=True)
+    dense_frag = dense_store.get(dpm.anchored_cycles[0])
+    assert dense_frag.items[:, 1].tolist() == frag.items[:, 1].tolist()

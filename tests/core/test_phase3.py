@@ -4,29 +4,40 @@ import numpy as np
 import pytest
 
 from repro.core.circuit import verify_circuit
-from repro.core.pathmap import ITEM_EDGE, ITEM_FRAG, KIND_CYCLE, KIND_PATH, FragmentStore
+from repro.core.pathmap import (
+    ITEM_EDGE,
+    ITEM_FRAG,
+    KIND_CYCLE,
+    KIND_PATH,
+    FragmentStore,
+    as_items,
+)
 from repro.core.phase3 import _reverse_items, _rotate_to, build_pending_index, reconstruct_circuit
 from repro.errors import InvariantViolation
 from repro.graph.graph import Graph
 
 
 def test_reverse_items_edges():
-    # Path 5 -e0-> 6 -e1-> 7 reversed: 7 -e1-> 6 -e0-> 5.
-    items = [(ITEM_EDGE, 0, 6), (ITEM_EDGE, 1, 7)]
-    assert _reverse_items(items, 5) == [(ITEM_EDGE, 1, 6), (ITEM_EDGE, 0, 5)]
+    # Path 5 -e0-> 6 -e1-> 7 reversed: 7 -e1-> 6 -e0-> 5 (the dst column
+    # shifts to the preceding junction; direction flags flip).
+    items = as_items([(ITEM_EDGE, 0, 6), (ITEM_EDGE, 1, 7)])
+    rev = _reverse_items(items, 5)
+    assert rev[:, :3].tolist() == [[ITEM_EDGE, 1, 6], [ITEM_EDGE, 0, 5]]
 
 
 def test_reverse_items_flips_frag_orientation():
-    items = [(ITEM_FRAG, 3, 6, True), (ITEM_EDGE, 1, 7)]
+    items = as_items([(ITEM_FRAG, 3, 6, True), (ITEM_EDGE, 1, 7)])
     rev = _reverse_items(items, 5)
-    assert rev == [(ITEM_EDGE, 1, 6), (ITEM_FRAG, 3, 5, False)]
+    assert rev[0].tolist() == [ITEM_EDGE, 1, 6, 0]
+    assert rev[1].tolist() == [ITEM_FRAG, 3, 5, 0]  # forward flag flipped
 
 
 def test_rotate_to():
     # Cycle 1 -a-> 2 -b-> 3 -c-> 1 rotated to start at 3.
-    items = [(ITEM_EDGE, 0, 2), (ITEM_EDGE, 1, 3), (ITEM_EDGE, 2, 1)]
+    items = as_items([(ITEM_EDGE, 0, 2), (ITEM_EDGE, 1, 3), (ITEM_EDGE, 2, 1)])
     rot = _rotate_to(items, 1, 3)
-    assert rot == [(ITEM_EDGE, 2, 1), (ITEM_EDGE, 0, 2), (ITEM_EDGE, 1, 3)]
+    assert rot[:, 1].tolist() == [2, 0, 1]  # eids c, a, b
+    assert rot[:, 2].tolist() == [1, 2, 3]
     assert _rotate_to(items, 1, 1) is items
     with pytest.raises(InvariantViolation):
         _rotate_to(items, 1, 99)
