@@ -1,0 +1,176 @@
+#!/usr/bin/env python
+"""Scenario-layer perf trajectory: committed end-to-end measurements.
+
+Measures what the scenario layer adds on top of the circuit pipeline — the
+reduction (eulerization, component decomposition, virtual-edge
+augmentation), the batched pipeline runs, and the postprocess (rotation,
+id mapping, reassembly) — on the three fixed-seed scenario workloads from
+:mod:`repro.bench.workloads`:
+
+* ``PATH/RMAT`` — eulerized R-MAT minus one edge (open Euler walk);
+* ``POSTMAN/RMAT`` — raw R-MAT largest component (edge revisits);
+* ``COMPONENTS/RMAT`` — disjoint union of three eulerized R-MATs, run as
+  a batch (also measured with the process fan-out, whose circuits must be
+  identical).
+
+Results are recorded into ``BENCH_scenarios.json`` at the repo root under a
+``baseline``/``current`` label — the same committed-trajectory discipline
+as ``bench_perf_dataplane.py``, including the CPU calibration kernel so the
+CI check tracks code, not runner generation. CI runs ``--check``, failing
+on a >``tolerance`` regression of the summed end-to-end seconds.
+
+Usage::
+
+    python benchmarks/bench_scenarios.py --label current
+    python benchmarks/bench_scenarios.py --check --tolerance 0.35
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+import numpy as np  # noqa: E402
+
+from bench_perf_dataplane import calibration_seconds  # noqa: E402
+from repro.bench.report_io import SCHEMA_VERSION  # noqa: E402
+from repro.bench.workloads import (  # noqa: E402
+    SCENARIO_WORKLOADS,
+    load_scenario_workload,
+)
+from repro.pipeline import RunConfig  # noqa: E402
+from repro.scenarios import run_scenario  # noqa: E402
+
+DEFAULT_OUTPUT = Path(__file__).resolve().parents[1] / "BENCH_scenarios.json"
+
+
+def _measure_once(name: str) -> dict:
+    g, spec = load_scenario_workload(name)
+    config = RunConfig(n_parts=spec.n_parts, partitioner="hash", seed=0)
+    t0 = time.perf_counter()
+    result = run_scenario(g, spec.scenario, config)
+    wall = time.perf_counter() - t0
+    out = {
+        "scenario": spec.scenario,
+        "n_vertices": g.n_vertices,
+        "n_edges": g.n_edges,
+        "n_parts": spec.n_parts,
+        "end_to_end_seconds": wall,
+        "superstep_wall": sum(
+            sum(s.context.run_stats.superstep_wall) for s in result.sub_runs
+        ),
+        "n_sub_runs": len(result.sub_runs),
+        "walk_edges": int(sum(c.n_edges for c in result.circuits)),
+        "metrics": {
+            k: result.metrics[k] for k in sorted(result.metrics)
+        },
+    }
+    if spec.scenario == "components":
+        # The batch fan-out path: one process per component, identical output.
+        t0 = time.perf_counter()
+        fan = run_scenario(
+            g, spec.scenario,
+            RunConfig(n_parts=spec.n_parts, partitioner="hash", seed=0,
+                      executor="process", workers=3),
+        )
+        out["fanout_seconds"] = time.perf_counter() - t0
+        for a, b in zip(result.circuits, fan.circuits):
+            assert np.array_equal(a.edge_ids, b.edge_ids), "fan-out mismatch"
+    return out
+
+
+def measure(repeats: int) -> dict:
+    out: dict = {
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "calibration_seconds": calibration_seconds(),
+        "workloads": {},
+    }
+    for name in sorted(SCENARIO_WORKLOADS):
+        runs = [_measure_once(name) for _ in range(repeats)]
+        out["workloads"][name] = min(
+            runs, key=lambda r: r["end_to_end_seconds"]
+        )
+    out["total_end_to_end_seconds"] = sum(
+        w["end_to_end_seconds"] for w in out["workloads"].values()
+    )
+    return out
+
+
+def record(label: str, repeats: int, output: Path) -> dict:
+    doc = json.loads(output.read_text()) if output.exists() else {
+        "metric": "end-to-end run_scenario seconds per scenario workload",
+    }
+    doc["schema_version"] = SCHEMA_VERSION
+    doc[label] = measure(repeats)
+    output.write_text(json.dumps(doc, indent=2, default=float) + "\n")
+    return doc[label]
+
+
+def check(repeats: int, committed: Path, tolerance: float,
+          artifact: Path | None) -> int:
+    """Fail (exit 1) on a >``tolerance`` regression vs the committed point."""
+    doc = json.loads(committed.read_text())
+    ref = doc.get("current")
+    if ref is None:
+        print("no committed 'current' entry; record one with --label current")
+        return 1
+    fresh = measure(repeats)
+    if artifact is not None:
+        artifact.write_text(json.dumps(
+            {"schema_version": doc.get("schema_version"),
+             "measured": fresh, "committed": ref},
+            indent=2, default=float) + "\n")
+    measured = fresh["total_end_to_end_seconds"]
+    reference = ref["total_end_to_end_seconds"]
+    ref_cal = ref.get("calibration_seconds")
+    scale = 1.0
+    if ref_cal:
+        scale = min(4.0, max(0.25, fresh["calibration_seconds"] / ref_cal))
+    limit = reference * scale * (1.0 + tolerance)
+    verdict = "OK" if measured <= limit else "REGRESSION"
+    print(f"scenarios: end-to-end {measured:.3f}s vs committed "
+          f"{reference:.3f}s x {scale:.2f} machine-speed scale "
+          f"(limit {limit:.3f}s, +{tolerance:.0%}): {verdict}")
+    for name, w in fresh["workloads"].items():
+        print(f"  {name}: {w['end_to_end_seconds']:.3f}s "
+              f"({w['n_sub_runs']} sub-run(s), {w['walk_edges']} walk edges)")
+    return 0 if measured <= limit else 1
+
+
+def main(argv=None) -> int:
+    p = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    p.add_argument("--label", choices=("baseline", "current"),
+                   default="current")
+    p.add_argument("--repeats", type=int, default=2, help="best-of-N runs")
+    p.add_argument("--output", type=Path, default=DEFAULT_OUTPUT)
+    p.add_argument("--check", action="store_true",
+                   help="compare a fresh run against the committed numbers")
+    p.add_argument("--against", type=Path, default=DEFAULT_OUTPUT)
+    p.add_argument("--tolerance", type=float, default=0.35,
+                   help="allowed end-to-end regression (check mode)")
+    p.add_argument("--artifact", type=Path, default=None,
+                   help="where to write the fresh measurement in check mode")
+    args = p.parse_args(argv)
+
+    if args.check:
+        return check(args.repeats, args.against, args.tolerance, args.artifact)
+    entry = record(args.label, args.repeats, args.output)
+    print(f"[{args.label}] total end-to-end "
+          f"{entry['total_end_to_end_seconds']:.3f}s -> {args.output}")
+    for name, w in entry["workloads"].items():
+        print(f"  {name}: {w['end_to_end_seconds']:.3f}s "
+              f"({w['scenario']}, {w['n_edges']} edges)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -17,7 +17,10 @@ Reproduces the two headline findings at reduced scale:
    pickle round-trips, like the paper's cluster shuffle).
 
 Run:  python examples/scaling_study.py        (~1 minute)
+Set REPRO_EXAMPLE_SCALE=small (as the CI smoke job does) for a ~5s run.
 """
+
+import os
 
 import numpy as np
 
@@ -25,10 +28,15 @@ from repro.bench.harness import format_table, print_header
 from repro.core import find_euler_circuit, ideal_series, measured_series
 from repro.generate import eulerian_rmat
 
+SMALL = os.environ.get("REPRO_EXAMPLE_SCALE", "").lower() in ("small", "smoke", "ci")
+WEAK_STEPS = ((10, 2), (11, 4), (12, 8)) if SMALL else ((13, 2), (14, 4), (15, 8))
+STUDY_SCALE = 12 if SMALL else 15
+BACKEND_SCALE = 11 if SMALL else 14
+
 def weak_scaling() -> None:
     print_header("Weak scaling (constant vertices per partition)")
     rows = []
-    for scale, n_parts in ((13, 2), (14, 4), (15, 8)):
+    for scale, n_parts in WEAK_STEPS:
         graph, _ = eulerian_rmat(scale, avg_degree=5.0, seed=5)
         res = find_euler_circuit(graph, n_parts=n_parts, seed=0, verify=True)
         rep = res.report
@@ -50,7 +58,7 @@ def weak_scaling() -> None:
 
 def memory_strategies() -> None:
     print_header("Memory state per level: eager vs proposed (Longs)")
-    graph, _ = eulerian_rmat(15, avg_degree=5.0, seed=5)
+    graph, _ = eulerian_rmat(STUDY_SCALE, avg_degree=5.0, seed=5)
     eager = find_euler_circuit(graph, n_parts=8, strategy="eager", seed=0)
     proposed = find_euler_circuit(graph, n_parts=8, strategy="proposed", seed=0)
     cur = measured_series(eager.report, "eager")
@@ -75,7 +83,7 @@ def memory_strategies() -> None:
 
 def executor_backends() -> None:
     print_header("Executor backends: same circuit, different deployment")
-    graph, _ = eulerian_rmat(14, avg_degree=5.0, seed=5)
+    graph, _ = eulerian_rmat(BACKEND_SCALE, avg_degree=5.0, seed=5)
     rows = []
     baseline = None
     for executor, workers in (("serial", 1), ("thread", 4), ("process", 4)):

@@ -9,6 +9,9 @@ workshops, arXiv:1903.06950), as a complete Python library:
 * :mod:`repro.partitioning` — ParHIP-substitute partitioners + metrics;
 * :mod:`repro.bsp` — partition- and vertex-centric BSP engines;
 * :mod:`repro.core` — Phases 1-3, merge tree, §5 improvements, driver;
+* :mod:`repro.scenarios` — workloads as reduction → pipeline → postprocess
+  (circuit, Euler path, per-component batch, Chinese Postman);
+* :mod:`repro.extensions` — compatibility façades over the scenarios;
 * :mod:`repro.baselines` — Hierholzer, Fleury, Makki;
 * :mod:`repro.bench` — the experiment harness (every table & figure).
 

@@ -13,15 +13,21 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 from ..pipeline.context import SCHEMA_VERSION, ExecutionReport, RunContext
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
+    from ..scenarios.base import ScenarioResult
 
 __all__ = [
     "SCHEMA_VERSION",
     "report_to_dict",
     "context_to_dict",
+    "scenario_to_dict",
     "save_report",
     "save_context",
+    "save_scenario",
     "save_rows",
     "load_rows",
 ]
@@ -73,6 +79,7 @@ def context_to_dict(ctx: RunContext) -> dict:
     fragment-store census — the audit trail of a staged run.
     """
     out = report_to_dict(ctx.report)
+    out["artifact"] = "run"
     out["config"].update(
         {
             "requested_parts": ctx.config.n_parts,
@@ -105,6 +112,50 @@ def context_to_dict(ctx: RunContext) -> dict:
     return out
 
 
+def scenario_to_dict(result: "ScenarioResult") -> dict:
+    """Flatten a scenario run (walks + metrics + one run artifact per sub-run).
+
+    The ``sub_runs`` entries are full :func:`context_to_dict` artifacts
+    wrapped with the sub-run key and budget, so a scenario artifact audits
+    exactly like a batch of run artifacts.
+    """
+    cfg = result.config
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "artifact": "scenario",
+        "scenario": result.scenario,
+        "config": {
+            "requested_parts": cfg.n_parts,
+            "partitioner": cfg.partitioner,
+            "strategy": cfg.strategy,
+            "matching": cfg.matching,
+            "seed": cfg.seed,
+            "executor": cfg.executor_name,
+            "workers": cfg.workers,
+            "validate": cfg.validate,
+            "verify": cfg.verify,
+        },
+        "metrics": {k: result.metrics[k] for k in sorted(result.metrics)},
+        "n_parts_allocated": result.n_parts_allocated,
+        "circuits": [
+            {
+                "n_edges": int(c.n_edges),
+                "is_closed": bool(c.is_closed),
+                "start": int(c.start),
+            }
+            for c in result.circuits
+        ],
+        "sub_runs": [
+            {
+                "key": sub.key,
+                "n_parts": sub.n_parts,
+                "run": context_to_dict(sub.context),
+            }
+            for sub in result.sub_runs
+        ],
+    }
+
+
 def save_report(report: ExecutionReport, path) -> Path:
     """Write the flattened report to ``path`` (creating parents)."""
     path = Path(path)
@@ -118,6 +169,14 @@ def save_context(ctx: RunContext, path) -> Path:
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(json.dumps(context_to_dict(ctx), indent=2, default=float))
+    return path
+
+
+def save_scenario(result: "ScenarioResult", path) -> Path:
+    """Write the flattened scenario artifact to ``path`` (creating parents)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(scenario_to_dict(result), indent=2, default=float))
     return path
 
 

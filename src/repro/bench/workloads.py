@@ -23,11 +23,22 @@ import os
 from dataclasses import dataclass
 from pathlib import Path
 
-from ..generate.eulerize import eulerian_rmat
+from ..generate.eulerize import eulerian_rmat, largest_component, open_path_variant
+from ..generate.rmat import rmat_graph
+from ..generate.synthetic import disjoint_union
 from ..graph.graph import Graph
 from ..graph.io import load_npz, save_npz
 
-__all__ = ["WorkloadSpec", "PAPER_WORKLOADS", "load_workload", "workload_names"]
+__all__ = [
+    "WorkloadSpec",
+    "PAPER_WORKLOADS",
+    "load_workload",
+    "workload_names",
+    "ScenarioWorkloadSpec",
+    "SCENARIO_WORKLOADS",
+    "load_scenario_workload",
+    "scenario_workload_names",
+]
 
 
 @dataclass(frozen=True)
@@ -77,6 +88,93 @@ def load_workload(name: str, cache: bool = True) -> tuple[Graph, WorkloadSpec]:
         g, _ = load_npz(path)
         return g, spec
     g, _info = eulerian_rmat(spec.scale, avg_degree=spec.avg_degree, seed=spec.seed)
+    if cache:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        save_npz(g, path)
+    return g, spec
+
+
+# ---------------------------------------------------------------------------
+# Scenario workloads: non-Eulerian and disconnected R-MAT variants
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ScenarioWorkloadSpec:
+    """Recipe for one scenario-layer evaluation graph."""
+
+    name: str
+    #: The scenario this workload exercises (registry name).
+    scenario: str
+    scale: int
+    avg_degree: float
+    n_parts: int
+    seed: int = 42
+    #: What makes the graph non-circuit-shaped.
+    shape: str = ""
+
+
+#: R-MAT variants that exercise the non-circuit scenarios: an almost-Eulerian
+#: graph with exactly two odd vertices (``path``), a raw R-MAT component with
+#: many odd intersections (``postman``), and a disconnected union of
+#: eulerized R-MATs (``components``).
+SCENARIO_WORKLOADS: dict[str, ScenarioWorkloadSpec] = {
+    "PATH/RMAT": ScenarioWorkloadSpec(
+        "PATH/RMAT", "path", scale=13, avg_degree=4.0, n_parts=4, seed=11,
+        shape="eulerized R-MAT minus one non-loop edge (two odd vertices)",
+    ),
+    "POSTMAN/RMAT": ScenarioWorkloadSpec(
+        "POSTMAN/RMAT", "postman", scale=12, avg_degree=3.0, n_parts=4, seed=11,
+        shape="largest component of a raw R-MAT (odd intersections)",
+    ),
+    "COMPONENTS/RMAT": ScenarioWorkloadSpec(
+        "COMPONENTS/RMAT", "components", scale=12, avg_degree=4.0, n_parts=8,
+        seed=11, shape="disjoint union of three eulerized R-MATs",
+    ),
+}
+
+
+def scenario_workload_names() -> list[str]:
+    """The scenario-workload names, sorted."""
+    return sorted(SCENARIO_WORKLOADS)
+
+
+def _build_scenario_graph(spec: ScenarioWorkloadSpec) -> Graph:
+    if spec.scenario == "path":
+        g, _ = eulerian_rmat(spec.scale, avg_degree=spec.avg_degree,
+                             seed=spec.seed)
+        return open_path_variant(g)
+    if spec.scenario == "postman":
+        g = rmat_graph(spec.scale, avg_degree=spec.avg_degree, seed=spec.seed)
+        cc, _ = largest_component(g)
+        return cc
+    if spec.scenario == "components":
+        return disjoint_union(*(
+            eulerian_rmat(spec.scale - i, avg_degree=spec.avg_degree,
+                          seed=spec.seed + i)[0]
+            for i in range(3)
+        ))
+    raise ValueError(f"no generator for scenario {spec.scenario!r}")
+
+
+def load_scenario_workload(
+    name: str, cache: bool = True
+) -> tuple[Graph, ScenarioWorkloadSpec]:
+    """Generate (or load from cache) one scenario evaluation graph."""
+    spec = SCENARIO_WORKLOADS.get(name)
+    if spec is None:
+        raise KeyError(
+            f"unknown scenario workload {name!r}; "
+            f"choose from {scenario_workload_names()}"
+        )
+    key = (
+        f"scenario_{spec.scenario}_s{spec.scale}_d{spec.avg_degree}"
+        f"_seed{spec.seed}.npz"
+    )
+    path = _cache_dir() / key
+    if cache and path.exists():
+        g, _ = load_npz(path)
+        return g, spec
+    g = _build_scenario_graph(spec)
     if cache:
         path.parent.mkdir(parents=True, exist_ok=True)
         save_npz(g, path)

@@ -3,10 +3,13 @@
 Subcommands
 -----------
 ``run``
-    Find an Euler circuit in an edge-list file (or a generated workload) and
-    print the execution report; optionally write the circuit out.
+    Run a scenario (``circuit`` | ``path`` | ``components`` | ``postman``)
+    on an edge-list file or a named workload and print the execution
+    report; optionally write the walk(s) and the run artifact out.
 ``generate``
     Produce an eulerized R-MAT graph as an edge-list file.
+``postman``
+    Shorthand for ``run --scenario postman``.
 ``experiment``
     Regenerate one of the paper's tables/figures by name (``table1``,
     ``fig4`` ... ``fig9``, ``supersteps``, ``baselines``, ``ablations``).
@@ -21,9 +24,10 @@ import numpy as np
 
 from . import bench
 from .bsp import EXECUTORS
-from .core import find_euler_circuit
 from .generate.eulerize import eulerian_rmat
 from .graph.io import load_edge_list, save_edge_list
+from .pipeline import RunConfig
+from .scenarios import run_scenario, scenario_names
 
 __all__ = ["main", "build_parser"]
 
@@ -50,9 +54,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = p.add_subparsers(dest="command", required=True)
 
-    run = sub.add_parser("run", help="find an Euler circuit")
-    run.add_argument("input", help="edge-list file, or workload name like G40k/P8")
-    run.add_argument("--parts", type=int, default=4, help="number of partitions")
+    run = sub.add_parser("run", help="run a scenario (default: Euler circuit)")
+    run.add_argument("input", help="edge-list file, or workload name like "
+                                   "G40k/P8 or POSTMAN/RMAT")
+    # default=None so an explicit "--parts 4" is distinguishable from "not
+    # given" (named workloads supply their own default otherwise).
+    run.add_argument("--parts", type=int, default=None,
+                     help="number of partitions (default: 4, or the named "
+                          "workload's spec)")
+    # default=None: an omitted --scenario falls back to the named workload's
+    # own scenario (POSTMAN/RMAT runs postman), or circuit for files.
+    run.add_argument("--scenario", default=None,
+                     choices=scenario_names(),
+                     help="workload shape (default: circuit, or the named "
+                          "workload's scenario)")
     run.add_argument("--partitioner", default="ldg",
                      choices=("ldg", "bfs", "hash", "random"))
     run.add_argument("--strategy", default="eager",
@@ -64,10 +79,11 @@ def build_parser() -> argparse.ArgumentParser:
                           "--workers > 1)")
     run.add_argument("--workers", type=int, default=1,
                      help="worker count for the thread/process backends")
-    run.add_argument("--verify", action="store_true", help="verify the circuit")
+    run.add_argument("--verify", action="store_true",
+                     help="verify the produced walk(s)")
     run.add_argument("--report-json",
-                     help="write the full run artifact (RunContext) as JSON here")
-    run.add_argument("--out", help="write the circuit's vertex sequence here")
+                     help="write the full run artifact as JSON here")
+    run.add_argument("--out", help="write the walk vertex sequence(s) here")
 
     gen = sub.add_parser("generate", help="generate an eulerized R-MAT graph")
     gen.add_argument("output", help="edge-list file to write")
@@ -81,7 +97,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     post.add_argument("input", help="edge-list file")
     post.add_argument("--parts", type=int, default=4)
+    post.add_argument("--partitioner", default="ldg",
+                      choices=("ldg", "bfs", "hash", "random"))
+    post.add_argument("--strategy", default="eager",
+                      choices=("eager", "dedup", "deferred", "proposed"))
     post.add_argument("--seed", type=int, default=0)
+    post.add_argument("--executor", default=None, choices=sorted(EXECUTORS),
+                      help="BSP backend (default: serial, or thread when "
+                           "--workers > 1)")
+    post.add_argument("--workers", type=int, default=1,
+                      help="worker count for the thread/process backends")
+    post.add_argument("--verify", action="store_true",
+                      help="verify the covering walk")
+    post.add_argument("--report-json",
+                      help="write the scenario artifact as JSON here")
 
     exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
     exp.add_argument("name", choices=sorted(_EXPERIMENTS))
@@ -103,56 +132,120 @@ def main(argv: list[str] | None = None) -> int:
         _EXPERIMENTS[args.name]()
         return 0
     if args.command == "postman":
-        from .extensions import chinese_postman_route
-
         g = load_edge_list(args.input)
-        route = chinese_postman_route(g, n_parts=args.parts, seed=args.seed)
+        config = RunConfig(
+            n_parts=args.parts,
+            partitioner=args.partitioner,
+            strategy=args.strategy,
+            seed=args.seed,
+            executor=args.executor,
+            workers=args.workers,
+            verify=args.verify,
+        )
+        result = run_scenario(g, "postman", config)
+        route = result.circuit
         print(
-            f"route: {route.n_steps} steps over {g.n_edges} edges "
-            f"({route.n_revisits} revisits, "
-            f"{100 * route.deadhead_fraction:.1f}% deadheading), "
+            f"route: {route.n_edges} steps over {g.n_edges} edges "
+            f"({result.metrics['n_revisits']} revisits, "
+            f"{100 * result.metrics['deadhead_fraction']:.1f}% deadheading), "
             f"closed={route.is_closed}"
         )
+        if args.report_json:
+            from .bench.report_io import save_scenario
+
+            path = save_scenario(result, args.report_json)
+            print(f"wrote scenario artifact to {path}")
         return 0
     # run
-    if args.input in bench.PAPER_WORKLOADS:
-        g, spec = bench.load_workload(args.input)
-        n_parts = args.parts if args.parts != 4 else spec.n_parts
-    else:
-        g = load_edge_list(args.input)
-        n_parts = args.parts
-    res = find_euler_circuit(
-        g,
+    g, default_parts, default_scenario = _load_run_input(args.input)
+    n_parts = args.parts if args.parts is not None else default_parts
+    scenario = args.scenario if args.scenario is not None else default_scenario
+    config = RunConfig(
         n_parts=n_parts,
         partitioner=args.partitioner,
         strategy=args.strategy,
         seed=args.seed,
-        verify=args.verify,
         executor=args.executor,
-        engine_workers=args.workers,
+        workers=args.workers,
+        verify=args.verify,
     )
-    rep = res.report
-    print(
-        f"circuit: {res.circuit.n_edges} edges, closed={res.circuit.is_closed}\n"
-        f"partitions={rep.n_parts} supersteps={rep.n_supersteps} "
-        f"executor={res.context.config.executor_name} "
-        f"total={rep.total_seconds:.2f}s compute={rep.compute_seconds:.2f}s"
-    )
+    result = run_scenario(g, scenario, config)
+    _print_scenario(result)
     if args.report_json:
-        from .bench.report_io import save_context
+        if scenario == "circuit":
+            # The established single-run artifact (back-compat for tooling
+            # that reads RunContext JSON).
+            from .bench.report_io import save_context
 
-        path = save_context(res.context, args.report_json)
+            path = save_context(result.sub_runs[0].context, args.report_json)
+        else:
+            from .bench.report_io import save_scenario
+
+            path = save_scenario(result, args.report_json)
         print(f"wrote run artifact to {path}")
-    for row in rep.state_by_level():
-        print(
-            f"  level {row['level']}: partitions={row['n_partitions']} "
-            f"state={row['cumulative_longs']:,} Longs "
-            f"(avg {row['avg_longs']:,.0f})"
-        )
+    for sub in result.sub_runs:
+        for row in sub.report.state_by_level():
+            print(
+                f"  level {row['level']}: partitions={row['n_partitions']} "
+                f"state={row['cumulative_longs']:,} Longs "
+                f"(avg {row['avg_longs']:,.0f})"
+            )
     if args.out:
-        np.savetxt(args.out, res.circuit.vertices, fmt="%d")
-        print(f"wrote circuit vertex sequence to {args.out}")
+        _write_walks(args.out, result.circuits)
+        print(f"wrote walk vertex sequence to {args.out}")
     return 0
+
+
+def _write_walks(path: str, circuits) -> None:
+    """One vertex id per line; a single walk keeps the established format.
+
+    Several walks (the ``components`` scenario) are delimited by
+    ``# walk <i>: <n> edges`` comment headers, so consumers can split them
+    while ``np.loadtxt`` keeps reading the file (comments are skipped).
+    """
+    if len(circuits) == 1:
+        np.savetxt(path, circuits[0].vertices, fmt="%d")
+        return
+    with open(path, "w") as fh:
+        for i, circ in enumerate(circuits):
+            fh.write(f"# walk {i}: {circ.n_edges} edges\n")
+            fh.writelines(f"{int(v)}\n" for v in circ.vertices)
+
+
+def _load_run_input(name: str):
+    """Resolve a ``run`` input: named workload or edge-list path.
+
+    Returns ``(graph, default_n_parts, default_scenario)`` — the defaults
+    apply only when ``--parts`` / ``--scenario`` were not given.
+    """
+    if name in bench.PAPER_WORKLOADS:
+        g, spec = bench.load_workload(name)
+        return g, spec.n_parts, "circuit"
+    if name in bench.SCENARIO_WORKLOADS:
+        g, spec = bench.load_scenario_workload(name)
+        return g, spec.n_parts, spec.scenario
+    return load_edge_list(name), 4, "circuit"
+
+
+def _print_scenario(result) -> None:
+    """Human summary: one line per walk, one pipeline line per sub-run."""
+    for circ in result.circuits:
+        kind = "circuit" if circ.is_closed else "path"
+        print(f"{kind}: {circ.n_edges} edges, closed={circ.is_closed}")
+    if result.metrics:
+        pretty = ", ".join(
+            f"{k}={v:.3f}" if isinstance(v, float) else f"{k}={v}"
+            for k, v in sorted(result.metrics.items())
+        )
+        print(f"{result.scenario}: {pretty}")
+    for sub in result.sub_runs:
+        rep = sub.report
+        prefix = f"[{sub.key}] " if len(result.sub_runs) > 1 else ""
+        print(
+            f"{prefix}partitions={rep.n_parts} supersteps={rep.n_supersteps} "
+            f"executor={sub.context.config.executor_name} "
+            f"total={rep.total_seconds:.2f}s compute={rep.compute_seconds:.2f}s"
+        )
 
 
 if __name__ == "__main__":  # pragma: no cover

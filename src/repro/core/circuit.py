@@ -16,7 +16,7 @@ import numpy as np
 from ..errors import InvalidCircuitError
 from ..graph.graph import Graph
 
-__all__ = ["EulerCircuit", "verify_circuit"]
+__all__ = ["EulerCircuit", "check_step_incidence", "verify_circuit"]
 
 
 @dataclass(frozen=True)
@@ -59,6 +59,29 @@ class EulerCircuit:
         return f"EulerCircuit({kind}, n_edges={self.n_edges}, start={self.start})"
 
 
+def check_step_incidence(
+    graph: Graph, vertices: np.ndarray, edge_ids: np.ndarray
+) -> None:
+    """Raise unless every walk step's vertex pair matches its edge id.
+
+    The one incidence definition shared by every walk verifier (circuit,
+    covering walk, reassembled component): step ``i`` must join
+    ``vertices[i]`` and ``vertices[i+1]`` via edge ``edge_ids[i]`` in either
+    orientation.
+    """
+    eu = graph.edge_u[edge_ids]
+    ev = graph.edge_v[edge_ids]
+    a, b = vertices[:-1], vertices[1:]
+    ok = ((a == eu) & (b == ev)) | ((a == ev) & (b == eu))
+    if not bool(ok.all()):
+        bad = int(np.flatnonzero(~ok)[0])
+        raise InvalidCircuitError(
+            f"step {bad}: edge {int(edge_ids[bad])}="
+            f"({int(eu[bad])},{int(ev[bad])}) "
+            f"does not join vertices {int(a[bad])}->{int(b[bad])}"
+        )
+
+
 def verify_circuit(
     graph: Graph, circuit: EulerCircuit, require_closed: bool = True
 ) -> None:
@@ -89,16 +112,7 @@ def verify_circuit(
         raise InvalidCircuitError(
             f"edge multiset mismatch: duplicated {dup}, missing {missing}"
         )
-    eu = graph.edge_u[eids]
-    ev = graph.edge_v[eids]
-    a, b = verts[:-1], verts[1:]
-    ok = ((a == eu) & (b == ev)) | ((a == ev) & (b == eu))
-    if not bool(ok.all()):
-        bad = int(np.flatnonzero(~ok)[0])
-        raise InvalidCircuitError(
-            f"step {bad}: edge {int(eids[bad])}=({int(eu[bad])},{int(ev[bad])}) "
-            f"does not join vertices {int(a[bad])}->{int(b[bad])}"
-        )
+    check_step_incidence(graph, verts, eids)
     if require_closed and not circuit.is_closed:
         raise InvalidCircuitError(
             f"walk is not closed: starts at {int(verts[0])}, ends at {int(verts[-1])}"

@@ -273,6 +273,18 @@ class FragmentStore:
         # for all of them), so registration/spill must be thread-safe.
         self._lock = threading.Lock()
 
+    def __getstate__(self) -> dict:
+        # A lock is not picklable; the store otherwise is (fragment bodies are
+        # raw arrays). Needed so a full RunContext can travel back from a
+        # scenario fan-out worker process.
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
     def __len__(self) -> int:
         return len(self._frags)
 

@@ -5,6 +5,11 @@
   edge revisits").
 * :func:`find_euler_path` — open Euler walks via the virtual-edge reduction.
 * :func:`find_component_circuits` — one circuit per connected component.
+
+All three are thin compatibility façades over :mod:`repro.scenarios`,
+which runs each workload through the full staged pipeline (executor
+backends, spill, validation, verification, run artifacts). New code
+should prefer :func:`repro.scenarios.run_scenario`.
 """
 
 from .components import ComponentCircuit, find_component_circuits

@@ -1,21 +1,20 @@
-"""Per-component Euler circuits for graphs with several edge components.
+"""Per-component Euler circuits — façade over the ``components`` scenario.
 
 The paper treats the graph WLOG as connected; real inputs often are not.
-This extension decomposes the graph into edge-bearing connected components
-and runs the distributed algorithm on each, returning one circuit per
-component with vertex ids mapped back to the original graph.
+The decomposition, the largest-remainder partition-budget split, and the
+batch execution (optionally fanned out across a process pool) live in
+:mod:`repro.scenarios.components`; this module keeps the established
+:class:`ComponentCircuit` return type.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
 from ..core.circuit import EulerCircuit
-from ..core.driver import find_euler_circuit
 from ..graph.graph import Graph
-from ..graph.properties import connected_components
+from ..pipeline import RunConfig
+from ..scenarios import run_scenario
 
 __all__ = ["ComponentCircuit", "find_component_circuits"]
 
@@ -34,43 +33,39 @@ def find_component_circuits(
     partitioner: str = "ldg",
     strategy: str = "eager",
     seed: int = 0,
+    *,
+    matching: str = "greedy",
+    executor: str | None = None,
+    engine_workers: int = 1,
+    spill_dir=None,
+    validate: bool = False,
+    verify: bool = False,
 ) -> list[ComponentCircuit]:
     """Find an Euler circuit in every edge-bearing connected component.
 
     Each component must individually have all-even degrees (raises
     :class:`~repro.errors.NotEulerianError` naming the offenders otherwise).
-    Components get partition counts proportional to their edge share (at
-    least 1). Returns components ordered by their smallest vertex id.
+    The ``n_parts`` budget is split across components proportionally to
+    their edge counts by largest-remainder allocation — at least one each,
+    and never more than ``n_parts`` in total (unless there are more
+    components than partitions). With ``executor="process"`` and
+    ``engine_workers > 1`` the components run concurrently, one process
+    per component. Returns components ordered by their smallest vertex id.
     """
-    if graph.n_edges == 0:
-        return []
-    comp = connected_components(graph)
-    edge_comp = comp[graph.edge_u]
-    labels = np.unique(edge_comp)
-    out: list[ComponentCircuit] = []
-    for label in labels.tolist():
-        eids = np.flatnonzero(edge_comp == label)
-        verts = np.flatnonzero(comp == label)
-        remap = np.full(graph.n_vertices, -1, dtype=np.int64)
-        remap[verts] = np.arange(verts.size, dtype=np.int64)
-        sub = Graph(
-            verts.size,
-            remap[graph.edge_u[eids]],
-            remap[graph.edge_v[eids]],
-        )
-        share = max(1, round(n_parts * eids.size / graph.n_edges))
-        res = find_euler_circuit(
-            sub, n_parts=share, partitioner=partitioner,
-            strategy=strategy, seed=seed,
-        )
-        circ = res.circuit
-        out.append(
-            ComponentCircuit(
-                component=int(label),
-                circuit=EulerCircuit(
-                    vertices=verts[circ.vertices],
-                    edge_ids=eids[circ.edge_ids],
-                ),
-            )
-        )
-    return out
+    config = RunConfig(
+        n_parts=n_parts,
+        partitioner=partitioner,
+        strategy=strategy,
+        matching=matching,
+        seed=seed,
+        executor=executor,
+        workers=engine_workers,
+        spill_dir=spill_dir,
+        validate=validate,
+        verify=verify,
+    )
+    result = run_scenario(graph, "components", config)
+    return [
+        ComponentCircuit(component=int(sub.meta["label"]), circuit=circ)
+        for sub, circ in zip(result.sub_runs, result.circuits)
+    ]

@@ -1,22 +1,20 @@
-"""Distributed Euler *paths* (open walks) via the virtual-edge reduction.
+"""Distributed Euler *paths* (open walks) — façade over the ``path`` scenario.
 
 A connected graph with exactly two odd-degree vertices has an Euler path
-between them (but no circuit). The classical reduction: join the odd pair
-with a virtual edge, find an Euler circuit — here with the paper's
-distributed algorithm — then rotate the circuit so the virtual edge comes
-last and cut it off. Needed by the DNA-assembly use case the paper cites
-(linear genomes give Euler paths, not circuits).
+between them (but no circuit). The classical reduction — join the odd pair
+with a virtual edge, find an Euler circuit distributedly, rotate it so the
+virtual edge comes last and cut it off — lives in
+:mod:`repro.scenarios.path`; this module keeps the established call
+signature. Needed by the DNA-assembly use case the paper cites (linear
+genomes give Euler paths, not circuits).
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-from ..core.circuit import EulerCircuit, verify_circuit
-from ..core.driver import find_euler_circuit
-from ..errors import NotEulerianError
+from ..core.circuit import EulerCircuit
 from ..graph.graph import Graph
-from ..graph.properties import euler_path_endpoints, odd_vertices
+from ..pipeline import RunConfig
+from ..scenarios import run_scenario
 
 __all__ = ["find_euler_path"]
 
@@ -28,12 +26,21 @@ def find_euler_path(
     strategy: str = "eager",
     seed: int = 0,
     verify: bool = False,
+    *,
+    matching: str = "greedy",
+    executor: str | None = None,
+    engine_workers: int = 1,
+    spill_dir=None,
+    validate: bool = False,
 ) -> EulerCircuit:
     """Find an Euler path (or circuit) with the distributed algorithm.
 
     For a graph with exactly two odd vertices, returns an open walk between
-    them using every edge exactly once; for an Eulerian graph, delegates to
-    :func:`~repro.core.driver.find_euler_circuit`.
+    them using every edge exactly once; for an Eulerian graph, the circuit.
+    The full pipeline configuration is forwarded: ``executor`` /
+    ``engine_workers`` select the BSP backend, ``spill_dir`` spills
+    fragment bodies, ``validate`` checks Lemmas 1–3, and ``verify`` checks
+    both the augmented circuit *and* the rotated open walk.
 
     Raises
     ------
@@ -41,37 +48,16 @@ def find_euler_path(
         If the graph has more than two odd-degree vertices (no Euler path)
         or its edges are disconnected.
     """
-    ends = euler_path_endpoints(graph)
-    if ends is None:
-        odd = odd_vertices(graph)
-        if odd.size == 0:
-            result = find_euler_circuit(
-                graph, n_parts=n_parts, partitioner=partitioner,
-                strategy=strategy, seed=seed, verify=verify,
-            )
-            return result.circuit
-        raise NotEulerianError(
-            f"no Euler path: {odd.size} odd-degree vertices (need 0 or 2)",
-            odd_vertices=odd[:64].tolist(),
-        )
-
-    a, b = ends
-    augmented = graph.with_extra_edges([a], [b])
-    virtual_eid = graph.n_edges
-    result = find_euler_circuit(
-        augmented, n_parts=n_parts, partitioner=partitioner,
-        strategy=strategy, seed=seed,
+    config = RunConfig(
+        n_parts=n_parts,
+        partitioner=partitioner,
+        strategy=strategy,
+        matching=matching,
+        seed=seed,
+        executor=executor,
+        workers=engine_workers,
+        spill_dir=spill_dir,
+        validate=validate,
+        verify=verify,
     )
-    circ = result.circuit
-
-    # Rotate the circuit so the virtual edge is the last step, then cut it.
-    eids = circ.edge_ids
-    verts = circ.vertices
-    k = int(np.flatnonzero(eids == virtual_eid)[0])
-    # Closed walk: verts[0] == verts[-1]; rotate to start just after step k.
-    rot_e = np.concatenate([eids[k + 1 :], eids[:k]])
-    rot_v = np.concatenate([verts[k + 1 : -1], verts[: k + 1]])
-    path = EulerCircuit(vertices=rot_v, edge_ids=rot_e)
-    if verify:
-        verify_circuit(graph, path, require_closed=False)
-    return path
+    return run_scenario(graph, "path", config).circuit

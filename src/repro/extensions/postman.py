@@ -1,18 +1,12 @@
-"""Chinese Postman routes: Euler circuits on non-Eulerian graphs.
+"""Chinese Postman routes — façade over the ``postman`` scenario.
 
 The paper's stated future work (§6): *"We will also consider generalizing
 this to non Eulerian graphs, by allowing edge revisits."* A closed walk
 covering every edge at least once, with revisits minimized, is the Chinese
-Postman Problem [Edmonds & Johnson 1973 — the paper's ref 3].
-
-The classical construction: pair up the odd-degree vertices and duplicate a
-shortest path between each pair (each duplicated edge is one *revisit*,
-a.k.a. deadheading); the multigraph becomes Eulerian and its Euler circuit
-— found here with the paper's distributed algorithm — maps back to a
-covering walk of the original graph. Exact CPP needs minimum-weight perfect
-matching (O(|V|^3)); we use the standard greedy nearest-neighbour matching
-on BFS distances, a ~2-approximation adequate for route planning and for
-exercising the edge-revisit code path.
+Postman Problem [Edmonds & Johnson 1973 — the paper's ref 3]. The
+eulerization (greedy odd-vertex matching + duplicated shortest paths) and
+the edge-id mapping live in :mod:`repro.scenarios.postman`; this module
+keeps the established :class:`PostmanRoute` return type.
 """
 
 from __future__ import annotations
@@ -21,12 +15,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..core.circuit import EulerCircuit
-from ..core.driver import find_euler_circuit
-from ..errors import DisconnectedGraphError, NotEulerianError
 from ..graph.graph import Graph
-from ..graph.properties import n_edge_components, odd_vertices
-from ..graph.traversal import bfs_distances, shortest_path
+from ..pipeline import RunConfig
+from ..scenarios import run_scenario
 
 __all__ = ["PostmanRoute", "chinese_postman_route"]
 
@@ -64,87 +55,50 @@ class PostmanRoute:
         return self.n_steps == 0 or int(self.vertices[0]) == int(self.vertices[-1])
 
 
-def _greedy_odd_matching(graph: Graph, odd: np.ndarray) -> list[tuple[int, int]]:
-    """Nearest-neighbour pairing of odd vertices by BFS distance."""
-    remaining = [int(v) for v in odd]
-    pairs: list[tuple[int, int]] = []
-    while remaining:
-        a = remaining.pop(0)
-        dist = bfs_distances(graph, a)
-        best_i, best_d = None, None
-        for i, b in enumerate(remaining):
-            d = int(dist[b])
-            if d >= 0 and (best_d is None or d < best_d):
-                best_i, best_d = i, d
-        if best_i is None:
-            raise DisconnectedGraphError(
-                f"odd vertex {a} cannot reach any other odd vertex",
-                num_components=n_edge_components(graph),
-            )
-        pairs.append((a, remaining.pop(best_i)))
-    return pairs
-
-
 def chinese_postman_route(
     graph: Graph,
     n_parts: int = 4,
     partitioner: str = "ldg",
     strategy: str = "eager",
     seed: int = 0,
+    *,
+    matching: str = "greedy",
+    executor: str | None = None,
+    engine_workers: int = 1,
+    spill_dir=None,
+    validate: bool = False,
+    verify: bool = False,
 ) -> PostmanRoute:
     """Compute a closed covering walk (Euler circuit with edge revisits).
 
     Eulerizes the graph by duplicating shortest paths between greedily
     matched odd-degree vertices, runs the paper's distributed algorithm on
-    the resulting multigraph, and maps edge ids back to the original graph.
+    the resulting multigraph — with the full pipeline configuration
+    (executor backend, workers, spill, validation, verification) — and
+    maps edge ids back to the original graph.
 
     Raises
     ------
     DisconnectedGraphError
         If the edges span several components (cover each separately).
     """
-    if graph.n_edges == 0:
-        return PostmanRoute(
-            np.empty(0, np.int64), np.empty(0, np.int64), 0, 0.0
-        )
-    if n_edge_components(graph) > 1:
-        raise DisconnectedGraphError(
-            "postman route requires edges in a single component",
-            num_components=n_edge_components(graph),
-        )
-
-    odd = odd_vertices(graph)
-    dup_u: list[int] = []
-    dup_v: list[int] = []
-    dup_orig: list[int] = []  # original eid each duplicate revisits
-    for a, b in _greedy_odd_matching(graph, odd):
-        verts, eids = shortest_path(graph, a, b)
-        for (x, y), e in zip(zip(verts[:-1], verts[1:]), eids):
-            dup_u.append(x)
-            dup_v.append(y)
-            dup_orig.append(e)
-
-    augmented = graph.with_extra_edges(dup_u, dup_v)
-    result = find_euler_circuit(
-        augmented,
+    config = RunConfig(
         n_parts=n_parts,
         partitioner=partitioner,
         strategy=strategy,
+        matching=matching,
         seed=seed,
+        executor=executor,
+        workers=engine_workers,
+        spill_dir=spill_dir,
+        validate=validate,
+        verify=verify,
     )
-    circ: EulerCircuit = result.circuit
-
-    # Map augmented edge ids back: ids >= graph.n_edges are duplicates.
-    m = graph.n_edges
-    mapped = circ.edge_ids.copy()
-    dup_mask = mapped >= m
-    if dup_mask.any():
-        orig = np.array(dup_orig, dtype=np.int64)
-        mapped[dup_mask] = orig[mapped[dup_mask] - m]
-    n_rev = int(dup_mask.sum())
+    result = run_scenario(graph, "postman", config)
+    walk = result.circuit
     return PostmanRoute(
-        vertices=circ.vertices,
-        edge_ids=mapped,
-        n_revisits=n_rev,
-        deadhead_fraction=n_rev / m,
+        vertices=walk.vertices,
+        edge_ids=walk.edge_ids,
+        n_revisits=int(result.metrics["n_revisits"]),
+        deadhead_fraction=float(result.metrics["deadhead_fraction"]),
     )

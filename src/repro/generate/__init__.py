@@ -4,12 +4,19 @@ Reproduces the paper's §4.2 input pipeline (R-MAT → eulerize) plus the
 structured workloads used by the examples and tests.
 """
 
-from .eulerize import EulerizeInfo, eulerian_rmat, eulerize, largest_component
+from .eulerize import (
+    EulerizeInfo,
+    eulerian_rmat,
+    eulerize,
+    largest_component,
+    open_path_variant,
+)
 from .rmat import RMAT_DEFAULTS, rmat_graph
 from .synthetic import (
     complete_graph,
     cycle_graph,
     de_bruijn_reads,
+    disjoint_union,
     grid_city,
     paper_figure1_graph,
     random_eulerian,
@@ -21,11 +28,13 @@ __all__ = [
     "eulerian_rmat",
     "eulerize",
     "largest_component",
+    "open_path_variant",
     "RMAT_DEFAULTS",
     "rmat_graph",
     "complete_graph",
     "cycle_graph",
     "de_bruijn_reads",
+    "disjoint_union",
     "grid_city",
     "paper_figure1_graph",
     "random_eulerian",

@@ -23,7 +23,31 @@ import numpy as np
 from ..graph.graph import Graph
 from ..graph.properties import connected_components, odd_vertices
 
-__all__ = ["EulerizeInfo", "largest_component", "eulerize", "eulerian_rmat"]
+__all__ = [
+    "EulerizeInfo",
+    "largest_component",
+    "eulerize",
+    "eulerian_rmat",
+    "open_path_variant",
+]
+
+
+def open_path_variant(graph: Graph) -> Graph:
+    """Drop one non-loop edge from an Eulerian graph: an Euler-*path* input.
+
+    The removed edge's endpoints become the only two odd-degree vertices,
+    and an Eulerian graph cannot be disconnected by one edge removal (every
+    edge lies on a cycle) — so the result has an open Euler path. Raises
+    ``ValueError`` if every edge is a self loop (nothing to open).
+    """
+    non_loop = np.flatnonzero(graph.edge_u != graph.edge_v)
+    if non_loop.size == 0:
+        raise ValueError("graph has no non-loop edge to drop")
+    drop = int(non_loop[0])
+    keep = np.concatenate(
+        [np.arange(drop), np.arange(drop + 1, graph.n_edges)]
+    )
+    return graph.subgraph_edges(keep)
 
 
 @dataclass(frozen=True)

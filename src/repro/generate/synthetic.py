@@ -28,12 +28,32 @@ from ..graph.graph import Graph, GraphBuilder
 __all__ = [
     "cycle_graph",
     "complete_graph",
+    "disjoint_union",
     "grid_city",
     "ring_of_cliques",
     "random_eulerian",
     "de_bruijn_reads",
     "paper_figure1_graph",
 ]
+
+
+def disjoint_union(*graphs: Graph) -> Graph:
+    """Disjoint union with vertex-id offsets (a multi-component graph).
+
+    Graph ``i``'s vertex ``v`` becomes ``v + sum(n_vertices of graphs[:i])``;
+    edge ids concatenate in graph order. The standard fixture for the
+    ``components`` scenario and its benchmarks.
+    """
+    offset = 0
+    us: list[np.ndarray] = []
+    vs: list[np.ndarray] = []
+    for g in graphs:
+        us.append(np.asarray(g.edge_u) + offset)
+        vs.append(np.asarray(g.edge_v) + offset)
+        offset += g.n_vertices
+    if not us:
+        return Graph(0)
+    return Graph(offset, np.concatenate(us), np.concatenate(vs))
 
 
 def cycle_graph(n: int) -> Graph:

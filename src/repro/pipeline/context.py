@@ -37,7 +37,10 @@ __all__ = ["SCHEMA_VERSION", "RunConfig", "RunContext", "ExecutionReport"]
 #: Bump on any field addition, removal or meaning change.
 #: v3: columnar data plane — the fragment-store summary gained
 #: ``n_item_rows`` (resident packed ItemArray rows).
-SCHEMA_VERSION = 3
+#: v4: scenario layer — artifacts carry an ``artifact`` kind tag
+#: (``"run"`` | ``"scenario"``); scenario artifacts nest one run artifact
+#: per sub-run (see :func:`repro.bench.report_io.scenario_to_dict`).
+SCHEMA_VERSION = 4
 
 
 @dataclass(frozen=True)

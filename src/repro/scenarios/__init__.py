@@ -1,0 +1,93 @@
+"""Scenario layer: every workload as reduction → pipeline → postprocess.
+
+The paper evaluates one workload — an Euler circuit on a connected
+Eulerian graph. Real deployments need more (its §6 future work names open
+Euler paths and edge-revisit generalizations); this package expresses each
+such workload as a :class:`~repro.scenarios.base.Scenario` that runs
+through the *full* staged pipeline, so every scenario gets the executor
+backends (serial/thread/process), disk spill, Lemma validation, circuit
+verification, and the schema-versioned run artifact — none of them are
+side doors around the pipeline.
+
+::
+
+    graph ──reduce──▶ Eulerian sub-problem(s) ──run_pipeline──▶ circuit(s)
+                                                                   │
+    walks in original ids + metrics ◀──────────postprocess─────────┘
+
+Registered scenarios
+--------------------
+``circuit``
+    The identity scenario: the paper's Euler circuit.
+``path``
+    Open Euler walk via the virtual-edge reduction (rotate & cut) — the
+    DNA-assembly shape: linear genomes give paths, not circuits.
+``components``
+    One circuit per edge-bearing connected component; the partition budget
+    splits across components by largest-remainder allocation, and the
+    components run as a batch (optionally fanned out across a process
+    pool) — the first multi-graph execution path.
+``postman``
+    Chinese Postman covering walk [Edmonds & Johnson 1973]: eulerize by
+    duplicating shortest paths between matched odd vertices, map edge ids
+    back, report the deadhead fraction.
+
+Quickstart::
+
+    from repro.pipeline import RunConfig
+    from repro.scenarios import run_scenario
+
+    result = run_scenario(graph, "postman",
+                          RunConfig(n_parts=4, executor="process",
+                                    workers=4, verify=True))
+    print(result.circuit, result.metrics["deadhead_fraction"])
+    for sub in result.sub_runs:          # full pipeline artifact per run
+        print(sub.key, sub.report.n_supersteps)
+
+The legacy :mod:`repro.extensions` functions are thin compatibility
+façades over these scenarios.
+"""
+
+from .base import (
+    SCENARIOS,
+    Scenario,
+    ScenarioResult,
+    SubProblem,
+    SubRun,
+    allocate_parts,
+    get_scenario,
+    register_scenario,
+    run_scenario,
+    scenario_names,
+)
+from .circuit import CircuitScenario
+from .components import ComponentsScenario, reassemble
+from .path import PathScenario, rotate_and_cut
+from .postman import (
+    PostmanScenario,
+    greedy_odd_matching,
+    map_edge_ids,
+    verify_covering_walk,
+)
+
+__all__ = [
+    "SCENARIOS",
+    "Scenario",
+    "ScenarioResult",
+    "SubProblem",
+    "SubRun",
+    "allocate_parts",
+    "get_scenario",
+    "register_scenario",
+    "run_scenario",
+    "scenario_names",
+    "CircuitScenario",
+    "ComponentsScenario",
+    "PathScenario",
+    "PostmanScenario",
+    "greedy_odd_matching",
+    "map_edge_ids",
+    "reassemble",
+    "rotate_and_cut",
+    "verify_covering_walk",
+]

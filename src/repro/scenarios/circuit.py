@@ -1,0 +1,37 @@
+"""The identity scenario: an Euler circuit on an Eulerian graph.
+
+No reduction (the graph is its own sub-problem) and no postprocess beyond
+returning the pipeline's circuit — this is :func:`repro.core.find_euler_circuit`
+expressed in scenario form, so the CLI and batch tooling can treat all
+workloads uniformly.
+"""
+
+from __future__ import annotations
+
+from ..core.circuit import EulerCircuit
+from ..graph.graph import Graph
+from ..pipeline import RunConfig, RunContext
+from .base import Scenario, SubProblem, register_scenario
+
+__all__ = ["CircuitScenario"]
+
+
+class CircuitScenario(Scenario):
+    """Euler circuit of the whole (Eulerian) graph."""
+
+    name = "circuit"
+
+    def reduce(self, graph: Graph, config: RunConfig) -> list[SubProblem]:
+        return [SubProblem(key="graph", graph=graph, n_parts=config.n_parts)]
+
+    def postprocess(
+        self,
+        graph: Graph,
+        config: RunConfig,
+        subs: list[SubProblem],
+        contexts: list[RunContext],
+    ) -> tuple[list[EulerCircuit], dict]:
+        return [contexts[0].circuit], {}
+
+
+register_scenario(CircuitScenario())

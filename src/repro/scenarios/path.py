@@ -1,0 +1,96 @@
+"""Euler *paths* (open walks) via the virtual-edge reduction.
+
+A connected graph with exactly two odd-degree vertices has an Euler path
+between them (but no circuit). Reduction: join the odd pair with a virtual
+edge so the graph becomes Eulerian; postprocess: rotate the circuit so the
+virtual edge is the last step and cut it off (:func:`rotate_and_cut`).
+Needed by the DNA-assembly use case the paper cites — linear genomes give
+Euler paths, not circuits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.circuit import EulerCircuit, verify_circuit
+from ..errors import InvalidCircuitError, NotEulerianError
+from ..graph.graph import Graph
+from ..graph.properties import euler_path_endpoints, odd_vertices
+from ..pipeline import RunConfig, RunContext
+from .base import Scenario, SubProblem, register_scenario
+
+__all__ = ["PathScenario", "rotate_and_cut"]
+
+
+def rotate_and_cut(circuit: EulerCircuit, virtual_eid: int) -> EulerCircuit:
+    """Rotate a closed circuit so ``virtual_eid`` comes last, then drop it.
+
+    The closed walk ``v0 .. v0`` containing the virtual edge at step ``k``
+    becomes the open walk that starts just after step ``k`` and ends just
+    before it — the Euler path of the un-augmented graph. Handles the
+    virtual edge landing at any step, including the first and the last.
+    """
+    eids = np.asarray(circuit.edge_ids)
+    verts = np.asarray(circuit.vertices)
+    hits = np.flatnonzero(eids == virtual_eid)
+    if hits.size != 1:
+        raise InvalidCircuitError(
+            f"virtual edge {virtual_eid} appears {hits.size} times in circuit"
+        )
+    k = int(hits[0])
+    # Closed walk: verts[0] == verts[-1]; start the open walk after step k.
+    rot_e = np.concatenate([eids[k + 1 :], eids[:k]])
+    rot_v = np.concatenate([verts[k + 1 : -1], verts[: k + 1]])
+    return EulerCircuit(vertices=rot_v, edge_ids=rot_e)
+
+
+class PathScenario(Scenario):
+    """Open Euler walk between the two odd-degree vertices."""
+
+    name = "path"
+
+    def reduce(self, graph: Graph, config: RunConfig) -> list[SubProblem]:
+        ends = euler_path_endpoints(graph)
+        if ends is None:
+            odd = odd_vertices(graph)
+            if odd.size == 0:
+                # Already Eulerian: the circuit doubles as the (closed) path.
+                return [
+                    SubProblem(
+                        key="graph", graph=graph, n_parts=config.n_parts,
+                        meta={"virtual_eid": None},
+                    )
+                ]
+            raise NotEulerianError(
+                f"no Euler path: {odd.size} odd-degree vertices (need 0 or 2)",
+                odd_vertices=odd[:64].tolist(),
+            )
+        a, b = ends
+        augmented = graph.with_extra_edges([a], [b])
+        return [
+            SubProblem(
+                key="augmented", graph=augmented, n_parts=config.n_parts,
+                meta={"virtual_eid": graph.n_edges},
+            )
+        ]
+
+    def postprocess(
+        self,
+        graph: Graph,
+        config: RunConfig,
+        subs: list[SubProblem],
+        contexts: list[RunContext],
+    ) -> tuple[list[EulerCircuit], dict]:
+        virtual_eid = subs[0].meta["virtual_eid"]
+        circ = contexts[0].circuit
+        if virtual_eid is None:
+            return [circ], {"n_virtual_edges": 0}
+        path = rotate_and_cut(circ, virtual_eid)
+        if config.verify:
+            # The pipeline verified the augmented circuit; this checks the
+            # rotated open walk against the original graph.
+            verify_circuit(graph, path, require_closed=False)
+        return [path], {"n_virtual_edges": 1}
+
+
+register_scenario(PathScenario())

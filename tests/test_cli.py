@@ -1,10 +1,15 @@
 """Tests for the repro-euler CLI."""
 
+import json
+
 import numpy as np
 import pytest
 
+from repro import bench
+from repro.bench.workloads import WorkloadSpec
 from repro.cli import build_parser, main
-from repro.generate.synthetic import grid_city
+from repro.generate.synthetic import cycle_graph, grid_city
+from repro.graph.graph import Graph
 from repro.graph.io import load_edge_list, save_edge_list
 
 
@@ -45,3 +50,124 @@ def test_run_with_strategy(tmp_path, capsys):
 def test_unknown_experiment_rejected():
     with pytest.raises(SystemExit):
         main(["experiment", "fig99"])
+
+
+def _fake_workload(monkeypatch, spec_parts=3):
+    """Register a tiny named workload so `run <name>` avoids generation."""
+    g = grid_city(5, 5)
+    spec = WorkloadSpec("tiny", 4, 2.0, n_parts=spec_parts)
+    monkeypatch.setitem(bench.PAPER_WORKLOADS, "tiny", spec)
+    monkeypatch.setattr(bench, "load_workload", lambda name: (g, spec))
+    return g, spec
+
+
+def test_explicit_parts_four_wins_over_workload_spec(monkeypatch, capsys):
+    # Regression: "--parts 4" used to be indistinguishable from "not given"
+    # (a `!= 4` sentinel) and was silently replaced by the workload spec.
+    _fake_workload(monkeypatch, spec_parts=3)
+    assert main(["run", "tiny", "--parts", "4"]) == 0
+    assert "partitions=4" in capsys.readouterr().out
+
+
+def test_omitted_parts_uses_workload_spec(monkeypatch, capsys):
+    _fake_workload(monkeypatch, spec_parts=3)
+    assert main(["run", "tiny"]) == 0
+    assert "partitions=3" in capsys.readouterr().out
+
+
+def test_run_scenario_path(tmp_path, capsys):
+    f = tmp_path / "p.txt"
+    save_edge_list(Graph.from_edges(4, [(0, 1), (1, 2), (2, 0), (1, 3)]), f)
+    report = tmp_path / "path.json"
+    rc = main(["run", str(f), "--scenario", "path", "--parts", "2",
+               "--verify", "--report-json", str(report)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "path: 4 edges, closed=False" in out
+    doc = json.loads(report.read_text())
+    assert doc["artifact"] == "scenario" and doc["scenario"] == "path"
+    assert doc["metrics"]["n_virtual_edges"] == 1
+
+
+def test_run_scenario_components_out_and_report(tmp_path, capsys):
+    f = tmp_path / "c.txt"
+    save_edge_list(
+        Graph.from_edges(6, [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)]),
+        f,
+    )
+    report = tmp_path / "comp.json"
+    walk_file = tmp_path / "walks.txt"
+    rc = main(["run", str(f), "--scenario", "components", "--parts", "4",
+               "--verify", "--report-json", str(report),
+               "--out", str(walk_file)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert out.count("circuit: 3 edges") == 2
+    doc = json.loads(report.read_text())
+    assert doc["metrics"]["n_components"] == 2
+    assert doc["n_parts_allocated"] == 4
+    # Two closed walks, split by comment headers (np.loadtxt skips them).
+    assert len(np.loadtxt(walk_file, dtype=np.int64)) == 8
+    headers = [ln for ln in walk_file.read_text().splitlines()
+               if ln.startswith("#")]
+    assert headers == ["# walk 0: 3 edges", "# walk 1: 3 edges"]
+
+
+def test_named_scenario_workload_defaults_to_its_scenario(monkeypatch, capsys):
+    # Regression: `run POSTMAN/RMAT` used to run the circuit scenario on the
+    # deliberately non-Eulerian graph and crash with NotEulerianError.
+    from repro.bench.workloads import ScenarioWorkloadSpec
+
+    g = cycle_graph(8)  # every scenario accepts it
+    spec = ScenarioWorkloadSpec("tinypost", "postman", 4, 2.0, n_parts=2)
+    monkeypatch.setitem(bench.SCENARIO_WORKLOADS, "tinypost", spec)
+    monkeypatch.setattr(bench, "load_scenario_workload",
+                        lambda name: (g, spec))
+    assert main(["run", "tinypost"]) == 0
+    out = capsys.readouterr().out
+    assert "postman:" in out and "partitions=2" in out
+    # An explicit --scenario still wins over the workload default.
+    assert main(["run", "tinypost", "--scenario", "components"]) == 0
+    out = capsys.readouterr().out
+    assert "components:" in out and "postman:" not in out
+
+
+def test_run_scenario_postman_process_backend(tmp_path, capsys):
+    f = tmp_path / "np.txt"
+    save_edge_list(grid_city(4, 4, torus=False), f)
+    report = tmp_path / "postman.json"
+    rc = main(["run", str(f), "--scenario", "postman", "--executor", "process",
+               "--workers", "2", "--verify", "--report-json", str(report)])
+    assert rc == 0
+    doc = json.loads(report.read_text())
+    assert doc["scenario"] == "postman"
+    assert doc["config"]["executor"] == "process"
+    assert doc["metrics"]["n_revisits"] >= 0
+    assert doc["sub_runs"][0]["run"]["circuit"]["verified"]
+
+
+def test_run_circuit_report_json_stays_run_artifact(tmp_path):
+    f = tmp_path / "g.txt"
+    save_edge_list(cycle_graph(8), f)
+    report = tmp_path / "run.json"
+    assert main(["run", str(f), "--verify", "--report-json", str(report)]) == 0
+    doc = json.loads(report.read_text())
+    # Back-compat: the circuit scenario writes the single-run artifact.
+    assert doc["artifact"] == "run"
+    assert doc["circuit"]["verified"]
+
+
+def test_postman_subcommand_full_flags(tmp_path, capsys):
+    f = tmp_path / "g.txt"
+    save_edge_list(grid_city(4, 4, torus=False), f)
+    report = tmp_path / "route.json"
+    rc = main(["postman", str(f), "--parts", "2", "--partitioner", "hash",
+               "--strategy", "proposed", "--executor", "thread",
+               "--workers", "2", "--verify", "--report-json", str(report)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "deadheading" in out and "closed=True" in out
+    doc = json.loads(report.read_text())
+    assert doc["config"]["partitioner"] == "hash"
+    assert doc["config"]["strategy"] == "proposed"
+    assert doc["config"]["executor"] == "thread"

@@ -2,10 +2,12 @@
 
 The examples are part of the public deliverable; these tests execute them
 as subprocesses (the way users run them) and check their self-validating
-assertions pass. The minute-long scaling study is exercised with a reduced
-environment knob only if present; its components are covered by unit tests.
+assertions pass. The minute-long scaling study runs under the
+``REPRO_EXAMPLE_SCALE=small`` knob — the same knob the CI examples smoke
+job sets for every script.
 """
 
+import os
 import subprocess
 import sys
 from pathlib import Path
@@ -20,23 +22,40 @@ FAST_EXAMPLES = [
     "road_network_coverage.py",
     "postman_routes.py",
     "bsp_substrate.py",
+    "scenario_tour.py",
 ]
 
+#: Examples that need the small-size knob to finish quickly.
+KNOBBED_EXAMPLES = ["scaling_study.py"]
 
-@pytest.mark.parametrize("script", FAST_EXAMPLES)
-def test_example_runs_clean(script):
+
+def _run_example(script: str, small: bool) -> None:
+    env = dict(os.environ)
+    if small:
+        env["REPRO_EXAMPLE_SCALE"] = "small"
     proc = subprocess.run(
         [sys.executable, str(EXAMPLES / script)],
         capture_output=True,
         text=True,
         timeout=300,
+        env=env,
     )
     assert proc.returncode == 0, f"{script} failed:\n{proc.stderr[-2000:]}"
     assert proc.stdout.strip(), f"{script} produced no output"
 
 
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs_clean(script):
+    _run_example(script, small=True)
+
+
+@pytest.mark.parametrize("script", KNOBBED_EXAMPLES)
+def test_knobbed_example_runs_clean_small(script):
+    _run_example(script, small=True)
+
+
 def test_all_examples_are_tested_or_known():
     """Catch new example scripts that forget to join the smoke test."""
     present = {p.name for p in EXAMPLES.glob("*.py")}
-    known = set(FAST_EXAMPLES) | {"scaling_study.py"}
+    known = set(FAST_EXAMPLES) | set(KNOBBED_EXAMPLES)
     assert present == known, f"untested examples: {present - known}"
