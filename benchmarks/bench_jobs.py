@@ -1,0 +1,276 @@
+#!/usr/bin/env python
+"""Job-orchestration perf trajectory: cold vs warm-catalog vs shared-pool.
+
+Proves the amortization the jobs subsystem exists for, on one fixed mixed
+workload batch — ``N_CYCLES`` repetitions of {one Euler-circuit request on
+an eulerized R-MAT, one postman request on a raw R-MAT component}:
+
+* ``cold`` — today's per-request path: every request re-parses the
+  edge-list file, re-partitions, recomputes the postman eulerization plan
+  (odd-vertex matching + shortest paths), and spins up (then tears down)
+  its own process pool. This is exactly what ``repro-euler run`` does per
+  call.
+* ``warm_catalog`` — the same requests through a :class:`JobEngine` with a
+  pre-warmed graph catalog but **no** shared pool: parse, partition and
+  eulerization plans are amortized, pool spawn still paid per request.
+* ``warm_shared`` — the full serving stack: warm catalog **and** one
+  persistent shared process pool across all requests.
+
+All three modes must produce bit-identical walks (asserted). The committed
+trajectory point lives in ``BENCH_jobs.json``; CI runs ``--check``, which
+fails if the shared-pool throughput stops beating the cold path by
+``--min-speedup`` or regresses by more than ``--tolerance`` against the
+committed point (machine speed normalized by the calibration kernel, like
+the other perf gates).
+
+Usage::
+
+    python benchmarks/bench_jobs.py --label current
+    python benchmarks/bench_jobs.py --check --tolerance 0.35 --min-speedup 1.5
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+import numpy as np  # noqa: E402
+
+from bench_perf_dataplane import calibration_seconds  # noqa: E402
+from repro.bench.report_io import SCHEMA_VERSION  # noqa: E402
+from repro.generate.eulerize import eulerian_rmat, largest_component  # noqa: E402
+from repro.generate.rmat import rmat_graph  # noqa: E402
+from repro.graph.io import load_edge_list, save_edge_list  # noqa: E402
+from repro.jobs import GraphCatalog, JobEngine  # noqa: E402
+from repro.pipeline import RunConfig  # noqa: E402
+from repro.scenarios import run_scenario  # noqa: E402
+
+DEFAULT_OUTPUT = Path(__file__).resolve().parents[1] / "BENCH_jobs.json"
+
+#: The fixed mixed batch: N_CYCLES x (circuit request + postman request).
+CIRCUIT_SCALE = 12
+POSTMAN_SCALE = 11
+N_PARTS = 8
+N_CYCLES = 3
+WORKERS = 2
+
+
+def _make_inputs(tmp: Path) -> list[tuple[str, Path]]:
+    """The request mix: (scenario, edge-list file) per request, in order."""
+    circuit, _ = eulerian_rmat(CIRCUIT_SCALE, avg_degree=4.0, seed=7)
+    circuit_path = tmp / "circuit.el"
+    save_edge_list(circuit, circuit_path)
+    postman, _ = largest_component(
+        rmat_graph(POSTMAN_SCALE, avg_degree=3.0, seed=6)
+    )
+    postman_path = tmp / "postman.el"
+    save_edge_list(postman, postman_path)
+    return [("circuit", circuit_path), ("postman", postman_path)] * N_CYCLES
+
+
+def _per_request_config() -> RunConfig:
+    return RunConfig(n_parts=N_PARTS, partitioner="ldg", seed=0,
+                     executor="process", workers=WORKERS)
+
+
+def _walk_key(scenario: str, i: int) -> str:
+    return f"{scenario}-{i}"
+
+
+def _measure_cold(requests) -> tuple[dict, dict]:
+    walks: dict[str, np.ndarray] = {}
+    edges = 0
+    t0 = time.perf_counter()
+    for i, (scenario, path) in enumerate(requests):
+        g = load_edge_list(path)  # re-parse, like the CLI does per call
+        result = run_scenario(g, scenario, _per_request_config())
+        edges += int(result.circuit.n_edges)
+        walks[_walk_key(scenario, i)] = result.circuit.edge_ids
+    wall = time.perf_counter() - t0
+    return {
+        "wall_seconds": wall,
+        "walk_edges_total": edges,
+        "throughput_edges_per_s": edges / wall,
+    }, walks
+
+
+def _measure_engine(requests, shared_pool: bool, root: Path) -> tuple[dict, dict]:
+    with JobEngine(
+        GraphCatalog(root),
+        dispatchers=1,  # sequential: isolates amortization from concurrency
+        pool_kind="process" if shared_pool else None,
+        pool_workers=WORKERS,
+    ) as engine:
+        # One-time ingest + warm-up — the cost a service pays once, then
+        # amortizes over every request that follows.
+        keys: dict[Path, str] = {}
+        for scenario, path in requests:
+            if path not in keys:
+                keys[path] = engine.catalog.put(load_edge_list(path))
+            engine.catalog.derived_for(
+                keys[path], _per_request_config(), scenario
+            )
+        config = (
+            RunConfig(n_parts=N_PARTS, partitioner="ldg", seed=0)
+            if shared_pool
+            else _per_request_config()
+        )
+        if shared_pool:
+            # Prime the pool's workers (interpreter spawn is one-time too).
+            engine.submit("circuit", graph_key=keys[requests[0][1]],
+                          config=config).result(timeout=600)
+        edges = 0
+        walks: dict[str, np.ndarray] = {}
+        t0 = time.perf_counter()
+        handles = [
+            (i, scenario, engine.submit(scenario, graph_key=keys[path],
+                                        config=config))
+            for i, (scenario, path) in enumerate(requests)
+        ]
+        for i, scenario, h in handles:
+            result = h.result(timeout=600)
+            edges += int(result.circuit.n_edges)
+            walks[_walk_key(scenario, i)] = result.circuit.edge_ids
+        wall = time.perf_counter() - t0
+    return {
+        "wall_seconds": wall,
+        "walk_edges_total": edges,
+        "throughput_edges_per_s": edges / wall,
+    }, walks
+
+
+def measure(repeats: int) -> dict:
+    out: dict = {
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "calibration_seconds": calibration_seconds(),
+        "workload": {
+            "circuit_scale": CIRCUIT_SCALE,
+            "postman_scale": POSTMAN_SCALE,
+            "n_parts": N_PARTS,
+            "n_requests": 2 * N_CYCLES,
+            "workers": WORKERS,
+            "mix": "alternating circuit/postman",
+        },
+    }
+    with tempfile.TemporaryDirectory(prefix="bench-jobs-") as tmp:
+        tmp = Path(tmp)
+        requests = _make_inputs(tmp)
+        modes: dict[str, dict] = {}
+        walks: dict[str, dict] = {}
+        for r in range(repeats):
+            cold, walks["cold"] = _measure_cold(requests)
+            warm_cat, walks["warm_catalog"] = _measure_engine(
+                requests, shared_pool=False, root=tmp / f"cat-a{r}")
+            warm_shared, walks["warm_shared"] = _measure_engine(
+                requests, shared_pool=True, root=tmp / f"cat-b{r}")
+            for name, run in (("cold", cold), ("warm_catalog", warm_cat),
+                              ("warm_shared", warm_shared)):
+                best = modes.get(name)
+                if best is None or run["wall_seconds"] < best["wall_seconds"]:
+                    modes[name] = run
+        for name in ("warm_catalog", "warm_shared"):
+            for key, cold_walk in walks["cold"].items():
+                assert np.array_equal(cold_walk, walks[name][key]), \
+                    f"{name} produced a different walk than cold for {key}"
+    out["modes"] = modes
+    out["speedup_warm_catalog"] = (
+        modes["cold"]["wall_seconds"] / modes["warm_catalog"]["wall_seconds"]
+    )
+    out["speedup_warm_shared"] = (
+        modes["cold"]["wall_seconds"] / modes["warm_shared"]["wall_seconds"]
+    )
+    return out
+
+
+def record(label: str, repeats: int, output: Path) -> dict:
+    doc = json.loads(output.read_text()) if output.exists() else {
+        "metric": "batch wall seconds / throughput for a mixed "
+                  "circuit+postman request batch: cold per-request vs "
+                  "warm catalog vs warm catalog + shared pool",
+    }
+    doc["schema_version"] = SCHEMA_VERSION
+    doc[label] = measure(repeats)
+    output.write_text(json.dumps(doc, indent=2, default=float) + "\n")
+    return doc[label]
+
+
+def check(repeats: int, committed: Path, tolerance: float, min_speedup: float,
+          artifact: Path | None) -> int:
+    """Fail on a lost amortization win or a regression vs the committed point."""
+    doc = json.loads(committed.read_text())
+    ref = doc.get("current")
+    if ref is None:
+        print("no committed 'current' entry; record one with --label current")
+        return 1
+    fresh = measure(repeats)
+    if artifact is not None:
+        artifact.write_text(json.dumps(
+            {"schema_version": doc.get("schema_version"),
+             "measured": fresh, "committed": ref},
+            indent=2, default=float) + "\n")
+
+    ok = True
+    speedup = fresh["speedup_warm_shared"]
+    verdict = "OK" if speedup >= min_speedup else "LOST AMORTIZATION"
+    print(f"jobs: warm-shared speedup over cold {speedup:.2f}x "
+          f"(gate >= {min_speedup:.2f}x): {verdict}")
+    ok &= speedup >= min_speedup
+
+    measured = fresh["modes"]["warm_shared"]["wall_seconds"]
+    reference = ref["modes"]["warm_shared"]["wall_seconds"]
+    ref_cal = ref.get("calibration_seconds")
+    scale = 1.0
+    if ref_cal:
+        scale = min(4.0, max(0.25, fresh["calibration_seconds"] / ref_cal))
+    limit = reference * scale * (1.0 + tolerance)
+    verdict = "OK" if measured <= limit else "REGRESSION"
+    print(f"jobs: warm-shared batch {measured:.3f}s vs committed "
+          f"{reference:.3f}s x {scale:.2f} machine-speed scale "
+          f"(limit {limit:.3f}s, +{tolerance:.0%}): {verdict}")
+    ok &= measured <= limit
+
+    for name, run in fresh["modes"].items():
+        print(f"  {name}: {run['wall_seconds']:.3f}s "
+              f"({run['throughput_edges_per_s']:,.0f} edges/s)")
+    return 0 if ok else 1
+
+
+def main(argv=None) -> int:
+    p = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    p.add_argument("--label", choices=("baseline", "current"), default="current")
+    p.add_argument("--repeats", type=int, default=2, help="best-of-N runs")
+    p.add_argument("--output", type=Path, default=DEFAULT_OUTPUT)
+    p.add_argument("--check", action="store_true",
+                   help="compare a fresh run against the committed numbers")
+    p.add_argument("--against", type=Path, default=DEFAULT_OUTPUT)
+    p.add_argument("--tolerance", type=float, default=0.35,
+                   help="allowed warm-shared regression (check mode)")
+    p.add_argument("--min-speedup", type=float, default=1.5,
+                   help="required warm-shared speedup over cold (check mode)")
+    p.add_argument("--artifact", type=Path, default=None,
+                   help="where to write the fresh measurement in check mode")
+    args = p.parse_args(argv)
+
+    if args.check:
+        return check(args.repeats, args.against, args.tolerance,
+                     args.min_speedup, args.artifact)
+    entry = record(args.label, args.repeats, args.output)
+    print(f"[{args.label}] cold {entry['modes']['cold']['wall_seconds']:.3f}s, "
+          f"warm-catalog {entry['speedup_warm_catalog']:.2f}x, "
+          f"warm-shared {entry['speedup_warm_shared']:.2f}x "
+          f"-> {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

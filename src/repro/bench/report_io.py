@@ -15,9 +15,11 @@ import json
 from pathlib import Path
 from typing import TYPE_CHECKING
 
+from ..graph.io import atomic_write
 from ..pipeline.context import SCHEMA_VERSION, ExecutionReport, RunContext
 
 if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
+    from ..jobs.queue import Job
     from ..scenarios.base import ScenarioResult
 
 __all__ = [
@@ -25,12 +27,27 @@ __all__ = [
     "report_to_dict",
     "context_to_dict",
     "scenario_to_dict",
+    "job_to_dict",
     "save_report",
     "save_context",
     "save_scenario",
+    "save_job",
     "save_rows",
     "load_rows",
 ]
+
+
+def _write_json(payload, path) -> Path:
+    """Serialize ``payload`` to ``path`` atomically, creating parent dirs.
+
+    Every artifact writer routes through here so a crashed job can never
+    leave a truncated report under a valid name (temp file + ``os.replace``
+    in the destination directory).
+    """
+    path = Path(path)
+    with atomic_write(path, suffix=".json") as fh:
+        fh.write(json.dumps(payload, indent=2, default=float).encode())
+    return path
 
 
 def report_to_dict(report: ExecutionReport) -> dict:
@@ -156,36 +173,53 @@ def scenario_to_dict(result: "ScenarioResult") -> dict:
     }
 
 
+def job_to_dict(job: "Job") -> dict:
+    """Flatten one orchestrated job (metadata + timings + pass history).
+
+    The schema-v5 ``"job"`` artifact: job identity and state, the queue/run
+    timing split, the engine's pass history, and — for finished jobs — the
+    nested scenario artifact, so one file audits the complete request from
+    submission to walks.
+    """
+    out = {
+        "schema_version": SCHEMA_VERSION,
+        "artifact": "job",
+        "job": job.summary(),
+        "timings": {
+            "queue_latency_seconds": job.queue_latency_seconds,
+            "run_seconds": job.run_seconds,
+        },
+        "pass_history": list(job.passes),
+    }
+    out["scenario_result"] = (
+        scenario_to_dict(job.result) if job.result is not None else None
+    )
+    return out
+
+
 def save_report(report: ExecutionReport, path) -> Path:
-    """Write the flattened report to ``path`` (creating parents)."""
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(report_to_dict(report), indent=2, default=float))
-    return path
+    """Write the flattened report to ``path`` (atomic, creating parents)."""
+    return _write_json(report_to_dict(report), path)
 
 
 def save_context(ctx: RunContext, path) -> Path:
-    """Write the flattened pipeline artifact to ``path`` (creating parents)."""
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(context_to_dict(ctx), indent=2, default=float))
-    return path
+    """Write the flattened pipeline artifact to ``path`` (atomic)."""
+    return _write_json(context_to_dict(ctx), path)
 
 
 def save_scenario(result: "ScenarioResult", path) -> Path:
-    """Write the flattened scenario artifact to ``path`` (creating parents)."""
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(scenario_to_dict(result), indent=2, default=float))
-    return path
+    """Write the flattened scenario artifact to ``path`` (atomic)."""
+    return _write_json(scenario_to_dict(result), path)
+
+
+def save_job(job: "Job", path) -> Path:
+    """Write the flattened job artifact to ``path`` (atomic)."""
+    return _write_json(job_to_dict(job), path)
 
 
 def save_rows(rows: list[dict], path) -> Path:
-    """Write experiment rows (e.g. a Table-1 regeneration) as JSON."""
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(rows, indent=2, default=float))
-    return path
+    """Write experiment rows (e.g. a Table-1 regeneration) as JSON (atomic)."""
+    return _write_json(rows, path)
 
 
 def load_rows(path) -> list[dict]:

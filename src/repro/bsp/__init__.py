@@ -19,6 +19,7 @@ from .executors import (
     EXECUTORS,
     ProcessExecutor,
     SerialExecutor,
+    SharedPool,
     ThreadExecutor,
     make_executor,
 )
@@ -33,6 +34,7 @@ __all__ = [
     "SerialExecutor",
     "ThreadExecutor",
     "ProcessExecutor",
+    "SharedPool",
     "make_executor",
     "bsp_connected_components",
     "bsp_degree_histogram",

@@ -34,6 +34,8 @@ this end-to-end.
 
 from __future__ import annotations
 
+import hashlib
+import pickle
 import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Any, Callable, Hashable
@@ -46,6 +48,7 @@ __all__ = [
     "SerialExecutor",
     "ThreadExecutor",
     "ProcessExecutor",
+    "SharedPool",
     "make_executor",
     "resolve_executor_name",
 ]
@@ -87,7 +90,22 @@ def _process_task(task: SuperstepTask):
     return run_task(_WORKER_PROGRAM, task)
 
 
-class SerialExecutor:
+class _Closable:
+    """Context-manager protocol shared by every executor backend.
+
+    A long-lived service must be able to scope worker pools with ``with``;
+    ``close()`` is idempotent under every backend, so exiting the block is
+    always safe even after an explicit close.
+    """
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class SerialExecutor(_Closable):
     """Run every partition inline, in the order given (ascending pid)."""
 
     name = "serial"
@@ -105,7 +123,7 @@ class SerialExecutor:
         pass
 
 
-class ThreadExecutor:
+class ThreadExecutor(_Closable):
     """Run partitions on a persistent thread pool (shared address space)."""
 
     name = "thread"
@@ -130,7 +148,7 @@ class ThreadExecutor:
             self._pool = None
 
 
-class ProcessExecutor:
+class ProcessExecutor(_Closable):
     """Run partitions on a process pool with real pickle round-trips.
 
     Requires the compute program and everything flowing through it (states,
@@ -157,6 +175,126 @@ class ProcessExecutor:
     def run_superstep(self, tasks: list[SuperstepTask]) -> list:
         assert self._pool is not None, "start() must be called before supersteps"
         return list(self._pool.map(_process_task, tasks))
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+# ---------------------------------------------------------------------------
+# Shared, persistent pools (job-orchestration substrate)
+# ---------------------------------------------------------------------------
+
+# Worker-side cache of superstep programs keyed by content hash: a shared
+# process pool serves many jobs, so each worker unpickles a given program at
+# most once and reuses it for every later task of that job (and of any job
+# re-running the same program). Bounded so a very long-lived worker cannot
+# accumulate graphs forever.
+_SHARED_PROGRAMS: dict[str, Callable] = {}
+_SHARED_PROGRAM_CAP = 8
+
+
+def _shared_process_task(arg):
+    key, payload, task = arg
+    prog = _SHARED_PROGRAMS.get(key)
+    if prog is None:
+        prog = pickle.loads(payload)
+        while len(_SHARED_PROGRAMS) >= _SHARED_PROGRAM_CAP:
+            _SHARED_PROGRAMS.pop(next(iter(_SHARED_PROGRAMS)))
+        _SHARED_PROGRAMS[key] = prog
+    return run_task(prog, task)
+
+
+class _ThreadSession(_Closable):
+    """One run's executor view over a shared thread pool (close is a no-op)."""
+
+    def __init__(self, pool: "SharedPool"):
+        self._pool = pool
+        self.name = pool.name
+        self.max_workers = pool.max_workers
+
+    def start(self, compute: Callable) -> None:
+        self._compute = compute
+
+    def run_superstep(self, tasks: list[SuperstepTask]) -> list:
+        return self._pool._map_thread(self._compute, tasks)
+
+    def close(self) -> None:  # the pool outlives the run; the owner closes it
+        pass
+
+
+class _ProcessSession(_Closable):
+    """One run's executor view over a shared process pool.
+
+    ``start`` pickles the superstep program once; every task ships ``(key,
+    payload)`` and workers cache the unpickled program by content hash, so a
+    warm worker pays one dict lookup per task instead of a per-job pool
+    spawn plus per-worker initializer pickle.
+    """
+
+    def __init__(self, pool: "SharedPool"):
+        self._pool = pool
+        self.name = pool.name
+        self.max_workers = pool.max_workers
+
+    def start(self, compute: Callable) -> None:
+        self._payload = pickle.dumps(compute, protocol=pickle.HIGHEST_PROTOCOL)
+        self._key = hashlib.sha256(self._payload).hexdigest()[:16]
+
+    def run_superstep(self, tasks: list[SuperstepTask]) -> list:
+        return self._pool._map_process(self._key, self._payload, tasks)
+
+    def close(self) -> None:  # the pool outlives the run; the owner closes it
+        pass
+
+
+class SharedPool(_Closable):
+    """A persistent worker pool multiplexed across many pipeline runs.
+
+    The per-request execution path builds and tears down a pool inside every
+    :func:`~repro.pipeline.run_pipeline` call; a long-lived service instead
+    owns **one** ``SharedPool`` and hands each run a *session*
+    (:meth:`session`) — an object satisfying the executor protocol whose
+    ``close()`` is a no-op, so the engine's own lifecycle management cannot
+    kill the shared workers. Only the owner's :meth:`close` (or the context
+    manager) shuts the pool down. Sessions may be used concurrently from
+    multiple dispatcher threads; both stdlib pools are thread-safe.
+    """
+
+    def __init__(self, kind: str = "thread", max_workers: int = 4):
+        if kind not in ("thread", "process"):
+            raise ValueError(f"unknown pool kind {kind!r}; use 'thread' or 'process'")
+        if max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        self.kind = kind
+        self.max_workers = max_workers
+        self.name = f"shared-{kind}"
+        if kind == "thread":
+            self._pool: Any = ThreadPoolExecutor(max_workers=max_workers)
+        else:
+            self._pool = ProcessPoolExecutor(max_workers=max_workers)
+
+    @property
+    def closed(self) -> bool:
+        return self._pool is None
+
+    def session(self):
+        """A fresh executor-protocol adapter bound to this pool."""
+        if self._pool is None:
+            raise RuntimeError("SharedPool is closed")
+        return _ThreadSession(self) if self.kind == "thread" else _ProcessSession(self)
+
+    def _map_thread(self, compute: Callable, tasks: list[SuperstepTask]) -> list:
+        if self._pool is None:
+            raise RuntimeError("SharedPool is closed")
+        return list(self._pool.map(lambda t: run_task(compute, t), tasks))
+
+    def _map_process(self, key: str, payload: bytes, tasks: list[SuperstepTask]) -> list:
+        if self._pool is None:
+            raise RuntimeError("SharedPool is closed")
+        return list(self._pool.map(_shared_process_task,
+                                   [(key, payload, t) for t in tasks]))
 
     def close(self) -> None:
         if self._pool is not None:

@@ -13,6 +13,15 @@ Subcommands
 ``experiment``
     Regenerate one of the paper's tables/figures by name (``table1``,
     ``fig4`` ... ``fig9``, ``supersteps``, ``baselines``, ``ablations``).
+``serve``
+    Long-lived JSON-over-HTTP job server: graph catalog + shared-pool
+    scheduler (see :mod:`repro.jobs`).
+``submit`` / ``status`` / ``jobs``
+    HTTP clients for a running ``serve`` instance: queue a job on an input
+    file, poll one job, list all jobs.
+``batch``
+    Execute a JSONL job file through a local job engine and write a
+    ``run_table.csv``-style report (one row per job).
 """
 
 from __future__ import annotations
@@ -114,6 +123,75 @@ def build_parser() -> argparse.ArgumentParser:
 
     exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
     exp.add_argument("name", choices=sorted(_EXPERIMENTS))
+
+    serve = sub.add_parser(
+        "serve", help="run the long-lived job server (graph catalog + "
+                      "shared-pool scheduler, JSON HTTP API)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8642)
+    serve.add_argument("--cache-root", default=".graph_catalog",
+                       help="graph catalog directory (default: .graph_catalog)")
+    serve.add_argument("--cache-budget-mb", type=float, default=None,
+                       help="evict least-recently-used graphs beyond this "
+                            "on-disk budget")
+    serve.add_argument("--artifact-dir", default=None,
+                       help="write one durable job artifact JSON per job here")
+    serve.add_argument("--dispatchers", type=int, default=2,
+                       help="concurrent jobs (dispatcher threads)")
+    serve.add_argument("--keep-results", type=int, default=64,
+                       help="terminal jobs keeping their in-memory result "
+                            "(older results served from the artifact dir)")
+    serve.add_argument("--pool", default="thread",
+                       choices=("thread", "process", "none"),
+                       help="shared executor pool kind (none: each run "
+                            "builds its own backend)")
+    serve.add_argument("--pool-workers", type=int, default=4)
+
+    def add_server_arg(sp):
+        sp.add_argument("--server", default="http://127.0.0.1:8642",
+                        help="base URL of a running `repro-euler serve`")
+
+    submit = sub.add_parser("submit", help="submit a job to a running server")
+    submit.add_argument("input", help="edge-list or .npz file (server-local "
+                                      "path), or a cataloged graph key with "
+                                      "--graph-key")
+    submit.add_argument("--graph-key", action="store_true",
+                        help="treat INPUT as a graph key already in the "
+                             "server's catalog")
+    submit.add_argument("--scenario", default="circuit",
+                        choices=scenario_names())
+    submit.add_argument("--parts", type=int, default=4)
+    submit.add_argument("--partitioner", default="ldg",
+                        choices=("ldg", "bfs", "hash", "random"))
+    submit.add_argument("--strategy", default="eager",
+                        choices=("eager", "dedup", "deferred", "proposed"))
+    submit.add_argument("--seed", type=int, default=0)
+    submit.add_argument("--workers", type=int, default=1)
+    submit.add_argument("--verify", action="store_true")
+    submit.add_argument("--priority", type=int, default=0)
+    submit.add_argument("--wait", action="store_true",
+                        help="block until the job finishes and print its "
+                             "final state")
+    add_server_arg(submit)
+
+    status = sub.add_parser("status", help="one job's status from a server")
+    status.add_argument("job_id")
+    add_server_arg(status)
+
+    jobs = sub.add_parser("jobs", help="list all jobs on a server")
+    add_server_arg(jobs)
+
+    batch = sub.add_parser(
+        "batch", help="run a JSONL job file locally and write a run-table CSV")
+    batch.add_argument("jobs_file", help="one JSON job spec per line")
+    batch.add_argument("--report", default="run_table.csv",
+                       help="CSV report path (one row per job)")
+    batch.add_argument("--cache-root", default=".graph_catalog")
+    batch.add_argument("--artifact-dir", default=None)
+    batch.add_argument("--dispatchers", type=int, default=2)
+    batch.add_argument("--pool", default="thread",
+                       choices=("thread", "process", "none"))
+    batch.add_argument("--pool-workers", type=int, default=4)
     return p
 
 
@@ -131,6 +209,8 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "experiment":
         _EXPERIMENTS[args.name]()
         return 0
+    if args.command in ("serve", "submit", "status", "jobs", "batch"):
+        return _jobs_main(args)
     if args.command == "postman":
         g = load_edge_list(args.input)
         config = RunConfig(
@@ -194,6 +274,102 @@ def main(argv: list[str] | None = None) -> int:
         _write_walks(args.out, result.circuits)
         print(f"wrote walk vertex sequence to {args.out}")
     return 0
+
+
+def _jobs_main(args) -> int:
+    """The job-orchestration subcommands (imported lazily: stdlib http etc.)."""
+    from .jobs import GraphCatalog, JobEngine, load_job_specs, run_batch, write_report_csv
+    from .jobs.client import JobClient
+
+    if args.command == "serve":
+        from .jobs.server import serve_forever
+
+        budget = (
+            int(args.cache_budget_mb * 1024 * 1024)
+            if args.cache_budget_mb is not None
+            else None
+        )
+        engine = JobEngine(
+            GraphCatalog(args.cache_root, size_budget_bytes=budget),
+            dispatchers=args.dispatchers,
+            pool_kind=None if args.pool == "none" else args.pool,
+            pool_workers=args.pool_workers,
+            artifact_dir=args.artifact_dir,
+            keep_results=args.keep_results,
+        )
+        serve_forever(engine, args.host, args.port)
+        return 0
+    if args.command == "batch":
+        engine = JobEngine(
+            GraphCatalog(args.cache_root),
+            dispatchers=args.dispatchers,
+            pool_kind=None if args.pool == "none" else args.pool,
+            pool_workers=args.pool_workers,
+            artifact_dir=args.artifact_dir,
+        )
+        with engine:
+            rows = run_batch(load_job_specs(args.jobs_file), engine)
+            path = write_report_csv(rows, args.report)
+        done = sum(1 for r in rows if r["state"] == "DONE")
+        print(f"batch: {done}/{len(rows)} jobs DONE -> {path}")
+        for r in rows:
+            print(f"  {r['job_id']} {r['scenario']:<10} {r['state']:<9} "
+                  f"queue={r['queue_latency_s']:.3f}s wall={r['run_wall_s']:.3f}s "
+                  f"{r['throughput_edges_per_s']:,.0f} edges/s")
+        return 0 if done == len(rows) else 1
+    client = JobClient(args.server)
+    if args.command == "submit":
+        config = {
+            "n_parts": args.parts,
+            "partitioner": args.partitioner,
+            "strategy": args.strategy,
+            "seed": args.seed,
+            "workers": args.workers,
+            "verify": args.verify,
+        }
+        if args.graph_key:
+            sub = client.submit(args.scenario, graph_key=args.input,
+                                config=config, priority=args.priority)
+        else:
+            sub = client.submit(args.scenario, path=args.input,
+                                config=config, priority=args.priority)
+        print(f"submitted {sub['job_id']} (graph {sub['graph_key']})")
+        if args.wait:
+            final = client.wait(sub["job_id"], timeout=3600)
+            q = final.get("queue_latency_seconds")
+            r = final.get("run_seconds")
+            # A job cancelled while we waited has no timings (None).
+            print(f"{final['id']}: {final['state']} "
+                  f"queue={'-' if q is None else format(q, '.3f') + 's'} "
+                  f"run={'-' if r is None else format(r, '.3f') + 's'}")
+            if final["state"] == "FAILED" and final.get("error"):
+                print(f"error: {final['error']}")
+            return 0 if final["state"] == "DONE" else 1
+        return 0
+    if args.command == "status":
+        _print_job_row(client.status(args.job_id), header=True)
+        return 0
+    # jobs
+    listed = client.jobs()
+    if not listed:
+        print("no jobs")
+        return 0
+    for i, row in enumerate(listed):
+        _print_job_row(row, header=i == 0)
+    return 0
+
+
+def _print_job_row(row: dict, header: bool = False) -> None:
+    if header:
+        print(f"{'ID':<12} {'STATE':<9} {'SCENARIO':<11} {'GRAPH':<18} "
+              f"{'QUEUE(s)':>9} {'RUN(s)':>8}")
+    q = row.get("queue_latency_seconds")
+    r = row.get("run_seconds")
+    q_str = "-" if q is None else f"{q:.3f}"
+    r_str = "-" if r is None else f"{r:.3f}"
+    print(f"{row['id']:<12} {row['state']:<9} {row['scenario']:<11} "
+          f"{(row.get('graph_name') or row['graph_key']):<18} "
+          f"{q_str:>9} {r_str:>8}")
 
 
 def _write_walks(path: str, circuits) -> None:

@@ -63,3 +63,28 @@ class InvalidCircuitError(ReproError):
 
 class BSPError(ReproError):
     """Raised for misuse of the BSP engine (e.g. messaging a dead partition)."""
+
+
+class JobError(ReproError):
+    """Base class for job-orchestration failures (queue misuse, unknown ids)."""
+
+
+class JobFailedError(JobError):
+    """Raised by :meth:`repro.jobs.queue.JobResult.result` when the job failed.
+
+    Carries the failing job's id and the original error text so a client
+    polling a future-style handle sees the real cause, not a bare timeout.
+    """
+
+    def __init__(self, job_id: str, error: str):
+        super().__init__(f"job {job_id} failed: {error}")
+        self.job_id = job_id
+        self.error = error
+
+
+class JobCancelledError(JobError):
+    """Raised when a job's result is requested after it was cancelled."""
+
+    def __init__(self, job_id: str):
+        super().__init__(f"job {job_id} was cancelled")
+        self.job_id = job_id

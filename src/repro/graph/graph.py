@@ -66,6 +66,36 @@ class Graph:
             return cls(n_vertices, arr[:, 0], arr[:, 1])
         return cls(n_vertices)
 
+    @classmethod
+    def from_arrays(cls, n_vertices: int, edge_u, edge_v, check: bool = True) -> "Graph":
+        """Wrap existing ``int64`` endpoint arrays **without copying**.
+
+        The zero-copy constructor for memory-mapped storage (the graph
+        catalog loads edge arrays with ``load_npz(..., mmap=True)`` and
+        hands them straight here). Arrays of any other dtype fall back to
+        the copying ``__init__``. ``check=False`` skips the endpoint range
+        scan — only for sources that validated the arrays when persisting
+        them, since the scan would otherwise page in the whole mapping.
+        """
+        u = np.asarray(edge_u).reshape(-1)
+        v = np.asarray(edge_v).reshape(-1)
+        if u.dtype != np.int64 or v.dtype != np.int64:
+            return cls(n_vertices, u, v)
+        if n_vertices < 0:
+            raise ValueError("n_vertices must be non-negative")
+        if u.shape != v.shape:
+            raise ValueError("edge_u and edge_v must have equal length")
+        if check and u.size and (
+            min(u.min(), v.min()) < 0 or max(u.max(), v.max()) >= n_vertices
+        ):
+            raise ValueError("edge endpoint out of range")
+        g = cls.__new__(cls)
+        g._n = int(n_vertices)
+        g._u = u
+        g._v = v
+        g._csr = None
+        return g
+
     # -- basic accessors ---------------------------------------------------
 
     @property

@@ -7,12 +7,25 @@ Formats
   This matches what common graph tools (SNAP, METIS converters) emit.
 * **NPZ** — NumPy archive with ``n_vertices``, ``edge_u``, ``edge_v`` (and an
   optional ``part_of``); loss-less and fast, used by the benchmark harness to
-  cache generated workloads.
+  cache generated workloads and by the graph catalog as its on-disk store.
+
+All writers are **atomic**: content goes to a temp file in the destination
+directory and is moved into place with :func:`os.replace`, so a crashed
+writer (or a killed job) can never leave a truncated file under a valid
+name — the durability contract the job catalog relies on.
+
+``save_npz(..., compressed=False)`` stores members uncompressed, which lets
+``load_npz(..., mmap=True)`` memory-map the edge arrays straight out of the
+archive instead of copying them into RAM — the catalog's warm-load path.
 """
 
 from __future__ import annotations
 
 import io as _stdio
+import os
+import tempfile
+import zipfile
+from contextlib import contextmanager
 from pathlib import Path
 
 import numpy as np
@@ -21,6 +34,7 @@ from ..errors import GraphFormatError
 from .graph import Graph
 
 __all__ = [
+    "atomic_write",
     "save_edge_list",
     "load_edge_list",
     "save_npz",
@@ -29,12 +43,34 @@ __all__ = [
 ]
 
 
+@contextmanager
+def atomic_write(path, suffix: str = ""):
+    """Yield a binary file handle that atomically replaces ``path`` on close.
+
+    The temp file lives in the destination directory (created if missing) so
+    the final :func:`os.replace` is a same-filesystem rename — atomic on
+    POSIX. On any error the temp file is removed and ``path`` is untouched.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=suffix)
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            yield fh
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
 def save_edge_list(graph: Graph, path) -> None:
     """Write the graph as a text edge list with a vertex-count header."""
-    path = Path(path)
-    with path.open("w") as f:
-        f.write(f"# vertices: {graph.n_vertices}\n")
-        np.savetxt(f, np.column_stack([graph.edge_u, graph.edge_v]), fmt="%d")
+    with atomic_write(path, suffix=".txt") as fh:
+        fh.write(f"# vertices: {graph.n_vertices}\n".encode())
+        np.savetxt(fh, np.column_stack([graph.edge_u, graph.edge_v]), fmt="%d")
 
 
 def load_edge_list(path) -> Graph:
@@ -42,6 +78,7 @@ def load_edge_list(path) -> Graph:
     path = Path(path)
     n_header: int | None = None
     rows: list[str] = []
+    row_lines: list[int] = []
     with path.open() as f:
         for lineno, line in enumerate(f, 1):
             line = line.strip()
@@ -58,6 +95,7 @@ def load_edge_list(path) -> Graph:
                         ) from exc
                 continue
             rows.append(line)
+            row_lines.append(lineno)
     if rows:
         try:
             arr = np.loadtxt(_stdio.StringIO("\n".join(rows)), dtype=np.int64, ndmin=2)
@@ -68,6 +106,18 @@ def load_edge_list(path) -> Graph:
         u, v = arr[:, 0], arr[:, 1]
     else:
         u = v = np.empty(0, dtype=np.int64)
+    if n_header is not None and u.size:
+        # An undersized header would otherwise surface as an opaque Graph
+        # constructor error; report the first offending edge with its line.
+        row_max = np.maximum(u, v)
+        if int(row_max.max()) >= n_header:
+            i = int(np.argmax(row_max >= n_header))
+            raise GraphFormatError(
+                f"{path}:{row_lines[i]}: edge ({int(u[i])}, {int(v[i])}) "
+                f"references vertex {int(row_max[i])} but the header "
+                f"declares only {n_header} vertices "
+                f"(need at least {int(row_max.max()) + 1})"
+            )
     n = n_header if n_header is not None else (int(max(u.max(), v.max())) + 1 if u.size else 0)
     try:
         return Graph(n, u, v)
@@ -75,8 +125,14 @@ def load_edge_list(path) -> Graph:
         raise GraphFormatError(f"{path}: {exc}") from exc
 
 
-def save_npz(graph: Graph, path, part_of: np.ndarray | None = None) -> None:
-    """Write the graph (and optionally a partition map) to an NPZ archive."""
+def save_npz(
+    graph: Graph, path, part_of: np.ndarray | None = None, compressed: bool = True
+) -> None:
+    """Write the graph (and optionally a partition map) to an NPZ archive.
+
+    ``compressed=False`` stores the members raw (zip STORED), enabling
+    ``load_npz(..., mmap=True)`` to memory-map them later.
+    """
     data = {
         "n_vertices": np.int64(graph.n_vertices),
         "edge_u": np.asarray(graph.edge_u),
@@ -84,11 +140,88 @@ def save_npz(graph: Graph, path, part_of: np.ndarray | None = None) -> None:
     }
     if part_of is not None:
         data["part_of"] = np.asarray(part_of, dtype=np.int64)
-    np.savez_compressed(path, **data)
+    writer = np.savez_compressed if compressed else np.savez
+    with atomic_write(path, suffix=".npz") as fh:
+        writer(fh, **data)
 
 
-def load_npz(path) -> tuple[Graph, np.ndarray | None]:
-    """Read a graph (and partition map, if present) from an NPZ archive."""
+def _mmap_npz_members(path: Path) -> dict[str, np.ndarray] | None:
+    """Memory-map every array member of an *uncompressed* NPZ archive.
+
+    Returns ``None`` when any member is deflate-compressed (nothing to map).
+    Works by locating each member's raw ``.npy`` payload inside the zip:
+    local file header at ``header_offset``, then the npy header, then the
+    array bytes — mapped read-only straight from the archive file.
+    """
+    arrays: dict[str, np.ndarray] = {}
+    with zipfile.ZipFile(path) as zf, path.open("rb") as raw:
+        for info in zf.infolist():
+            if info.compress_type != zipfile.ZIP_STORED:
+                return None
+            raw.seek(info.header_offset)
+            local = raw.read(30)
+            if len(local) < 30 or local[:4] != b"PK\x03\x04":
+                return None
+            name_len = int.from_bytes(local[26:28], "little")
+            extra_len = int.from_bytes(local[28:30], "little")
+            raw.seek(info.header_offset + 30 + name_len + extra_len)
+            try:
+                version = np.lib.format.read_magic(raw)
+                if version == (1, 0):
+                    shape, fortran, dtype = np.lib.format.read_array_header_1_0(raw)
+                elif version == (2, 0):
+                    shape, fortran, dtype = np.lib.format.read_array_header_2_0(raw)
+                else:
+                    return None
+            except ValueError:
+                return None
+            if dtype.hasobject:
+                return None
+            key = info.filename[:-4] if info.filename.endswith(".npy") else info.filename
+            if shape == ():
+                # 0-d members (n_vertices) are scalars; nothing to map lazily.
+                arrays[key] = np.fromfile(raw, dtype=dtype, count=1).reshape(())
+                continue
+            arrays[key] = np.memmap(
+                path,
+                dtype=dtype,
+                mode="r",
+                offset=raw.tell(),
+                shape=shape,
+                order="F" if fortran else "C",
+            )
+    return arrays
+
+
+def load_npz(
+    path, mmap: bool = False, validate: bool = True
+) -> tuple[Graph, np.ndarray | None]:
+    """Read a graph (and partition map, if present) from an NPZ archive.
+
+    With ``mmap=True`` and an archive written by ``save_npz(...,
+    compressed=False)``, the edge arrays are memory-mapped read-only from
+    the file instead of copied into RAM (the graph catalog's load path);
+    compressed archives silently fall back to a regular load.
+    ``validate=False`` additionally skips the endpoint range scan on the
+    mapped arrays — for callers that wrote the archive from an
+    already-validated :class:`Graph`, where the scan would page in the
+    whole mapping and defeat the lazy load.
+    """
+    path = Path(path)
+    if mmap:
+        members = _mmap_npz_members(path)
+        if members is not None:
+            try:
+                g = Graph.from_arrays(
+                    int(members["n_vertices"]),
+                    members["edge_u"],
+                    members["edge_v"],
+                    check=validate,
+                )
+            except KeyError as exc:
+                raise GraphFormatError(f"{path}: missing array {exc}") from exc
+            part = members.get("part_of")
+            return g, part
     with np.load(path) as z:
         try:
             g = Graph(int(z["n_vertices"]), z["edge_u"], z["edge_v"])

@@ -1,0 +1,59 @@
+"""Job orchestration: graph catalog, shared-pool scheduler, serving front end.
+
+Everything below this package existed to run **one** request well; this
+package turns the library into a long-lived, multi-request system:
+
+* :mod:`~repro.jobs.catalog` — content-addressed graph store with
+  memory-mapped loads and cached derived artifacts (partition maps,
+  eulerization plans), so repeat requests skip Setup's expensive work;
+* :mod:`~repro.jobs.queue` / :mod:`~repro.jobs.engine` — a priority job
+  queue and thread-based dispatchers multiplexing scenario runs over one
+  persistent :class:`~repro.bsp.executors.SharedPool`, with per-job
+  durable schema-v5 artifacts, cancellation and future-style handles;
+* :mod:`~repro.jobs.server` / :mod:`~repro.jobs.client` — a stdlib JSON
+  HTTP API (``repro-euler serve``) and its client
+  (``repro-euler submit|status|jobs``);
+* :mod:`~repro.jobs.batch` — offline JSONL batches with a
+  ``run_table.csv``-style one-row-per-job report.
+
+Quickstart::
+
+    from repro.jobs import GraphCatalog, JobEngine
+
+    with JobEngine(GraphCatalog(".graph_catalog"), dispatchers=4) as engine:
+        handles = [engine.submit("circuit", graph=g) for _ in range(100)]
+        walks = [h.result().circuit for h in handles]   # one warm setup
+"""
+
+from .batch import load_job_specs, run_batch, write_report_csv
+from .catalog import GraphCatalog, graph_key
+from .engine import JobEngine
+from .queue import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    JOB_STATES,
+    QUEUED,
+    RUNNING,
+    Job,
+    JobQueue,
+    JobResult,
+)
+
+__all__ = [
+    "GraphCatalog",
+    "graph_key",
+    "JobEngine",
+    "Job",
+    "JobQueue",
+    "JobResult",
+    "JOB_STATES",
+    "QUEUED",
+    "RUNNING",
+    "DONE",
+    "FAILED",
+    "CANCELLED",
+    "load_job_specs",
+    "run_batch",
+    "write_report_csv",
+]

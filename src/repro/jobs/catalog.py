@@ -1,0 +1,345 @@
+"""Graph catalog: content-addressed graph store with derived-artifact caches.
+
+The per-request execution path re-parses and re-partitions its input on
+every call — exactly the cold-start cost a long-lived service must not pay
+per request. The catalog amortizes it:
+
+* **Graphs** are keyed by a content hash (:func:`graph_key`) and persisted
+  as *uncompressed* NPZ under ``<root>/graphs/``, so repeat loads
+  memory-map the edge arrays (``load_npz(..., mmap=True)``) instead of
+  re-parsing text or copying buffers. Loaded graphs are additionally kept
+  in an in-process table, so the steady-state hit is a dict lookup.
+* **Derived artifacts** are cached per graph hash under
+  ``<root>/derived/<key>/``: partition maps keyed by ``(partitioner,
+  n_parts, seed)`` and postman eulerization plans. Entries carry the full
+  key they were computed under; the pipeline validates the key against the
+  actual run before use (see :func:`repro.pipeline.setup.cached_partition`),
+  so a cache can accelerate but never alter a result.
+* An **index** (``<root>/index.json``, written atomically) records
+  per-graph metadata and last-use ordering; :meth:`GraphCatalog.put`
+  enforces an optional on-disk **size budget** by evicting
+  least-recently-used graphs together with their derived artifacts.
+
+All public methods are thread-safe — the job engine's dispatcher threads
+and the HTTP front end share one catalog instance.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import shutil
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+
+from ..graph.graph import Graph
+from ..graph.io import atomic_write, load_npz, save_npz
+from ..partitioning import partition as partition_graph
+
+__all__ = ["graph_key", "GraphCatalog"]
+
+
+def graph_key(graph: Graph) -> str:
+    """Content hash of a graph (vertex count + exact edge arrays).
+
+    Identical edge lists in identical order hash equal; a reordered edge
+    list is a different graph as far as run reproducibility is concerned
+    (edge ids shift), so the hash is deliberately order-sensitive.
+    """
+    h = hashlib.sha256()
+    h.update(int(graph.n_vertices).to_bytes(8, "little"))
+    h.update(np.ascontiguousarray(graph.edge_u, dtype=np.int64).tobytes())
+    h.update(np.ascontiguousarray(graph.edge_v, dtype=np.int64).tobytes())
+    return h.hexdigest()[:16]
+
+
+def _dir_bytes(path: Path) -> int:
+    return sum(p.stat().st_size for p in path.rglob("*") if p.is_file())
+
+
+class GraphCatalog:
+    """Content-addressed store of graphs and their derived setup artifacts."""
+
+    def __init__(self, root, size_budget_bytes: int | None = None):
+        self.root = Path(root)
+        self.size_budget_bytes = size_budget_bytes
+        self._lock = threading.RLock()
+        self._graphs: dict[str, Graph] = {}
+        self._partitions: dict[tuple[str, str, int, int], dict] = {}
+        self._plans: dict[str, dict] = {}
+        #: Refcounts of keys in active use (queued/running jobs) — pinned
+        #: keys are exempt from budget eviction, so an accepted job can
+        #: never lose its graph before it runs.
+        self._pins: dict[str, int] = {}
+        #: Flat hit/miss/eviction counters, served by the ``/catalog``
+        #: endpoint and asserted by the caching tests.
+        self.stats = {
+            "graph_hits": 0,
+            "graph_misses": 0,
+            "partition_hits": 0,
+            "partition_misses": 0,
+            "plan_hits": 0,
+            "plan_misses": 0,
+            "evictions": 0,
+        }
+        (self.root / "graphs").mkdir(parents=True, exist_ok=True)
+        (self.root / "derived").mkdir(parents=True, exist_ok=True)
+        self._index: dict[str, dict] = self._load_index()
+
+    # -- index ------------------------------------------------------------
+
+    @property
+    def _index_path(self) -> Path:
+        return self.root / "index.json"
+
+    def _load_index(self) -> dict[str, dict]:
+        if not self._index_path.exists():
+            return {}
+        try:
+            return json.loads(self._index_path.read_text())
+        except (OSError, ValueError):
+            return {}
+
+    def _save_index(self) -> None:
+        with atomic_write(self._index_path, suffix=".json") as fh:
+            fh.write(json.dumps(self._index, indent=2, sort_keys=True).encode())
+
+    def _touch(self, key: str) -> None:
+        self._index[key]["last_used"] = time.time()
+
+    # -- graphs -----------------------------------------------------------
+
+    def _graph_path(self, key: str) -> Path:
+        return self.root / "graphs" / f"{key}.npz"
+
+    def _derived_dir(self, key: str) -> Path:
+        return self.root / "derived" / key
+
+    def put(self, graph: Graph, name: str = "") -> str:
+        """Persist ``graph`` (idempotent) and return its content key."""
+        key = graph_key(graph)
+        with self._lock:
+            path = self._graph_path(key)
+            if key not in self._index or not path.exists():
+                # Uncompressed so later loads can memory-map the members.
+                save_npz(graph, path, compressed=False)
+                self._index[key] = {
+                    "name": name,
+                    "n_vertices": graph.n_vertices,
+                    "n_edges": graph.n_edges,
+                    "bytes": path.stat().st_size,
+                    "created": time.time(),
+                    "last_used": time.time(),
+                }
+            else:
+                if name and not self._index[key].get("name"):
+                    self._index[key]["name"] = name
+                self._touch(key)
+            self._graphs[key] = graph
+            self._evict_to_budget(protect=key)
+            self._save_index()
+        return key
+
+    def get(self, key: str) -> Graph:
+        """Load a cataloged graph (memory table, then mmap from disk).
+
+        Hot path: only in-memory state is touched on a hit — the last-used
+        ordering persists to ``index.json`` on the next put/eviction, not
+        here (approximate durability of LRU order is fine; a whole-index
+        rewrite per request is not).
+        """
+        with self._lock:
+            g = self._graphs.get(key)
+            if g is not None:
+                self.stats["graph_hits"] += 1
+                self._touch(key)
+                return g
+            path = self._graph_path(key)
+            if key not in self._index or not path.exists():
+                raise KeyError(f"unknown graph key {key!r}")
+            self.stats["graph_misses"] += 1
+            # The archive was written from a validated Graph at put();
+            # skip the range re-scan so the mapping stays lazy.
+            g, _ = load_npz(path, mmap=True, validate=False)
+            self._graphs[key] = g
+            self._touch(key)
+            return g
+
+    def meta(self, key: str) -> dict:
+        """Index metadata for one graph (raises ``KeyError`` if unknown)."""
+        with self._lock:
+            entry = self._index.get(key)
+            if entry is None:
+                raise KeyError(f"unknown graph key {key!r}")
+            return dict(entry)
+
+    def pin(self, key: str) -> None:
+        """Exempt ``key`` from eviction while in use (refcounted)."""
+        with self._lock:
+            if key not in self._index:
+                raise KeyError(f"unknown graph key {key!r}")
+            self._pins[key] = self._pins.get(key, 0) + 1
+
+    def unpin(self, key: str) -> None:
+        """Release one :meth:`pin` reference (no-op when not pinned)."""
+        with self._lock:
+            count = self._pins.get(key, 0) - 1
+            if count > 0:
+                self._pins[key] = count
+            else:
+                self._pins.pop(key, None)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._index and self._graph_path(key).exists()
+
+    def keys(self) -> list[str]:
+        with self._lock:
+            return sorted(self._index)
+
+    def entries(self) -> list[dict]:
+        """Index rows for the serving front end (key + metadata)."""
+        with self._lock:
+            return [
+                {"graph_key": k, **self._index[k]} for k in sorted(self._index)
+            ]
+
+    # -- derived artifacts -------------------------------------------------
+
+    def partition_map(
+        self, key: str, partitioner: str, n_parts: int, seed: int
+    ) -> dict:
+        """A cached vertex→partition map entry for this graph.
+
+        The returned dict is exactly what
+        :func:`repro.pipeline.setup.cached_partition` validates: the map
+        plus the full key it was computed under (clamped part count, graph
+        shape). Computed once per ``(graph, partitioner, n_parts, seed)``
+        and persisted; later calls hit memory or disk.
+        """
+        with self._lock:
+            meta = self._index.get(key)
+            if meta is None:
+                raise KeyError(f"unknown graph key {key!r}")
+            # Clamp exactly like Setup so the entry key always matches.
+            n_eff = max(1, min(int(n_parts), int(meta["n_vertices"])))
+            ck = (key, partitioner, n_eff, int(seed))
+            entry = self._partitions.get(ck)
+            if entry is not None:
+                self.stats["partition_hits"] += 1
+                return entry
+            path = self._derived_dir(key) / f"part_{partitioner}_p{n_eff}_s{seed}.npz"
+            if path.exists():
+                with np.load(path) as z:
+                    part_of = np.array(z["part_of"], dtype=np.int64)
+                self.stats["partition_hits"] += 1
+            else:
+                self.stats["partition_misses"] += 1
+                g = self.get(key)
+                part_of = np.asarray(
+                    partition_graph(g, n_eff, method=partitioner, seed=seed).part_of,
+                    dtype=np.int64,
+                )
+                with atomic_write(path, suffix=".npz") as fh:
+                    np.savez(fh, part_of=part_of)
+            entry = {
+                "part_of": part_of,
+                "n_parts": n_eff,
+                "partitioner": partitioner,
+                "seed": int(seed),
+                "n_vertices": int(meta["n_vertices"]),
+                "n_edges": int(meta["n_edges"]),
+            }
+            self._partitions[ck] = entry
+            return entry
+
+    def eulerize_plan(self, key: str) -> dict:
+        """A cached postman eulerization plan for this graph (see postman)."""
+        from ..scenarios.postman import eulerize_plan as compute_plan
+
+        with self._lock:
+            if key not in self._index:
+                raise KeyError(f"unknown graph key {key!r}")
+            plan = self._plans.get(key)
+            if plan is not None:
+                self.stats["plan_hits"] += 1
+                return plan
+            path = self._derived_dir(key) / "eulerize_plan.npz"
+            if path.exists():
+                with np.load(path) as z:
+                    plan = {
+                        "dup_u": np.array(z["dup_u"], dtype=np.int64),
+                        "dup_v": np.array(z["dup_v"], dtype=np.int64),
+                        "dup_orig": np.array(z["dup_orig"], dtype=np.int64),
+                        "n_odd_vertices": int(z["n_odd_vertices"]),
+                        "n_vertices": int(z["n_vertices"]),
+                        "n_edges": int(z["n_edges"]),
+                    }
+                self.stats["plan_hits"] += 1
+            else:
+                self.stats["plan_misses"] += 1
+                plan = compute_plan(self.get(key))
+                with atomic_write(path, suffix=".npz") as fh:
+                    np.savez(fh, **plan)
+            self._plans[key] = plan
+            return plan
+
+    def derived_for(self, key: str, config, scenario: str) -> dict:
+        """Assemble the ``RunConfig.derived`` mapping for one job.
+
+        Always includes the partition map for the cataloged graph under the
+        job's partitioning key; adds the eulerization plan for postman
+        jobs. Sub-problems whose graph differs from the cataloged one
+        (components, augmented path/postman graphs) fail the pipeline's
+        validation checks and recompute — correctness never depends on what
+        is injected here.
+        """
+        derived = {
+            "partition_map": self.partition_map(
+                key, config.partitioner, config.n_parts, config.seed
+            )
+        }
+        if scenario == "postman":
+            derived["eulerize_plan"] = self.eulerize_plan(key)
+        return derived
+
+    # -- eviction ----------------------------------------------------------
+
+    def disk_bytes(self) -> int:
+        """Total on-disk footprint of graphs + derived artifacts."""
+        with self._lock:
+            total = 0
+            for key in self._index:
+                p = self._graph_path(key)
+                if p.exists():
+                    total += p.stat().st_size
+                d = self._derived_dir(key)
+                if d.exists():
+                    total += _dir_bytes(d)
+            return total
+
+    def _evict_to_budget(self, protect: str | None = None) -> None:
+        if self.size_budget_bytes is None:
+            return
+        while self.disk_bytes() > self.size_budget_bytes and len(self._index) > 1:
+            victims = sorted(
+                (k for k in self._index
+                 if k != protect and k not in self._pins),
+                key=lambda k: self._index[k]["last_used"],
+            )
+            if not victims:
+                return
+            self._evict(victims[0])
+
+    def _evict(self, key: str) -> None:
+        self._graph_path(key).unlink(missing_ok=True)
+        shutil.rmtree(self._derived_dir(key), ignore_errors=True)
+        self._graphs.pop(key, None)
+        self._plans.pop(key, None)
+        for ck in [c for c in self._partitions if c[0] == key]:
+            self._partitions.pop(ck)
+        self._index.pop(key, None)
+        self.stats["evictions"] += 1

@@ -1,0 +1,109 @@
+"""Thin stdlib HTTP client for the serve API (used by the CLI and tests).
+
+``urllib.request`` only — the client mirrors the server's no-dependency
+stance. Every method returns the decoded JSON payload; HTTP error statuses
+raise :class:`JobClientError` carrying the server's ``error`` message.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+from ..errors import ReproError
+
+__all__ = ["JobClient", "JobClientError"]
+
+
+class JobClientError(ReproError):
+    """An HTTP error from the serve API (carries status and server message)."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+class JobClient:
+    """Talk to a ``repro-euler serve`` instance at ``base_url``."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    def _request(self, method: str, path: str, payload: dict | None = None) -> dict:
+        data = None if payload is None else json.dumps(payload).encode()
+        req = urllib.request.Request(
+            self.base_url + path,
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"} if data else {},
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                return json.loads(resp.read())
+        except urllib.error.HTTPError as exc:
+            try:
+                message = json.loads(exc.read()).get("error", str(exc))
+            except ValueError:
+                message = str(exc)
+            raise JobClientError(exc.code, message) from None
+
+    # -- API wrappers ------------------------------------------------------
+
+    def health(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def catalog(self) -> dict:
+        return self._request("GET", "/catalog")
+
+    def put_graph(self, *, path: str | None = None, edges=None,
+                  n_vertices: int | None = None, name: str = "") -> dict:
+        body: dict = {"name": name}
+        if path is not None:
+            body["path"] = str(path)
+        if edges is not None:
+            body["graph"] = {"edges": [[int(u), int(v)] for u, v in edges]}
+            if n_vertices is not None:
+                body["graph"]["n_vertices"] = int(n_vertices)
+        return self._request("POST", "/graphs", body)
+
+    def submit(self, scenario: str, *, graph_key: str | None = None,
+               path: str | None = None, config: dict | None = None,
+               priority: int = 0, name: str = "") -> dict:
+        body: dict = {"scenario": scenario, "priority": priority, "name": name,
+                      "config": config or {}}
+        if graph_key is not None:
+            body["graph_key"] = graph_key
+        elif path is not None:
+            body["path"] = str(path)
+        else:
+            raise ValueError("submit needs graph_key or path")
+        return self._request("POST", "/jobs", body)
+
+    def jobs(self) -> list[dict]:
+        return self._request("GET", "/jobs")["jobs"]
+
+    def status(self, job_id: str) -> dict:
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def result(self, job_id: str) -> dict:
+        return self._request("GET", f"/jobs/{job_id}/result")
+
+    def cancel(self, job_id: str) -> dict:
+        return self._request("DELETE", f"/jobs/{job_id}")
+
+    def wait(self, job_id: str, timeout: float = 60.0,
+             poll_seconds: float = 0.1) -> dict:
+        """Poll until the job is terminal; returns the final status summary."""
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.status(job_id)
+            if status["state"] in ("DONE", "FAILED", "CANCELLED"):
+                return status
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {status['state']} after {timeout}s"
+                )
+            time.sleep(poll_seconds)

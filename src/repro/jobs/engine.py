@@ -1,0 +1,280 @@
+"""Job engine: dispatcher threads multiplexing jobs over one shared pool.
+
+The engine is the long-lived heart of the serving stack. It owns three
+things the per-request path rebuilt on every call:
+
+* the **graph catalog** — so a job's graph and its partition map load from
+  cache instead of being re-parsed and re-partitioned;
+* one **shared executor pool** (:class:`~repro.bsp.executors.SharedPool`) —
+  handed to every pipeline run through ``RunConfig.pool``, so supersteps
+  execute on persistent workers instead of a per-run pool;
+* the **dispatcher threads** — each pops the highest-priority job, hydrates
+  its config with catalog artifacts and the pool, runs the scenario, and
+  writes the durable per-job artifact JSON (schema v5) with the full pass
+  history.
+
+Concurrent jobs produce bit-identical results to serial
+:func:`~repro.scenarios.base.run_scenario` calls: the pipeline's outcome is
+executor-independent by the engine's commit contract, and every cached
+artifact is validated against the run before use.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+import traceback
+from collections import deque
+from dataclasses import replace
+from pathlib import Path
+
+from ..bsp.executors import SharedPool
+from ..pipeline.context import RunConfig
+from ..scenarios.base import run_scenario
+from .catalog import GraphCatalog
+from .queue import DONE, FAILED, QUEUED, Job, JobQueue, JobResult
+
+__all__ = ["JobEngine"]
+
+
+class JobEngine:
+    """Thread-based scheduler running scenario jobs over shared resources.
+
+    Parameters
+    ----------
+    catalog:
+        The :class:`~repro.jobs.catalog.GraphCatalog` (or a path-like cache
+        root, from which one is built).
+    dispatchers:
+        Number of dispatcher threads — how many jobs run concurrently.
+    pool:
+        An externally-owned :class:`SharedPool`, or ``None`` to have the
+        engine build (and own) one from ``pool_kind``/``pool_workers``.
+        ``pool_kind=None`` disables pool injection (each run picks its own
+        backend from its config — the cold per-request behavior).
+    artifact_dir:
+        Where per-job durable artifact JSONs are written (``None`` disables
+        them).
+    keep_results:
+        How many terminal jobs keep their in-memory
+        :class:`~repro.scenarios.base.ScenarioResult`. ``None`` (default)
+        keeps all — right for batches and tests, wrong for a server: under
+        sustained traffic every finished job would pin its full result in
+        RAM forever. ``repro-euler serve`` bounds this; evicted results
+        remain available through the durable artifact JSON.
+    """
+
+    def __init__(
+        self,
+        catalog: GraphCatalog | str | Path,
+        dispatchers: int = 2,
+        pool: SharedPool | None = None,
+        pool_kind: str | None = "thread",
+        pool_workers: int = 4,
+        artifact_dir: str | Path | None = None,
+        keep_results: int | None = None,
+    ):
+        if dispatchers < 1:
+            raise ValueError("dispatchers must be >= 1")
+        if keep_results is not None and keep_results < 0:
+            raise ValueError("keep_results must be >= 0 or None")
+        self.catalog = (
+            catalog if isinstance(catalog, GraphCatalog) else GraphCatalog(catalog)
+        )
+        self._owns_pool = pool is None and pool_kind is not None
+        self.pool = pool if pool is not None else (
+            SharedPool(pool_kind, pool_workers) if pool_kind is not None else None
+        )
+        self.artifact_dir = Path(artifact_dir) if artifact_dir is not None else None
+        self.keep_results = keep_results
+        self._resident: deque[Job] = deque()
+        self._resident_lock = threading.Lock()
+        self.queue = JobQueue()
+        self._ids = itertools.count(1)
+        self._closed = False
+        self._threads = [
+            threading.Thread(
+                target=self._dispatch_loop, name=f"job-dispatch-{i}", daemon=True
+            )
+            for i in range(dispatchers)
+        ]
+        for t in self._threads:
+            t.start()
+
+    # -- submission API ----------------------------------------------------
+
+    def submit(
+        self,
+        scenario: str,
+        graph=None,
+        graph_key: str | None = None,
+        config: RunConfig | None = None,
+        priority: int = 0,
+        name: str = "",
+    ) -> JobResult:
+        """Queue one scenario run; returns its future-style handle.
+
+        Exactly one of ``graph`` (cataloged on the spot) or ``graph_key``
+        (already cataloged) must be given.
+        """
+        if self._closed:
+            raise RuntimeError("engine is closed")
+        if (graph is None) == (graph_key is None):
+            raise ValueError("pass exactly one of graph or graph_key")
+        if graph is not None:
+            graph_key = self.catalog.put(graph, name=name)
+        config = config if config is not None else RunConfig()
+        meta = self.catalog.meta(graph_key)  # KeyError on an unknown key
+        job = Job(
+            id=f"job-{next(self._ids):06d}",
+            scenario=scenario,
+            graph_key=graph_key,
+            config=config,
+            priority=priority,
+            graph_name=name or meta.get("name", ""),
+            n_vertices=int(meta["n_vertices"]),
+            n_edges=int(meta["n_edges"]),
+        )
+        # Pinned until the job is terminal: budget eviction must never pull
+        # the graph out from under an accepted job.
+        self.catalog.pin(graph_key)
+        try:
+            return self.queue.submit(job)
+        except BaseException:
+            self.catalog.unpin(graph_key)
+            raise
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a queued job (running jobs run to completion)."""
+        cancelled = self.queue.cancel(job_id)
+        if cancelled:
+            self.catalog.unpin(self.queue.get(job_id).graph_key)
+        return cancelled
+
+    def job(self, job_id: str) -> Job:
+        return self.queue.get(job_id)
+
+    def handle(self, job_id: str) -> JobResult:
+        return self.queue.handle(job_id)
+
+    def jobs(self) -> list[Job]:
+        return self.queue.jobs()
+
+    # -- dispatch ----------------------------------------------------------
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            job = self.queue.pop(timeout=0.2)
+            if job is None:
+                if self._closed:
+                    return
+                continue
+            self._run_job(job)
+
+    def _run_job(self, job: Job) -> None:
+        try:
+            self._run_job_inner(job)
+        finally:
+            self.catalog.unpin(job.graph_key)
+            self._trim_resident(job)
+
+    def _trim_resident(self, job: Job) -> None:
+        """Bound the in-memory results a long-lived engine retains."""
+        if self.keep_results is None:
+            return
+        with self._resident_lock:
+            self._resident.append(job)
+            while len(self._resident) > self.keep_results:
+                self._resident.popleft().result = None
+
+    def _run_job_inner(self, job: Job) -> None:
+        try:
+            t0 = time.perf_counter()
+            graph = self.catalog.get(job.graph_key)
+            job.record_pass("load_graph", time.perf_counter() - t0,
+                            graph_key=job.graph_key)
+
+            t0 = time.perf_counter()
+            derived = self.catalog.derived_for(job.graph_key, job.config, job.scenario)
+            job.record_pass("derived_artifacts", time.perf_counter() - t0,
+                            artifacts=sorted(derived))
+
+            config = job.config
+            if self.pool is not None and config.pool is None:
+                config = replace(config, pool=self.pool)
+            config = replace(config, derived=derived)
+            # The backend the job actually runs on (post pool injection) —
+            # what status rows and the batch report must attribute to.
+            job.executor = config.executor_name
+
+            t0 = time.perf_counter()
+            result = run_scenario(graph, job.scenario, config)
+            job.record_pass(
+                "run_scenario", time.perf_counter() - t0,
+                executor=config.executor_name,
+                n_sub_runs=len(result.sub_runs),
+                walk_edges=int(sum(c.n_edges for c in result.circuits)),
+            )
+            job.result = result
+
+            # Pre-stamp the terminal state so the durable artifact records
+            # the finished job; finish() below only notifies the handle.
+            job.state = DONE
+            job.finished_at = time.time()
+            self._write_artifact(job)
+            self.queue.finish(job, DONE)
+        except Exception as exc:  # a failed job must never kill its dispatcher
+            detail = "".join(
+                traceback.format_exception_only(type(exc), exc)
+            ).strip()
+            job.record_pass("error", 0.0, error=detail)
+            job.state = FAILED
+            job.error = detail
+            job.finished_at = time.time()
+            self._write_artifact(job, swallow_errors=True)
+            self.queue.finish(job, FAILED, error=detail)
+
+    def _write_artifact(self, job: Job, swallow_errors: bool = False) -> None:
+        if self.artifact_dir is None:
+            return
+        from ..bench.report_io import save_job
+
+        try:
+            t0 = time.perf_counter()
+            path = save_job(job, self.artifact_dir / f"{job.id}.json")
+            job.artifact_path = str(path)
+            job.record_pass("write_artifact", time.perf_counter() - t0,
+                            path=str(path))
+        except Exception:
+            if not swallow_errors:
+                raise
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self, cancel_queued: bool = True) -> None:
+        """Drain dispatchers and release the pool (idempotent).
+
+        Queued jobs are cancelled by default so close cannot hang behind a
+        deep queue; pass ``cancel_queued=False`` to let the queue drain.
+        Running jobs always finish — their shared pool stays up until the
+        dispatchers exit.
+        """
+        if self._closed:
+            return
+        if cancel_queued:
+            for job in self.queue.jobs():
+                if job.state == QUEUED:
+                    self.cancel(job.id)  # also unpins the graph
+        self._closed = True
+        self.queue.close()
+        for t in self._threads:
+            t.join()
+        if self.pool is not None and self._owns_pool:
+            self.pool.close()
+
+    def __enter__(self) -> "JobEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

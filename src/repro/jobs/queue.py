@@ -1,0 +1,278 @@
+"""Job model: dataclass, state machine, priority queue, future-style handle.
+
+A :class:`Job` moves through ``QUEUED → RUNNING → DONE``/``FAILED`` (or
+``QUEUED → CANCELLED`` if it never started). The :class:`JobQueue` is a
+thread-safe priority queue — higher ``priority`` pops first, FIFO within a
+priority — and the registry of every job ever submitted, so status lookups
+work for finished jobs too. :class:`JobResult` is the submit-side handle:
+``result()`` blocks until the terminal state and either returns the
+:class:`~repro.scenarios.base.ScenarioResult` or raises the job's failure.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from ..errors import JobCancelledError, JobError, JobFailedError
+from ..pipeline.context import RunConfig
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..scenarios.base import ScenarioResult
+
+__all__ = [
+    "QUEUED",
+    "RUNNING",
+    "DONE",
+    "FAILED",
+    "CANCELLED",
+    "JOB_STATES",
+    "Job",
+    "JobResult",
+    "JobQueue",
+]
+
+QUEUED = "QUEUED"
+RUNNING = "RUNNING"
+DONE = "DONE"
+FAILED = "FAILED"
+CANCELLED = "CANCELLED"
+
+#: Every reachable job state, in lifecycle order.
+JOB_STATES = (QUEUED, RUNNING, DONE, FAILED, CANCELLED)
+
+#: States a job can never leave.
+TERMINAL_STATES = frozenset({DONE, FAILED, CANCELLED})
+
+
+@dataclass
+class Job:
+    """One scheduled scenario run and its full lifecycle record."""
+
+    id: str
+    scenario: str
+    graph_key: str
+    config: RunConfig
+    priority: int = 0
+    state: str = QUEUED
+    graph_name: str = ""
+    n_vertices: int = 0
+    n_edges: int = 0
+    #: The backend the job actually ran on (set by the engine after pool
+    #: injection; empty until dispatched).
+    executor: str = ""
+    submitted_at: float = field(default_factory=time.time)
+    started_at: float | None = None
+    finished_at: float | None = None
+    error: str | None = None
+    #: The in-memory scenario result (DONE jobs only; the durable artifact
+    #: JSON is what survives the process).
+    result: Any = None
+    artifact_path: str | None = None
+    #: Append-only pass history: one dict per orchestration pass
+    #: (``{"pass": name, "seconds": wall, ...extras}``), mirrored into the
+    #: durable artifact — the audit trail of what the engine did and when.
+    passes: list[dict] = field(default_factory=list)
+
+    @property
+    def queue_latency_seconds(self) -> float | None:
+        """Seconds spent waiting in the queue (None until started/cancelled)."""
+        if self.started_at is None:
+            return None
+        return self.started_at - self.submitted_at
+
+    @property
+    def run_seconds(self) -> float | None:
+        """Wall seconds from start to finish (None until finished)."""
+        if self.started_at is None or self.finished_at is None:
+            return None
+        return self.finished_at - self.started_at
+
+    def record_pass(self, name: str, seconds: float, **extra) -> None:
+        """Append one pass to the history."""
+        self.passes.append({"pass": name, "seconds": seconds, **extra})
+
+    def summary(self) -> dict:
+        """JSON-safe status row (the serve API's job view)."""
+        return {
+            "id": self.id,
+            "scenario": self.scenario,
+            "graph_key": self.graph_key,
+            "graph_name": self.graph_name,
+            "n_vertices": self.n_vertices,
+            "n_edges": self.n_edges,
+            "priority": self.priority,
+            "state": self.state,
+            "executor": self.executor,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "queue_latency_seconds": self.queue_latency_seconds,
+            "run_seconds": self.run_seconds,
+            "error": self.error,
+            "artifact_path": self.artifact_path,
+        }
+
+
+class JobResult:
+    """Future-style handle returned by :meth:`repro.jobs.engine.JobEngine.submit`."""
+
+    def __init__(self, job: Job):
+        self._job = job
+        self._done = threading.Event()
+
+    @property
+    def job_id(self) -> str:
+        return self._job.id
+
+    @property
+    def state(self) -> str:
+        return self._job.state
+
+    def done(self) -> bool:
+        """True once the job reached a terminal state."""
+        return self._done.is_set()
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until terminal (or timeout); returns :meth:`done`."""
+        return self._done.wait(timeout)
+
+    def result(self, timeout: float | None = None) -> "ScenarioResult":
+        """The scenario result, blocking until the job finishes.
+
+        Raises :class:`~repro.errors.JobFailedError` /
+        :class:`~repro.errors.JobCancelledError` for the failure states and
+        :class:`TimeoutError` when ``timeout`` elapses first.
+        """
+        if not self._done.wait(timeout):
+            raise TimeoutError(
+                f"job {self._job.id} still {self._job.state} after {timeout}s"
+            )
+        if self._job.state == FAILED:
+            raise JobFailedError(self._job.id, self._job.error or "unknown error")
+        if self._job.state == CANCELLED:
+            raise JobCancelledError(self._job.id)
+        return self._job.result
+
+    def _mark_done(self) -> None:
+        self._done.set()
+
+
+class JobQueue:
+    """Thread-safe priority queue + registry of all submitted jobs."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._heap: list[tuple[int, int, str]] = []
+        self._seq = 0
+        self._jobs: dict[str, Job] = {}
+        self._handles: dict[str, JobResult] = {}
+        self._closed = False
+
+    def submit(self, job: Job) -> JobResult:
+        """Enqueue a QUEUED job; returns its handle."""
+        with self._lock:
+            if self._closed:
+                raise JobError("queue is closed")
+            if job.id in self._jobs:
+                raise JobError(f"duplicate job id {job.id!r}")
+            if job.state != QUEUED:
+                raise JobError(f"job {job.id} submitted in state {job.state}")
+            handle = JobResult(job)
+            self._jobs[job.id] = job
+            self._handles[job.id] = handle
+            # Max-heap on priority; FIFO within a priority via the sequence.
+            heapq.heappush(self._heap, (-job.priority, self._seq, job.id))
+            self._seq += 1
+            self._not_empty.notify()
+            return handle
+
+    def pop(self, timeout: float | None = None) -> Job | None:
+        """Highest-priority QUEUED job, marked RUNNING; ``None`` on timeout.
+
+        Cancelled entries are skipped (their heap slots are lazy-deleted).
+        Returns ``None`` immediately once the queue is closed and drained.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._lock:
+            while True:
+                while self._heap:
+                    _, _, job_id = heapq.heappop(self._heap)
+                    job = self._jobs[job_id]
+                    if job.state != QUEUED:
+                        continue  # cancelled while queued
+                    job.state = RUNNING
+                    job.started_at = time.time()
+                    return job
+                if self._closed:
+                    return None
+                if deadline is None:
+                    self._not_empty.wait()
+                else:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0 or not self._not_empty.wait(remaining):
+                        return None
+
+    def finish(self, job: Job, state: str, error: str | None = None) -> None:
+        """Move a RUNNING job to a terminal state and release its handle."""
+        if state not in TERMINAL_STATES:
+            raise JobError(f"{state} is not a terminal state")
+        with self._lock:
+            job.state = state
+            if error is not None:
+                job.error = error
+            if job.finished_at is None:
+                # The engine may pre-stamp the terminal state so the durable
+                # artifact (written just before this call) records it.
+                job.finished_at = time.time()
+            self._handles[job.id]._mark_done()
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a QUEUED job. Running/terminal jobs are not cancellable."""
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None:
+                raise JobError(f"unknown job id {job_id!r}")
+            if job.state != QUEUED:
+                return False
+            job.state = CANCELLED
+            job.finished_at = time.time()
+            self._handles[job_id]._mark_done()
+            return True
+
+    def get(self, job_id: str) -> Job:
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None:
+                raise JobError(f"unknown job id {job_id!r}")
+            return job
+
+    def handle(self, job_id: str) -> JobResult:
+        with self._lock:
+            handle = self._handles.get(job_id)
+            if handle is None:
+                raise JobError(f"unknown job id {job_id!r}")
+            return handle
+
+    def jobs(self) -> list[Job]:
+        """All jobs ever submitted, in submission order."""
+        with self._lock:
+            return list(self._jobs.values())
+
+    def counts(self) -> dict[str, int]:
+        """Jobs per state (the health endpoint's summary)."""
+        with self._lock:
+            out = {s: 0 for s in JOB_STATES}
+            for job in self._jobs.values():
+                out[job.state] += 1
+            return out
+
+    def close(self) -> None:
+        """Stop accepting submissions and wake every blocked :meth:`pop`."""
+        with self._lock:
+            self._closed = True
+            self._not_empty.notify_all()

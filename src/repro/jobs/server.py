@@ -1,0 +1,256 @@
+"""Serving front end: a stdlib JSON-over-HTTP API around the job engine.
+
+No framework, no new dependencies — ``http.server.ThreadingHTTPServer``
+dispatches each request on its own thread into the (thread-safe) engine and
+catalog. The API surface:
+
+==========  =======================  ===========================================
+Method      Path                     Meaning
+==========  =======================  ===========================================
+``GET``     ``/healthz``             liveness + job counts per state
+``GET``     ``/catalog``             catalog entries + hit/miss/eviction stats
+``POST``    ``/graphs``              catalog a graph (inline edges or npz path)
+``POST``    ``/jobs``                submit a job → ``{"job_id": ...}``
+``GET``     ``/jobs``                all job summaries
+``GET``     ``/jobs/<id>``           one job's status summary
+``GET``     ``/jobs/<id>/result``    full schema-v5 job artifact (404 until done)
+``DELETE``  ``/jobs/<id>``           cancel a queued job
+==========  =======================  ===========================================
+
+Submission bodies name the graph one of three ways: ``graph_key`` (already
+cataloged), ``graph`` (inline ``{"n_vertices", "edges": [[u, v], ...]}``),
+or ``path`` (a server-local edge-list/NPZ file). Config fields mirror
+:class:`~repro.pipeline.context.RunConfig`.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import JobError, ReproError
+from ..graph.graph import Graph
+from ..graph.io import load_edge_list, load_npz
+from ..pipeline.context import RunConfig
+from ..scenarios.base import scenario_names
+from .engine import JobEngine
+from .queue import DONE, FAILED
+
+__all__ = ["make_server", "serve_forever", "config_from_dict"]
+
+#: RunConfig fields settable over the wire (pool/derived/spill are
+#: deliberately server-owned).
+_CONFIG_FIELDS = {
+    "n_parts": int,
+    "partitioner": str,
+    "strategy": str,
+    "matching": str,
+    "seed": int,
+    "executor": str,
+    "workers": int,
+    "validate": bool,
+    "verify": bool,
+}
+
+
+def config_from_dict(payload: dict) -> RunConfig:
+    """Build a :class:`RunConfig` from a request body's ``config`` object."""
+    kwargs = {}
+    for key, value in (payload or {}).items():
+        caster = _CONFIG_FIELDS.get(key)
+        if caster is None:
+            raise ValueError(f"unknown config field {key!r}")
+        if caster is bool:
+            # bool("false") is True — reject anything but a JSON boolean
+            # rather than silently flipping the request's meaning.
+            if not isinstance(value, bool):
+                raise ValueError(
+                    f"config field {key!r} must be a JSON boolean, "
+                    f"got {value!r}"
+                )
+            kwargs[key] = value
+        else:
+            kwargs[key] = caster(value)
+    return RunConfig(**kwargs)
+
+
+def _graph_from_body(body: dict, engine: JobEngine) -> tuple[str, str]:
+    """Resolve a request body to a cataloged graph key (+ display name)."""
+    name = str(body.get("name", ""))
+    if "graph_key" in body:
+        key = str(body["graph_key"])
+        if key not in engine.catalog:
+            raise KeyError(f"unknown graph key {key!r}")
+        return key, name
+    if "graph" in body:
+        spec = body["graph"]
+        edges = np.asarray(spec.get("edges", []), dtype=np.int64).reshape(-1, 2)
+        n_vertices = int(
+            spec.get(
+                "n_vertices", int(edges.max()) + 1 if edges.size else 0
+            )
+        )
+        g = Graph(n_vertices, edges[:, 0], edges[:, 1])
+        return engine.catalog.put(g, name=name), name
+    if "path" in body:
+        path = Path(str(body["path"]))
+        if path.suffix == ".npz":
+            g, _ = load_npz(path)
+        else:
+            g = load_edge_list(path)
+        return engine.catalog.put(g, name=name or path.name), name or path.name
+    raise ValueError("request must name a graph: graph_key, graph, or path")
+
+
+class _JobRequestHandler(BaseHTTPRequestHandler):
+    """Routes HTTP verbs into the engine; every response is JSON."""
+
+    server_version = "repro-euler-serve/1"
+    #: Set by :func:`make_server` on the handler subclass.
+    engine: JobEngine = None
+    quiet: bool = True
+
+    # -- plumbing ----------------------------------------------------------
+
+    def log_message(self, fmt, *args):  # noqa: D102 - stdlib signature
+        if not self.quiet:
+            super().log_message(fmt, *args)
+
+    def _send(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload, default=float).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _body(self) -> dict:
+        length = int(self.headers.get("Content-Length", 0))
+        if length == 0:
+            return {}
+        return json.loads(self.rfile.read(length))
+
+    def _route(self, method: str) -> None:
+        try:
+            parts = [p for p in self.path.split("?", 1)[0].split("/") if p]
+            handler = getattr(self, f"_{method}_" + "_".join(parts[:1] or ["root"]), None)
+            if handler is None:
+                self._send(404, {"error": f"no route {method} {self.path}"})
+                return
+            handler(parts)
+        except (KeyError, JobError) as exc:
+            self._send(404, {"error": str(exc)})
+        except (ValueError, ReproError) as exc:
+            self._send(400, {"error": str(exc)})
+        except Exception as exc:  # pragma: no cover - defensive
+            self._send(500, {"error": repr(exc)})
+
+    def do_GET(self):  # noqa: N802 - stdlib naming
+        self._route("GET")
+
+    def do_POST(self):  # noqa: N802
+        self._route("POST")
+
+    def do_DELETE(self):  # noqa: N802
+        self._route("DELETE")
+
+    # -- routes ------------------------------------------------------------
+
+    def _GET_healthz(self, parts):  # noqa: N802
+        self._send(200, {"status": "ok", "jobs": self.engine.queue.counts()})
+
+    def _GET_catalog(self, parts):  # noqa: N802
+        self._send(200, {
+            "entries": self.engine.catalog.entries(),
+            "stats": dict(self.engine.catalog.stats),
+            "disk_bytes": self.engine.catalog.disk_bytes(),
+        })
+
+    def _POST_graphs(self, parts):  # noqa: N802
+        key, name = _graph_from_body(self._body(), self.engine)
+        self._send(200, {"graph_key": key, "name": name})
+
+    def _POST_jobs(self, parts):  # noqa: N802
+        body = self._body()
+        scenario = str(body.get("scenario", "circuit"))
+        if scenario not in scenario_names():
+            raise ValueError(
+                f"unknown scenario {scenario!r}; choose from {scenario_names()}"
+            )
+        key, name = _graph_from_body(body, self.engine)
+        handle = self.engine.submit(
+            scenario,
+            graph_key=key,
+            config=config_from_dict(body.get("config", {})),
+            priority=int(body.get("priority", 0)),
+            name=name,
+        )
+        self._send(200, {"job_id": handle.job_id,
+                         "state": handle.state, "graph_key": key})
+
+    def _GET_jobs(self, parts):  # noqa: N802
+        if len(parts) == 1:
+            self._send(200, {"jobs": [j.summary() for j in self.engine.jobs()]})
+            return
+        job = self.engine.job(parts[1])
+        if len(parts) == 2:
+            self._send(200, job.summary())
+            return
+        if parts[2] == "result":
+            if job.state not in (DONE, FAILED):
+                self._send(404, {"error": f"job {job.id} is {job.state}; "
+                                          "no result yet", "state": job.state})
+                return
+            from ..bench.report_io import job_to_dict
+
+            doc = job_to_dict(job)
+            if (doc["scenario_result"] is None and job.state == DONE
+                    and job.artifact_path):
+                # The in-memory result was trimmed (keep_results bound);
+                # the durable artifact has the full document.
+                doc = json.loads(Path(job.artifact_path).read_text())
+            self._send(200, doc)
+            return
+        self._send(404, {"error": f"no route GET {self.path}"})
+
+    def _DELETE_jobs(self, parts):  # noqa: N802
+        if len(parts) != 2:
+            raise ValueError("DELETE /jobs/<id>")
+        cancelled = self.engine.cancel(parts[1])
+        self._send(200, {"job_id": parts[1], "cancelled": cancelled,
+                         "state": self.engine.job(parts[1]).state})
+
+
+def make_server(
+    engine: JobEngine, host: str = "127.0.0.1", port: int = 0, quiet: bool = True
+) -> ThreadingHTTPServer:
+    """Build (but do not start) the HTTP server bound to ``host:port``.
+
+    ``port=0`` binds an ephemeral port — read it back from
+    ``server.server_address`` (tests and the in-process example do).
+    """
+    handler = type(
+        "BoundJobRequestHandler",
+        (_JobRequestHandler,),
+        {"engine": engine, "quiet": quiet},
+    )
+    return ThreadingHTTPServer((host, port), handler)
+
+
+def serve_forever(engine: JobEngine, host: str, port: int, quiet: bool = False) -> None:
+    """Run the API until interrupted, then close the engine cleanly."""
+    server = make_server(engine, host, port, quiet=quiet)
+    addr = server.server_address
+    print(f"repro-euler serve: listening on http://{addr[0]}:{addr[1]} "
+          f"(pool={engine.pool.name if engine.pool else 'none'}, "
+          f"catalog={engine.catalog.root})")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive path
+        pass
+    finally:
+        server.server_close()
+        engine.close()

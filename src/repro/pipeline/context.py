@@ -40,7 +40,10 @@ __all__ = ["SCHEMA_VERSION", "RunConfig", "RunContext", "ExecutionReport"]
 #: v4: scenario layer — artifacts carry an ``artifact`` kind tag
 #: (``"run"`` | ``"scenario"``); scenario artifacts nest one run artifact
 #: per sub-run (see :func:`repro.bench.report_io.scenario_to_dict`).
-SCHEMA_VERSION = 4
+#: v5: job orchestration — a new ``"job"`` artifact kind wraps a scenario
+#: artifact with job metadata (id, priority, state), queue/run timings and
+#: the pass history (see :func:`repro.bench.report_io.job_to_dict`).
+SCHEMA_VERSION = 5
 
 
 @dataclass(frozen=True)
@@ -61,10 +64,23 @@ class RunConfig:
     validate: bool = False
     verify: bool = False
     check_input: bool = True
+    #: Externally-owned :class:`~repro.bsp.executors.SharedPool` (or any
+    #: object with a ``session()`` factory). When set, the run executes its
+    #: supersteps on the shared pool instead of building a private backend —
+    #: the job engine's amortization path. Never serialized; not picklable.
+    pool: Any = None
+    #: Precomputed derived artifacts from the graph catalog (a mapping with
+    #: optional ``partition_map`` / ``eulerize_plan`` entries). Consumers
+    #: validate each entry against the actual graph and config before use
+    #: and silently recompute on mismatch, so stale or foreign entries can
+    #: never change a run's result.
+    derived: Any = None
 
     @property
     def executor_name(self) -> str:
         """The resolved backend name (single source of truth in bsp)."""
+        if self.pool is not None:
+            return getattr(self.pool, "name", "pool")
         from ..bsp.executors import resolve_executor_name
 
         return resolve_executor_name(self.executor, self.workers)

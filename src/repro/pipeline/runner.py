@@ -43,7 +43,12 @@ def run_pipeline(graph: Graph, config: RunConfig) -> RunContext:
     program = Setup().run(graph, ctx)
 
     n_levels = len(ctx.tree.levels) + 1
-    engine = BSPEngine(max_workers=config.workers, executor=config.executor)
+    # A shared pool (job engine) supersedes the per-run backend: the engine
+    # gets a session whose close() is a no-op, so pool lifecycle stays with
+    # the pool's owner while this run still goes through the normal barrier
+    # and commit machinery.
+    executor = config.pool.session() if config.pool is not None else config.executor
+    engine = BSPEngine(max_workers=config.workers, executor=executor)
     states = {pid: None for pid in range(ctx.n_parts)}
     ctx.final_states, ctx.run_stats = engine.run(
         states,

@@ -19,12 +19,46 @@ from ..core.improvements import DeferredStore, plan_remote_placement, strategy_f
 from ..core.merge_tree import build_merge_tree
 from ..graph.graph import Graph
 from ..graph.metagraph import build_metagraph
+from ..graph.partition import PartitionedGraph
 from ..graph.properties import check_eulerian
 from ..partitioning import partition as partition_graph
-from .context import RunContext
+from .context import RunConfig, RunContext
 from .program import SuperstepProgram
 
-__all__ = ["Setup"]
+__all__ = ["Setup", "cached_partition"]
+
+
+def cached_partition(graph: Graph, cfg: RunConfig, n_parts: int) -> PartitionedGraph | None:
+    """The catalog-provided partition, iff it provably matches this run.
+
+    ``cfg.derived["partition_map"]`` entries carry the full key they were
+    computed under (partitioner, seed, part count, graph shape). Any
+    mismatch — including a scenario handing an augmented or component
+    sub-graph down — falls back to computing, so a cached map can only ever
+    reproduce exactly what :func:`repro.partitioning.partition` would have
+    produced (the partitioners are deterministic for a fixed key).
+    """
+    derived = cfg.derived
+    if not isinstance(derived, dict):
+        return None
+    entry = derived.get("partition_map")
+    if not isinstance(entry, dict):
+        return None
+    part_of = entry.get("part_of")
+    if part_of is None:
+        return None
+    if (
+        entry.get("partitioner") != cfg.partitioner
+        or int(entry.get("seed", -1)) != cfg.seed
+        or int(entry.get("n_parts", -1)) != n_parts
+        or int(entry.get("n_vertices", -1)) != graph.n_vertices
+        or int(entry.get("n_edges", -1)) != graph.n_edges
+    ):
+        return None
+    part_of = np.asarray(part_of, dtype=np.int64)
+    if part_of.shape != (graph.n_vertices,):
+        return None
+    return PartitionedGraph(graph, part_of, n_parts)
 
 
 class Setup:
@@ -40,7 +74,9 @@ class Setup:
         n_parts = max(1, min(cfg.n_parts, graph.n_vertices))
         dedup, deferred = strategy_flags(cfg.strategy)
 
-        pg = partition_graph(graph, n_parts, method=cfg.partitioner, seed=cfg.seed)
+        pg = cached_partition(graph, cfg, n_parts)
+        if pg is None:
+            pg = partition_graph(graph, n_parts, method=cfg.partitioner, seed=cfg.seed)
         # Static per-partition edge grouping: built here, once, so level-0
         # partition loads inside the BSP run are pure array slicing.
         pg.build_grouped_index()

@@ -223,9 +223,15 @@ def _run_batch(subs: list[SubProblem], config: RunConfig) -> list[RunContext]:
     graphs); every other configuration runs the sub-problems sequentially
     with the configured backend *inside* each run. Both paths produce
     bit-identical circuits — the executor-parity contract of the pipeline.
+
+    A config carrying an externally-owned pool never fans out here: the
+    pool object cannot (and must not) cross a process boundary, and the
+    job engine already provides the cross-request parallelism — each
+    sub-run executes on the shared pool instead.
     """
     n = len(subs)
-    if n > 1 and config.executor == "process" and config.workers > 1:
+    if (n > 1 and config.pool is None
+            and config.executor == "process" and config.workers > 1):
         inner = replace(config, executor="serial", workers=1)
         tasks = [(s.graph, _sub_config(inner, s, n)) for s in subs]
         with ProcessPoolExecutor(max_workers=min(config.workers, n)) as pool:

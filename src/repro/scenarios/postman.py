@@ -24,6 +24,7 @@ from .base import Scenario, SubProblem, register_scenario
 
 __all__ = [
     "PostmanScenario",
+    "eulerize_plan",
     "greedy_odd_matching",
     "map_edge_ids",
     "verify_covering_walk",
@@ -83,6 +84,55 @@ def verify_covering_walk(graph: Graph, walk: EulerCircuit) -> None:
         raise InvalidCircuitError("covering walk is not closed")
 
 
+def eulerize_plan(graph: Graph) -> dict:
+    """The postman reduction's expensive part, as a cacheable plan.
+
+    Matches odd vertices greedily and lays duplicate edges along shortest
+    paths; the result is three flat arrays plus the graph shape they were
+    computed for, so a catalog can persist the plan keyed by graph content
+    and :meth:`PostmanScenario.reduce` can validate it before reuse. The
+    computation is deterministic, so a cached plan is bit-identical to a
+    fresh one.
+    """
+    odd = odd_vertices(graph)
+    dup_u: list[int] = []
+    dup_v: list[int] = []
+    dup_orig: list[int] = []  # original eid each duplicate revisits
+    for a, b in greedy_odd_matching(graph, odd):
+        verts, eids = shortest_path(graph, a, b)
+        for (x, y), e in zip(zip(verts[:-1], verts[1:]), eids):
+            dup_u.append(x)
+            dup_v.append(y)
+            dup_orig.append(e)
+    return {
+        "dup_u": np.asarray(dup_u, dtype=np.int64),
+        "dup_v": np.asarray(dup_v, dtype=np.int64),
+        "dup_orig": np.asarray(dup_orig, dtype=np.int64),
+        "n_odd_vertices": int(odd.size),
+        "n_vertices": graph.n_vertices,
+        "n_edges": graph.n_edges,
+    }
+
+
+def _cached_plan(graph: Graph, config: RunConfig) -> dict | None:
+    """A catalog-provided eulerization plan, iff it matches this graph."""
+    derived = config.derived
+    if not isinstance(derived, dict):
+        return None
+    plan = derived.get("eulerize_plan")
+    if not isinstance(plan, dict):
+        return None
+    if (
+        int(plan.get("n_vertices", -1)) != graph.n_vertices
+        or int(plan.get("n_edges", -1)) != graph.n_edges
+        or "dup_u" not in plan
+        or "dup_v" not in plan
+        or "dup_orig" not in plan
+    ):
+        return None
+    return plan
+
+
 class PostmanScenario(Scenario):
     """Closed walk covering every edge at least once, revisits minimized."""
 
@@ -97,25 +147,18 @@ class PostmanScenario(Scenario):
                 "(use the 'components' scenario to cover each separately)",
                 num_components=n_edge_components(graph),
             )
-        odd = odd_vertices(graph)
-        dup_u: list[int] = []
-        dup_v: list[int] = []
-        dup_orig: list[int] = []  # original eid each duplicate revisits
-        for a, b in greedy_odd_matching(graph, odd):
-            verts, eids = shortest_path(graph, a, b)
-            for (x, y), e in zip(zip(verts[:-1], verts[1:]), eids):
-                dup_u.append(x)
-                dup_v.append(y)
-                dup_orig.append(e)
-        augmented = graph.with_extra_edges(dup_u, dup_v)
+        plan = _cached_plan(graph, config)
+        if plan is None:
+            plan = eulerize_plan(graph)
+        augmented = graph.with_extra_edges(plan["dup_u"], plan["dup_v"])
         return [
             SubProblem(
                 key="eulerized",
                 graph=augmented,
                 n_parts=config.n_parts,
                 meta={
-                    "dup_orig": np.asarray(dup_orig, dtype=np.int64),
-                    "n_odd_vertices": int(odd.size),
+                    "dup_orig": np.asarray(plan["dup_orig"], dtype=np.int64),
+                    "n_odd_vertices": int(plan["n_odd_vertices"]),
                 },
             )
         ]

@@ -85,6 +85,90 @@ def test_npz_roundtrip_without_partition(tmp_path, triangle):
     assert g == triangle and p is None
 
 
+def test_edge_list_undersized_header_names_offending_line(tmp_path):
+    path = tmp_path / "g.txt"
+    path.write_text("# vertices: 3\n0 1\n1 2\n2 5\n")
+    with pytest.raises(GraphFormatError) as exc:
+        load_edge_list(path)
+    message = str(exc.value)
+    assert ":4:" in message  # the offending line, not the header
+    assert "vertex 5" in message and "declares only 3" in message
+
+
+def test_edge_list_exact_header_is_fine(tmp_path):
+    path = tmp_path / "g.txt"
+    path.write_text("# vertices: 6\n0 1\n1 2\n2 5\n")
+    assert load_edge_list(path).n_vertices == 6
+
+
+def test_save_edge_list_creates_parents_atomically(tmp_path, triangle):
+    path = tmp_path / "deep" / "nested" / "g.txt"
+    save_edge_list(triangle, path)
+    assert load_edge_list(path) == triangle
+    # No temp litter next to the final file.
+    assert sorted(p.name for p in path.parent.iterdir()) == ["g.txt"]
+
+
+def test_failed_save_leaves_previous_file_intact(tmp_path, triangle, grid8):
+    path = tmp_path / "g.txt"
+    save_edge_list(triangle, path)
+
+    class Exploding:
+        n_vertices = grid8.n_vertices
+
+        @property
+        def edge_u(self):
+            raise RuntimeError("disk on fire")
+
+        edge_v = grid8.edge_v
+
+    with pytest.raises(RuntimeError):
+        save_edge_list(Exploding(), path)
+    assert load_edge_list(path) == triangle  # old content survived
+    assert sorted(p.name for p in tmp_path.iterdir()) == ["g.txt"]
+
+
+def test_npz_uncompressed_mmap_roundtrip(tmp_path, grid8):
+    path = tmp_path / "g.npz"
+    part = np.arange(grid8.n_vertices, dtype=np.int64) % 3
+    save_npz(grid8, path, part_of=part, compressed=False)
+    g, p = load_npz(path, mmap=True)
+    assert g == grid8
+    assert np.array_equal(p, part)
+
+    def memmap_backed(a):
+        while a is not None:
+            if isinstance(a, np.memmap):
+                return True
+            a = getattr(a, "base", None)
+        return False
+
+    assert memmap_backed(g.edge_u) and memmap_backed(g.edge_v)
+    # Graph invariants still hold on the mapped arrays.
+    assert g.degrees().sum() == 2 * g.n_edges
+
+
+def test_npz_mmap_on_compressed_falls_back(tmp_path, grid8):
+    path = tmp_path / "g.npz"
+    save_npz(grid8, path)  # compressed: nothing to map
+    g, _ = load_npz(path, mmap=True)
+    assert g == grid8
+
+
+def test_from_arrays_no_copy_and_validation():
+    u = np.array([0, 1, 2], dtype=np.int64)
+    v = np.array([1, 2, 0], dtype=np.int64)
+    g = Graph.from_arrays(3, u, v)
+    assert g.edge_u.base is u  # wrapped, not copied
+    with pytest.raises(ValueError):
+        Graph.from_arrays(2, u, v)  # endpoint out of range
+    with pytest.raises(ValueError):
+        Graph.from_arrays(3, u, v[:2])
+    # Non-int64 input falls back to the copying constructor.
+    g32 = Graph.from_arrays(3, u.astype(np.int32), v.astype(np.int32))
+    assert g32 == g
+
+
 def test_compact_labels():
     g, labels = compact_labels([100, 7], [7, 42])
     assert g.n_vertices == 3

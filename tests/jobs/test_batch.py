@@ -1,0 +1,81 @@
+"""Batch mode: JSONL job files and the run-table CSV report."""
+
+import csv
+
+import pytest
+
+from repro.generate.synthetic import grid_city
+from repro.graph.io import save_edge_list
+from repro.jobs import GraphCatalog, JobEngine, load_job_specs, run_batch, write_report_csv
+from repro.jobs.batch import REPORT_COLUMNS
+
+
+@pytest.fixture
+def jobs_file(tmp_path):
+    save_edge_list(grid_city(6, 6), tmp_path / "g.el")
+    path = tmp_path / "jobs.jsonl"
+    path.write_text(
+        "# a comment line\n"
+        "\n"
+        f'{{"input": "{tmp_path / "g.el"}", "scenario": "circuit", '
+        f'"config": {{"n_parts": 4, "verify": true}}, "repeat": 3}}\n'
+        f'{{"input": "{tmp_path / "g.el"}", "scenario": "postman", '
+        f'"config": {{"n_parts": 2}}, "priority": 5}}\n'
+    )
+    return path
+
+
+def test_load_job_specs(jobs_file):
+    specs = load_job_specs(jobs_file)
+    assert len(specs) == 2
+    assert specs[0]["repeat"] == 3 and specs[1]["priority"] == 5
+
+
+def test_load_job_specs_rejects_bad_lines(tmp_path):
+    bad = tmp_path / "bad.jsonl"
+    bad.write_text("{not json}\n")
+    with pytest.raises(ValueError, match="bad.jsonl:1"):
+        load_job_specs(bad)
+    bad.write_text('{"scenario": "circuit"}\n')
+    with pytest.raises(ValueError, match="needs an 'input'"):
+        load_job_specs(bad)
+
+
+def test_run_batch_rows_and_csv(tmp_path, jobs_file):
+    with JobEngine(GraphCatalog(tmp_path / "cat"), dispatchers=2,
+                   artifact_dir=tmp_path / "arts") as engine:
+        rows = run_batch(load_job_specs(jobs_file), engine, timeout=120)
+    assert len(rows) == 4  # 3 repeats + 1 postman
+    assert all(r["state"] == "DONE" for r in rows)
+    assert all(r["throughput_edges_per_s"] > 0 for r in rows)
+    assert all(r["artifact"] for r in rows)
+    # One graph, submitted four times: three catalog partition hits for the
+    # circuit repeats (the postman sub-runs use the augmented graph).
+    assert {r["graph_key"] for r in rows} == {rows[0]["graph_key"]}
+
+    report = write_report_csv(rows, tmp_path / "nested" / "run_table.csv")
+    with report.open() as fh:
+        parsed = list(csv.DictReader(fh))
+    assert len(parsed) == 4
+    assert list(parsed[0]) == REPORT_COLUMNS
+    assert parsed[0]["scenario"] == "circuit"
+    assert float(parsed[0]["run_wall_s"]) > 0
+    # The executor column reports the backend jobs actually ran on (the
+    # engine's shared thread pool), not the pre-injection config default.
+    assert parsed[0]["executor"] == "shared-thread"
+
+
+def test_run_batch_named_workload(tmp_path, monkeypatch):
+    from repro import bench
+    from repro.bench.workloads import WorkloadSpec
+
+    g = grid_city(5, 5)
+    spec = WorkloadSpec("tiny", 4, 2.0, n_parts=2)
+    monkeypatch.setitem(bench.workloads.PAPER_WORKLOADS, "tiny", spec)
+    monkeypatch.setattr(bench.workloads, "load_workload",
+                        lambda name: (g, spec))
+    jobs = tmp_path / "jobs.jsonl"
+    jobs.write_text('{"input": "tiny", "config": {"n_parts": 2}}\n')
+    with JobEngine(GraphCatalog(tmp_path / "cat"), dispatchers=1) as engine:
+        rows = run_batch(load_job_specs(jobs), engine, timeout=60)
+    assert rows[0]["state"] == "DONE" and rows[0]["graph"] == "tiny"

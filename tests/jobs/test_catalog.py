@@ -1,0 +1,143 @@
+"""Graph catalog: content keys, persistence, derived caches, eviction."""
+
+import numpy as np
+import pytest
+
+from repro.generate.synthetic import grid_city, random_eulerian
+from repro.graph.graph import Graph
+from repro.jobs.catalog import GraphCatalog, graph_key
+from repro.partitioning import partition as partition_graph
+from repro.pipeline import RunConfig
+from repro.scenarios.postman import eulerize_plan
+
+
+def test_graph_key_is_content_addressed(grid8):
+    same = Graph(grid8.n_vertices, grid8.edge_u.copy(), grid8.edge_v.copy())
+    assert graph_key(grid8) == graph_key(same)
+    other = grid_city(7, 7)
+    assert graph_key(grid8) != graph_key(other)
+    # Edge order matters: ids shift, so runs are not interchangeable.
+    reordered = Graph(grid8.n_vertices, grid8.edge_u[::-1], grid8.edge_v[::-1])
+    assert graph_key(grid8) != graph_key(reordered)
+
+
+def test_put_get_roundtrip_and_idempotence(tmp_path, grid8):
+    cat = GraphCatalog(tmp_path)
+    key = cat.put(grid8, name="grid")
+    assert key in cat
+    assert cat.put(grid8) == key  # idempotent
+    assert cat.get(key) == grid8
+    (entry,) = cat.entries()
+    assert entry["name"] == "grid" and entry["n_edges"] == grid8.n_edges
+
+
+def test_disk_reload_memory_maps(tmp_path, grid8):
+    key = GraphCatalog(tmp_path).put(grid8)
+    fresh = GraphCatalog(tmp_path)  # new process's view of the same root
+    g = fresh.get(key)
+    assert fresh.stats["graph_misses"] == 1  # loaded from disk...
+
+    def memmap_backed(a):  # the map may sit a view or two down the chain
+        while a is not None:
+            if isinstance(a, np.memmap):
+                return True
+            a = getattr(a, "base", None)
+        return False
+
+    assert memmap_backed(g.edge_u)  # ...without copying
+    assert g == grid8
+    fresh.get(key)
+    assert fresh.stats["graph_hits"] == 1  # now resident
+
+
+def test_get_unknown_key_raises(tmp_path):
+    with pytest.raises(KeyError):
+        GraphCatalog(tmp_path).get("deadbeef00000000")
+
+
+def test_partition_map_hit_miss_and_parity(tmp_path, grid8):
+    cat = GraphCatalog(tmp_path)
+    key = cat.put(grid8)
+    entry = cat.partition_map(key, "ldg", 4, seed=0)
+    assert cat.stats["partition_misses"] == 1
+    expected = partition_graph(grid8, 4, method="ldg", seed=0).part_of
+    assert np.array_equal(entry["part_of"], expected)
+    assert entry["n_parts"] == 4 and entry["n_edges"] == grid8.n_edges
+
+    cat.partition_map(key, "ldg", 4, seed=0)
+    assert cat.stats["partition_hits"] == 1
+    # A different key computes fresh.
+    cat.partition_map(key, "hash", 4, seed=0)
+    assert cat.stats["partition_misses"] == 2
+    # A new catalog instance hits the persisted map, not a recompute.
+    fresh = GraphCatalog(tmp_path)
+    entry2 = fresh.partition_map(key, "ldg", 4, seed=0)
+    assert fresh.stats["partition_hits"] == 1
+    assert np.array_equal(entry2["part_of"], expected)
+
+
+def test_partition_map_clamps_like_setup(tmp_path, triangle):
+    cat = GraphCatalog(tmp_path)
+    key = cat.put(triangle)
+    entry = cat.partition_map(key, "ldg", 64, seed=0)
+    assert entry["n_parts"] == 3  # max(1, min(64, n_vertices))
+
+
+def test_eulerize_plan_cache(tmp_path):
+    g = random_eulerian(40, 4, 12, seed=1)
+    # Drop one edge so the graph actually has odd vertices.
+    g = Graph(g.n_vertices, g.edge_u[:-1], g.edge_v[:-1])
+    cat = GraphCatalog(tmp_path)
+    key = cat.put(g)
+    plan = cat.eulerize_plan(key)
+    assert cat.stats["plan_misses"] == 1
+    direct = eulerize_plan(g)
+    for field in ("dup_u", "dup_v", "dup_orig"):
+        assert np.array_equal(plan[field], direct[field])
+    cat.eulerize_plan(key)
+    assert cat.stats["plan_hits"] == 1
+    fresh = GraphCatalog(tmp_path)
+    assert np.array_equal(fresh.eulerize_plan(key)["dup_orig"], direct["dup_orig"])
+    assert fresh.stats["plan_hits"] == 1
+
+
+def test_derived_for_shapes(tmp_path, grid8):
+    cat = GraphCatalog(tmp_path)
+    key = cat.put(grid8)
+    cfg = RunConfig(n_parts=4)
+    derived = cat.derived_for(key, cfg, "circuit")
+    assert set(derived) == {"partition_map"}
+    derived = cat.derived_for(key, cfg, "postman")
+    assert set(derived) == {"partition_map", "eulerize_plan"}
+
+
+def test_eviction_under_size_budget(tmp_path):
+    graphs = [grid_city(6 + i, 6) for i in range(4)]
+    one_graph_bytes = None
+    cat = GraphCatalog(tmp_path)
+    k0 = cat.put(graphs[0])
+    one_graph_bytes = cat.disk_bytes()
+    # Budget for roughly two graphs: inserting four must evict the LRU ones.
+    cat = GraphCatalog(tmp_path / "budget",
+                       size_budget_bytes=int(2.5 * one_graph_bytes))
+    keys = [cat.put(g) for g in graphs]
+    assert cat.stats["evictions"] >= 1
+    assert cat.disk_bytes() <= int(2.5 * one_graph_bytes)
+    # The most recent key always survives; the oldest was evicted.
+    assert keys[-1] in cat
+    assert keys[0] not in cat
+    # Derived artifacts of an evicted graph are gone too.
+    assert not (cat.root / "derived" / keys[0]).exists()
+
+
+def test_eviction_is_lru_not_fifo(tmp_path):
+    graphs = [grid_city(6 + i, 6) for i in range(3)]
+    cat = GraphCatalog(tmp_path)
+    k = cat.put(graphs[0])
+    per_graph = cat.disk_bytes()
+    cat = GraphCatalog(tmp_path / "lru", size_budget_bytes=int(2.5 * per_graph))
+    k0, k1 = cat.put(graphs[0]), cat.put(graphs[1])
+    cat.get(k0)  # refresh graph 0: graph 1 becomes the LRU victim
+    k2 = cat.put(graphs[2])
+    assert k0 in cat and k2 in cat
+    assert k1 not in cat

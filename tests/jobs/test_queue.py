@@ -1,0 +1,130 @@
+"""Job queue semantics: priorities, state machine, cancellation, handles."""
+
+import threading
+
+import pytest
+
+from repro.errors import JobCancelledError, JobError, JobFailedError
+from repro.jobs.queue import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    Job,
+    JobQueue,
+)
+from repro.pipeline import RunConfig
+
+
+def make_job(jid: str, priority: int = 0) -> Job:
+    return Job(id=jid, scenario="circuit", graph_key="k", config=RunConfig(),
+               priority=priority)
+
+
+def test_priority_order_then_fifo():
+    q = JobQueue()
+    q.submit(make_job("a", priority=0))
+    q.submit(make_job("b", priority=5))
+    q.submit(make_job("c", priority=5))
+    q.submit(make_job("d", priority=1))
+    order = [q.pop(timeout=0).id for _ in range(4)]
+    assert order == ["b", "c", "d", "a"]
+
+
+def test_pop_marks_running_and_times():
+    q = JobQueue()
+    q.submit(make_job("a"))
+    job = q.pop(timeout=0)
+    assert job.state == RUNNING
+    assert job.started_at is not None
+    assert job.queue_latency_seconds >= 0.0
+
+
+def test_pop_timeout_returns_none():
+    q = JobQueue()
+    assert q.pop(timeout=0.01) is None
+
+
+def test_pop_blocks_until_submit():
+    q = JobQueue()
+    got = []
+    t = threading.Thread(target=lambda: got.append(q.pop(timeout=5)))
+    t.start()
+    q.submit(make_job("a"))
+    t.join(timeout=5)
+    assert not t.is_alive() and got[0].id == "a"
+
+
+def test_cancel_queued_job():
+    q = JobQueue()
+    handle = q.submit(make_job("a"))
+    assert q.cancel("a") is True
+    assert q.get("a").state == CANCELLED
+    assert handle.done()
+    with pytest.raises(JobCancelledError):
+        handle.result(timeout=0)
+    # The cancelled entry never pops.
+    assert q.pop(timeout=0) is None
+
+
+def test_cancel_running_or_finished_is_refused():
+    q = JobQueue()
+    q.submit(make_job("a"))
+    job = q.pop(timeout=0)
+    assert q.cancel("a") is False
+    q.finish(job, DONE)
+    assert q.cancel("a") is False
+    assert job.state == DONE
+
+
+def test_finish_failed_propagates_through_handle():
+    q = JobQueue()
+    handle = q.submit(make_job("a"))
+    job = q.pop(timeout=0)
+    q.finish(job, FAILED, error="boom")
+    with pytest.raises(JobFailedError, match="boom"):
+        handle.result(timeout=0)
+    assert job.finished_at is not None and job.run_seconds >= 0.0
+
+
+def test_result_timeout():
+    q = JobQueue()
+    handle = q.submit(make_job("a"))
+    with pytest.raises(TimeoutError):
+        handle.result(timeout=0.01)
+
+
+def test_duplicate_and_unknown_ids():
+    q = JobQueue()
+    q.submit(make_job("a"))
+    with pytest.raises(JobError):
+        q.submit(make_job("a"))
+    with pytest.raises(JobError):
+        q.get("nope")
+    with pytest.raises(JobError):
+        q.cancel("nope")
+
+
+def test_finish_requires_terminal_state():
+    q = JobQueue()
+    q.submit(make_job("a"))
+    job = q.pop(timeout=0)
+    with pytest.raises(JobError):
+        q.finish(job, QUEUED)
+
+
+def test_counts_and_close():
+    q = JobQueue()
+    q.submit(make_job("a"))
+    q.submit(make_job("b", priority=2))
+    job = q.pop(timeout=0)
+    q.finish(job, DONE)
+    counts = q.counts()
+    assert counts[QUEUED] == 1 and counts[DONE] == 1
+    q.close()
+    with pytest.raises(JobError):
+        q.submit(make_job("c"))
+    # A closed queue still drains what it has, then returns None forever.
+    assert q.pop(timeout=0).id == "a"
+    assert q.pop(timeout=0) is None

@@ -23,6 +23,42 @@ def test_parser_subcommands():
     assert args.name == "table1"
 
 
+def test_parser_job_subcommands():
+    p = build_parser()
+    args = p.parse_args(["serve", "--port", "9000", "--pool", "process",
+                         "--cache-budget-mb", "64"])
+    assert args.command == "serve" and args.port == 9000
+    assert args.pool == "process" and args.cache_budget_mb == 64
+    args = p.parse_args(["submit", "g.el", "--scenario", "postman",
+                         "--priority", "2", "--wait"])
+    assert args.command == "submit" and args.scenario == "postman"
+    assert args.priority == 2 and args.wait
+    args = p.parse_args(["status", "job-000001", "--server", "http://h:1"])
+    assert args.job_id == "job-000001" and args.server == "http://h:1"
+    args = p.parse_args(["jobs"])
+    assert args.command == "jobs"
+    args = p.parse_args(["batch", "jobs.jsonl", "--report", "rt.csv",
+                         "--dispatchers", "3"])
+    assert args.jobs_file == "jobs.jsonl" and args.dispatchers == 3
+
+
+def test_cli_batch_end_to_end(tmp_path, capsys):
+    save_edge_list(grid_city(6, 6), tmp_path / "g.el")
+    jobs = tmp_path / "jobs.jsonl"
+    jobs.write_text(
+        f'{{"input": "{tmp_path / "g.el"}", "scenario": "circuit", '
+        f'"config": {{"n_parts": 4}}, "repeat": 2}}\n'
+    )
+    rc = main(["batch", str(jobs), "--report", str(tmp_path / "rt.csv"),
+               "--cache-root", str(tmp_path / "cat")])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "2/2 jobs DONE" in out
+    header, *rows = (tmp_path / "rt.csv").read_text().splitlines()
+    assert header.startswith("job_id,scenario,")
+    assert len(rows) == 2
+
+
 def test_generate_then_run(tmp_path, capsys):
     out = tmp_path / "g.txt"
     assert main(["generate", str(out), "--scale", "8", "--seed", "1"]) == 0

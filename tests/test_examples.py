@@ -23,6 +23,7 @@ FAST_EXAMPLES = [
     "postman_routes.py",
     "bsp_substrate.py",
     "scenario_tour.py",
+    "job_server_tour.py",
 ]
 
 #: Examples that need the small-size knob to finish quickly.
