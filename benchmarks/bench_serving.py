@@ -1,0 +1,333 @@
+#!/usr/bin/env python
+"""Serving-stack soak: sustained mixed traffic against a hardened server.
+
+The PR-4 serving stack could not survive sustained load: the job registry
+(and ``/healthz``'s per-request scan over it) grew without bound, RUNNING
+jobs could never be stopped, and an overloaded queue just kept growing.
+This benchmark soaks the hardened stack the way a long-lived deployment is
+actually hit — one in-process ``ThreadingHTTPServer`` + ``JobEngine``, and
+a client firing **submit / status / cancel churn** over real HTTP:
+
+* ``N_JOBS`` (≫ retention) circuit jobs submitted back-to-back, every
+  ``CANCEL_EVERY``-th immediately ``DELETE``-ed, two status ``GET``\\ s per
+  submission against earlier (often registry-evicted) jobs;
+* a **backpressure probe**: a deliberately tiny queue (``max_queued=2``,
+  one dispatcher) hammered with fast submissions until HTTP 429s flow.
+
+Measured: p50/p95 submit + status latency, soak throughput, peak RSS, the
+post-drain resident registry size, and the 429 count. ``--check`` (the CI
+perf-smoke gate) fails when the registry exceeds the retention bound, when
+an evicted job's status stops being served from the artifact index, when
+the overload probe stops producing 429s, or when p95 status latency
+regresses beyond ``--tolerance`` against the committed ``BENCH_serving.json``
+point (machine speed normalized by the calibration kernel).
+
+Usage::
+
+    python benchmarks/bench_serving.py --label current
+    python benchmarks/bench_serving.py --check --tolerance 0.60
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import resource
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+import numpy as np  # noqa: E402
+
+from bench_perf_dataplane import calibration_seconds  # noqa: E402
+from repro.bench.report_io import SCHEMA_VERSION  # noqa: E402
+from repro.generate.synthetic import grid_city  # noqa: E402
+from repro.jobs import GraphCatalog, JobEngine  # noqa: E402
+from repro.jobs.client import JobClient, JobClientError  # noqa: E402
+from repro.jobs.server import make_server  # noqa: E402
+
+DEFAULT_OUTPUT = Path(__file__).resolve().parents[1] / "BENCH_serving.json"
+
+#: Soak shape: N_JOBS ≫ RETENTION proves the O(retention) registry claim.
+N_JOBS = 200
+RETENTION = 16
+MAX_QUEUED = 64
+KEEP_RESULTS = 8
+CANCEL_EVERY = 7
+DISPATCHERS = 2
+SOAK_GRID = 12      # 12x12 torus: 288-edge jobs, a few ms each
+PROBE_GRID = 40     # 40x40 torus: slow enough to back the tiny queue up
+PROBE_SUBMISSIONS = 10
+
+
+def _pctl(samples: list[float], q: float) -> float:
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    return ordered[min(len(ordered) - 1, int(q * len(ordered)))]
+
+
+def _serve(engine):
+    server = make_server(engine, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address
+    return server, JobClient(f"http://{host}:{port}")
+
+
+def _drain(client: JobClient, timeout: float = 300.0) -> dict:
+    deadline = time.monotonic() + timeout
+    while True:
+        health = client.health()
+        live = health["jobs"]["QUEUED"] + health["jobs"]["RUNNING"]
+        if live == 0:
+            return health
+        if time.monotonic() > deadline:
+            raise TimeoutError(f"{live} jobs still live after {timeout}s")
+        time.sleep(0.02)
+
+
+def _soak(root: Path) -> dict:
+    graph = grid_city(SOAK_GRID, SOAK_GRID)
+    engine = JobEngine(
+        GraphCatalog(root / "cat"),
+        dispatchers=DISPATCHERS,
+        pool_kind="thread",
+        pool_workers=2,
+        artifact_dir=root / "arts",
+        keep_results=KEEP_RESULTS,
+        retention=RETENTION,
+        max_queued=MAX_QUEUED,
+    )
+    server, client = _serve(engine)
+    try:
+        key = client.put_graph(
+            edges=np.column_stack([graph.edge_u, graph.edge_v]).tolist(),
+            n_vertices=graph.n_vertices, name="soak",
+        )["graph_key"]
+
+        submit_lat: list[float] = []
+        status_lat: list[float] = []
+        job_ids: list[str] = []
+        rejected = cancel_requests = 0
+        t0 = time.perf_counter()
+        for i in range(N_JOBS):
+            while True:
+                t = time.perf_counter()
+                try:
+                    sub = client.submit("circuit", graph_key=key,
+                                        config={"n_parts": 4},
+                                        priority=i % 3)
+                except JobClientError as exc:
+                    if exc.status != 429:
+                        raise
+                    # Backpressure: the server said come back, not OOM.
+                    rejected += 1
+                    time.sleep(0.005)
+                    continue
+                submit_lat.append(time.perf_counter() - t)
+                break
+            job_ids.append(sub["job_id"])
+            if i % CANCEL_EVERY == CANCEL_EVERY - 1:
+                client.cancel(sub["job_id"])  # queued, running, or too late
+                cancel_requests += 1
+            # Status churn against earlier jobs — deterministic pseudo-random
+            # picks, biased old so registry-evicted ids are hit constantly.
+            for probe in ((i * 7 + 3) % (i + 1), (i * 13 + 1) % (i + 1)):
+                t = time.perf_counter()
+                client.status(job_ids[probe])
+                status_lat.append(time.perf_counter() - t)
+        _drain(client)
+        wall = time.perf_counter() - t0
+
+        health = client.health()
+        evicted_status_ok = client.status(job_ids[0])["id"] == job_ids[0]
+        return {
+            "wall_seconds": wall,
+            "jobs_per_second": N_JOBS / wall,
+            "submitted": N_JOBS,
+            "cancel_requests": cancel_requests,
+            "rejected_429": rejected,
+            "submit_p50_ms": 1e3 * _pctl(submit_lat, 0.50),
+            "submit_p95_ms": 1e3 * _pctl(submit_lat, 0.95),
+            "status_p50_ms": 1e3 * _pctl(status_lat, 0.50),
+            "status_p95_ms": 1e3 * _pctl(status_lat, 0.95),
+            "resident_jobs_after_drain": health["retained_jobs"],
+            "retention": RETENTION,
+            "counts": health["jobs"],
+            "evicted_status_ok": evicted_status_ok,
+            "rss_peak_mb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+            / 1024.0,
+        }
+    finally:
+        server.shutdown()
+        server.server_close()
+        engine.close()
+
+
+def _backpressure_probe(root: Path) -> dict:
+    """A tiny queue under a burst: overload must degrade into fast 429s."""
+    graph = grid_city(PROBE_GRID, PROBE_GRID)
+    engine = JobEngine(
+        GraphCatalog(root / "probe-cat"),
+        dispatchers=1,
+        pool_kind=None,
+        max_queued=2,
+    )
+    server, client = _serve(engine)
+    try:
+        key = client.put_graph(
+            edges=np.column_stack([graph.edge_u, graph.edge_v]).tolist(),
+            n_vertices=graph.n_vertices, name="probe",
+        )["graph_key"]
+        accepted = rejected = 0
+        reject_lat: list[float] = []
+        for _ in range(PROBE_SUBMISSIONS):
+            t = time.perf_counter()
+            try:
+                client.submit("circuit", graph_key=key, config={"n_parts": 4})
+                accepted += 1
+            except JobClientError as exc:
+                if exc.status != 429:
+                    raise
+                rejected += 1
+                reject_lat.append(time.perf_counter() - t)
+        _drain(client)
+        return {
+            "submissions": PROBE_SUBMISSIONS,
+            "accepted": accepted,
+            "rejected_429": rejected,
+            "reject_p95_ms": 1e3 * _pctl(reject_lat, 0.95),
+        }
+    finally:
+        server.shutdown()
+        server.server_close()
+        engine.close()
+
+
+def measure() -> dict:
+    out: dict = {
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "calibration_seconds": calibration_seconds(),
+        "workload": {
+            "n_jobs": N_JOBS,
+            "retention": RETENTION,
+            "max_queued": MAX_QUEUED,
+            "keep_results": KEEP_RESULTS,
+            "cancel_every": CANCEL_EVERY,
+            "dispatchers": DISPATCHERS,
+            "soak_graph": f"grid_city({SOAK_GRID},{SOAK_GRID})",
+            "probe_graph": f"grid_city({PROBE_GRID},{PROBE_GRID})",
+        },
+    }
+    with tempfile.TemporaryDirectory(prefix="bench-serving-") as tmp:
+        tmp = Path(tmp)
+        out["soak"] = _soak(tmp)
+        out["backpressure"] = _backpressure_probe(tmp)
+    return out
+
+
+def record(label: str, output: Path) -> dict:
+    doc = json.loads(output.read_text()) if output.exists() else {
+        "metric": "sustained mixed-traffic soak over the HTTP serving "
+                  "stack: submit/cancel/status churn with a bounded "
+                  "registry; p95 latency, RSS, backpressure 429s",
+    }
+    doc["schema_version"] = SCHEMA_VERSION
+    doc[label] = measure()
+    output.write_text(json.dumps(doc, indent=2, default=float) + "\n")
+    return doc[label]
+
+
+def check(committed: Path, tolerance: float, artifact: Path | None) -> int:
+    """Fail on unbounded growth, lost fallbacks/429s, or a latency regression."""
+    doc = json.loads(committed.read_text())
+    ref = doc.get("current")
+    if ref is None:
+        print("no committed 'current' entry; record one with --label current")
+        return 1
+    fresh = measure()
+    if artifact is not None:
+        artifact.write_text(json.dumps(
+            {"schema_version": doc.get("schema_version"),
+             "measured": fresh, "committed": ref},
+            indent=2, default=float) + "\n")
+
+    ok = True
+    soak = fresh["soak"]
+
+    resident = soak["resident_jobs_after_drain"]
+    verdict = "OK" if resident <= RETENTION else "UNBOUNDED REGISTRY"
+    print(f"serving: {soak['submitted']} jobs "
+          f"({soak['submitted'] // RETENTION}x retention) -> "
+          f"{resident} resident (bound {RETENTION}): {verdict}")
+    ok &= resident <= RETENTION
+
+    verdict = "OK" if soak["evicted_status_ok"] else "LOST ARTIFACT FALLBACK"
+    print(f"serving: evicted-job status from the artifact index: {verdict}")
+    ok &= soak["evicted_status_ok"]
+
+    rejected = fresh["backpressure"]["rejected_429"]
+    verdict = "OK" if rejected >= 1 else "NO BACKPRESSURE"
+    print(f"serving: overload probe {rejected}/"
+          f"{fresh['backpressure']['submissions']} submissions rejected "
+          f"with 429: {verdict}")
+    ok &= rejected >= 1
+
+    measured = soak["status_p95_ms"]
+    reference = ref["soak"]["status_p95_ms"]
+    ref_cal = ref.get("calibration_seconds")
+    scale = 1.0
+    if ref_cal:
+        scale = min(4.0, max(0.25, fresh["calibration_seconds"] / ref_cal))
+    limit = reference * scale * (1.0 + tolerance)
+    verdict = "OK" if measured <= limit else "REGRESSION"
+    print(f"serving: status p95 {measured:.2f}ms vs committed "
+          f"{reference:.2f}ms x {scale:.2f} machine-speed scale "
+          f"(limit {limit:.2f}ms, +{tolerance:.0%}): {verdict}")
+    ok &= measured <= limit
+
+    print(f"  soak: {soak['jobs_per_second']:.1f} jobs/s, "
+          f"submit p95 {soak['submit_p95_ms']:.2f}ms, "
+          f"rss peak {soak['rss_peak_mb']:.0f}MB, "
+          f"{soak['rejected_429']} soak-429s, "
+          f"{soak['cancel_requests']} cancels")
+    return 0 if ok else 1
+
+
+def main(argv=None) -> int:
+    p = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    p.add_argument("--label", choices=("baseline", "current"), default="current")
+    p.add_argument("--output", type=Path, default=DEFAULT_OUTPUT)
+    p.add_argument("--check", action="store_true",
+                   help="compare a fresh soak against the committed numbers")
+    p.add_argument("--against", type=Path, default=DEFAULT_OUTPUT)
+    p.add_argument("--tolerance", type=float, default=0.60,
+                   help="allowed p95 status-latency regression (check mode)")
+    p.add_argument("--artifact", type=Path, default=None,
+                   help="where to write the fresh measurement in check mode")
+    args = p.parse_args(argv)
+
+    if args.check:
+        return check(args.against, args.tolerance, args.artifact)
+    entry = record(args.label, args.output)
+    soak = entry["soak"]
+    print(f"[{args.label}] {soak['jobs_per_second']:.1f} jobs/s, "
+          f"status p95 {soak['status_p95_ms']:.2f}ms, "
+          f"{soak['resident_jobs_after_drain']} resident jobs "
+          f"(bound {RETENTION}), "
+          f"{entry['backpressure']['rejected_429']} probe 429s "
+          f"-> {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -32,6 +32,8 @@ __all__ = [
     "save_context",
     "save_scenario",
     "save_job",
+    "load_job",
+    "load_job_summary",
     "save_rows",
     "load_rows",
 ]
@@ -215,6 +217,40 @@ def save_scenario(result: "ScenarioResult", path) -> Path:
 def save_job(job: "Job", path) -> Path:
     """Write the flattened job artifact to ``path`` (atomic)."""
     return _write_json(job_to_dict(job), path)
+
+
+def load_job(path) -> dict | None:
+    """Read one durable ``"job"`` artifact; ``None`` if absent or unreadable.
+
+    Tolerant by design: the registry-eviction fallback path must degrade
+    to "unknown job", never crash serving, when an artifact was deleted or
+    half-written by an external actor (the writers themselves are atomic).
+    """
+    try:
+        doc = json.loads(Path(path).read_text())
+    except (OSError, ValueError):
+        return None
+    if not isinstance(doc, dict) or doc.get("artifact") != "job":
+        return None
+    return doc
+
+
+def load_job_summary(artifact_dir, job_id: str) -> dict | None:
+    """The status row of a job from the durable per-job artifact index.
+
+    This is how a bounded registry still answers ``GET /jobs/<id>`` for
+    any job ever run: evicted terminal jobs resolve
+    ``<artifact_dir>/<job_id>.json`` and return its ``job`` section
+    (exactly the :meth:`~repro.jobs.queue.Job.summary` shape). ``None``
+    when no readable artifact exists.
+    """
+    if artifact_dir is None:
+        return None
+    doc = load_job(Path(artifact_dir) / f"{job_id}.json")
+    if doc is None:
+        return None
+    job = doc.get("job")
+    return job if isinstance(job, dict) else None
 
 
 def save_rows(rows: list[dict], path) -> Path:

@@ -81,6 +81,7 @@ class BSPEngine:
         compute: ComputeFn,
         max_supersteps: int = 1000,
         on_commit: CommitFn | None = None,
+        check_abort: Callable[[], None] | None = None,
     ) -> tuple[dict[Hashable, Any], RunStats]:
         """Run to quiescence; returns final states and :class:`RunStats`.
 
@@ -88,6 +89,12 @@ class BSPEngine:
         after each superstep's results are gathered — the single mutation
         point for shared structures (fragment stores, spill directories)
         that out-of-process compute cannot touch directly.
+
+        ``check_abort`` (optional) runs in the engine process at the top of
+        every superstep — the cooperative-cancellation checkpoint. It stops
+        the run by raising; a superstep that has started always completes,
+        so shared state stays consistent. Backend-independent: the loop
+        lives here, not on the workers.
 
         Raises
         ------
@@ -106,6 +113,8 @@ class BSPEngine:
 
         try:
             for superstep in range(max_supersteps):
+                if check_abort is not None:
+                    check_abort()
                 runnable = sorted(active | set(router.destinations()))
                 if not runnable:
                     return states, stats

@@ -135,12 +135,25 @@ def build_parser() -> argparse.ArgumentParser:
                        help="evict least-recently-used graphs beyond this "
                             "on-disk budget")
     serve.add_argument("--artifact-dir", default=None,
-                       help="write one durable job artifact JSON per job here")
+                       help="write one durable job artifact JSON per job "
+                            "here (default: <cache-root>/artifacts — the "
+                            "artifact index backs evicted-job status "
+                            "lookups)")
     serve.add_argument("--dispatchers", type=int, default=2,
                        help="concurrent jobs (dispatcher threads)")
     serve.add_argument("--keep-results", type=int, default=64,
                        help="terminal jobs keeping their in-memory result "
                             "(older results served from the artifact dir)")
+    serve.add_argument("--retention", type=int, default=256,
+                       help="terminal jobs kept in the in-memory registry; "
+                            "older ones answer status from the artifact "
+                            "index (0: unbounded)")
+    serve.add_argument("--max-queued", type=int, default=128,
+                       help="queued-job backpressure bound; submissions "
+                            "beyond it get HTTP 429 (0: unbounded)")
+    serve.add_argument("--timeout", type=float, default=None,
+                       help="default per-job run deadline in seconds "
+                            "(jobs may override via timeout_seconds)")
     serve.add_argument("--pool", default="thread",
                        choices=("thread", "process", "none"),
                        help="shared executor pool kind (none: each run "
@@ -169,6 +182,8 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--workers", type=int, default=1)
     submit.add_argument("--verify", action="store_true")
     submit.add_argument("--priority", type=int, default=0)
+    submit.add_argument("--timeout", type=float, default=None,
+                        help="per-job run deadline in seconds")
     submit.add_argument("--wait", action="store_true",
                         help="block until the job finishes and print its "
                              "final state")
@@ -282,6 +297,8 @@ def _jobs_main(args) -> int:
     from .jobs.client import JobClient
 
     if args.command == "serve":
+        from pathlib import Path
+
         from .jobs.server import serve_forever
 
         budget = (
@@ -289,13 +306,19 @@ def _jobs_main(args) -> int:
             if args.cache_budget_mb is not None
             else None
         )
+        # The artifact index is what answers status lookups for jobs the
+        # bounded registry evicted — default it on rather than off.
+        artifact_dir = args.artifact_dir or str(Path(args.cache_root) / "artifacts")
         engine = JobEngine(
             GraphCatalog(args.cache_root, size_budget_bytes=budget),
             dispatchers=args.dispatchers,
             pool_kind=None if args.pool == "none" else args.pool,
             pool_workers=args.pool_workers,
-            artifact_dir=args.artifact_dir,
+            artifact_dir=artifact_dir,
             keep_results=args.keep_results,
+            retention=args.retention or None,
+            max_queued=args.max_queued or None,
+            default_timeout=args.timeout,
         )
         serve_forever(engine, args.host, args.port)
         return 0
@@ -329,10 +352,12 @@ def _jobs_main(args) -> int:
         }
         if args.graph_key:
             sub = client.submit(args.scenario, graph_key=args.input,
-                                config=config, priority=args.priority)
+                                config=config, priority=args.priority,
+                                timeout_seconds=args.timeout)
         else:
             sub = client.submit(args.scenario, path=args.input,
-                                config=config, priority=args.priority)
+                                config=config, priority=args.priority,
+                                timeout_seconds=args.timeout)
         print(f"submitted {sub['job_id']} (graph {sub['graph_key']})")
         if args.wait:
             final = client.wait(sub["job_id"], timeout=3600)

@@ -65,6 +65,33 @@ class BSPError(ReproError):
     """Raised for misuse of the BSP engine (e.g. messaging a dead partition)."""
 
 
+class RunCancelledError(ReproError):
+    """A run stopped cooperatively at a safe point (cancel request or deadline).
+
+    Raised by :meth:`repro.pipeline.cancel.CancelToken.check` at superstep
+    boundaries and scenario sub-run boundaries. ``reason`` is ``"cancel"``
+    (someone called :meth:`~repro.pipeline.cancel.CancelToken.cancel`) or
+    ``"timeout"`` (the token's deadline elapsed); ``where`` names the
+    checkpoint that observed it.
+    """
+
+    def __init__(self, reason: str, where: str = "",
+                 timeout_seconds: float | None = None):
+        detail = f" at {where}" if where else ""
+        if reason == "timeout":
+            budget = (f" (timeout_seconds={timeout_seconds:g})"
+                      if timeout_seconds is not None else "")
+            message = f"run deadline exceeded{budget}{detail}"
+        else:
+            message = f"run cancelled{detail}"
+        super().__init__(message)
+        #: ``"cancel"`` or ``"timeout"``.
+        self.reason = reason
+        #: The checkpoint that observed the stop request.
+        self.where = where
+        self.timeout_seconds = timeout_seconds
+
+
 class JobError(ReproError):
     """Base class for job-orchestration failures (queue misuse, unknown ids)."""
 
@@ -87,4 +114,36 @@ class JobCancelledError(JobError):
 
     def __init__(self, job_id: str):
         super().__init__(f"job {job_id} was cancelled")
+        self.job_id = job_id
+
+
+class QueueFullError(JobError):
+    """Raised by :meth:`repro.jobs.queue.JobQueue.submit` under backpressure.
+
+    The queue's ``max_queued`` bound is hit: the submission is rejected
+    fast instead of growing the heap without bound. The serving front end
+    maps this to HTTP 429.
+    """
+
+    def __init__(self, max_queued: int):
+        super().__init__(
+            f"job queue is full ({max_queued} queued jobs); retry later"
+        )
+        self.max_queued = max_queued
+
+
+class JobResultEvictedError(JobError):
+    """A DONE job's in-memory result was trimmed and no durable copy exists.
+
+    Raised by :meth:`repro.jobs.queue.JobResult.result` when the engine's
+    ``keep_results`` bound nulled the resident
+    :class:`~repro.scenarios.base.ScenarioResult` and the job has no
+    readable artifact JSON to reload the document from.
+    """
+
+    def __init__(self, job_id: str):
+        super().__init__(
+            f"job {job_id} finished but its result was evicted from memory "
+            "(keep_results) and no durable artifact is available"
+        )
         self.job_id = job_id

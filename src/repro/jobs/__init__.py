@@ -9,7 +9,12 @@ package turns the library into a long-lived, multi-request system:
 * :mod:`~repro.jobs.queue` / :mod:`~repro.jobs.engine` — a priority job
   queue and thread-based dispatchers multiplexing scenario runs over one
   persistent :class:`~repro.bsp.executors.SharedPool`, with per-job
-  durable schema-v5 artifacts, cancellation and future-style handles;
+  durable schema-v5 artifacts and future-style handles — hardened for
+  sustained load: a bounded terminal-job registry with an artifact-index
+  status fallback, ``max_queued`` backpressure
+  (:class:`~repro.errors.QueueFullError` → HTTP 429), and cooperative
+  cancellation/deadlines that stop even RUNNING jobs at their next
+  superstep or sub-run boundary;
 * :mod:`~repro.jobs.server` / :mod:`~repro.jobs.client` — a stdlib JSON
   HTTP API (``repro-euler serve``) and its client
   (``repro-euler submit|status|jobs``);

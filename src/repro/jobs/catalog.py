@@ -118,8 +118,14 @@ class GraphCatalog:
     def _derived_dir(self, key: str) -> Path:
         return self.root / "derived" / key
 
-    def put(self, graph: Graph, name: str = "") -> str:
-        """Persist ``graph`` (idempotent) and return its content key."""
+    def put(self, graph: Graph, name: str = "", pin: bool = False) -> str:
+        """Persist ``graph`` (idempotent) and return its content key.
+
+        ``pin=True`` takes one :meth:`pin` reference *inside the same
+        lock hold* — the catalog-then-pin TOCTOU closes: a concurrent
+        ``put`` under a size budget can never evict the key between the
+        two steps, because there is no in-between.
+        """
         key = graph_key(graph)
         with self._lock:
             path = self._graph_path(key)
@@ -139,6 +145,8 @@ class GraphCatalog:
                     self._index[key]["name"] = name
                 self._touch(key)
             self._graphs[key] = graph
+            if pin:
+                self._pins[key] = self._pins.get(key, 0) + 1
             self._evict_to_budget(protect=key)
             self._save_index()
         return key

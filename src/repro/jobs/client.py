@@ -71,9 +71,12 @@ class JobClient:
 
     def submit(self, scenario: str, *, graph_key: str | None = None,
                path: str | None = None, config: dict | None = None,
-               priority: int = 0, name: str = "") -> dict:
+               priority: int = 0, name: str = "",
+               timeout_seconds: float | None = None) -> dict:
         body: dict = {"scenario": scenario, "priority": priority, "name": name,
                       "config": config or {}}
+        if timeout_seconds is not None:
+            body["timeout_seconds"] = float(timeout_seconds)
         if graph_key is not None:
             body["graph_key"] = graph_key
         elif path is not None:

@@ -17,6 +17,14 @@ Concurrent jobs produce bit-identical results to serial
 :func:`~repro.scenarios.base.run_scenario` calls: the pipeline's outcome is
 executor-independent by the engine's commit contract, and every cached
 artifact is validated against the run before use.
+
+Hardened for sustained load: the registry is bounded (``retention``, with
+a durable artifact-index fallback for evicted jobs' status), submissions
+are bounded (``max_queued`` → :class:`~repro.errors.QueueFullError`), and
+RUNNING jobs stop cooperatively — each job carries a
+:class:`~repro.pipeline.cancel.CancelToken` (cancel flag + optional
+deadline) checked at superstep and sub-run boundaries, so
+:meth:`JobEngine.cancel` reaches mid-run jobs on every backend.
 """
 
 from __future__ import annotations
@@ -30,10 +38,21 @@ from dataclasses import replace
 from pathlib import Path
 
 from ..bsp.executors import SharedPool
+from ..errors import JobError, RunCancelledError
+from ..pipeline.cancel import CancelToken
 from ..pipeline.context import RunConfig
 from ..scenarios.base import run_scenario
 from .catalog import GraphCatalog
-from .queue import DONE, FAILED, QUEUED, Job, JobQueue, JobResult
+from .queue import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    Job,
+    JobQueue,
+    JobResult,
+)
 
 __all__ = ["JobEngine"]
 
@@ -63,6 +82,21 @@ class JobEngine:
         sustained traffic every finished job would pin its full result in
         RAM forever. ``repro-euler serve`` bounds this; evicted results
         remain available through the durable artifact JSON.
+    retention:
+        How many **terminal** jobs stay in the in-memory registry
+        (``None``: all). Evicted jobs answer :meth:`job_summary` /
+        ``GET /jobs/<id>`` from the durable artifact index, so a week-long
+        server holds O(retention) job records while every job ever run
+        stays queryable. Pair with ``artifact_dir`` — without artifacts an
+        evicted job's status is gone.
+    max_queued:
+        Backpressure bound on QUEUED jobs; :meth:`submit` raises
+        :class:`~repro.errors.QueueFullError` (HTTP 429 at the front end)
+        once hit. ``None``: unbounded.
+    default_timeout:
+        Default per-job ``timeout_seconds`` applied when a submission does
+        not carry its own (``None``: unbounded). The deadline budgets run
+        time (armed at dispatch) and fails the job at its next safe point.
     """
 
     def __init__(
@@ -74,6 +108,9 @@ class JobEngine:
         pool_workers: int = 4,
         artifact_dir: str | Path | None = None,
         keep_results: int | None = None,
+        retention: int | None = None,
+        max_queued: int | None = None,
+        default_timeout: float | None = None,
     ):
         if dispatchers < 1:
             raise ValueError("dispatchers must be >= 1")
@@ -88,9 +125,10 @@ class JobEngine:
         )
         self.artifact_dir = Path(artifact_dir) if artifact_dir is not None else None
         self.keep_results = keep_results
+        self.default_timeout = default_timeout
         self._resident: deque[Job] = deque()
         self._resident_lock = threading.Lock()
-        self.queue = JobQueue()
+        self.queue = JobQueue(retention=retention, max_queued=max_queued)
         self._ids = itertools.count(1)
         self._closed = False
         self._threads = [
@@ -112,48 +150,107 @@ class JobEngine:
         config: RunConfig | None = None,
         priority: int = 0,
         name: str = "",
+        timeout_seconds: float | None = None,
     ) -> JobResult:
         """Queue one scenario run; returns its future-style handle.
 
         Exactly one of ``graph`` (cataloged on the spot) or ``graph_key``
-        (already cataloged) must be given.
+        (already cataloged) must be given. ``timeout_seconds`` bounds the
+        job's *run* time (the engine's ``default_timeout`` applies when
+        omitted); an overrunning job fails at its next safe point.
+
+        Raises :class:`~repro.errors.QueueFullError` under backpressure
+        (``max_queued``) — the graph pin taken here is released on the way
+        out, so rejected submissions leak nothing.
         """
         if self._closed:
             raise RuntimeError("engine is closed")
         if (graph is None) == (graph_key is None):
             raise ValueError("pass exactly one of graph or graph_key")
-        if graph is not None:
-            graph_key = self.catalog.put(graph, name=name)
-        config = config if config is not None else RunConfig()
-        meta = self.catalog.meta(graph_key)  # KeyError on an unknown key
-        job = Job(
-            id=f"job-{next(self._ids):06d}",
-            scenario=scenario,
-            graph_key=graph_key,
-            config=config,
-            priority=priority,
-            graph_name=name or meta.get("name", ""),
-            n_vertices=int(meta["n_vertices"]),
-            n_edges=int(meta["n_edges"]),
-        )
         # Pinned until the job is terminal: budget eviction must never pull
-        # the graph out from under an accepted job.
-        self.catalog.pin(graph_key)
+        # the graph out from under an accepted job. For a fresh graph the
+        # pin rides inside put()'s lock hold (no catalog-then-pin TOCTOU);
+        # for a pre-cataloged key, pin() itself raises on a stale key.
+        if graph is not None:
+            graph_key = self.catalog.put(graph, name=name, pin=True)
+        else:
+            self.catalog.pin(graph_key)  # KeyError on an unknown key
         try:
+            config = config if config is not None else RunConfig()
+            meta = self.catalog.meta(graph_key)
+            if timeout_seconds is None:
+                timeout_seconds = self.default_timeout
+            job = Job(
+                id=f"job-{next(self._ids):06d}",
+                scenario=scenario,
+                graph_key=graph_key,
+                config=config,
+                priority=priority,
+                graph_name=name or meta.get("name", ""),
+                n_vertices=int(meta["n_vertices"]),
+                n_edges=int(meta["n_edges"]),
+                timeout_seconds=timeout_seconds,
+                cancel_token=CancelToken(timeout_seconds),
+            )
             return self.queue.submit(job)
         except BaseException:
             self.catalog.unpin(graph_key)
             raise
 
     def cancel(self, job_id: str) -> bool:
-        """Cancel a queued job (running jobs run to completion)."""
-        cancelled = self.queue.cancel(job_id)
-        if cancelled:
-            self.catalog.unpin(self.queue.get(job_id).graph_key)
-        return cancelled
+        """Cancel a job: QUEUED terminally, RUNNING cooperatively.
+
+        Returns ``True`` when the request took effect — a queued job
+        reached CANCELLED on the spot, or a running job's cancel token was
+        signalled (it lands on CANCELLED at its next superstep or sub-run
+        boundary, with the partial pass history persisted). Terminal and
+        registry-evicted jobs return ``False``; unknown ids raise.
+        """
+        try:
+            job = self.queue.get(job_id)
+        except JobError:
+            if self.artifact_doc(job_id) is not None:
+                return False  # evicted from the registry, hence terminal
+            raise
+        if self.queue.cancel(job_id):
+            self.catalog.unpin(job.graph_key)
+            # Cancelled-while-queued jobs never reach a dispatcher; write
+            # their artifact here so the registry can evict them too.
+            self._write_artifact(job, swallow_errors=True)
+            return True
+        if job.state == RUNNING and job.cancel_token is not None:
+            job.cancel_token.cancel()
+            return True
+        return False
 
     def job(self, job_id: str) -> Job:
         return self.queue.get(job_id)
+
+    def job_summary(self, job_id: str) -> dict:
+        """Status row for any job ever run: registry, then artifact index.
+
+        The bounded registry answers live and recently-terminal jobs; for
+        evicted ones the durable per-job artifact
+        (:func:`~repro.bench.report_io.load_job_summary`) still serves the
+        exact :meth:`~repro.jobs.queue.Job.summary` shape.
+        """
+        from ..bench.report_io import load_job_summary
+
+        try:
+            return self.queue.get(job_id).summary()
+        except JobError:
+            summary = load_job_summary(self.artifact_dir, job_id)
+            if summary is None:
+                raise
+            return summary
+
+    def artifact_doc(self, job_id: str) -> dict | None:
+        """The full durable artifact document, or ``None`` when absent."""
+        from ..bench.report_io import load_job
+
+        if self.artifact_dir is None:
+            return None
+        return load_job(self.artifact_dir / f"{job_id}.json")
 
     def handle(self, job_id: str) -> JobResult:
         return self.queue.handle(job_id)
@@ -189,7 +286,14 @@ class JobEngine:
                 self._resident.popleft().result = None
 
     def _run_job_inner(self, job: Job) -> None:
+        started = time.perf_counter()
         try:
+            token = job.cancel_token
+            if token is not None:
+                # The deadline budgets *run* time: restart the clock now
+                # that the job left the queue (queue latency is unbounded
+                # under load and not the job's fault).
+                token.arm()
             t0 = time.perf_counter()
             graph = self.catalog.get(job.graph_key)
             job.record_pass("load_graph", time.perf_counter() - t0,
@@ -203,7 +307,7 @@ class JobEngine:
             config = job.config
             if self.pool is not None and config.pool is None:
                 config = replace(config, pool=self.pool)
-            config = replace(config, derived=derived)
+            config = replace(config, derived=derived, cancel=token)
             # The backend the job actually runs on (post pool injection) —
             # what status rows and the batch report must attribute to.
             job.executor = config.executor_name
@@ -224,6 +328,21 @@ class JobEngine:
             job.finished_at = time.time()
             self._write_artifact(job)
             self.queue.finish(job, DONE)
+        except RunCancelledError as exc:
+            # Cooperative stop at a safe point. The passes recorded so far
+            # ARE the partial pass history — persisted with the terminal
+            # state so the artifact audits how far the job got.
+            job.record_pass("cancelled", time.perf_counter() - started,
+                            reason=exc.reason, where=exc.where)
+            if exc.reason == "timeout":
+                state, error = FAILED, str(exc)
+            else:
+                state, error = CANCELLED, None
+            job.state = state
+            job.error = error
+            job.finished_at = time.time()
+            self._write_artifact(job, swallow_errors=True)
+            self.queue.finish(job, state, error=error)
         except Exception as exc:  # a failed job must never kill its dispatcher
             detail = "".join(
                 traceback.format_exception_only(type(exc), exc)
@@ -242,11 +361,15 @@ class JobEngine:
 
         try:
             t0 = time.perf_counter()
-            path = save_job(job, self.artifact_dir / f"{job.id}.json")
+            # Stamped before serialization so the artifact's own status row
+            # names its path — what evicted-job lookups serve verbatim.
+            path = self.artifact_dir / f"{job.id}.json"
             job.artifact_path = str(path)
+            save_job(job, path)
             job.record_pass("write_artifact", time.perf_counter() - t0,
                             path=str(path))
         except Exception:
+            job.artifact_path = None  # never point at a file that isn't there
             if not swallow_errors:
                 raise
 

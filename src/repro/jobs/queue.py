@@ -1,11 +1,15 @@
 """Job model: dataclass, state machine, priority queue, future-style handle.
 
 A :class:`Job` moves through ``QUEUED → RUNNING → DONE``/``FAILED`` (or
-``QUEUED → CANCELLED`` if it never started). The :class:`JobQueue` is a
+``→ CANCELLED`` from either non-terminal state). The :class:`JobQueue` is a
 thread-safe priority queue — higher ``priority`` pops first, FIFO within a
-priority — and the registry of every job ever submitted, so status lookups
-work for finished jobs too. :class:`JobResult` is the submit-side handle:
-``result()`` blocks until the terminal state and either returns the
+priority — and the **bounded** registry of submitted jobs: an optional
+``retention`` bound evicts the oldest terminal jobs (the engine falls back
+to the durable per-job artifact index for their status), and an optional
+``max_queued`` bound rejects submissions with a typed
+:class:`~repro.errors.QueueFullError` instead of growing the heap without
+limit. :class:`JobResult` is the submit-side handle: ``result()`` blocks
+until the terminal state and either returns the
 :class:`~repro.scenarios.base.ScenarioResult` or raises the job's failure.
 """
 
@@ -14,10 +18,17 @@ from __future__ import annotations
 import heapq
 import threading
 import time
+from collections import deque
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
 
-from ..errors import JobCancelledError, JobError, JobFailedError
+from ..errors import (
+    JobCancelledError,
+    JobError,
+    JobFailedError,
+    JobResultEvictedError,
+    QueueFullError,
+)
 from ..pipeline.context import RunConfig
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -72,6 +83,12 @@ class Job:
     #: JSON is what survives the process).
     result: Any = None
     artifact_path: str | None = None
+    #: Per-job run-time budget in seconds (``None``: unbounded). Rides the
+    #: cancel token; a tripped deadline fails the job at the next safe point.
+    timeout_seconds: float | None = None
+    #: The :class:`~repro.pipeline.cancel.CancelToken` the engine threads
+    #: into the run — how ``DELETE /jobs/<id>`` reaches a RUNNING job.
+    cancel_token: Any = None
     #: Append-only pass history: one dict per orchestration pass
     #: (``{"pass": name, "seconds": wall, ...extras}``), mirrored into the
     #: durable artifact — the audit trail of what the engine did and when.
@@ -114,6 +131,7 @@ class Job:
             "run_seconds": self.run_seconds,
             "error": self.error,
             "artifact_path": self.artifact_path,
+            "timeout_seconds": self.timeout_seconds,
         }
 
 
@@ -146,6 +164,13 @@ class JobResult:
         Raises :class:`~repro.errors.JobFailedError` /
         :class:`~repro.errors.JobCancelledError` for the failure states and
         :class:`TimeoutError` when ``timeout`` elapses first.
+
+        A DONE job whose in-memory result was trimmed by the engine's
+        ``keep_results`` bound reloads the **scenario-artifact dict** from
+        the durable per-job JSON (the full document survives eviction; the
+        live ``ScenarioResult`` object does not). With no readable
+        artifact, a typed :class:`~repro.errors.JobResultEvictedError` is
+        raised instead of silently returning ``None``.
         """
         if not self._done.wait(timeout):
             raise TimeoutError(
@@ -155,6 +180,14 @@ class JobResult:
             raise JobFailedError(self._job.id, self._job.error or "unknown error")
         if self._job.state == CANCELLED:
             raise JobCancelledError(self._job.id)
+        if self._job.result is None and self._job.state == DONE:
+            from ..bench.report_io import load_job  # lazy: avoids a cycle
+
+            doc = (load_job(self._job.artifact_path)
+                   if self._job.artifact_path else None)
+            if doc is not None and doc.get("scenario_result") is not None:
+                return doc["scenario_result"]
+            raise JobResultEvictedError(self._job.id)
         return self._job.result
 
     def _mark_done(self) -> None:
@@ -162,9 +195,31 @@ class JobResult:
 
 
 class JobQueue:
-    """Thread-safe priority queue + registry of all submitted jobs."""
+    """Thread-safe priority queue + bounded registry of submitted jobs.
 
-    def __init__(self):
+    Parameters
+    ----------
+    retention:
+        How many **terminal** jobs stay in the registry. ``None`` (default)
+        keeps all — right for batches and tests, wrong for a long-lived
+        server. With a bound, the oldest terminal jobs drop their
+        ``Job``/``JobResult`` entries once newer ones finish; the engine
+        answers their status from the durable artifact index instead.
+        Queued and running jobs are never evicted.
+    max_queued:
+        Backpressure bound on the number of QUEUED jobs. ``None`` accepts
+        everything; with a bound, :meth:`submit` raises
+        :class:`~repro.errors.QueueFullError` once the queue is full, so
+        overload degrades into fast rejections (HTTP 429 at the serving
+        front end) instead of unbounded heap growth.
+    """
+
+    def __init__(self, retention: int | None = None,
+                 max_queued: int | None = None):
+        if retention is not None and retention < 1:
+            raise ValueError("retention must be >= 1 or None")
+        if max_queued is not None and max_queued < 1:
+            raise ValueError("max_queued must be >= 1 or None")
         self._lock = threading.Lock()
         self._not_empty = threading.Condition(self._lock)
         self._heap: list[tuple[int, int, str]] = []
@@ -172,9 +227,21 @@ class JobQueue:
         self._jobs: dict[str, Job] = {}
         self._handles: dict[str, JobResult] = {}
         self._closed = False
+        self.retention = retention
+        self.max_queued = max_queued
+        #: Terminal job ids in completion order (the eviction queue).
+        self._terminal: deque[str] = deque()
+        #: Incremental per-state counters over **every** job ever submitted
+        #: (terminal counts are cumulative across registry eviction), so
+        #: ``/healthz`` stays O(1) however long the server has been up.
+        self._counts = {s: 0 for s in JOB_STATES}
 
     def submit(self, job: Job) -> JobResult:
-        """Enqueue a QUEUED job; returns its handle."""
+        """Enqueue a QUEUED job; returns its handle.
+
+        Raises :class:`~repro.errors.QueueFullError` when the
+        ``max_queued`` backpressure bound is hit.
+        """
         with self._lock:
             if self._closed:
                 raise JobError("queue is closed")
@@ -182,12 +249,16 @@ class JobQueue:
                 raise JobError(f"duplicate job id {job.id!r}")
             if job.state != QUEUED:
                 raise JobError(f"job {job.id} submitted in state {job.state}")
+            if (self.max_queued is not None
+                    and self._counts[QUEUED] >= self.max_queued):
+                raise QueueFullError(self.max_queued)
             handle = JobResult(job)
             self._jobs[job.id] = job
             self._handles[job.id] = handle
             # Max-heap on priority; FIFO within a priority via the sequence.
             heapq.heappush(self._heap, (-job.priority, self._seq, job.id))
             self._seq += 1
+            self._counts[QUEUED] += 1
             self._not_empty.notify()
             return handle
 
@@ -202,11 +273,16 @@ class JobQueue:
             while True:
                 while self._heap:
                     _, _, job_id = heapq.heappop(self._heap)
-                    job = self._jobs[job_id]
-                    if job.state != QUEUED:
-                        continue  # cancelled while queued
+                    job = self._jobs.get(job_id)
+                    if job is None or job.state != QUEUED:
+                        # Lazy-deleted slot: cancelled while queued — and
+                        # possibly already retention-evicted from the
+                        # registry by later finishes.
+                        continue
                     job.state = RUNNING
                     job.started_at = time.time()
+                    self._counts[QUEUED] -= 1
+                    self._counts[RUNNING] += 1
                     return job
                 if self._closed:
                     return None
@@ -229,10 +305,14 @@ class JobQueue:
                 # The engine may pre-stamp the terminal state so the durable
                 # artifact (written just before this call) records it.
                 job.finished_at = time.time()
+            self._counts[RUNNING] -= 1
+            self._counts[state] += 1
             self._handles[job.id]._mark_done()
+            self._retire_locked(job.id)
 
     def cancel(self, job_id: str) -> bool:
-        """Cancel a QUEUED job. Running/terminal jobs are not cancellable."""
+        """Cancel a QUEUED job. Running/terminal jobs are not cancellable
+        here — the engine signals a RUNNING job's cancel token instead."""
         with self._lock:
             job = self._jobs.get(job_id)
             if job is None:
@@ -241,8 +321,27 @@ class JobQueue:
                 return False
             job.state = CANCELLED
             job.finished_at = time.time()
+            self._counts[QUEUED] -= 1
+            self._counts[CANCELLED] += 1
             self._handles[job_id]._mark_done()
+            self._retire_locked(job_id)
             return True
+
+    def _retire_locked(self, job_id: str) -> None:
+        """Queue a terminal job for eviction and trim to the retention bound.
+
+        The newest terminal job always survives its own trim (``retention
+        >= 1``), so the engine can still write/read its artifact through
+        the registry entry; only *older* terminal jobs — whose artifacts
+        were written before they reached a terminal state — are dropped.
+        """
+        self._terminal.append(job_id)
+        if self.retention is None:
+            return
+        while len(self._terminal) > self.retention:
+            evicted = self._terminal.popleft()
+            self._jobs.pop(evicted, None)
+            self._handles.pop(evicted, None)
 
     def get(self, job_id: str) -> Job:
         with self._lock:
@@ -259,17 +358,24 @@ class JobQueue:
             return handle
 
     def jobs(self) -> list[Job]:
-        """All jobs ever submitted, in submission order."""
+        """All **retained** jobs, in submission order.
+
+        With a ``retention`` bound this is O(retention + live jobs), not
+        every job ever submitted; evicted jobs answer through the engine's
+        artifact-index fallback.
+        """
         with self._lock:
             return list(self._jobs.values())
 
     def counts(self) -> dict[str, int]:
-        """Jobs per state (the health endpoint's summary)."""
+        """Jobs per state, over every job ever submitted (O(1)).
+
+        QUEUED/RUNNING are live counts; the terminal states are cumulative
+        across registry eviction, so ``/healthz`` keeps reporting lifetime
+        totals however long the server has been up.
+        """
         with self._lock:
-            out = {s: 0 for s in JOB_STATES}
-            for job in self._jobs.values():
-                out[job.state] += 1
-            return out
+            return dict(self._counts)
 
     def close(self) -> None:
         """Stop accepting submissions and wake every blocked :meth:`pop`."""

@@ -7,20 +7,27 @@ catalog. The API surface:
 ==========  =======================  ===========================================
 Method      Path                     Meaning
 ==========  =======================  ===========================================
-``GET``     ``/healthz``             liveness + job counts per state
+``GET``     ``/healthz``             liveness + job counts per state + limits
 ``GET``     ``/catalog``             catalog entries + hit/miss/eviction stats
+``POST``    ``/jobs``                submit a job → ``{"job_id": ...}``; **429**
+                                     once the queue's ``max_queued`` bound is hit
 ``POST``    ``/graphs``              catalog a graph (inline edges or npz path)
-``POST``    ``/jobs``                submit a job → ``{"job_id": ...}``
-``GET``     ``/jobs``                all job summaries
-``GET``     ``/jobs/<id>``           one job's status summary
-``GET``     ``/jobs/<id>/result``    full schema-v5 job artifact (404 until done)
-``DELETE``  ``/jobs/<id>``           cancel a queued job
+``GET``     ``/jobs``                retained job summaries
+``GET``     ``/jobs/<id>``           status summary (artifact fallback for jobs
+                                     evicted from the bounded registry)
+``GET``     ``/jobs/<id>/result``    full schema-v5 job artifact (404 until
+                                     terminal; **410** when the result was
+                                     evicted with no durable artifact)
+``DELETE``  ``/jobs/<id>``           cancel: queued jobs on the spot, RUNNING
+                                     jobs cooperatively (next safe point)
 ==========  =======================  ===========================================
 
 Submission bodies name the graph one of three ways: ``graph_key`` (already
 cataloged), ``graph`` (inline ``{"n_vertices", "edges": [[u, v], ...]}``),
 or ``path`` (a server-local edge-list/NPZ file). Config fields mirror
-:class:`~repro.pipeline.context.RunConfig`.
+:class:`~repro.pipeline.context.RunConfig`; job-level fields are
+``priority`` (clamped to ±``MAX_WIRE_PRIORITY`` — one client cannot starve
+the queue with an absurd value) and ``timeout_seconds`` (run deadline).
 """
 
 from __future__ import annotations
@@ -31,15 +38,20 @@ from pathlib import Path
 
 import numpy as np
 
-from ..errors import JobError, ReproError
+from ..errors import JobError, QueueFullError, ReproError
 from ..graph.graph import Graph
 from ..graph.io import load_edge_list, load_npz
 from ..pipeline.context import RunConfig
 from ..scenarios.base import scenario_names
 from .engine import JobEngine
-from .queue import DONE, FAILED
+from .queue import DONE, TERMINAL_STATES
 
-__all__ = ["make_server", "serve_forever", "config_from_dict"]
+__all__ = ["make_server", "serve_forever", "config_from_dict",
+           "MAX_WIRE_PRIORITY"]
+
+#: Wire-level priority clamp: submissions outside ±this are clamped, so a
+#: single client cannot monopolize (or bury) the priority queue.
+MAX_WIRE_PRIORITY = 100
 
 #: RunConfig fields settable over the wire (pool/derived/spill are
 #: deliberately server-owned).
@@ -77,14 +89,22 @@ def config_from_dict(payload: dict) -> RunConfig:
     return RunConfig(**kwargs)
 
 
-def _graph_from_body(body: dict, engine: JobEngine) -> tuple[str, str]:
-    """Resolve a request body to a cataloged graph key (+ display name)."""
+def _graph_from_body(body: dict, engine: JobEngine) -> tuple[Graph | None, str | None, str]:
+    """Resolve a request body to ``(graph, graph_key, name)``.
+
+    Exactly one of ``graph``/``graph_key`` is non-None. The graph is *not*
+    cataloged here — the job-submission route hands the object straight to
+    :meth:`JobEngine.submit`, whose ``put(..., pin=True)`` catalogs and
+    pins in one lock hold (no catalog-then-pin TOCTOU window for a
+    concurrent budget eviction to exploit); ``POST /graphs`` catalogs it
+    itself.
+    """
     name = str(body.get("name", ""))
     if "graph_key" in body:
         key = str(body["graph_key"])
         if key not in engine.catalog:
             raise KeyError(f"unknown graph key {key!r}")
-        return key, name
+        return None, key, name
     if "graph" in body:
         spec = body["graph"]
         edges = np.asarray(spec.get("edges", []), dtype=np.int64).reshape(-1, 2)
@@ -93,15 +113,14 @@ def _graph_from_body(body: dict, engine: JobEngine) -> tuple[str, str]:
                 "n_vertices", int(edges.max()) + 1 if edges.size else 0
             )
         )
-        g = Graph(n_vertices, edges[:, 0], edges[:, 1])
-        return engine.catalog.put(g, name=name), name
+        return Graph(n_vertices, edges[:, 0], edges[:, 1]), None, name
     if "path" in body:
         path = Path(str(body["path"]))
         if path.suffix == ".npz":
             g, _ = load_npz(path)
         else:
             g = load_edge_list(path)
-        return engine.catalog.put(g, name=name or path.name), name or path.name
+        return g, None, name or path.name
     raise ValueError("request must name a graph: graph_key, graph, or path")
 
 
@@ -121,11 +140,19 @@ class _JobRequestHandler(BaseHTTPRequestHandler):
 
     def _send(self, status: int, payload: dict) -> None:
         body = json.dumps(payload, default=float).encode()
-        self.send_response(status)
-        self.send_header("Content-Type", "application/json")
-        self.send_header("Content-Length", str(len(body)))
-        self.end_headers()
-        self.wfile.write(body)
+        try:
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            if status == 429:
+                self.send_header("Retry-After", "1")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+        except (BrokenPipeError, ConnectionResetError):
+            # The client hung up mid-response. There is nobody to answer —
+            # re-entering _send(500, ...) on the dead socket would only
+            # spray a stdlib traceback from the handler thread.
+            self.close_connection = True
 
     def _body(self) -> dict:
         length = int(self.headers.get("Content-Length", 0))
@@ -141,6 +168,11 @@ class _JobRequestHandler(BaseHTTPRequestHandler):
                 self._send(404, {"error": f"no route {method} {self.path}"})
                 return
             handler(parts)
+        except (BrokenPipeError, ConnectionResetError):
+            self.close_connection = True  # disconnected while reading the body
+        except QueueFullError as exc:
+            # Backpressure: overload degrades into fast typed rejections.
+            self._send(429, {"error": str(exc), "max_queued": exc.max_queued})
         except (KeyError, JobError) as exc:
             self._send(404, {"error": str(exc)})
         except (ValueError, ReproError) as exc:
@@ -160,7 +192,18 @@ class _JobRequestHandler(BaseHTTPRequestHandler):
     # -- routes ------------------------------------------------------------
 
     def _GET_healthz(self, parts):  # noqa: N802
-        self._send(200, {"status": "ok", "jobs": self.engine.queue.counts()})
+        queue = self.engine.queue
+        self._send(200, {
+            "status": "ok",
+            "jobs": queue.counts(),  # O(1): lifetime totals per state
+            "retained_jobs": len(queue.jobs()),
+            "limits": {
+                "retention": queue.retention,
+                "max_queued": queue.max_queued,
+                "keep_results": self.engine.keep_results,
+                "default_timeout": self.engine.default_timeout,
+            },
+        })
 
     def _GET_catalog(self, parts):  # noqa: N802
         self._send(200, {
@@ -170,7 +213,9 @@ class _JobRequestHandler(BaseHTTPRequestHandler):
         })
 
     def _POST_graphs(self, parts):  # noqa: N802
-        key, name = _graph_from_body(self._body(), self.engine)
+        graph, key, name = _graph_from_body(self._body(), self.engine)
+        if graph is not None:
+            key = self.engine.catalog.put(graph, name=name)
         self._send(200, {"graph_key": key, "name": name})
 
     def _POST_jobs(self, parts):  # noqa: N802
@@ -180,38 +225,64 @@ class _JobRequestHandler(BaseHTTPRequestHandler):
             raise ValueError(
                 f"unknown scenario {scenario!r}; choose from {scenario_names()}"
             )
-        key, name = _graph_from_body(body, self.engine)
+        priority = max(-MAX_WIRE_PRIORITY,
+                       min(MAX_WIRE_PRIORITY, int(body.get("priority", 0))))
+        timeout = body.get("timeout_seconds")
+        graph, key, name = _graph_from_body(body, self.engine)
         handle = self.engine.submit(
             scenario,
+            graph=graph,
             graph_key=key,
             config=config_from_dict(body.get("config", {})),
-            priority=int(body.get("priority", 0)),
+            priority=priority,
             name=name,
+            timeout_seconds=None if timeout is None else float(timeout),
         )
+        job = self.engine.job(handle.job_id)
         self._send(200, {"job_id": handle.job_id,
-                         "state": handle.state, "graph_key": key})
+                         "state": handle.state, "graph_key": job.graph_key})
 
     def _GET_jobs(self, parts):  # noqa: N802
         if len(parts) == 1:
             self._send(200, {"jobs": [j.summary() for j in self.engine.jobs()]})
             return
-        job = self.engine.job(parts[1])
+        job_id = parts[1]
         if len(parts) == 2:
-            self._send(200, job.summary())
+            # Registry first, durable artifact index for evicted jobs —
+            # GET /jobs/<id> answers for any job ever run.
+            self._send(200, self.engine.job_summary(job_id))
             return
         if parts[2] == "result":
-            if job.state not in (DONE, FAILED):
+            try:
+                job = self.engine.job(job_id)
+            except JobError:
+                doc = self.engine.artifact_doc(job_id)
+                if doc is None:
+                    raise
+                self._send(200, doc)  # evicted from the registry => terminal
+                return
+            if job.state not in TERMINAL_STATES:
                 self._send(404, {"error": f"job {job.id} is {job.state}; "
                                           "no result yet", "state": job.state})
                 return
             from ..bench.report_io import job_to_dict
 
             doc = job_to_dict(job)
-            if (doc["scenario_result"] is None and job.state == DONE
-                    and job.artifact_path):
+            if doc["scenario_result"] is None and job.state == DONE:
                 # The in-memory result was trimmed (keep_results bound);
                 # the durable artifact has the full document.
-                doc = json.loads(Path(job.artifact_path).read_text())
+                full = (self.engine.artifact_doc(job.id)
+                        if job.artifact_path else None)
+                if full is None:
+                    self._send(410, {
+                        "error": f"job {job.id} finished but its result was "
+                                 "evicted from memory (keep_results) and no "
+                                 "durable artifact exists; re-run the job or "
+                                 "serve with --artifact-dir",
+                        "state": job.state,
+                    })
+                    return
+                doc = full
             self._send(200, doc)
             return
         self._send(404, {"error": f"no route GET {self.path}"})
@@ -221,7 +292,7 @@ class _JobRequestHandler(BaseHTTPRequestHandler):
             raise ValueError("DELETE /jobs/<id>")
         cancelled = self.engine.cancel(parts[1])
         self._send(200, {"job_id": parts[1], "cancelled": cancelled,
-                         "state": self.engine.job(parts[1]).state})
+                         "state": self.engine.job_summary(parts[1])["state"]})
 
 
 def make_server(

@@ -11,6 +11,7 @@ process) with identical results. See ARCHITECTURE.md for the stage diagram
 and the RunContext → figure field mapping.
 """
 
+from .cancel import CancelToken
 from .context import SCHEMA_VERSION, ExecutionReport, RunConfig, RunContext
 from .program import SuperstepProgram
 from .reconstruct import Reconstruct
@@ -19,6 +20,7 @@ from .setup import Setup
 
 __all__ = [
     "SCHEMA_VERSION",
+    "CancelToken",
     "ExecutionReport",
     "RunConfig",
     "RunContext",

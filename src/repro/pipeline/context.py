@@ -75,6 +75,13 @@ class RunConfig:
     #: and silently recompute on mismatch, so stale or foreign entries can
     #: never change a run's result.
     derived: Any = None
+    #: Cooperative cancellation token (a
+    #: :class:`~repro.pipeline.cancel.CancelToken`, or anything with a
+    #: ``check(where)`` that raises :class:`~repro.errors.RunCancelledError`
+    #: and a ``should_stop`` flag). Checked at superstep boundaries and
+    #: between scenario sub-runs. Never serialized; stripped before any
+    #: process fan-out — all checks run in the submitting process.
+    cancel: Any = None
 
     @property
     def executor_name(self) -> str:

@@ -24,7 +24,16 @@ __all__ = ["run_pipeline"]
 
 
 def run_pipeline(graph: Graph, config: RunConfig) -> RunContext:
-    """Run the full partition-centric pipeline; returns the run artifact."""
+    """Run the full partition-centric pipeline; returns the run artifact.
+
+    When ``config.cancel`` carries a
+    :class:`~repro.pipeline.cancel.CancelToken`, the run checks it at the
+    start, at every superstep boundary and before Phase 3, raising
+    :class:`~repro.errors.RunCancelledError` at the first tripped check.
+    """
+    token = config.cancel
+    if token is not None:
+        token.check("pipeline start")
     ctx = RunContext.for_graph(graph, config)
     ctx.store = FragmentStore(spill_dir=config.spill_dir)
 
@@ -55,7 +64,13 @@ def run_pipeline(graph: Graph, config: RunConfig) -> RunContext:
         program,
         max_supersteps=n_levels + 2,
         on_commit=program.make_commit(ctx.store),
+        check_abort=(
+            None if token is None
+            else lambda: token.check("superstep boundary")
+        ),
     )
 
+    if token is not None:
+        token.check("before reconstruct")
     Reconstruct().run(graph, ctx)
     return ctx

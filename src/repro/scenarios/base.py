@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as _FuturesTimeout
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 
@@ -228,15 +229,40 @@ def _run_batch(subs: list[SubProblem], config: RunConfig) -> list[RunContext]:
     pool object cannot (and must not) cross a process boundary, and the
     job engine already provides the cross-request parallelism — each
     sub-run executes on the shared pool instead.
+
+    A cancel token is checked before every sub-run (and polled while
+    fan-out futures are pending); it is stripped from any config shipped
+    to a worker process — the token's locks cannot cross a process
+    boundary, so cancellation of a fan-out lands between futures.
     """
     n = len(subs)
+    token = config.cancel
     if (n > 1 and config.pool is None
             and config.executor == "process" and config.workers > 1):
-        inner = replace(config, executor="serial", workers=1)
+        inner = replace(config, executor="serial", workers=1, cancel=None)
         tasks = [(s.graph, _sub_config(inner, s, n)) for s in subs]
         with ProcessPoolExecutor(max_workers=min(config.workers, n)) as pool:
-            return list(pool.map(_run_sub, tasks))
-    return [run_pipeline(s.graph, _sub_config(config, s, n)) for s in subs]
+            if token is None:
+                return list(pool.map(_run_sub, tasks))
+            futures = [pool.submit(_run_sub, t) for t in tasks]
+            out = []
+            for fut in futures:
+                while True:
+                    try:
+                        out.append(fut.result(timeout=0.1))
+                        break
+                    except _FuturesTimeout:
+                        if token.should_stop:
+                            for f in futures:
+                                f.cancel()
+                            token.check("components fan-out")
+            return out
+    out = []
+    for s in subs:
+        if token is not None:
+            token.check("sub-run boundary")
+        out.append(run_pipeline(s.graph, _sub_config(config, s, n)))
+    return out
 
 
 def run_scenario(
@@ -257,6 +283,10 @@ def run_scenario(
     if config is None:
         config = RunConfig()
     subs = sc.reduce(graph, config)
+    if config.cancel is not None:
+        # Checkpoint even when the reduction produced no sub-problems, so
+        # a cancel that landed during reduce() still stops the scenario.
+        config.cancel.check("after reduce")
     contexts = _run_batch(subs, config)
     circuits, metrics = sc.postprocess(graph, config, subs, contexts)
     sub_runs = [

@@ -141,3 +141,25 @@ def test_eviction_is_lru_not_fifo(tmp_path):
     k2 = cat.put(graphs[2])
     assert k0 in cat and k2 in cat
     assert k1 not in cat
+
+
+def test_put_with_pin_is_atomic_against_budget_eviction(tmp_path):
+    """The catalog-then-pin TOCTOU: pin=True rides inside put()'s lock.
+
+    A pinned key must survive any amount of later budget pressure even as
+    the LRU victim, exactly what a submit()-accepted job requires.
+    """
+    graphs = [grid_city(6 + i, 6) for i in range(4)]
+    probe = GraphCatalog(tmp_path / "probe")
+    probe.put(graphs[0])
+    per_graph = probe.disk_bytes()
+
+    cat = GraphCatalog(tmp_path / "pin", size_budget_bytes=int(1.5 * per_graph))
+    pinned = cat.put(graphs[0], pin=True)
+    for g in graphs[1:]:
+        cat.put(g)  # each put busts the budget; the LRU victim is graphs[0]
+    assert cat.stats["evictions"] >= 1
+    assert pinned in cat  # exempt while pinned
+    cat.unpin(pinned)
+    cat.put(grid_city(11, 6))
+    assert pinned not in cat  # unpinned, it is evictable again

@@ -180,10 +180,13 @@ def test_cancel_queued_job_deterministically(tmp_path, grid8, triangle):
             assert engine.job(victim.job_id).state == CANCELLED
             with pytest.raises(JobCancelledError):
                 victim.result(timeout=10)
-            # Running jobs are not cancellable.
-            assert engine.cancel(blocking.job_id) is False
+            # Running jobs are cancelled cooperatively: the request is
+            # accepted now and lands at the next safe point.
+            assert engine.cancel(blocking.job_id) is True
             blocker.release.set()
-            blocking.result(timeout=60)
+            with pytest.raises(JobCancelledError):
+                blocking.result(timeout=60)
+            assert engine.job(blocking.job_id).state == CANCELLED
     finally:
         from repro.scenarios.base import SCENARIOS
 
