@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import resource
 import sys
@@ -47,6 +48,7 @@ import numpy as np  # noqa: E402
 
 from bench_perf_dataplane import calibration_seconds  # noqa: E402
 from repro.bench.report_io import SCHEMA_VERSION  # noqa: E402
+from repro.bsp import shm  # noqa: E402
 from repro.generate.synthetic import grid_city  # noqa: E402
 from repro.jobs import GraphCatalog, JobEngine  # noqa: E402
 from repro.jobs.client import JobClient, JobClientError  # noqa: E402
@@ -73,10 +75,18 @@ def _pctl(samples: list[float], q: float) -> float:
     return ordered[min(len(ordered) - 1, int(q * len(ordered)))]
 
 
-def _serve(engine):
-    server = make_server(engine, port=0)
-    thread = threading.Thread(target=server.serve_forever, daemon=True)
-    thread.start()
+def _serve(engine, frontend: str = "thread"):
+    if frontend == "async":
+        from repro.jobs.aserver import AsyncJobServer
+
+        server = AsyncJobServer(engine, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        server.wait_started(10)
+    else:
+        server = make_server(engine, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
     host, port = server.server_address
     return server, JobClient(f"http://{host}:{port}")
 
@@ -93,19 +103,22 @@ def _drain(client: JobClient, timeout: float = 300.0) -> dict:
         time.sleep(0.02)
 
 
-def _soak(root: Path) -> dict:
+def _soak(root: Path, dispatcher: str = "thread",
+          frontend: str = "thread") -> dict:
     graph = grid_city(SOAK_GRID, SOAK_GRID)
+    before_segments = set(shm.leaked_segments()) if shm.shm_available() else set()
     engine = JobEngine(
-        GraphCatalog(root / "cat"),
+        GraphCatalog(root / f"cat-{dispatcher}"),
         dispatchers=DISPATCHERS,
-        pool_kind="thread",
+        dispatcher=dispatcher,
+        pool_kind="thread" if dispatcher == "thread" else None,
         pool_workers=2,
-        artifact_dir=root / "arts",
+        artifact_dir=root / f"arts-{dispatcher}",
         keep_results=KEEP_RESULTS,
         retention=RETENTION,
         max_queued=MAX_QUEUED,
     )
-    server, client = _serve(engine)
+    server, client = _serve(engine, frontend)
     try:
         key = client.put_graph(
             edges=np.column_stack([graph.edge_u, graph.edge_v]).tolist(),
@@ -148,7 +161,9 @@ def _soak(root: Path) -> dict:
 
         health = client.health()
         evicted_status_ok = client.status(job_ids[0])["id"] == job_ids[0]
-        return {
+        result = {
+            "dispatcher": dispatcher,
+            "frontend": frontend,
             "wall_seconds": wall,
             "jobs_per_second": N_JOBS / wall,
             "submitted": N_JOBS,
@@ -162,6 +177,7 @@ def _soak(root: Path) -> dict:
             "retention": RETENTION,
             "counts": health["jobs"],
             "evicted_status_ok": evicted_status_ok,
+            "segments": health.get("segments", {}),
             "rss_peak_mb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
             / 1024.0,
         }
@@ -169,6 +185,13 @@ def _soak(root: Path) -> dict:
         server.shutdown()
         server.server_close()
         engine.close()
+    # Audited after engine close: the zero-copy stack promises it leaves
+    # /dev/shm exactly as it found it, whichever way the soak ended.
+    result["leaked_segments"] = (
+        sorted(set(shm.leaked_segments()) - before_segments)
+        if shm.shm_available() else []
+    )
+    return result
 
 
 def _backpressure_probe(root: Path) -> dict:
@@ -228,9 +251,15 @@ def measure() -> dict:
             "probe_graph": f"grid_city({PROBE_GRID},{PROBE_GRID})",
         },
     }
+    out["cpu_count"] = os.cpu_count()
     with tempfile.TemporaryDirectory(prefix="bench-serving-") as tmp:
         tmp = Path(tmp)
         out["soak"] = _soak(tmp)
+        if shm.shm_available():
+            # Same workload, zero-copy stack: pre-forked process
+            # dispatchers behind the asyncio front end.
+            out["soak_preforked"] = _soak(tmp, dispatcher="process",
+                                          frontend="async")
         out["backpressure"] = _backpressure_probe(tmp)
     return out
 
@@ -294,6 +323,37 @@ def check(committed: Path, tolerance: float, artifact: Path | None) -> int:
           f"{reference:.2f}ms x {scale:.2f} machine-speed scale "
           f"(limit {limit:.2f}ms, +{tolerance:.0%}): {verdict}")
     ok &= measured <= limit
+
+    # -- zero-copy stack gates ---------------------------------------------
+    for section in ("soak", "soak_preforked"):
+        leaked = fresh.get(section, {}).get("leaked_segments")
+        if leaked is None:
+            continue
+        verdict = "OK" if leaked == [] else f"LEAKED {leaked}"
+        print(f"serving: shm leak audit after {section}: {verdict}")
+        ok &= leaked == []
+
+    pre = fresh.get("soak_preforked")
+    if pre is not None:
+        jps = pre["jobs_per_second"]
+        base = ref["soak"]["jobs_per_second"]
+        cpus = os.cpu_count() or 1
+        if cpus >= 4:
+            # Real multi-core boxes must show the multi-core win.
+            verdict = "OK" if jps >= 3.0 * base else "NO SPEEDUP"
+            print(f"serving: pre-forked {jps:.1f} jobs/s vs committed "
+                  f"thread-mode {base:.1f} (>=3x on {cpus} cpus): {verdict}")
+            ok &= jps >= 3.0 * base
+        else:
+            # Single/dual-core CI runner: forked workers cannot beat the
+            # GIL by parallelism, so gate on not-regressing instead.
+            ref_pre = ref.get("soak_preforked")
+            floor = (ref_pre["jobs_per_second"] if ref_pre else base) \
+                / (scale * (1.0 + tolerance))
+            verdict = "OK" if jps >= floor else "REGRESSION"
+            print(f"serving: pre-forked {jps:.1f} jobs/s "
+                  f"(floor {floor:.1f} on {cpus} cpus): {verdict}")
+            ok &= jps >= floor
 
     print(f"  soak: {soak['jobs_per_second']:.1f} jobs/s, "
           f"submit p95 {soak['submit_p95_ms']:.2f}ms, "

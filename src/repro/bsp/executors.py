@@ -36,10 +36,12 @@ from __future__ import annotations
 
 import hashlib
 import pickle
+import threading
 import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Any, Callable, Hashable
 
+from . import shm
 from .accounting import PartitionStepRecord
 
 __all__ = [
@@ -195,11 +197,29 @@ _SHARED_PROGRAMS: dict[str, Callable] = {}
 _SHARED_PROGRAM_CAP = 8
 
 
+class ProgramSegmentGone(RuntimeError):
+    """A worker found its program's shared segment already unlinked.
+
+    Raised across the pool boundary so the parent can replay the superstep
+    with the raw pickled payload — the portable fallback is always correct,
+    the descriptor path is only an optimization.
+    """
+
+
 def _shared_process_task(arg):
-    key, payload, task = arg
+    key, wire, task = arg
     prog = _SHARED_PROGRAMS.get(key)
     if prog is None:
-        prog = pickle.loads(payload)
+        kind, body = wire
+        if kind == "seg":
+            try:
+                views = shm.attach_arrays(body)
+            except FileNotFoundError:
+                raise ProgramSegmentGone(key) from None
+            prog = pickle.loads(views["payload"])
+            del views  # drops the adopted mapping with the last view
+        else:
+            prog = pickle.loads(body)
         while len(_SHARED_PROGRAMS) >= _SHARED_PROGRAM_CAP:
             _SHARED_PROGRAMS.pop(next(iter(_SHARED_PROGRAMS)))
         _SHARED_PROGRAMS[key] = prog
@@ -241,6 +261,7 @@ class _ProcessSession(_Closable):
     def start(self, compute: Callable) -> None:
         self._payload = pickle.dumps(compute, protocol=pickle.HIGHEST_PROTOCOL)
         self._key = hashlib.sha256(self._payload).hexdigest()[:16]
+        self._pool._register_program(self._key, self._payload)
 
     def run_superstep(self, tasks: list[SuperstepTask]) -> list:
         return self._pool._map_process(self._key, self._payload, tasks)
@@ -270,6 +291,14 @@ class SharedPool(_Closable):
         self.kind = kind
         self.max_workers = max_workers
         self.name = f"shared-{kind}"
+        # Program payloads published once into shared memory so each task
+        # ships a tiny (segment, offset, shape, dtype) descriptor instead of
+        # the full pickled program. Lazily created on first registration;
+        # bounded LRU — an evicted program transparently falls back to the
+        # raw-payload wire (see ProgramSegmentGone).
+        self._segstore: shm.SharedSegmentStore | None = None
+        self._prog_order: list[str] = []
+        self._seg_lock = threading.Lock()
         if kind == "thread":
             self._pool: Any = ThreadPoolExecutor(max_workers=max_workers)
         else:
@@ -290,16 +319,65 @@ class SharedPool(_Closable):
             raise RuntimeError("SharedPool is closed")
         return list(self._pool.map(lambda t: run_task(compute, t), tasks))
 
+    def _register_program(self, key: str, payload: bytes) -> None:
+        """Publish a program payload to shared memory (LRU, cap 8).
+
+        No-op for thread pools or when POSIX shared memory is unavailable —
+        the raw-payload wire stays fully functional without it.
+        """
+        if self.kind != "process" or not shm.shm_available():
+            return
+        with self._seg_lock:
+            if self._segstore is None:
+                self._segstore = shm.SharedSegmentStore(tag="prog")
+            if key in self._segstore:
+                self._prog_order.remove(key)
+                self._prog_order.append(key)
+                return
+            self._segstore.publish_bytes(key, payload)
+            self._prog_order.append(key)
+            while len(self._prog_order) > _SHARED_PROGRAM_CAP:
+                self._segstore.unpublish(self._prog_order.pop(0))
+
+    def _program_wire(self, key: str, payload: bytes):
+        """Per-superstep wire for a program: segment descriptor or raw bytes.
+
+        Resolved fresh each superstep so a program evicted mid-job degrades
+        to the raw payload instead of a dead descriptor.
+        """
+        with self._seg_lock:
+            if self._segstore is not None and key in self._segstore:
+                return ("seg", self._segstore.descriptor(key))
+        return ("raw", payload)
+
     def _map_process(self, key: str, payload: bytes, tasks: list[SuperstepTask]) -> list:
         if self._pool is None:
             raise RuntimeError("SharedPool is closed")
-        return list(self._pool.map(_shared_process_task,
-                                   [(key, payload, t) for t in tasks]))
+        wire = self._program_wire(key, payload)
+        try:
+            return list(self._pool.map(_shared_process_task,
+                                       [(key, wire, t) for t in tasks]))
+        except ProgramSegmentGone:
+            # Evicted between resolve and attach; replay on the raw wire.
+            return list(self._pool.map(_shared_process_task,
+                                       [(key, ("raw", payload), t) for t in tasks]))
+
+    def segment_stats(self) -> dict:
+        """Program segment-store stats (zeros when the store is idle)."""
+        with self._seg_lock:
+            if self._segstore is None:
+                return {"segments": 0, "bytes": 0, "attaches": 0}
+            return self._segstore.stats()
 
     def close(self) -> None:
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+        with self._seg_lock:
+            if self._segstore is not None:
+                self._segstore.close()
+                self._segstore = None
+                self._prog_order.clear()
 
 
 #: Registry of executor backends selectable by name from

@@ -1,0 +1,542 @@
+"""Shared-memory data plane: segments, descriptors, and cancel flags.
+
+The process backends and the pre-forked serving dispatchers all need the
+same primitive: hand a block of packed ``int64`` arrays to another process
+*without* serializing it through a pipe. POSIX shared memory
+(:mod:`multiprocessing.shared_memory`) provides exactly that — a named
+segment both sides map — and this module wraps it with the three protocols
+the pipeline uses:
+
+``ShmBlob``
+    One pickled object whose array buffers live out-of-band in a segment
+    (pickle protocol 5 ``buffer_callback``). The *descriptor* — segment
+    name, meta-pickle, ``(offset, nbytes)`` spans — crosses the pipe; the
+    consumer attaches and reconstructs zero-copy NumPy views over the
+    mapped pages. This is the superstep state transport
+    (:class:`~repro.pipeline.program.SuperstepProgram` with
+    ``transport="shm"``).
+
+``SharedSegmentStore``
+    A keyed, refcount-audited publisher of long-lived segments: catalog
+    graph arrays and shared-pool program payloads. Publish is idempotent
+    per key; descriptors are ``(segment_name, offset, shape, dtype)``
+    tuples a worker turns back into arrays with :func:`attach_arrays`.
+
+``CancelFlags``
+    A tiny ``int64`` flag array for the pre-forked dispatchers — the
+    parent sets slot ``i`` to cancel the job running in worker ``i``; the
+    worker polls it at superstep boundaries.
+
+Ownership protocol (what makes the leak check pass):
+
+* every constructor — create *and* attach — immediately unregisters the
+  segment from the stdlib resource tracker (bpo-38119: the tracker
+  registers on both sides and would otherwise double-unlink or warn);
+  lifetime is managed here, never by the tracker;
+* the *creator* unlinks: stores on :meth:`SharedSegmentStore.close` (with
+  an ``atexit`` guard), message blobs via :meth:`ShmBlob.dispose` by the
+  consumer that merged them, plus a parent-side janitor
+  (:func:`cleanup_token`) that sweeps a run's remaining message segments
+  by name prefix when the run ends — normally, cancelled, or crashed;
+* unlink is idempotent (missing segments are ignored), and consumers
+  never ``close()`` a mapping that still backs live array views — the
+  mapping is released when the last view is garbage-collected.
+
+Every segment name starts with :data:`SEGMENT_PREFIX`, so
+``ls /dev/shm/repro_*`` (see :func:`leaked_segments`) is the whole leak
+audit.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import pickle
+import threading
+from pathlib import Path
+
+import numpy as np
+
+__all__ = [
+    "SEGMENT_PREFIX",
+    "shm_available",
+    "ShmBlob",
+    "ship",
+    "SharedSegmentStore",
+    "attach_arrays",
+    "CancelFlags",
+    "cleanup_token",
+    "unlink_segment",
+    "leaked_segments",
+]
+
+try:  # pragma: no cover - import guard for exotic builds
+    from multiprocessing import resource_tracker as _resource_tracker
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover
+    _resource_tracker = None
+    _shared_memory = None
+
+#: Every segment this package creates is named ``repro_...`` so a single
+#: ``/dev/shm`` glob audits for leaks.
+SEGMENT_PREFIX = "repro_"
+
+_SHM_DIR = Path("/dev/shm")
+_counter = iter(range(1 << 62))
+_counter_lock = threading.Lock()
+
+
+def shm_available() -> bool:
+    """Whether POSIX shared memory is usable on this host."""
+    return _shared_memory is not None and hasattr(_shared_memory, "SharedMemory")
+
+
+_tracker_filtered = False
+_tracker_lock = threading.Lock()
+
+
+def _install_tracker_filter() -> None:
+    """Opt ``repro_*`` segments out of the stdlib resource tracker, once.
+
+    The tracker registers segments on create *and* attach (bpo-38119); with
+    several processes mapping one segment, register/unregister pairs
+    interleave at the single shared tracker and the cache set under-counts —
+    the tracker then either double-unlinks or warns. Python 3.13 grew
+    ``SharedMemory(track=False)`` for exactly this; on 3.11 the equivalent
+    is filtering our prefix out of ``register`` before the first segment is
+    constructed. Lifetime is managed entirely by this module (explicit
+    unlink + janitor sweeps), never by the tracker.
+    """
+    global _tracker_filtered
+    if _resource_tracker is None or _tracker_filtered:
+        return
+    with _tracker_lock:
+        if _tracker_filtered:
+            return
+        def _filtered(original):
+            def call(name, rtype):
+                if rtype == "shared_memory" and name.lstrip("/").startswith(
+                    SEGMENT_PREFIX
+                ):
+                    return
+                original(name, rtype)
+
+            return call
+
+        # unregister is filtered symmetrically: SharedMemory.unlink() calls
+        # it unconditionally, and an unregister the tracker never saw a
+        # register for prints a KeyError traceback in the tracker process.
+        _resource_tracker.register = _filtered(_resource_tracker.register)
+        _resource_tracker.unregister = _filtered(_resource_tracker.unregister)
+        _tracker_filtered = True
+
+
+def _next_name(tag: str) -> str:
+    with _counter_lock:
+        seq = next(_counter)
+    return f"{SEGMENT_PREFIX}{tag}_{os.getpid():x}_{seq:x}"
+
+
+def _create_segment(nbytes: int, tag: str):
+    """A fresh named segment (creator-side mapping, tracker-untracked)."""
+    _install_tracker_filter()
+    while True:
+        name = _next_name(tag)
+        try:
+            return _shared_memory.SharedMemory(name=name, create=True,
+                                               size=max(1, nbytes))
+        except FileExistsError:  # pragma: no cover - counter collision
+            continue
+
+
+def _attach_segment(name: str):
+    _install_tracker_filter()
+    return _shared_memory.SharedMemory(name=name)
+
+
+class _QuietSharedMemory(
+    _shared_memory.SharedMemory if _shared_memory is not None else object
+):
+    """A mapping whose teardown tolerates live exported views.
+
+    The stdlib ``close()`` raises ``BufferError`` (from ``mmap.close``)
+    while NumPy views still reference the pages — which is the *normal*
+    state for a consumer mapping: the views own the lifetime, the wrapper
+    does not. Swallowing the error lets the wrapper be garbage-collected
+    silently; the pages are released when the last view dies.
+    """
+
+    def close(self):  # noqa: D102 - stdlib signature
+        try:
+            super().close()
+        except BufferError:
+            pass
+
+    def __del__(self):
+        try:
+            self.close()
+        except Exception:  # pragma: no cover - interpreter shutdown
+            pass
+
+
+def _adopt_consumer_mapping(shm) -> None:
+    """Prepare an attached mapping to be outlived by its views.
+
+    Closes the (now unneeded) file descriptor eagerly — the stdlib only
+    closes it *after* the mmap close that raises when views are exported,
+    so without this a long-lived server would leak one fd per message —
+    and swaps in the noise-free teardown class.
+    """
+    fd = getattr(shm, "_fd", -1)
+    if isinstance(fd, int) and fd >= 0:
+        try:
+            os.close(fd)
+        except OSError:  # pragma: no cover
+            pass
+        shm._fd = -1
+    shm.__class__ = _QuietSharedMemory
+
+
+def unlink_segment(name: str) -> bool:
+    """Best-effort idempotent unlink of a segment by name.
+
+    Returns ``True`` when a segment was actually removed. On Linux this is
+    a plain unlink in ``/dev/shm``; elsewhere it attaches briefly to reach
+    the POSIX unlink.
+    """
+    if _SHM_DIR.is_dir():
+        try:
+            (_SHM_DIR / name).unlink()
+            return True
+        except FileNotFoundError:
+            return False
+        except OSError:  # pragma: no cover - permissions etc.
+            return False
+    try:  # pragma: no cover - non-Linux POSIX fallback
+        shm = _attach_segment(name)
+    except FileNotFoundError:
+        return False
+    try:
+        shm.unlink()
+    finally:
+        shm.close()
+    return True
+
+
+def leaked_segments(prefix: str = SEGMENT_PREFIX) -> list[str]:
+    """Names of live ``repro_*`` segments (the leak audit)."""
+    if not _SHM_DIR.is_dir():  # pragma: no cover - non-Linux
+        return []
+    return sorted(p.name for p in _SHM_DIR.glob(f"{prefix}*"))
+
+
+def cleanup_token(token: str) -> int:
+    """Janitor: unlink every message segment of one run (by name prefix).
+
+    Message segments are normally disposed by the consumer that merged
+    them; a run that aborts at a superstep boundary (cancel, deadline,
+    worker crash) leaves its undelivered messages behind. The runner calls
+    this in a ``finally`` with the run's unique token, so leaks are
+    impossible regardless of how the run ended. Returns the number of
+    segments removed.
+    """
+    removed = 0
+    for name in leaked_segments(f"{SEGMENT_PREFIX}m{token}_"):
+        if unlink_segment(name):
+            removed += 1
+    return removed
+
+
+# ---------------------------------------------------------------------------
+# Message transport: one pickled object, buffers out-of-band in a segment
+# ---------------------------------------------------------------------------
+
+
+class ShmBlob:
+    """Descriptor of one shipped object: meta-pickle + buffer spans.
+
+    The descriptor itself is small and picklable — it is what actually
+    crosses the executor pipe. ``load()`` attaches the segment and
+    reconstructs the object with zero-copy views over the mapped pages;
+    ``dispose()`` unlinks the segment (idempotent). The consumer disposes
+    after it has *merged* the state (every array
+    :func:`repro.core.merging.merge_states` returns is a fresh copy, so no
+    view outlives the merge); the mapping itself is released when the last
+    view is garbage-collected.
+    """
+
+    __slots__ = ("name", "meta", "spans", "nbytes")
+
+    def __init__(self, name: str, meta: bytes, spans: list, nbytes: int):
+        self.name = name
+        self.meta = meta
+        self.spans = spans
+        self.nbytes = nbytes
+
+    def __getstate__(self):
+        return (self.name, self.meta, self.spans, self.nbytes)
+
+    def __setstate__(self, state):
+        self.name, self.meta, self.spans, self.nbytes = state
+
+    def load(self):
+        """Attach and rebuild the object (views share the segment pages)."""
+        shm = _attach_segment(self.name)
+        buf = shm.buf
+        views = [buf[off:off + n] for off, n in self.spans]
+        obj = pickle.loads(self.meta, buffers=views)
+        _adopt_consumer_mapping(shm)
+        return obj
+
+    def dispose(self) -> bool:
+        """Unlink the backing segment (idempotent, safe to call twice)."""
+        return unlink_segment(self.name)
+
+
+def ship(obj, token: str = "") -> "ShmBlob | bytes":
+    """Serialize ``obj`` with its array buffers placed in a fresh segment.
+
+    Pickle protocol 5 externalizes every contiguous buffer through
+    ``buffer_callback``; the buffers are copied once, C-speed, into one
+    segment and the tiny meta-pickle rides in the returned descriptor.
+    Objects with no out-of-band buffers — and any segment-creation failure
+    — fall back to plain pickle bytes, which the receive side accepts
+    interchangeably (the portable fallback the transport contract
+    promises).
+    """
+    buffers: list = []
+    meta = pickle.dumps(obj, protocol=5, buffer_callback=buffers.append)
+    if not buffers:
+        return meta
+    raws = [b.raw() for b in buffers]
+    total = sum(r.nbytes for r in raws)
+    try:
+        shm = _create_segment(total, f"m{token}")
+    except Exception:
+        return pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    spans = []
+    off = 0
+    buf = shm.buf
+    for r in raws:
+        n = r.nbytes
+        buf[off:off + n] = r
+        spans.append((off, n))
+        off += n
+    blob = ShmBlob(shm.name, meta, spans, total)
+    del buf, raws, buffers
+    # The creator's mapping is no longer needed — the descriptor carries
+    # everything the consumer needs to attach by name.
+    shm.close()
+    return blob
+
+
+# ---------------------------------------------------------------------------
+# Keyed long-lived segments: catalog graphs, shared-pool program payloads
+# ---------------------------------------------------------------------------
+
+
+def _array_specs(arrays: dict) -> tuple[list, int]:
+    specs = []
+    off = 0
+    for key, arr in arrays.items():
+        a = np.ascontiguousarray(arr)
+        specs.append((key, a, off, tuple(a.shape), a.dtype.str))
+        off += a.nbytes
+    return specs, off
+
+
+def attach_arrays(descriptor: dict) -> dict:
+    """Worker side: descriptor → named read-mapped arrays (zero-copy).
+
+    The returned arrays are views over the mapped segment; the mapping
+    stays alive exactly as long as any view does. Raises
+    ``FileNotFoundError`` when the segment is gone (unpublished) — callers
+    fall back to their durable source (catalog NPZ, raw payload bytes).
+    """
+    shm = _attach_segment(descriptor["segment"])
+    buf = shm.buf
+    out = {}
+    for key, off, shape, dtype in descriptor["arrays"]:
+        n = int(np.prod(shape, dtype=np.int64)) * np.dtype(dtype).itemsize
+        out[key] = np.frombuffer(buf[off:off + n], dtype=dtype).reshape(shape)
+    _adopt_consumer_mapping(shm)
+    return out
+
+
+class SharedSegmentStore:
+    """Publisher of content-keyed segments with guaranteed unlink on close.
+
+    One store instance lives in the owning (parent) process; workers only
+    ever see descriptors and attach by name. ``publish`` is idempotent per
+    key; every descriptor handout counts as one attach for the ``/healthz``
+    stats. ``close()`` unlinks everything and is also registered with
+    ``atexit`` so an abandoned store cannot leak segments past process
+    exit.
+    """
+
+    def __init__(self, tag: str = "seg"):
+        self._tag = tag
+        self._lock = threading.Lock()
+        self._segments: dict = {}  # key -> {"shm", "descriptor", "nbytes"}
+        self._attaches = 0
+        self._closed = False
+        atexit.register(self.close)
+
+    def publish(self, key: str, arrays: dict) -> dict:
+        """Place ``arrays`` (name → ndarray) in one segment keyed ``key``."""
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("SharedSegmentStore is closed")
+            entry = self._segments.get(key)
+            if entry is not None:
+                return dict(entry["descriptor"])
+            specs, total = _array_specs(arrays)
+            shm = _create_segment(total, self._tag)
+            buf = shm.buf
+            desc_rows = []
+            for name, a, off, shape, dtype in specs:
+                buf[off:off + a.nbytes] = a.reshape(-1).view(np.uint8).data
+                desc_rows.append((name, off, shape, dtype))
+            del buf
+            descriptor = {
+                "segment": shm.name,
+                "nbytes": total,
+                "arrays": desc_rows,
+            }
+            self._segments[key] = {
+                "shm": shm, "descriptor": descriptor, "nbytes": total,
+            }
+            return dict(descriptor)
+
+    def publish_bytes(self, key: str, payload: bytes) -> dict:
+        """Publish one opaque byte payload (e.g. a pickled program)."""
+        return self.publish(key, {"payload": np.frombuffer(payload, np.uint8)})
+
+    def descriptor(self, key: str) -> dict | None:
+        """The key's descriptor (counted as one attach), or ``None``."""
+        with self._lock:
+            entry = self._segments.get(key)
+            if entry is None:
+                return None
+            self._attaches += 1
+            return dict(entry["descriptor"])
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._segments
+
+    def keys(self) -> list[str]:
+        with self._lock:
+            return sorted(self._segments)
+
+    def unpublish(self, key: str) -> bool:
+        with self._lock:
+            entry = self._segments.pop(key, None)
+        if entry is None:
+            return False
+        self._release(entry)
+        return True
+
+    def stats(self) -> dict:
+        """Segment count, resident bytes, attach (descriptor handout) count."""
+        with self._lock:
+            return {
+                "segments": len(self._segments),
+                "bytes": sum(e["nbytes"] for e in self._segments.values()),
+                "attaches": self._attaches,
+            }
+
+    @staticmethod
+    def _release(entry) -> None:
+        shm = entry["shm"]
+        try:
+            shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already swept
+            pass
+        try:
+            shm.close()
+        except BufferError:  # pragma: no cover - parent-side views alive
+            pass
+
+    def close(self) -> None:
+        """Unlink every published segment (idempotent; atexit-guarded)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            entries = list(self._segments.values())
+            self._segments.clear()
+        for entry in entries:
+            self._release(entry)
+        try:
+            atexit.unregister(self.close)
+        except Exception:  # pragma: no cover
+            pass
+
+    def __enter__(self) -> "SharedSegmentStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+# ---------------------------------------------------------------------------
+# Cancel flags for the pre-forked dispatchers
+# ---------------------------------------------------------------------------
+
+
+class CancelFlags:
+    """An ``int64`` flag per dispatcher slot, shared parent ↔ workers.
+
+    The parent (owner) creates and unlinks; workers attach by descriptor.
+    Slot semantics mirror :class:`~repro.pipeline.cancel.CancelToken`:
+    nonzero means "stop at your next safe point".
+    """
+
+    def __init__(self, shm, n: int, owner: bool):
+        self._shm = shm
+        self._owner = owner
+        self.n = n
+        self._flags = np.frombuffer(shm.buf, dtype=np.int64, count=n)
+
+    @classmethod
+    def create(cls, n: int) -> "CancelFlags":
+        if n < 1:
+            raise ValueError("need at least one slot")
+        shm = _create_segment(8 * n, "flags")
+        flags = cls(shm, n, owner=True)
+        flags._flags[:] = 0
+        return flags
+
+    @classmethod
+    def attach(cls, descriptor: dict) -> "CancelFlags":
+        shm = _attach_segment(descriptor["segment"])
+        return cls(shm, int(descriptor["n"]), owner=False)
+
+    @property
+    def descriptor(self) -> dict:
+        return {"segment": self._shm.name, "n": self.n}
+
+    def set(self, slot: int) -> None:
+        self._flags[slot] = 1
+
+    def clear(self, slot: int) -> None:
+        self._flags[slot] = 0
+
+    def is_set(self, slot: int) -> bool:
+        return bool(self._flags[slot])
+
+    def close(self) -> None:
+        """Owner: unlink; attacher: drop the mapping reference."""
+        if self._flags is None:
+            return
+        self._flags = None
+        if self._owner:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover
+                pass
+        try:
+            self._shm.close()
+        except BufferError:  # pragma: no cover - stray external view
+            pass

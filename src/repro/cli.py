@@ -140,7 +140,19 @@ def build_parser() -> argparse.ArgumentParser:
                             "artifact index backs evicted-job status "
                             "lookups)")
     serve.add_argument("--dispatchers", type=int, default=2,
-                       help="concurrent jobs (dispatcher threads)")
+                       help="concurrent jobs (dispatcher threads or forked "
+                            "worker processes)")
+    serve.add_argument("--dispatcher", default="thread",
+                       choices=("thread", "process"),
+                       help="job dispatch mode: in-process threads, or one "
+                            "pre-forked worker process per dispatcher "
+                            "(zero-copy shared-memory graphs, true "
+                            "multi-core)")
+    serve.add_argument("--frontend", default="thread",
+                       choices=("thread", "async"),
+                       help="HTTP front end: thread-per-connection, or a "
+                            "single asyncio event loop (keep-alive, cheap "
+                            "idle connections)")
     serve.add_argument("--keep-results", type=int, default=64,
                        help="terminal jobs keeping their in-memory result "
                             "(older results served from the artifact dir)")
@@ -312,6 +324,7 @@ def _jobs_main(args) -> int:
         engine = JobEngine(
             GraphCatalog(args.cache_root, size_budget_bytes=budget),
             dispatchers=args.dispatchers,
+            dispatcher=args.dispatcher,
             pool_kind=None if args.pool == "none" else args.pool,
             pool_workers=args.pool_workers,
             artifact_dir=artifact_dir,
@@ -320,7 +333,7 @@ def _jobs_main(args) -> int:
             max_queued=args.max_queued or None,
             default_timeout=args.timeout,
         )
-        serve_forever(engine, args.host, args.port)
+        serve_forever(engine, args.host, args.port, frontend=args.frontend)
         return 0
     if args.command == "batch":
         engine = JobEngine(

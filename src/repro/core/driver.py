@@ -47,6 +47,7 @@ def find_euler_circuit(
     check_input: bool = True,
     engine_workers: int = 1,
     executor: str | None = None,
+    transport: str | None = None,
 ) -> EulerResult:
     """Find an Euler circuit with the partition-centric distributed algorithm.
 
@@ -66,7 +67,10 @@ def find_euler_circuit(
     distributed machines). ``engine_workers`` sets the pool width; the
     default ``executor=None`` keeps the historical behavior (serial when
     ``engine_workers == 1``, threads otherwise). Every backend produces an
-    identical circuit and fragment store.
+    identical circuit and fragment store. ``transport`` picks how superstep
+    messages cross process boundaries: ``"pickle"`` (portable default) or
+    ``"shm"`` (single-copy POSIX shared-memory segments; only meaningful —
+    and only accepted — where ``/dev/shm`` exists).
 
     Raises
     ------
@@ -82,6 +86,7 @@ def find_euler_circuit(
         matching=matching,
         seed=seed,
         executor=executor,
+        transport=transport,
         workers=engine_workers,
         spill_dir=spill_dir,
         validate=validate,

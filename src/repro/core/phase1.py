@@ -35,6 +35,10 @@ block), so no per-edge Python tuples exist anywhere in the pipeline.
 
 from __future__ import annotations
 
+import hashlib
+import os
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass
 
 import numpy as np
@@ -104,6 +108,166 @@ def remote_deg_table(remote_degree) -> np.ndarray:
     return tab[np.argsort(tab[:, 0], kind="stable")]
 
 
+class _WalkTables:
+    """Immutable walk tables for one live-local-graph topology.
+
+    Everything the walk loop reads — CSR offsets, per-slot transition
+    tables, boundary classification — is a pure function of the EdgeTable's
+    ``(u, v)`` columns and the remote-degree table, so it can be shared
+    across runs. The walk mutates only its per-run ``ptr`` cursor copy and
+    ``visited`` bitmap; these tables are never written after construction.
+    """
+
+    __slots__ = (
+        "m", "dense", "size", "vert_l", "local_deg", "ptr0", "adj_end",
+        "slot_enc", "slot_dst", "slot_next", "eu_i", "bnd_ids", "bnd_deg",
+        "ob", "eb", "n_local", "n_internal",
+    )
+
+
+def _build_walk_tables(edges: np.ndarray, rdeg: np.ndarray) -> _WalkTables:
+    """Build the flat-array CSR walk tables for one live local graph.
+
+    CSR half-edge layout: slots ``offsets[i]:offsets[i+1]`` list the
+    incident half-edges of local vertex ``i`` in input order (a self loop
+    contributes two consecutive slots, so degree math holds).
+
+    Vertex indexing has two modes. *Dense* (the pipeline's case: vertex
+    ids are graph ids, bounded by |V|): local index = global id, no remap
+    at all. *Sparse* (arbitrary ids, e.g. hand-built tests): a sorted
+    unique id table with searchsorted compaction. Both produce identical
+    walks — local indices ascend in global-id order either way.
+    """
+    m = int(edges.shape[0])
+    eu = edges[:, 0]
+    ev = edges[:, 1]
+    bnd_ids = rdeg[:, 0]
+    bnd_deg = rdeg[:, 1]
+    id_space = 1 + int(
+        max(
+            eu.max() if m else -1,
+            ev.max() if m else -1,
+            bnd_ids.max() if bnd_ids.size else -1,
+        )
+    )
+    min_id = int(
+        min(
+            eu.min() if m else id_space,
+            ev.min() if m else id_space,
+            bnd_ids.min() if bnd_ids.size else id_space,
+        )
+    ) if id_space else 0
+    # Dense when the id space is proportionate to the live size (or trivially
+    # small); the 2^16 floor covers small graphs without letting a tiny
+    # partition of a multi-million-id graph pay O(id_space) allocations.
+    dense = min_id >= 0 and id_space <= max(
+        1 << 16, 8 * (2 * m + int(bnd_ids.size)) + 1024
+    )
+
+    half_vertex = np.empty(2 * m, dtype=np.int64)
+    if dense:
+        vert_ids = None
+        size = id_space
+        half_vertex[0::2] = eu
+        half_vertex[1::2] = ev
+        bnd_loc = bnd_ids
+    else:
+        vert_ids = np.unique(np.concatenate((eu, ev, bnd_ids)))
+        size = int(vert_ids.size)
+        half_vertex[0::2] = np.searchsorted(vert_ids, eu)
+        half_vertex[1::2] = np.searchsorted(vert_ids, ev)
+        bnd_loc = np.searchsorted(vert_ids, bnd_ids)
+
+    # Stable sort groups half-edges by vertex while preserving edge order
+    # (radix sort on int keys, O(m)).
+    order = np.argsort(half_vertex, kind="stable")
+    local_deg = np.bincount(half_vertex, minlength=size)
+    offsets = np.zeros(size + 1, dtype=np.int64)
+    np.cumsum(local_deg, out=offsets[1:])
+
+    # Per-slot walk tables, fully precomputed: consuming sorted half-edge
+    # slot ``p`` appends ``slot_enc[p]`` (packed ``edge << 1 | forward``),
+    # emits global junction ``slot_dst[p]`` and moves to local vertex
+    # ``slot_next[p]``. The scalar walk then does nothing but indexed
+    # reads — no id lookups, no direction branch.
+    edge_of = order >> 1  # sorted slot -> edge index
+    u_side = (order & 1) == 0
+    eu_loc = half_vertex[0::2]
+    ev_loc = half_vertex[1::2]
+    slot_next_arr = np.where(u_side, ev_loc[edge_of], eu_loc[edge_of])
+
+    t = _WalkTables()
+    t.m = m
+    t.dense = dense
+    t.size = size
+    t.local_deg = local_deg
+    t.bnd_ids = bnd_ids
+    t.bnd_deg = bnd_deg
+    # The packed value doubles as the visited key: edge index = enc >> 1.
+    t.slot_enc = np.where(u_side, (edge_of << 1) | 1, edge_of << 1).tolist()
+    t.slot_next = slot_next_arr.tolist()
+    t.slot_dst = (
+        t.slot_next if dense else vert_ids[slot_next_arr].tolist()
+    )
+    # Local index -> global id; a range in dense mode (identity, O(1)).
+    t.vert_l = range(size) if dense else vert_ids.tolist()
+    t.ptr0 = offsets[:-1].tolist()  # pristine next-unvisited cursors
+    t.adj_end = offsets[1:].tolist()
+    t.eu_i = eu_loc.tolist()  # per-edge local endpoint index (cycle starts)
+
+    is_boundary = np.zeros(size, dtype=bool)
+    is_boundary[bnd_loc] = True
+    odd_deg = (local_deg & 1).astype(bool)
+    # Local indices, ascending — which is global-id order in both modes.
+    t.ob = np.flatnonzero(is_boundary & odd_deg).tolist()
+    t.eb = np.flatnonzero(is_boundary & ~odd_deg).tolist()
+    t.n_local = (
+        int(np.count_nonzero((local_deg > 0) | is_boundary)) if dense else size
+    )
+    t.n_internal = t.n_local - len(t.ob) - len(t.eb)
+    return t
+
+
+#: Walk-table cache: a BSP run re-enters Phase 1 with the *same* live local
+#: graph whenever a partition's edge set survives a merge level unchanged,
+#: and a serving workload replays identical partition topologies across
+#: jobs on the same cataloged graph. Tables are content-keyed (sha256 of
+#: the topology columns), kept per-thread (no locks on the hot path; forked
+#: workers each grow their own), LRU-bounded, and only populated for small
+#: tables where the build cost dominates the walk. Disable with
+#: ``REPRO_PHASE1_TABLE_CACHE=0``.
+_TABLE_CACHE_CAP = 32
+_TABLE_CACHE_MAX_EDGES = 1 << 16
+_tls = threading.local()
+
+
+def _walk_tables(edges: np.ndarray, rdeg: np.ndarray) -> _WalkTables:
+    """Cached :func:`_build_walk_tables` (content-addressed, per-thread)."""
+    m = int(edges.shape[0])
+    if (
+        m > _TABLE_CACHE_MAX_EDGES
+        or os.environ.get("REPRO_PHASE1_TABLE_CACHE", "1") == "0"
+    ):
+        return _build_walk_tables(edges, rdeg)
+    digest = hashlib.sha256()
+    digest.update(np.int64(m).tobytes())
+    digest.update(np.ascontiguousarray(edges[:, :2]).tobytes())
+    digest.update(np.ascontiguousarray(rdeg).tobytes())
+    key = digest.digest()
+    cache = getattr(_tls, "tables", None)
+    if cache is None:
+        cache = _tls.tables = OrderedDict()
+    tables = cache.get(key)
+    if tables is None:
+        tables = _build_walk_tables(edges, rdeg)
+        cache[key] = tables
+        while len(cache) > _TABLE_CACHE_CAP:
+            cache.popitem(last=False)
+    else:
+        cache.move_to_end(key)
+    return tables
+
+
 @dataclass
 class Phase1Stats:
     """Input census + outcome counts of one Phase-1 run (Figs. 7 and 9)."""
@@ -163,97 +327,24 @@ def run_phase1(
     edges = edge_table(local_edges)
     rdeg = remote_deg_table(remote_degree)
 
-    # ---- build the local adjacency (flat-array CSR layout) ----------------
-    # CSR half-edge layout: ``slots offsets[i]:offsets[i+1]`` list the
-    # incident half-edges of local vertex ``i`` in input order (a self loop
-    # contributes two consecutive slots, so degree math holds).
-    #
-    # Vertex indexing has two modes. *Dense* (the pipeline's case: vertex
-    # ids are graph ids, bounded by |V|): local index = global id, no remap
-    # at all. *Sparse* (arbitrary ids, e.g. hand-built tests): a sorted
-    # unique id table with searchsorted compaction. Both produce identical
-    # walks — local indices ascend in global-id order either way.
-    m = int(edges.shape[0])
-    eu = edges[:, 0]
-    ev = edges[:, 1]
-    bnd_ids = rdeg[:, 0]
-    bnd_deg = rdeg[:, 1]
-    id_space = 1 + int(
-        max(
-            eu.max() if m else -1,
-            ev.max() if m else -1,
-            bnd_ids.max() if bnd_ids.size else -1,
-        )
-    )
-    min_id = int(
-        min(
-            eu.min() if m else id_space,
-            ev.min() if m else id_space,
-            bnd_ids.min() if bnd_ids.size else id_space,
-        )
-    ) if id_space else 0
-    # Dense when the id space is proportionate to the live size (or trivially
-    # small); the 2^16 floor covers small graphs without letting a tiny
-    # partition of a multi-million-id graph pay O(id_space) allocations.
-    dense = min_id >= 0 and id_space <= max(
-        1 << 16, 8 * (2 * m + int(bnd_ids.size)) + 1024
-    )
-
-    half_vertex = np.empty(2 * m, dtype=np.int64)
-    if dense:
-        vert_ids = None
-        size = id_space
-        half_vertex[0::2] = eu
-        half_vertex[1::2] = ev
-        bnd_loc = bnd_ids
-    else:
-        vert_ids = np.unique(np.concatenate((eu, ev, bnd_ids)))
-        size = int(vert_ids.size)
-        half_vertex[0::2] = np.searchsorted(vert_ids, eu)
-        half_vertex[1::2] = np.searchsorted(vert_ids, ev)
-        bnd_loc = np.searchsorted(vert_ids, bnd_ids)
-
-    # Stable sort groups half-edges by vertex while preserving edge order
-    # (radix sort on int keys, O(m)).
-    order = np.argsort(half_vertex, kind="stable")
-    local_deg = np.bincount(half_vertex, minlength=size)
-    offsets = np.zeros(size + 1, dtype=np.int64)
-    np.cumsum(local_deg, out=offsets[1:])
-
-    # Per-slot walk tables, fully precomputed: consuming sorted half-edge
-    # slot ``p`` appends ``slot_enc[p]`` (packed ``edge << 1 | forward``),
-    # emits global junction ``slot_dst[p]`` and moves to local vertex
-    # ``slot_next[p]``; ``slot_edge[p]`` keys the visited bitmap. The scalar
-    # walk then does nothing but indexed reads — no id lookups, no
-    # direction branch.
-    edge_of = order >> 1  # sorted slot -> edge index
-    u_side = (order & 1) == 0
-    eu_loc = half_vertex[0::2]
-    ev_loc = half_vertex[1::2]
-    slot_next_arr = np.where(u_side, ev_loc[edge_of], eu_loc[edge_of])
-    # The packed value doubles as the visited key: edge index = enc >> 1.
-    slot_enc = np.where(u_side, (edge_of << 1) | 1, edge_of << 1).tolist()
-    slot_next = slot_next_arr.tolist()
-    slot_dst = (
-        slot_next if dense else vert_ids[slot_next_arr].tolist()
-    )
-    # Local index -> global id; a range in dense mode (identity, O(1)).
-    vert_l = range(size) if dense else vert_ids.tolist()
-
-    is_boundary = np.zeros(size, dtype=bool)
-    is_boundary[bnd_loc] = True
-    odd_deg = (local_deg & 1).astype(bool)
-    # Local indices, ascending — which is global-id order in both modes.
-    ob = np.flatnonzero(is_boundary & odd_deg).tolist()
-    eb = np.flatnonzero(is_boundary & ~odd_deg).tolist()
-    n_local = (
-        int(np.count_nonzero((local_deg > 0) | is_boundary)) if dense else size
-    )
-    n_internal = n_local - len(ob) - len(eb)
+    # ---- local adjacency (flat-array CSR layout, content-cached) ----------
+    # See _build_walk_tables for the layout; _walk_tables reuses the tables
+    # when this topology was walked before (same partition across
+    # supersteps, same graph across served jobs).
+    t = _walk_tables(edges, rdeg)
+    m = t.m
+    dense, size = t.dense, t.size
+    vert_l = t.vert_l
+    local_deg = t.local_deg
+    bnd_ids, bnd_deg = t.bnd_ids, t.bnd_deg
+    slot_enc, slot_dst, slot_next = t.slot_enc, t.slot_dst, t.slot_next
+    adj_end = t.adj_end
+    eu_i = t.eu_i
+    ob, eb = t.ob, t.eb
 
     stats = Phase1Stats(
-        n_live_vertices=n_local,
-        n_internal=n_internal,
+        n_live_vertices=t.n_local,
+        n_internal=t.n_internal,
         n_ob=len(ob),
         n_eb=len(eb),
         n_local_edges=m,
@@ -270,13 +361,13 @@ def run_phase1(
         return 0
 
     # The walk is a per-edge scalar loop; flat Python lists index faster
-    # than NumPy scalars there, so the slot tables were materialized as
-    # lists above. ``ptr`` holds each vertex's next-unvisited cursor into
-    # the flat slot sequence.
+    # than NumPy scalars there, so the slot tables are materialized as
+    # lists in _WalkTables. Only the per-run mutable state is fresh here:
+    # ``ptr`` (each vertex's next-unvisited cursor into the flat slot
+    # sequence, copied from the pristine cached cursors) and the visited
+    # bitmap — the cached tables themselves are never written.
     visited = bytearray(m)
-    ptr = offsets[:-1].tolist()
-    adj_end = offsets[1:].tolist()
-    eu_i = eu_loc.tolist()  # per-edge local endpoint index (cycle starts)
+    ptr = list(t.ptr0)
 
     def walk(
         start: int,

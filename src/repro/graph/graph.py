@@ -38,7 +38,10 @@ class Graph:
         ``edge_v[i]``. The arrays are copied into ``int64`` storage.
     """
 
-    __slots__ = ("_n", "_u", "_v", "_csr")
+    # __weakref__ lets the graph catalog track live references to a graph
+    # it may want to evict (an mmap-backed Graph must not lose its NPZ file
+    # while a job still reads through the mapping).
+    __slots__ = ("_n", "_u", "_v", "_csr", "__weakref__")
 
     def __init__(self, n_vertices: int, edge_u=(), edge_v=()):
         if n_vertices < 0:

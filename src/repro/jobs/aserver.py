@@ -1,0 +1,184 @@
+"""Async serving front end: one event loop instead of a thread per client.
+
+The threaded front end spends a thread (and its GIL churn) on every open
+connection, so a burst of cheap ``GET /jobs/<id>`` polls competes with
+result serialization for scheduler slots. Here the cheap traffic —
+submit / status / healthz / cancel — is multiplexed on a single
+``asyncio.start_server`` loop with HTTP/1.1 keep-alive: parked clients
+cost a coroutine, not a thread. Route handling still happens through the
+exact same :class:`~repro.jobs.server.JobApi` (run in the default executor
+so a large inline-graph submit cannot stall the accept loop), so the two
+front ends cannot drift.
+
+Only the HTTP subset the API needs is implemented: request line, headers,
+``Content-Length`` bodies (no chunked uploads — responses are always
+fixed-length JSON). The lifecycle mirrors ``ThreadingHTTPServer`` —
+``server_address`` is known at construction (the listening socket binds
+synchronously), ``serve_forever()`` blocks, ``shutdown()`` is
+thread-safe, ``server_close()`` is idempotent — so
+:func:`repro.jobs.server.serve_forever` and the tests drive either front
+end identically.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import threading
+
+from .engine import JobEngine
+from .server import JobApi
+
+__all__ = ["AsyncJobServer"]
+
+_STATUS_TEXT = {
+    200: "OK", 400: "Bad Request", 404: "Not Found", 410: "Gone",
+    429: "Too Many Requests", 500: "Internal Server Error",
+}
+
+
+class AsyncJobServer:
+    """Asyncio HTTP/1.1 front end over a :class:`JobApi`.
+
+    Parameters mirror :func:`repro.jobs.server.make_server`; ``port=0``
+    binds an ephemeral port, readable from ``server_address`` immediately
+    (the socket is bound in the constructor, the loop starts in
+    :meth:`serve_forever`).
+    """
+
+    def __init__(self, engine: JobEngine, host: str = "127.0.0.1",
+                 port: int = 0, quiet: bool = True):
+        self.api = JobApi(engine)
+        self.quiet = quiet
+        self._sock = socket.create_server((host, port))
+        self._sock.setblocking(False)
+        self.server_address = self._sock.getsockname()[:2]
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop: asyncio.Event | None = None
+        self._tasks: set = set()
+        self._started = threading.Event()
+        self._finished = threading.Event()
+        self._closed = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def serve_forever(self) -> None:
+        """Run the event loop until :meth:`shutdown` (blocking call)."""
+        try:
+            asyncio.run(self._serve())
+        finally:
+            self._finished.set()
+
+    async def _serve(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        server = await asyncio.start_server(self._client, sock=self._sock)
+        self._started.set()
+        try:
+            await self._stop.wait()
+        finally:
+            try:
+                server.close()
+                await server.wait_closed()
+            except (OSError, ValueError):  # pragma: no cover - racing close
+                pass
+            # Keep-alive clients are parked on readline; cancel them so
+            # shutdown never waits on an idle connection.
+            for task in list(self._tasks):
+                task.cancel()
+            if self._tasks:
+                await asyncio.gather(*self._tasks, return_exceptions=True)
+
+    def wait_started(self, timeout: float | None = 5.0) -> bool:
+        """Block until the accept loop is up (for thread-driven tests)."""
+        return self._started.wait(timeout)
+
+    def shutdown(self) -> None:
+        """Stop the loop from any thread (no-op before/after serving)."""
+        loop, stop = self._loop, self._stop
+        if loop is not None and stop is not None and loop.is_running():
+            loop.call_soon_threadsafe(stop.set)
+
+    def server_close(self) -> None:
+        """Close the listening socket (idempotent).
+
+        Safe to call right after :meth:`shutdown`: it waits for the loop
+        to finish tearing itself down first, so the socket is never pulled
+        out from under the loop's own close path.
+        """
+        if not self._closed:
+            self._closed = True
+            if self._started.is_set():
+                self._finished.wait(timeout=5.0)
+            try:
+                self._sock.close()
+            except OSError:  # pragma: no cover - already closed by the loop
+                pass
+
+    # -- connection handling -----------------------------------------------
+
+    async def _client(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        self._tasks.add(task)
+        try:
+            while True:
+                request_line = await reader.readline()
+                if not request_line:
+                    return
+                try:
+                    method, path, version = (
+                        request_line.decode("latin-1").rstrip("\r\n").split(" ", 2)
+                    )
+                except ValueError:
+                    await self._respond(writer, 400,
+                                        {"error": "malformed request line"},
+                                        keep_alive=False)
+                    return
+                headers = {}
+                while True:
+                    line = await reader.readline()
+                    if line in (b"\r\n", b"\n", b""):
+                        break
+                    key, _, value = line.decode("latin-1").partition(":")
+                    headers[key.strip().lower()] = value.strip()
+                length = int(headers.get("content-length", 0) or 0)
+                body = await reader.readexactly(length) if length else b""
+                keep_alive = (
+                    version != "HTTP/1.0"
+                    and headers.get("connection", "").lower() != "close"
+                )
+                # The engine/catalog calls are thread-safe but blocking;
+                # the default executor keeps the accept loop responsive
+                # while a large submit serializes its graph.
+                status, payload = await asyncio.get_running_loop().run_in_executor(
+                    None, self.api.handle, method, path, body
+                )
+                await self._respond(writer, status, payload, keep_alive)
+                if not keep_alive:
+                    return
+        except (asyncio.CancelledError, asyncio.IncompleteReadError,
+                ConnectionResetError, BrokenPipeError):
+            pass  # client went away (or shutdown cancelled the task)
+        finally:
+            self._tasks.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+                pass
+
+    async def _respond(self, writer: asyncio.StreamWriter, status: int,
+                       payload: dict, keep_alive: bool) -> None:
+        body = json.dumps(payload, default=float).encode()
+        head = (
+            f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Status')}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            + ("Retry-After: 1\r\n" if status == 429 else "")
+            + "\r\n"
+        ).encode("latin-1")
+        writer.write(head + body)
+        await writer.drain()

@@ -31,10 +31,12 @@ import json
 import shutil
 import threading
 import time
+import weakref
 from pathlib import Path
 
 import numpy as np
 
+from ..bsp import shm
 from ..graph.graph import Graph
 from ..graph.io import atomic_write, load_npz, save_npz
 from ..partitioning import partition as partition_graph
@@ -74,6 +76,16 @@ class GraphCatalog:
         #: keys are exempt from budget eviction, so an accepted job can
         #: never lose its graph before it runs.
         self._pins: dict[str, int] = {}
+        #: Weak references to every Graph object this catalog has handed
+        #: out, keyed by graph key. Eviction consults them: unlinking an
+        #: NPZ while a job still reads through its mmap'd arrays would feed
+        #: that job freed pages, so the unlink is deferred until the last
+        #: reference dies (see :meth:`_evict`).
+        self._live: dict[str, "weakref.ref[Graph]"] = {}
+        #: Lazily-created shared-memory publisher of edge arrays
+        #: (:meth:`share`), letting forked dispatcher workers attach
+        #: instead of re-reading the NPZ.
+        self._segstore: shm.SharedSegmentStore | None = None
         #: Flat hit/miss/eviction counters, served by the ``/catalog``
         #: endpoint and asserted by the caching tests.
         self.stats = {
@@ -106,6 +118,17 @@ class GraphCatalog:
     def _save_index(self) -> None:
         with atomic_write(self._index_path, suffix=".json") as fh:
             fh.write(json.dumps(self._index, indent=2, sort_keys=True).encode())
+
+    def refresh(self) -> None:
+        """Merge the on-disk index into memory (multi-process readers).
+
+        A forked dispatcher worker's catalog is a fork-time snapshot;
+        graphs the parent cataloged later exist on disk but not in the
+        worker's index. Called on a key miss, this picks them up without
+        any cross-process locking — the index file is written atomically.
+        """
+        with self._lock:
+            self._index.update(self._load_index())
 
     def _touch(self, key: str) -> None:
         self._index[key]["last_used"] = time.time()
@@ -145,6 +168,7 @@ class GraphCatalog:
                     self._index[key]["name"] = name
                 self._touch(key)
             self._graphs[key] = graph
+            self._live[key] = weakref.ref(graph)
             if pin:
                 self._pins[key] = self._pins.get(key, 0) + 1
             self._evict_to_budget(protect=key)
@@ -173,6 +197,7 @@ class GraphCatalog:
             # skip the range re-scan so the mapping stays lazy.
             g, _ = load_npz(path, mmap=True, validate=False)
             self._graphs[key] = g
+            self._live[key] = weakref.ref(g)
             self._touch(key)
             return g
 
@@ -314,6 +339,48 @@ class GraphCatalog:
             derived["eulerize_plan"] = self.eulerize_plan(key)
         return derived
 
+    # -- shared-memory publication ------------------------------------------
+
+    def share(self, key: str) -> dict | None:
+        """Publish ``key``'s edge arrays to shared memory; the descriptor.
+
+        Idempotent per key. Forked dispatcher workers rebuild the graph
+        zero-copy from the attached views
+        (:func:`repro.bsp.shm.attach_arrays` +
+        :meth:`~repro.graph.graph.Graph.from_arrays`). Returns ``None``
+        when POSIX shared memory is unavailable — callers fall back to the
+        NPZ path.
+        """
+        if not shm.shm_available():
+            return None
+        with self._lock:
+            meta = self._index.get(key)
+            if meta is None:
+                raise KeyError(f"unknown graph key {key!r}")
+            if self._segstore is None:
+                self._segstore = shm.SharedSegmentStore(tag="cat")
+            if key not in self._segstore:
+                g = self.get(key)
+                self._segstore.publish(
+                    key, {"edge_u": g.edge_u, "edge_v": g.edge_v}
+                )
+            descriptor = self._segstore.descriptor(key)
+            return {"n_vertices": int(meta["n_vertices"]), **descriptor}
+
+    def segment_stats(self) -> dict:
+        """Shared-segment publication stats (zeros before first share)."""
+        with self._lock:
+            if self._segstore is None:
+                return {"segments": 0, "bytes": 0, "attaches": 0}
+            return self._segstore.stats()
+
+    def close_shared(self) -> None:
+        """Unlink every published segment (idempotent; engine close calls)."""
+        with self._lock:
+            if self._segstore is not None:
+                self._segstore.close()
+                self._segstore = None
+
     # -- eviction ----------------------------------------------------------
 
     def disk_bytes(self) -> int:
@@ -343,11 +410,34 @@ class GraphCatalog:
             self._evict(victims[0])
 
     def _evict(self, key: str) -> None:
-        self._graph_path(key).unlink(missing_ok=True)
-        shutil.rmtree(self._derived_dir(key), ignore_errors=True)
+        # Drop the catalog's own strong reference *before* probing the
+        # weakref: what's left alive after this pop is exactly the set of
+        # in-flight users still reading through the graph's mmap.
         self._graphs.pop(key, None)
         self._plans.pop(key, None)
         for ck in [c for c in self._partitions if c[0] == key]:
             self._partitions.pop(ck)
         self._index.pop(key, None)
+        if self._segstore is not None:
+            self._segstore.unpublish(key)
         self.stats["evictions"] += 1
+        ref = self._live.pop(key, None)
+        live = ref() if ref is not None else None
+        if live is not None:
+            # An in-flight job still holds the mmap'd Graph; unlinking now
+            # would yank its pages. Defer the file removal to the moment
+            # the last reference dies (re-checking that the key wasn't
+            # re-published in the meantime).
+            weakref.finalize(live, self._deferred_unlink, key)
+        else:
+            self._unlink_files(key)
+
+    def _unlink_files(self, key: str) -> None:
+        self._graph_path(key).unlink(missing_ok=True)
+        shutil.rmtree(self._derived_dir(key), ignore_errors=True)
+
+    def _deferred_unlink(self, key: str) -> None:
+        with self._lock:
+            if key in self._index:
+                return  # re-published since eviction; files are live again
+            self._unlink_files(key)

@@ -1,16 +1,25 @@
 """Thin stdlib HTTP client for the serve API (used by the CLI and tests).
 
-``urllib.request`` only — the client mirrors the server's no-dependency
+``http.client`` only — the client mirrors the server's no-dependency
 stance. Every method returns the decoded JSON payload; HTTP error statuses
 raise :class:`JobClientError` carrying the server's ``error`` message.
+
+Connections are **persistent per thread**: both front ends speak HTTP/1.1
+keep-alive, and a poll loop (``wait``) reusing one TCP connection skips a
+connect/teardown per request — the difference between ~126 and several
+hundred status round-trips per second against a warm server. A stale
+connection (server restarted, idle timeout) is retried once on a fresh
+one, so callers never see the reconnect.
 """
 
 from __future__ import annotations
 
+import http.client
 import json
+import socket
+import threading
 import time
-import urllib.error
-import urllib.request
+from urllib.parse import urlsplit
 
 from ..errors import ReproError
 
@@ -31,24 +40,61 @@ class JobClient:
     def __init__(self, base_url: str, timeout: float = 30.0):
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        parts = urlsplit(self.base_url)
+        if parts.scheme not in ("http", ""):
+            raise ValueError(f"unsupported scheme {parts.scheme!r}")
+        self._host = parts.hostname or "127.0.0.1"
+        self._port = parts.port or 80
+        self._prefix = parts.path.rstrip("/")
+        self._local = threading.local()
+
+    def _connection(self) -> http.client.HTTPConnection:
+        conn = getattr(self._local, "conn", None)
+        if conn is None:
+            conn = http.client.HTTPConnection(
+                self._host, self._port, timeout=self.timeout
+            )
+            conn.connect()
+            # Nagle + delayed ACK costs ~40ms per request on a reused
+            # connection (request headers and body leave in separate
+            # writes); a poll loop cannot live with that.
+            conn.sock.setsockopt(
+                socket.IPPROTO_TCP, socket.TCP_NODELAY, 1
+            )
+            self._local.conn = conn
+        return conn
+
+    def close(self) -> None:
+        """Drop this thread's persistent connection (others unaffected)."""
+        conn = getattr(self._local, "conn", None)
+        if conn is not None:
+            conn.close()
+            self._local.conn = None
 
     def _request(self, method: str, path: str, payload: dict | None = None) -> dict:
         data = None if payload is None else json.dumps(payload).encode()
-        req = urllib.request.Request(
-            self.base_url + path,
-            data=data,
-            method=method,
-            headers={"Content-Type": "application/json"} if data else {},
-        )
-        try:
-            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
-                return json.loads(resp.read())
-        except urllib.error.HTTPError as exc:
+        headers = {"Content-Type": "application/json"} if data else {}
+        for attempt in (0, 1):
+            conn = self._connection()
             try:
-                message = json.loads(exc.read()).get("error", str(exc))
+                conn.request(method, self._prefix + path, body=data,
+                             headers=headers)
+                resp = conn.getresponse()
+                body = resp.read()  # always drain: keeps the socket reusable
+                break
+            except (http.client.HTTPException, ConnectionError, OSError):
+                # Stale keep-alive socket (server restart, idle close):
+                # retry exactly once on a fresh connection.
+                self.close()
+                if attempt:
+                    raise
+        if resp.status >= 400:
+            try:
+                message = json.loads(body).get("error", resp.reason)
             except ValueError:
-                message = str(exc)
-            raise JobClientError(exc.code, message) from None
+                message = resp.reason
+            raise JobClientError(resp.status, message)
+        return json.loads(body)
 
     # -- API wrappers ------------------------------------------------------
 

@@ -1,0 +1,303 @@
+"""Pre-forked dispatcher workers: jobs run in long-lived forked processes.
+
+The thread dispatchers in :class:`~repro.jobs.engine.JobEngine` multiplex
+jobs over one GIL; under CPU-bound load every concurrent job steals cycles
+from every other. This module provides the process-dispatcher mode: N
+workers forked **at engine construction** (before any dispatcher thread
+exists, so the fork is single-threaded and safe), each owning one end of a
+duplex pipe. A dispatcher thread pops a job, sends a compact *spec* down
+its worker's pipe, and the worker runs the full scenario in its own
+interpreter — true multi-core serving on the paper's
+one-machine-per-partition model, lifted to one-process-per-job.
+
+What crosses the pipe stays small:
+
+* **down**: scenario name, graph key, the job's ``RunConfig`` stripped of
+  process-hostile fields (pool/cancel/derived), the run-time budget, and
+  the catalog's shared-memory *graph descriptor*
+  (:meth:`~repro.jobs.catalog.GraphCatalog.share`) — workers attach the
+  edge arrays zero-copy and fall back to the catalog NPZ only when the
+  segment is gone;
+* **up**: the :class:`~repro.scenarios.base.ScenarioResult` (or a typed
+  failure), plus the worker-side pass history the parent replays into the
+  job record.
+
+Cancellation preserves the PR 5 semantics without sharing a token object:
+a :class:`~repro.bsp.shm.CancelFlags` array gives every worker slot one
+``int64`` flag. The parent sets slot ``i`` to cancel the job running in
+worker ``i``; the worker's :class:`FlagToken` — duck-typed to
+:class:`~repro.pipeline.cancel.CancelToken` — polls that flag (and its
+deadline) at every superstep and sub-run boundary. An explicit cancel
+still wins over a simultaneously-expired deadline.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+import traceback
+from dataclasses import replace
+from pathlib import Path
+
+from ..bsp import shm
+from ..errors import RunCancelledError
+from ..graph.graph import Graph
+
+__all__ = ["FlagToken", "ForkedWorkerPool"]
+
+
+class FlagToken:
+    """Worker-side cancel token over one shared-memory flag slot.
+
+    Duck-typed to :class:`~repro.pipeline.cancel.CancelToken` (``arm`` /
+    ``cancelled`` / ``expired`` / ``should_stop`` / ``check``), so the
+    pipeline's safe-point checks work unchanged inside a forked worker.
+    Pickles to an **inert** token (no flags, no deadline): one rides inside
+    every result config shipped back through the pipe, and a revived flag
+    reference would be meaningless in another process.
+    """
+
+    def __init__(self, flags, slot: int, timeout_seconds: float | None = None):
+        self._flags = flags
+        self._slot = slot
+        self.timeout_seconds = timeout_seconds
+        self._deadline: float | None = None
+        self.arm()
+
+    def arm(self) -> None:
+        if self.timeout_seconds is not None:
+            self._deadline = time.monotonic() + self.timeout_seconds
+
+    @property
+    def cancelled(self) -> bool:
+        return self._flags is not None and self._flags.is_set(self._slot)
+
+    @property
+    def expired(self) -> bool:
+        return self._deadline is not None and time.monotonic() > self._deadline
+
+    @property
+    def should_stop(self) -> bool:
+        return self.cancelled or self.expired
+
+    def check(self, where: str = "") -> None:
+        # Mirror CancelToken: an explicit cancel wins over the deadline.
+        if self.cancelled:
+            raise RunCancelledError("cancel", where)
+        if self.expired:
+            raise RunCancelledError("timeout", where, self.timeout_seconds)
+
+    def __getstate__(self):
+        return {"timeout_seconds": self.timeout_seconds}
+
+    def __setstate__(self, state):
+        self._flags = None
+        self._slot = -1
+        self.timeout_seconds = state.get("timeout_seconds")
+        self._deadline = None
+
+
+def _strip_config(config):
+    """A config safe to cross the pipe (and land in durable artifacts)."""
+    return replace(config, pool=None, cancel=None, derived=None)
+
+
+def _scrub_result(result) -> None:
+    """Strip process-local state from a result about to cross the pipe."""
+    result.config = _strip_config(result.config)
+    for sub in result.sub_runs:
+        sub.context.config = _strip_config(sub.context.config)
+
+
+def _attach_graph(descriptor: dict):
+    """Descriptor → zero-copy Graph over the attached segment views."""
+    views = shm.attach_arrays(descriptor)
+    return Graph.from_arrays(
+        descriptor["n_vertices"], views["edge_u"], views["edge_v"], check=False
+    )
+
+
+def _run_spec(spec: dict, flags, slot: int, catalog, graph_cache: dict) -> dict:
+    """Execute one job spec; always returns a terminal-state dict."""
+    from ..scenarios.base import run_scenario
+
+    passes: list[tuple] = []
+    started = time.perf_counter()
+    try:
+        token = FlagToken(flags, slot, spec.get("timeout_seconds"))
+        token.check("dispatch")
+        key = spec["graph_key"]
+        if key not in catalog:
+            catalog.refresh()  # cataloged after this worker forked
+
+        t0 = time.perf_counter()
+        graph = graph_cache.get(key)
+        source = "cache"
+        if graph is None:
+            descriptor = spec.get("graph_descriptor")
+            if descriptor is not None:
+                try:
+                    graph = _attach_graph(descriptor)
+                    source = "segment"
+                except FileNotFoundError:
+                    graph = None
+            if graph is None:
+                graph = catalog.get(key)
+                source = "npz"
+            while len(graph_cache) >= 4:
+                graph_cache.pop(next(iter(graph_cache)))
+            graph_cache[key] = graph
+        passes.append(("load_graph", time.perf_counter() - t0,
+                       {"graph_key": key, "source": source}))
+
+        config = spec["config"]
+        t0 = time.perf_counter()
+        # The parent persisted the partition map / plan to disk before
+        # sending the spec, so this is a disk-cache hit, not a recompute.
+        derived = catalog.derived_for(key, config, spec["scenario"])
+        passes.append(("derived_artifacts", time.perf_counter() - t0,
+                       {"artifacts": sorted(derived)}))
+
+        config = replace(config, derived=derived, cancel=token)
+        t0 = time.perf_counter()
+        result = run_scenario(graph, spec["scenario"], config)
+        passes.append((
+            "run_scenario", time.perf_counter() - t0,
+            {"executor": config.executor_name,
+             "n_sub_runs": len(result.sub_runs),
+             "walk_edges": int(sum(c.n_edges for c in result.circuits))},
+        ))
+        _scrub_result(result)
+        return {"state": "DONE", "result": result, "passes": passes,
+                "executor": config.executor_name}
+    except RunCancelledError as exc:
+        passes.append(("cancelled", time.perf_counter() - started,
+                       {"reason": exc.reason, "where": exc.where}))
+        if exc.reason == "timeout":
+            return {"state": "FAILED", "error": str(exc), "passes": passes}
+        return {"state": "CANCELLED", "error": None, "passes": passes}
+    except Exception as exc:  # the worker loop must survive any job failure
+        detail = "".join(
+            traceback.format_exception_only(type(exc), exc)
+        ).strip()
+        passes.append(("error", 0.0, {"error": detail}))
+        return {"state": "FAILED", "error": detail, "passes": passes}
+
+
+def _worker_main(conn, slot: int, catalog_root: str, flags_descriptor: dict):
+    """Forked worker loop: recv spec → run → send result, until sentinel."""
+    from .catalog import GraphCatalog
+
+    flags = shm.CancelFlags.attach(flags_descriptor)
+    catalog = GraphCatalog(catalog_root)
+    graph_cache: dict = {}
+    try:
+        while True:
+            try:
+                spec = conn.recv()
+            except EOFError:
+                return
+            if spec is None:
+                return
+            conn.send(_run_spec(spec, flags, slot, catalog, graph_cache))
+    finally:
+        flags.close()
+        conn.close()
+
+
+class ForkedWorkerPool:
+    """N pre-forked job workers, one pipe and one cancel-flag slot each.
+
+    Created before the engine's dispatcher threads so the initial fork is
+    single-threaded. A worker that dies mid-job (OOM kill, hard crash) is
+    detected by the liveness poll in :meth:`run`, reported as a failed job,
+    and respawned — the pool survives; only the job on that slot is lost.
+    """
+
+    def __init__(self, n: int, catalog_root: str | Path):
+        if n < 1:
+            raise ValueError("worker count must be >= 1")
+        if not shm.shm_available():
+            raise RuntimeError(
+                "process dispatchers need POSIX shared memory for cancel flags"
+            )
+        self.n = n
+        self._catalog_root = str(catalog_root)
+        self._ctx = multiprocessing.get_context("fork")
+        self.flags = shm.CancelFlags.create(n)
+        self._workers: list = [None] * n
+        self._closed = False
+        for slot in range(n):
+            self._spawn(slot)
+
+    def _spawn(self, slot: int) -> None:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(child_conn, slot, self._catalog_root, self.flags.descriptor),
+            name=f"job-worker-{slot}",
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        self._workers[slot] = (proc, parent_conn)
+
+    def run(self, slot: int, spec: dict) -> dict | None:
+        """Run one spec on ``slot``; ``None`` means the worker died.
+
+        Blocks the calling dispatcher thread (each thread owns its slot, so
+        there is no cross-thread contention on the pipe). On worker death
+        the slot is respawned before returning.
+        """
+        if self._closed:
+            raise RuntimeError("ForkedWorkerPool is closed")
+        proc, conn = self._workers[slot]
+        try:
+            conn.send(spec)
+            while not conn.poll(0.2):
+                if not proc.is_alive() and not conn.poll(0):
+                    raise EOFError
+            return conn.recv()
+        except (EOFError, BrokenPipeError, OSError):
+            conn.close()
+            proc.join(timeout=1.0)
+            self._spawn(slot)
+            return None
+
+    def cancel(self, slot: int) -> None:
+        """Signal the job running on ``slot`` (polled at safe points)."""
+        self.flags.set(slot)
+
+    def clear(self, slot: int) -> None:
+        self.flags.clear(slot)
+
+    def close(self) -> None:
+        """Stop every worker (sentinel, then terminate) and free the flags."""
+        if self._closed:
+            return
+        self._closed = True
+        for entry in self._workers:
+            if entry is None:
+                continue
+            proc, conn = entry
+            try:
+                conn.send(None)
+            except (BrokenPipeError, OSError):
+                pass
+        for entry in self._workers:
+            if entry is None:
+                continue
+            proc, conn = entry
+            proc.join(timeout=2.0)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=2.0)
+            conn.close()
+        self._workers = [None] * self.n
+        self.flags.close()
+
+    def __enter__(self) -> "ForkedWorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -43,6 +43,7 @@ from ..pipeline.cancel import CancelToken
 from ..pipeline.context import RunConfig
 from ..scenarios.base import run_scenario
 from .catalog import GraphCatalog
+from .dispatch import ForkedWorkerPool
 from .queue import (
     CANCELLED,
     DONE,
@@ -67,6 +68,15 @@ class JobEngine:
         root, from which one is built).
     dispatchers:
         Number of dispatcher threads — how many jobs run concurrently.
+    dispatcher:
+        ``"thread"`` (default) runs jobs on the dispatcher threads over the
+        shared pool; ``"process"`` pre-forks one worker process per
+        dispatcher (:class:`~repro.jobs.dispatch.ForkedWorkerPool`) and
+        each thread drives its own worker through a pipe — jobs then run
+        on separate cores, with graphs attached from shared memory and
+        cancellation delivered through a shared flag array. In process
+        mode no pool is injected (``pool_kind`` is ignored): each worker
+        picks its backend from the job's own config.
     pool:
         An externally-owned :class:`SharedPool`, or ``None`` to have the
         engine build (and own) one from ``pool_kind``/``pool_workers``.
@@ -103,6 +113,7 @@ class JobEngine:
         self,
         catalog: GraphCatalog | str | Path,
         dispatchers: int = 2,
+        dispatcher: str = "thread",
         pool: SharedPool | None = None,
         pool_kind: str | None = "thread",
         pool_workers: int = 4,
@@ -114,15 +125,34 @@ class JobEngine:
     ):
         if dispatchers < 1:
             raise ValueError("dispatchers must be >= 1")
+        if dispatcher not in ("thread", "process"):
+            raise ValueError(
+                f"unknown dispatcher {dispatcher!r}; use 'thread' or 'process'"
+            )
         if keep_results is not None and keep_results < 0:
             raise ValueError("keep_results must be >= 0 or None")
         self.catalog = (
             catalog if isinstance(catalog, GraphCatalog) else GraphCatalog(catalog)
         )
-        self._owns_pool = pool is None and pool_kind is not None
-        self.pool = pool if pool is not None else (
-            SharedPool(pool_kind, pool_workers) if pool_kind is not None else None
-        )
+        self.dispatcher = dispatcher
+        self.dispatchers = dispatchers
+        if dispatcher == "process":
+            self._owns_pool = False
+            self.pool = None
+            # Fork the workers *before* any dispatcher thread exists: a
+            # single-threaded parent makes fork semantics trivial (no lock
+            # can be mid-held in the children).
+            self._forked = ForkedWorkerPool(dispatchers, self.catalog.root)
+        else:
+            self._owns_pool = pool is None and pool_kind is not None
+            self.pool = pool if pool is not None else (
+                SharedPool(pool_kind, pool_workers) if pool_kind is not None else None
+            )
+            self._forked = None
+        #: job id → worker slot for RUNNING jobs (process mode) — how
+        #: :meth:`cancel` finds the flag to raise.
+        self._job_slots: dict[str, int] = {}
+        self._slots_lock = threading.Lock()
         self.artifact_dir = Path(artifact_dir) if artifact_dir is not None else None
         self.keep_results = keep_results
         self.default_timeout = default_timeout
@@ -133,7 +163,8 @@ class JobEngine:
         self._closed = False
         self._threads = [
             threading.Thread(
-                target=self._dispatch_loop, name=f"job-dispatch-{i}", daemon=True
+                target=self._dispatch_loop, args=(i,),
+                name=f"job-dispatch-{i}", daemon=True,
             )
             for i in range(dispatchers)
         ]
@@ -220,6 +251,11 @@ class JobEngine:
             return True
         if job.state == RUNNING and job.cancel_token is not None:
             job.cancel_token.cancel()
+            if self._forked is not None:
+                with self._slots_lock:
+                    slot = self._job_slots.get(job_id)
+                if slot is not None:
+                    self._forked.cancel(slot)
             return True
         return False
 
@@ -260,14 +296,17 @@ class JobEngine:
 
     # -- dispatch ----------------------------------------------------------
 
-    def _dispatch_loop(self) -> None:
+    def _dispatch_loop(self, slot: int) -> None:
         while True:
             job = self.queue.pop(timeout=0.2)
             if job is None:
                 if self._closed:
                     return
                 continue
-            self._run_job(job)
+            if self._forked is not None:
+                self._run_job_forked(job, slot)
+            else:
+                self._run_job(job)
 
     def _run_job(self, job: Job) -> None:
         try:
@@ -354,6 +393,89 @@ class JobEngine:
             self._write_artifact(job, swallow_errors=True)
             self.queue.finish(job, FAILED, error=detail)
 
+    # -- pre-forked dispatch (process mode) ---------------------------------
+
+    def _run_job_forked(self, job: Job, slot: int) -> None:
+        try:
+            self._run_job_forked_inner(job, slot)
+        finally:
+            with self._slots_lock:
+                self._job_slots.pop(job.id, None)
+            self._forked.clear(slot)
+            self.catalog.unpin(job.graph_key)
+            self._trim_resident(job)
+
+    def _run_job_forked_inner(self, job: Job, slot: int) -> None:
+        started = time.perf_counter()
+        try:
+            self._forked.clear(slot)
+            with self._slots_lock:
+                self._job_slots[job.id] = slot
+            token = job.cancel_token
+            if token is not None and token.cancelled:
+                # A cancel that landed between pop() and slot registration
+                # found no slot to flag; raise it now so the worker stops
+                # at its first checkpoint.
+                self._forked.cancel(slot)
+
+            t0 = time.perf_counter()
+            descriptor = self.catalog.share(job.graph_key)
+            job.record_pass("share_graph", time.perf_counter() - t0,
+                            graph_key=job.graph_key,
+                            shared=descriptor is not None)
+
+            t0 = time.perf_counter()
+            # Compute (and persist) the derived artifacts parent-side; the
+            # worker re-reads them as a disk-cache hit instead of receiving
+            # the arrays through the pipe.
+            self.catalog.derived_for(job.graph_key, job.config, job.scenario)
+            job.record_pass("persist_derived", time.perf_counter() - t0)
+
+            spec = {
+                "job_id": job.id,
+                "scenario": job.scenario,
+                "graph_key": job.graph_key,
+                "config": replace(job.config, pool=None, cancel=None,
+                                  derived=None),
+                "graph_descriptor": descriptor,
+                "timeout_seconds": job.timeout_seconds,
+            }
+            out = self._forked.run(slot, spec)
+            if out is None:
+                self._finish_failed(job, "dispatcher worker died")
+                return
+            for name, seconds, extra in out.get("passes", []):
+                job.record_pass(name, seconds, **extra)
+            job.executor = out.get("executor", "") or job.executor
+            state = out["state"]
+            if state == DONE:
+                job.result = out["result"]
+                job.state = DONE
+                job.finished_at = time.time()
+                self._write_artifact(job)
+                self.queue.finish(job, DONE)
+            elif state == CANCELLED:
+                job.state = CANCELLED
+                job.finished_at = time.time()
+                self._write_artifact(job, swallow_errors=True)
+                self.queue.finish(job, CANCELLED)
+            else:
+                self._finish_failed(job, out.get("error") or "job failed")
+        except Exception as exc:  # parent-side failure must not kill the loop
+            detail = "".join(
+                traceback.format_exception_only(type(exc), exc)
+            ).strip()
+            job.record_pass("error", time.perf_counter() - started,
+                            error=detail)
+            self._finish_failed(job, detail)
+
+    def _finish_failed(self, job: Job, error: str) -> None:
+        job.state = FAILED
+        job.error = error
+        job.finished_at = time.time()
+        self._write_artifact(job, swallow_errors=True)
+        self.queue.finish(job, FAILED, error=error)
+
     def _write_artifact(self, job: Job, swallow_errors: bool = False) -> None:
         if self.artifact_dir is None:
             return
@@ -393,8 +515,19 @@ class JobEngine:
         self.queue.close()
         for t in self._threads:
             t.join()
+        if self._forked is not None:
+            self._forked.close()
         if self.pool is not None and self._owns_pool:
             self.pool.close()
+        self.catalog.close_shared()
+
+    def segment_stats(self) -> dict:
+        """Combined shared-segment stats (catalog + pool program store)."""
+        stats = self.catalog.segment_stats()
+        if self.pool is not None and hasattr(self.pool, "segment_stats"):
+            for k, v in self.pool.segment_stats().items():
+                stats[k] = stats.get(k, 0) + v
+        return stats
 
     def __enter__(self) -> "JobEngine":
         return self

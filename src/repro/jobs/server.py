@@ -1,13 +1,23 @@
 """Serving front end: a stdlib JSON-over-HTTP API around the job engine.
 
-No framework, no new dependencies — ``http.server.ThreadingHTTPServer``
-dispatches each request on its own thread into the (thread-safe) engine and
-catalog. The API surface:
+No framework, no new dependencies. All route logic lives in
+:class:`JobApi` — a transport-independent ``(method, path, body) →
+(status, payload)`` mapping — shared by two front ends:
+
+* the **threaded** front end here (``http.server.ThreadingHTTPServer``,
+  one thread per connection), the portable default;
+* the **async** front end (:mod:`repro.jobs.aserver`,
+  ``asyncio.start_server`` with keep-alive), where cheap submit / status /
+  healthz / cancel traffic is multiplexed on one event loop instead of
+  competing for threads with result serialization.
+
+The API surface:
 
 ==========  =======================  ===========================================
 Method      Path                     Meaning
 ==========  =======================  ===========================================
 ``GET``     ``/healthz``             liveness + job counts per state + limits
+                                     + dispatcher mode + segment-store stats
 ``GET``     ``/catalog``             catalog entries + hit/miss/eviction stats
 ``POST``    ``/jobs``                submit a job → ``{"job_id": ...}``; **429**
                                      once the queue's ``max_queued`` bound is hit
@@ -46,7 +56,7 @@ from ..scenarios.base import scenario_names
 from .engine import JobEngine
 from .queue import DONE, TERMINAL_STATES
 
-__all__ = ["make_server", "serve_forever", "config_from_dict",
+__all__ = ["JobApi", "make_server", "serve_forever", "config_from_dict",
            "MAX_WIRE_PRIORITY"]
 
 #: Wire-level priority clamp: submissions outside ±this are clamped, so a
@@ -63,6 +73,7 @@ _CONFIG_FIELDS = {
     "seed": int,
     "executor": str,
     "workers": int,
+    "transport": str,
     "validate": bool,
     "verify": bool,
 }
@@ -124,15 +135,158 @@ def _graph_from_body(body: dict, engine: JobEngine) -> tuple[Graph | None, str |
     raise ValueError("request must name a graph: graph_key, graph, or path")
 
 
+class JobApi:
+    """Transport-independent routing: ``(method, path, body) → (status, payload)``.
+
+    Both front ends delegate here, so route behavior — including the
+    exception → status mapping — is defined exactly once. ``handle`` never
+    raises: every failure maps to a JSON error payload (429 for
+    backpressure, 404 for unknown resources, 400 for bad requests, 500 as
+    the defensive catch-all).
+    """
+
+    def __init__(self, engine: JobEngine):
+        self.engine = engine
+
+    def handle(self, method: str, path: str, body: bytes = b"") -> tuple[int, dict]:
+        try:
+            payload = json.loads(body) if body else {}
+            if not isinstance(payload, dict):
+                raise ValueError("request body must be a JSON object")
+            parts = [p for p in path.split("?", 1)[0].split("/") if p]
+            name = "_" + method + "_" + "_".join(parts[:1] or ["root"])
+            handler = getattr(self, name, None)
+            if handler is None:
+                return 404, {"error": f"no route {method} {path}"}
+            return handler(parts, payload, path)
+        except QueueFullError as exc:
+            # Backpressure: overload degrades into fast typed rejections.
+            return 429, {"error": str(exc), "max_queued": exc.max_queued}
+        except (KeyError, JobError) as exc:
+            return 404, {"error": str(exc)}
+        except (ValueError, ReproError) as exc:
+            return 400, {"error": str(exc)}
+        except Exception as exc:  # pragma: no cover - defensive
+            return 500, {"error": repr(exc)}
+
+    # -- routes ------------------------------------------------------------
+
+    def _GET_healthz(self, parts, body, path):  # noqa: N802
+        engine = self.engine
+        queue = engine.queue
+        return 200, {
+            "status": "ok",
+            "jobs": queue.counts(),  # O(1): lifetime totals per state
+            "retained_jobs": len(queue.jobs()),
+            "dispatch": {
+                "mode": engine.dispatcher,
+                "dispatchers": engine.dispatchers,
+                "pool": engine.pool.name if engine.pool is not None else None,
+            },
+            "segments": engine.segment_stats(),
+            "limits": {
+                "retention": queue.retention,
+                "max_queued": queue.max_queued,
+                "keep_results": engine.keep_results,
+                "default_timeout": engine.default_timeout,
+            },
+        }
+
+    def _GET_catalog(self, parts, body, path):  # noqa: N802
+        return 200, {
+            "entries": self.engine.catalog.entries(),
+            "stats": dict(self.engine.catalog.stats),
+            "disk_bytes": self.engine.catalog.disk_bytes(),
+        }
+
+    def _POST_graphs(self, parts, body, path):  # noqa: N802
+        graph, key, name = _graph_from_body(body, self.engine)
+        if graph is not None:
+            key = self.engine.catalog.put(graph, name=name)
+        return 200, {"graph_key": key, "name": name}
+
+    def _POST_jobs(self, parts, body, path):  # noqa: N802
+        scenario = str(body.get("scenario", "circuit"))
+        if scenario not in scenario_names():
+            raise ValueError(
+                f"unknown scenario {scenario!r}; choose from {scenario_names()}"
+            )
+        priority = max(-MAX_WIRE_PRIORITY,
+                       min(MAX_WIRE_PRIORITY, int(body.get("priority", 0))))
+        timeout = body.get("timeout_seconds")
+        graph, key, name = _graph_from_body(body, self.engine)
+        handle = self.engine.submit(
+            scenario,
+            graph=graph,
+            graph_key=key,
+            config=config_from_dict(body.get("config", {})),
+            priority=priority,
+            name=name,
+            timeout_seconds=None if timeout is None else float(timeout),
+        )
+        job = self.engine.job(handle.job_id)
+        return 200, {"job_id": handle.job_id,
+                     "state": handle.state, "graph_key": job.graph_key}
+
+    def _GET_jobs(self, parts, body, path):  # noqa: N802
+        if len(parts) == 1:
+            return 200, {"jobs": [j.summary() for j in self.engine.jobs()]}
+        job_id = parts[1]
+        if len(parts) == 2:
+            # Registry first, durable artifact index for evicted jobs —
+            # GET /jobs/<id> answers for any job ever run.
+            return 200, self.engine.job_summary(job_id)
+        if parts[2] == "result":
+            try:
+                job = self.engine.job(job_id)
+            except JobError:
+                doc = self.engine.artifact_doc(job_id)
+                if doc is None:
+                    raise
+                return 200, doc  # evicted from the registry => terminal
+            if job.state not in TERMINAL_STATES:
+                return 404, {"error": f"job {job.id} is {job.state}; "
+                                      "no result yet", "state": job.state}
+            from ..bench.report_io import job_to_dict
+
+            doc = job_to_dict(job)
+            if doc["scenario_result"] is None and job.state == DONE:
+                # The in-memory result was trimmed (keep_results bound);
+                # the durable artifact has the full document.
+                full = (self.engine.artifact_doc(job.id)
+                        if job.artifact_path else None)
+                if full is None:
+                    return 410, {
+                        "error": f"job {job.id} finished but its result was "
+                                 "evicted from memory (keep_results) and no "
+                                 "durable artifact exists; re-run the job or "
+                                 "serve with --artifact-dir",
+                        "state": job.state,
+                    }
+                doc = full
+            return 200, doc
+        return 404, {"error": f"no route GET {path}"}
+
+    def _DELETE_jobs(self, parts, body, path):  # noqa: N802
+        if len(parts) != 2:
+            raise ValueError("DELETE /jobs/<id>")
+        cancelled = self.engine.cancel(parts[1])
+        return 200, {"job_id": parts[1], "cancelled": cancelled,
+                     "state": self.engine.job_summary(parts[1])["state"]}
+
+
 class _JobRequestHandler(BaseHTTPRequestHandler):
-    """Routes HTTP verbs into the engine; every response is JSON."""
+    """Thin HTTP adapter: reads the body, delegates to :class:`JobApi`."""
 
     server_version = "repro-euler-serve/1"
+    protocol_version = "HTTP/1.1"  # keep-alive for warm clients
+    # Keep-alive makes Nagle toxic: a response written as header+body
+    # chunks stalls ~40ms against delayed ACKs, once per request. With
+    # TCP_NODELAY the poll loop runs at loopback speed.
+    disable_nagle_algorithm = True
     #: Set by :func:`make_server` on the handler subclass.
-    engine: JobEngine = None
+    api: JobApi = None
     quiet: bool = True
-
-    # -- plumbing ----------------------------------------------------------
 
     def log_message(self, fmt, *args):  # noqa: D102 - stdlib signature
         if not self.quiet:
@@ -154,31 +308,14 @@ class _JobRequestHandler(BaseHTTPRequestHandler):
             # spray a stdlib traceback from the handler thread.
             self.close_connection = True
 
-    def _body(self) -> dict:
-        length = int(self.headers.get("Content-Length", 0))
-        if length == 0:
-            return {}
-        return json.loads(self.rfile.read(length))
-
     def _route(self, method: str) -> None:
         try:
-            parts = [p for p in self.path.split("?", 1)[0].split("/") if p]
-            handler = getattr(self, f"_{method}_" + "_".join(parts[:1] or ["root"]), None)
-            if handler is None:
-                self._send(404, {"error": f"no route {method} {self.path}"})
-                return
-            handler(parts)
+            length = int(self.headers.get("Content-Length", 0))
+            body = self.rfile.read(length) if length else b""
         except (BrokenPipeError, ConnectionResetError):
-            self.close_connection = True  # disconnected while reading the body
-        except QueueFullError as exc:
-            # Backpressure: overload degrades into fast typed rejections.
-            self._send(429, {"error": str(exc), "max_queued": exc.max_queued})
-        except (KeyError, JobError) as exc:
-            self._send(404, {"error": str(exc)})
-        except (ValueError, ReproError) as exc:
-            self._send(400, {"error": str(exc)})
-        except Exception as exc:  # pragma: no cover - defensive
-            self._send(500, {"error": repr(exc)})
+            self.close_connection = True  # disconnected while sending the body
+            return
+        self._send(*self.api.handle(method, self.path, body))
 
     def do_GET(self):  # noqa: N802 - stdlib naming
         self._route("GET")
@@ -189,116 +326,11 @@ class _JobRequestHandler(BaseHTTPRequestHandler):
     def do_DELETE(self):  # noqa: N802
         self._route("DELETE")
 
-    # -- routes ------------------------------------------------------------
-
-    def _GET_healthz(self, parts):  # noqa: N802
-        queue = self.engine.queue
-        self._send(200, {
-            "status": "ok",
-            "jobs": queue.counts(),  # O(1): lifetime totals per state
-            "retained_jobs": len(queue.jobs()),
-            "limits": {
-                "retention": queue.retention,
-                "max_queued": queue.max_queued,
-                "keep_results": self.engine.keep_results,
-                "default_timeout": self.engine.default_timeout,
-            },
-        })
-
-    def _GET_catalog(self, parts):  # noqa: N802
-        self._send(200, {
-            "entries": self.engine.catalog.entries(),
-            "stats": dict(self.engine.catalog.stats),
-            "disk_bytes": self.engine.catalog.disk_bytes(),
-        })
-
-    def _POST_graphs(self, parts):  # noqa: N802
-        graph, key, name = _graph_from_body(self._body(), self.engine)
-        if graph is not None:
-            key = self.engine.catalog.put(graph, name=name)
-        self._send(200, {"graph_key": key, "name": name})
-
-    def _POST_jobs(self, parts):  # noqa: N802
-        body = self._body()
-        scenario = str(body.get("scenario", "circuit"))
-        if scenario not in scenario_names():
-            raise ValueError(
-                f"unknown scenario {scenario!r}; choose from {scenario_names()}"
-            )
-        priority = max(-MAX_WIRE_PRIORITY,
-                       min(MAX_WIRE_PRIORITY, int(body.get("priority", 0))))
-        timeout = body.get("timeout_seconds")
-        graph, key, name = _graph_from_body(body, self.engine)
-        handle = self.engine.submit(
-            scenario,
-            graph=graph,
-            graph_key=key,
-            config=config_from_dict(body.get("config", {})),
-            priority=priority,
-            name=name,
-            timeout_seconds=None if timeout is None else float(timeout),
-        )
-        job = self.engine.job(handle.job_id)
-        self._send(200, {"job_id": handle.job_id,
-                         "state": handle.state, "graph_key": job.graph_key})
-
-    def _GET_jobs(self, parts):  # noqa: N802
-        if len(parts) == 1:
-            self._send(200, {"jobs": [j.summary() for j in self.engine.jobs()]})
-            return
-        job_id = parts[1]
-        if len(parts) == 2:
-            # Registry first, durable artifact index for evicted jobs —
-            # GET /jobs/<id> answers for any job ever run.
-            self._send(200, self.engine.job_summary(job_id))
-            return
-        if parts[2] == "result":
-            try:
-                job = self.engine.job(job_id)
-            except JobError:
-                doc = self.engine.artifact_doc(job_id)
-                if doc is None:
-                    raise
-                self._send(200, doc)  # evicted from the registry => terminal
-                return
-            if job.state not in TERMINAL_STATES:
-                self._send(404, {"error": f"job {job.id} is {job.state}; "
-                                          "no result yet", "state": job.state})
-                return
-            from ..bench.report_io import job_to_dict
-
-            doc = job_to_dict(job)
-            if doc["scenario_result"] is None and job.state == DONE:
-                # The in-memory result was trimmed (keep_results bound);
-                # the durable artifact has the full document.
-                full = (self.engine.artifact_doc(job.id)
-                        if job.artifact_path else None)
-                if full is None:
-                    self._send(410, {
-                        "error": f"job {job.id} finished but its result was "
-                                 "evicted from memory (keep_results) and no "
-                                 "durable artifact exists; re-run the job or "
-                                 "serve with --artifact-dir",
-                        "state": job.state,
-                    })
-                    return
-                doc = full
-            self._send(200, doc)
-            return
-        self._send(404, {"error": f"no route GET {self.path}"})
-
-    def _DELETE_jobs(self, parts):  # noqa: N802
-        if len(parts) != 2:
-            raise ValueError("DELETE /jobs/<id>")
-        cancelled = self.engine.cancel(parts[1])
-        self._send(200, {"job_id": parts[1], "cancelled": cancelled,
-                         "state": self.engine.job_summary(parts[1])["state"]})
-
 
 def make_server(
     engine: JobEngine, host: str = "127.0.0.1", port: int = 0, quiet: bool = True
 ) -> ThreadingHTTPServer:
-    """Build (but do not start) the HTTP server bound to ``host:port``.
+    """Build (but do not start) the threaded HTTP server on ``host:port``.
 
     ``port=0`` binds an ephemeral port — read it back from
     ``server.server_address`` (tests and the in-process example do).
@@ -306,17 +338,39 @@ def make_server(
     handler = type(
         "BoundJobRequestHandler",
         (_JobRequestHandler,),
-        {"engine": engine, "quiet": quiet},
+        {"api": JobApi(engine), "quiet": quiet},
     )
     return ThreadingHTTPServer((host, port), handler)
 
 
-def serve_forever(engine: JobEngine, host: str, port: int, quiet: bool = False) -> None:
-    """Run the API until interrupted, then close the engine cleanly."""
-    server = make_server(engine, host, port, quiet=quiet)
+def serve_forever(
+    engine: JobEngine,
+    host: str,
+    port: int,
+    quiet: bool = False,
+    frontend: str = "thread",
+) -> None:
+    """Run the API until interrupted, then close the engine cleanly.
+
+    ``frontend="async"`` serves through the asyncio front end
+    (:class:`repro.jobs.aserver.AsyncJobServer`); both front ends expose
+    the identical :class:`JobApi` surface.
+    """
+    if frontend == "async":
+        from .aserver import AsyncJobServer
+
+        server = AsyncJobServer(engine, host, port, quiet=quiet)
+    elif frontend == "thread":
+        server = make_server(engine, host, port, quiet=quiet)
+    else:
+        raise ValueError(
+            f"unknown frontend {frontend!r}; use 'thread' or 'async'"
+        )
     addr = server.server_address
     print(f"repro-euler serve: listening on http://{addr[0]}:{addr[1]} "
-          f"(pool={engine.pool.name if engine.pool else 'none'}, "
+          f"(frontend={frontend}, dispatcher={engine.dispatcher}"
+          f"x{engine.dispatchers}, "
+          f"pool={engine.pool.name if engine.pool else 'none'}, "
           f"catalog={engine.catalog.root})")
     try:
         server.serve_forever()

@@ -82,6 +82,26 @@ class RunConfig:
     #: between scenario sub-runs. Never serialized; stripped before any
     #: process fan-out — all checks run in the submitting process.
     cancel: Any = None
+    #: Superstep state transport: ``"pickle"`` (portable default) or
+    #: ``"shm"`` — child→parent states ship as shared-memory segment
+    #: descriptors (:mod:`repro.bsp.shm`) instead of pickled byte blobs.
+    #: ``None`` resolves to pickle; ``"shm"`` silently falls back to
+    #: pickle when POSIX shared memory is unavailable, so a config is
+    #: portable either way. Both transports are bit-parity equivalent.
+    transport: str | None = None
+
+    @property
+    def transport_name(self) -> str:
+        """The resolved transport (``"shm"`` only when actually usable)."""
+        if self.transport in (None, "pickle"):
+            return "pickle"
+        if self.transport != "shm":
+            raise ValueError(
+                f"unknown transport {self.transport!r}; use 'pickle' or 'shm'"
+            )
+        from ..bsp.shm import shm_available
+
+        return "shm" if shm_available() else "pickle"
 
     @property
     def executor_name(self) -> str:

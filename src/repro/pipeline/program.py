@@ -22,6 +22,7 @@ import time
 
 import numpy as np
 
+from ..bsp import shm
 from ..bsp.accounting import (
     CAT_COPY_SINK,
     CAT_COPY_SRC,
@@ -62,6 +63,21 @@ class SuperstepProgram:
         the leaves release into that parent's merge (empty unless deferred).
     deferred, validate:
         Strategy flag and Lemma-checking flag, as in the driver.
+    transport:
+        Child→parent state wire format: ``"pickle"`` ships one pickled
+        byte blob per transfer (the portable default); ``"shm"`` ships a
+        :class:`~repro.bsp.shm.ShmBlob` descriptor whose array buffers
+        live in a shared-memory segment — the receiver reconstructs
+        zero-copy views, and a level-0 state whose held rows are still the
+        program's own ``held0[pid]`` ships a by-reference token instead of
+        bytes (every worker already holds ``held0`` as program static
+        data, the paper's graph-loaded-on-every-machine dedup). Both
+        formats are accepted on receive regardless of the configured
+        transport, so per-message fallback is always safe.
+    run_token:
+        Unique tag naming this run's message segments, letting the runner
+        sweep stragglers (:func:`repro.bsp.shm.cleanup_token`) when a run
+        aborts between ship and receive.
     """
 
     def __init__(
@@ -72,6 +88,8 @@ class SuperstepProgram:
         extras: dict[tuple[int, int], np.ndarray],
         deferred: bool,
         validate: bool,
+        transport: str = "pickle",
+        run_token: str = "",
     ):
         self.pg = pg
         self.held0 = held0
@@ -79,6 +97,56 @@ class SuperstepProgram:
         self.extras = extras
         self.deferred = deferred
         self.validate = validate
+        self.transport = transport
+        self.run_token = run_token
+
+    # ---- state wire format -------------------------------------------------
+
+    #: Placeholder held table while a by-reference state is on the wire.
+    _HELD_SENTINEL = np.empty((0, 4), dtype=np.int64)
+
+    def _ship_state(self, state: PartitionState):
+        """Encode one child state for the executor boundary.
+
+        Returns pickle bytes or a :class:`~repro.bsp.shm.ShmBlob`. When the
+        state's held table is (identically) the program's own
+        ``held0[pid]`` — a leaf that never merged — the table ships as a
+        by-reference token and zero bytes move.
+        """
+        held = state.held
+        ref = state.pid if held is self.held0.get(state.pid) else None
+        if ref is not None:
+            state.held = self._HELD_SENTINEL
+        try:
+            payload = (ref, state)
+            if self.transport == "shm":
+                return shm.ship(payload, token=self.run_token)
+            return pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        finally:
+            if ref is not None:
+                state.held = held
+
+    def _load_state(self, blob) -> PartitionState:
+        """Decode one shipped child state (either wire format)."""
+        if isinstance(blob, shm.ShmBlob):
+            ref, state = blob.load()
+        else:
+            ref, state = pickle.loads(blob)
+        if ref is not None:
+            state.held = self.held0[ref]
+        return state
+
+    @staticmethod
+    def _dispose_messages(messages: list) -> None:
+        """Unlink consumed message segments (post-merge, views are dead)."""
+        for blob in messages:
+            if isinstance(blob, shm.ShmBlob):
+                blob.dispose()
+
+    def cleanup_transport(self) -> None:
+        """Janitor: sweep any message segment this run left behind."""
+        if self.transport == "shm" and self.run_token:
+            shm.cleanup_token(self.run_token)
 
     # ---- the compute function (runs on any executor backend) --------------
     def __call__(
@@ -102,7 +170,7 @@ class SuperstepProgram:
             rec.add_time(CAT_CREATE, time.perf_counter() - t0)
         elif messages:
             t0 = time.perf_counter()
-            children = [pickle.loads(blob) for blob in messages]
+            children = [self._load_state(blob) for blob in messages]
             rec.add_time(CAT_COPY_SINK, time.perf_counter() - t0)
             t0 = time.perf_counter()
             # All rows the leaves release for this merge arrive with the
@@ -123,6 +191,10 @@ class SuperstepProgram:
                 edge_parts.append(le)
             local_edges = np.concatenate(edge_parts)
             remote_deg = state.remote_deg
+            # merge_states copies every surviving array, so no view into a
+            # message segment outlives the loop — safe to unlink now.
+            del children
+            self._dispose_messages(messages)
             rec.add_time(CAT_CREATE, time.perf_counter() - t0)
         else:
             # Idle partition carrying state (skipped this level, or waiting
@@ -132,7 +204,7 @@ class SuperstepProgram:
             target = self.send_plan.get(pid)
             if target is not None and target[1] == level:
                 t0 = time.perf_counter()
-                blob = pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
+                blob = self._ship_state(state)
                 rec.add_time(CAT_COPY_SRC, time.perf_counter() - t0)
                 rec.sent_longs = state.state_longs()
                 return ComputeResult(state=None, outgoing={target[0]: [blob]})
@@ -183,7 +255,7 @@ class SuperstepProgram:
         target = self.send_plan.get(pid)
         if target is not None and target[1] == level:
             t0 = time.perf_counter()
-            blob = pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
+            blob = self._ship_state(state)
             rec.add_time(CAT_COPY_SRC, time.perf_counter() - t0)
             rec.sent_longs = state.state_longs()
             return ComputeResult(

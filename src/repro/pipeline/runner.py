@@ -59,16 +59,22 @@ def run_pipeline(graph: Graph, config: RunConfig) -> RunContext:
     executor = config.pool.session() if config.pool is not None else config.executor
     engine = BSPEngine(max_workers=config.workers, executor=executor)
     states = {pid: None for pid in range(ctx.n_parts)}
-    ctx.final_states, ctx.run_stats = engine.run(
-        states,
-        program,
-        max_supersteps=n_levels + 2,
-        on_commit=program.make_commit(ctx.store),
-        check_abort=(
-            None if token is None
-            else lambda: token.check("superstep boundary")
-        ),
-    )
+    try:
+        ctx.final_states, ctx.run_stats = engine.run(
+            states,
+            program,
+            max_supersteps=n_levels + 2,
+            on_commit=program.make_commit(ctx.store),
+            check_abort=(
+                None if token is None
+                else lambda: token.check("superstep boundary")
+            ),
+        )
+    finally:
+        # Janitor: a run that aborts between ship and receive (cancel,
+        # timeout, worker crash) would strand its message segments; sweep
+        # everything carrying this run's token.
+        program.cleanup_transport()
 
     if token is not None:
         token.check("before reconstruct")

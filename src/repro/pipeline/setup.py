@@ -11,6 +11,7 @@ carries plain data, never a handle to shared mutable planning state.
 
 from __future__ import annotations
 
+import os
 import time
 
 import numpy as np
@@ -138,6 +139,8 @@ class Setup:
             extras=extras,
             deferred=deferred,
             validate=cfg.validate,
+            transport=cfg.transport_name,
+            run_token=os.urandom(4).hex(),
         )
         ctx.setup_seconds = time.perf_counter() - t_setup
         return program

@@ -1,0 +1,157 @@
+"""Unit tests for the shared-memory data plane (:mod:`repro.bsp.shm`).
+
+Every test is leak-audited: whatever segments it creates must be gone from
+``/dev/shm`` by the end (the module-level fixture diffs against the
+pre-existing set, so concurrent runs on a shared box don't false-positive).
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.bsp import shm
+
+pytestmark = pytest.mark.skipif(
+    not shm.shm_available(), reason="POSIX shared memory not available"
+)
+
+
+@pytest.fixture(autouse=True)
+def no_new_segments():
+    before = set(shm.leaked_segments())
+    yield
+    leaked = sorted(set(shm.leaked_segments()) - before)
+    assert leaked == [], f"test leaked shm segments: {leaked}"
+
+
+# ---------------------------------------------------------------------------
+# ship / ShmBlob: the message transport
+# ---------------------------------------------------------------------------
+
+
+def test_ship_load_dispose_roundtrip():
+    obj = {
+        "a": np.arange(10_000, dtype=np.int64),
+        "b": np.linspace(0.0, 1.0, 513),
+        "meta": ("nested", 42),
+    }
+    blob = shm.ship(obj, token="t1")
+    assert isinstance(blob, shm.ShmBlob)
+    assert blob.nbytes == obj["a"].nbytes + obj["b"].nbytes
+
+    out = blob.load()
+    np.testing.assert_array_equal(out["a"], obj["a"])
+    np.testing.assert_array_equal(out["b"], obj["b"])
+    assert out["meta"] == obj["meta"]
+
+    assert blob.dispose() is True
+    assert blob.dispose() is False  # idempotent
+    # Views created by load() stay valid after unlink (POSIX semantics).
+    assert int(out["a"][-1]) == 9_999
+
+
+def test_ship_descriptor_survives_pickle():
+    obj = {"x": np.full(256, 7, dtype=np.int32)}
+    blob = shm.ship(obj)
+    try:
+        clone = pickle.loads(pickle.dumps(blob))
+        np.testing.assert_array_equal(clone.load()["x"], obj["x"])
+    finally:
+        blob.dispose()
+
+
+def test_ship_bufferless_objects_fall_back_to_bytes():
+    # No out-of-band buffers -> plain pickle bytes, no segment created.
+    payload = shm.ship({"plain": [1, 2, 3], "s": "text"})
+    assert isinstance(payload, bytes)
+    assert pickle.loads(payload) == {"plain": [1, 2, 3], "s": "text"}
+
+
+def test_cleanup_token_sweeps_only_its_run():
+    keep = shm.ship({"k": np.ones(64)}, token="keepme")
+    gone1 = shm.ship({"g": np.ones(64)}, token="sweep")
+    gone2 = shm.ship({"g": np.zeros(64)}, token="sweep")
+    assert isinstance(keep, shm.ShmBlob) and isinstance(gone1, shm.ShmBlob)
+    assert shm.cleanup_token("sweep") == 2
+    assert shm.cleanup_token("sweep") == 0  # already clean
+    # The other run's segment is untouched and still loadable.
+    np.testing.assert_array_equal(keep.load()["k"], np.ones(64))
+    keep.dispose()
+    assert not gone2.dispose()  # already unlinked by the janitor
+
+
+# ---------------------------------------------------------------------------
+# SharedSegmentStore: keyed long-lived segments
+# ---------------------------------------------------------------------------
+
+
+def test_segment_store_publish_attach_unpublish():
+    with shm.SharedSegmentStore(tag="tst") as store:
+        arrays = {"u": np.arange(100, dtype=np.int64),
+                  "v": np.arange(100, 200, dtype=np.int64)}
+        store.publish("g1", arrays)
+        assert "g1" in store and store.keys() == ["g1"]
+
+        desc = store.descriptor("g1")
+        views = shm.attach_arrays(desc)
+        np.testing.assert_array_equal(views["u"], arrays["u"])
+        np.testing.assert_array_equal(views["v"], arrays["v"])
+
+        stats = store.stats()
+        assert stats["segments"] == 1
+        assert stats["bytes"] >= arrays["u"].nbytes + arrays["v"].nbytes
+        assert stats["attaches"] == 1
+
+        assert store.unpublish("g1") is True
+        assert "g1" not in store
+        with pytest.raises(FileNotFoundError):
+            shm.attach_arrays(desc)  # segment gone -> durable-source fallback
+    assert store.stats()["segments"] == 0
+
+
+def test_segment_store_close_unlinks_everything():
+    store = shm.SharedSegmentStore(tag="tst")
+    store.publish("a", {"x": np.ones(32)})
+    store.publish_bytes("b", b"raw payload bytes")
+    names = [store.descriptor(k)["segment"] for k in ("a", "b")]
+    store.close()
+    for name in names:
+        assert name not in shm.leaked_segments()
+    store.close()  # idempotent
+
+
+def test_publish_bytes_roundtrip():
+    with shm.SharedSegmentStore(tag="tst") as store:
+        payload = b"\x00" + b"program payload" * 100
+        store.publish_bytes("p", payload)
+        views = shm.attach_arrays(store.descriptor("p"))
+        assert bytes(views["payload"].view(np.uint8).tobytes()) == payload
+
+
+# ---------------------------------------------------------------------------
+# CancelFlags: the cross-process cancellation plane
+# ---------------------------------------------------------------------------
+
+
+def test_cancel_flags_set_clear_across_attach():
+    owner = shm.CancelFlags.create(4)
+    try:
+        peer = shm.CancelFlags.attach(owner.descriptor)
+        owner.set(2)
+        assert peer.is_set(2) and not peer.is_set(0)
+        peer.close()  # consumer close never unlinks
+        owner.clear(2)
+        assert not owner.is_set(2)
+    finally:
+        owner.close()
+
+
+def test_cancel_flags_owner_close_unlinks():
+    owner = shm.CancelFlags.create(2)
+    name = owner.descriptor["segment"]
+    assert name in shm.leaked_segments()
+    owner.close()
+    assert name not in shm.leaked_segments()

@@ -1,0 +1,124 @@
+"""Phase-1 walk-table cache: reuse must be invisible to the algorithm.
+
+The cache keys the immutable CSR walk tables by topology content hash and
+reuses them across runs (same partition across supersteps, same graph
+across served jobs). These tests pin the only contract that matters:
+cached and freshly-built tables produce bit-identical walks, the cache
+never serves tables for a *different* topology, mutation of per-run state
+never bleeds into a cached table, and the kill-switch really kills it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import find_euler_circuit, phase1
+from repro.core.pathmap import FragmentStore
+from repro.core.phase1 import edge_table, remote_deg_table, run_phase1
+from repro.generate.synthetic import grid_city, random_eulerian
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    """Each test starts with an empty thread-local table cache."""
+    phase1._tls.tables = None
+    yield
+    phase1._tls.tables = None
+
+
+def _workload():
+    g = random_eulerian(40, 4, 12, seed=5)
+    edges = np.column_stack([
+        g.edge_u, g.edge_v,
+        np.zeros(g.n_edges, np.int64),
+        np.arange(g.n_edges, dtype=np.int64),
+    ])
+    rdeg = {int(v): 2 for v in range(0, g.n_vertices, 7)}
+    return edges, rdeg
+
+
+def _census(store):
+    return sorted(
+        (f.fid, f.kind, f.level, f.pid, f.src, f.dst, f.n_edges,
+         np.asarray(f.items).tobytes())
+        for f in store.all_fragments()
+    )
+
+
+def test_second_run_hits_the_cache_and_matches(monkeypatch):
+    monkeypatch.delenv("REPRO_PHASE1_TABLE_CACHE", raising=False)
+    edges, rdeg = _workload()
+    t1 = phase1._walk_tables(edge_table(edges), remote_deg_table(rdeg))
+    t2 = phase1._walk_tables(edge_table(edges), remote_deg_table(rdeg))
+    assert t2 is t1  # identity: the second build was skipped entirely
+
+    runs = []
+    for _ in range(3):
+        store = FragmentStore()
+        pm, stats = run_phase1(1, 0, edges, rdeg, store, validate=True)
+        runs.append((pm.ob_paths.tobytes(), pm.anchored_cycles.tobytes(),
+                     stats, _census(store)))
+    assert runs[0] == runs[1] == runs[2]
+
+
+def test_distinct_topologies_do_not_collide(monkeypatch):
+    monkeypatch.delenv("REPRO_PHASE1_TABLE_CACHE", raising=False)
+    edges, rdeg = _workload()
+    variant = edges.copy()
+    variant[0, 0], variant[0, 1] = variant[0, 1], variant[0, 0]  # flip an edge
+    t1 = phase1._walk_tables(edge_table(edges), remote_deg_table(rdeg))
+    t2 = phase1._walk_tables(edge_table(variant), remote_deg_table(rdeg))
+    assert t2 is not t1
+    # Same topology, different remote degrees: also distinct tables.
+    t3 = phase1._walk_tables(edge_table(edges),
+                             remote_deg_table({**rdeg, 1: 4}))
+    assert t3 is not t1
+
+
+def test_kill_switch_disables_caching(monkeypatch):
+    monkeypatch.setenv("REPRO_PHASE1_TABLE_CACHE", "0")
+    edges, rdeg = _workload()
+    t1 = phase1._walk_tables(edge_table(edges), remote_deg_table(rdeg))
+    t2 = phase1._walk_tables(edge_table(edges), remote_deg_table(rdeg))
+    assert t2 is not t1
+    assert getattr(phase1._tls, "tables", None) in (None,)
+
+    store_a, store_b = FragmentStore(), FragmentStore()
+    pm_a, _ = run_phase1(1, 0, edges, rdeg, store_a, validate=True)
+    monkeypatch.delenv("REPRO_PHASE1_TABLE_CACHE", raising=False)
+    pm_b, _ = run_phase1(1, 0, edges, rdeg, store_b, validate=True)
+    assert pm_a.ob_paths.tobytes() == pm_b.ob_paths.tobytes()
+    assert _census(store_a) == _census(store_b)
+
+
+def test_oversized_tables_are_not_cached(monkeypatch):
+    monkeypatch.delenv("REPRO_PHASE1_TABLE_CACHE", raising=False)
+    monkeypatch.setattr(phase1, "_TABLE_CACHE_MAX_EDGES", 4)
+    edges, rdeg = _workload()
+    t1 = phase1._walk_tables(edge_table(edges), remote_deg_table(rdeg))
+    t2 = phase1._walk_tables(edge_table(edges), remote_deg_table(rdeg))
+    assert t2 is not t1  # above the cap: built fresh every time
+
+
+def test_lru_bound_holds(monkeypatch):
+    monkeypatch.delenv("REPRO_PHASE1_TABLE_CACHE", raising=False)
+    monkeypatch.setattr(phase1, "_TABLE_CACHE_CAP", 2)
+    base, rdeg = _workload()
+    for shift in range(5):
+        variant = base.copy()
+        variant[:, 3] += 0  # topology changes via vertex relabel below
+        variant[:, 0] = (variant[:, 0] + shift) % 40
+        variant[:, 1] = (variant[:, 1] + shift) % 40
+        phase1._walk_tables(edge_table(variant), remote_deg_table(rdeg))
+    assert len(phase1._tls.tables) <= 2
+
+
+def test_end_to_end_circuit_identical_across_cached_runs():
+    g = grid_city(6, 6)
+    first = find_euler_circuit(g, n_parts=4, seed=0, validate=True)
+    second = find_euler_circuit(g, n_parts=4, seed=0, validate=True)
+    np.testing.assert_array_equal(first.circuit.vertices,
+                                  second.circuit.vertices)
+    np.testing.assert_array_equal(first.circuit.edge_ids,
+                                  second.circuit.edge_ids)

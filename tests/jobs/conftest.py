@@ -1,0 +1,25 @@
+"""Jobs-suite fixtures: every test is audited for shared-memory leaks.
+
+The zero-copy serving stack (catalog segments, program payloads, message
+blobs, cancel flags) promises that no ``/dev/shm/repro_*`` segment outlives
+its owner. The autouse fixture enforces that promise per test, diffing
+against whatever pre-existed so unrelated processes on the box cannot
+false-positive the audit.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bsp import shm
+
+
+@pytest.fixture(autouse=True)
+def _no_shm_leaks():
+    if not shm.shm_available():
+        yield
+        return
+    before = set(shm.leaked_segments())
+    yield
+    leaked = sorted(set(shm.leaked_segments()) - before)
+    assert leaked == [], f"test leaked shm segments: {leaked}"

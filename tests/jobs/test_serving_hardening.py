@@ -457,21 +457,36 @@ def test_send_swallows_broken_pipe_and_closes_connection():
 
 
 def test_route_does_not_reenter_send_on_disconnect():
+    """A peer that hangs up mid-request never gets a response write."""
     from repro.jobs.server import _JobRequestHandler
 
     sent = []
 
-    class _Probe(_JobRequestHandler):
+    class _DeadRead:
+        def read(self, n):
+            raise ConnectionResetError(104, "Connection reset by peer")
+
+    class _BodyProbe(_JobRequestHandler):
         def __init__(self):  # bypass the socket machinery
             self.path = "/healthz"
             self.close_connection = False
-
-        def _GET_healthz(self, parts):
-            raise ConnectionResetError(104, "Connection reset by peer")
+            self.headers = {"Content-Length": "5"}
+            self.rfile = _DeadRead()
 
         def _send(self, status, payload):
             sent.append(status)
 
-    probe = _Probe()
-    probe._route("GET")  # the old code would _send(500) to a dead peer
+    probe = _BodyProbe()
+    probe._route("GET")  # disconnect while reading the body: no response
     assert sent == [] and probe.close_connection is True
+
+    class _WriteProbe(_JobRequestHandler):
+        def __init__(self):
+            self.close_connection = False
+
+        def send_response(self, status):
+            raise BrokenPipeError(32, "Broken pipe")
+
+    probe = _WriteProbe()
+    probe._send(500, {"error": "x"})  # dead socket mid-response: no raise
+    assert probe.close_connection is True
