@@ -34,7 +34,10 @@ import argparse
 import json
 import os
 import platform
+import re
 import resource
+import signal
+import subprocess
 import sys
 import tempfile
 import threading
@@ -49,10 +52,13 @@ import numpy as np  # noqa: E402
 from bench_perf_dataplane import calibration_seconds  # noqa: E402
 from repro.bench.report_io import SCHEMA_VERSION  # noqa: E402
 from repro.bsp import shm  # noqa: E402
+from repro.faults import FaultPlan  # noqa: E402
 from repro.generate.synthetic import grid_city  # noqa: E402
 from repro.jobs import GraphCatalog, JobEngine  # noqa: E402
 from repro.jobs.client import JobClient, JobClientError  # noqa: E402
 from repro.jobs.server import make_server  # noqa: E402
+from repro.pipeline import RunConfig  # noqa: E402
+from repro.scenarios import run_scenario  # noqa: E402
 
 DEFAULT_OUTPUT = Path(__file__).resolve().parents[1] / "BENCH_serving.json"
 
@@ -66,6 +72,8 @@ DISPATCHERS = 2
 SOAK_GRID = 12      # 12x12 torus: 288-edge jobs, a few ms each
 PROBE_GRID = 40     # 40x40 torus: slow enough to back the tiny queue up
 PROBE_SUBMISSIONS = 10
+CHAOS_JOBS = 40     # acked against the doomed server before kill -9
+CHAOS_GRID = 16     # big enough that a backlog survives until the kill
 
 
 def _pctl(samples: list[float], q: float) -> float:
@@ -234,6 +242,233 @@ def _backpressure_probe(root: Path) -> dict:
         engine.close()
 
 
+_LISTEN_RE = re.compile(r"listening on http://([\d.]+):(\d+)")
+_RECOVER_RE = re.compile(r"recovered journal — requeued=(\d+) "
+                         r"reconciled=(\d+) failed=(\d+)")
+
+
+class _ServeProc:
+    """A real ``repro-euler serve`` child on an ephemeral port."""
+
+    def __init__(self, cache_root: Path):
+        repo = Path(__file__).resolve().parents[1]
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(repo / "src")
+        self.proc = subprocess.Popen(
+            [sys.executable, "-u", "-m", "repro.cli", "serve",
+             "--port", "0", "--cache-root", str(cache_root),
+             "--dispatchers", "1", "--max-retries", "2",
+             "--drain-timeout", "30"],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            text=True, env=env, cwd=repo,
+        )
+        self.lines: list[str] = []
+        self._reader = threading.Thread(target=self._pump, daemon=True)
+        self._reader.start()
+        self.url = self._wait_listening()
+
+    def _pump(self) -> None:
+        for line in self.proc.stdout:
+            self.lines.append(line)
+
+    def _wait_listening(self, timeout: float = 30.0) -> str:
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            for line in list(self.lines):
+                m = _LISTEN_RE.search(line)
+                if m:
+                    return f"http://{m.group(1)}:{m.group(2)}"
+            if self.proc.poll() is not None:
+                raise RuntimeError(
+                    "serve child died before listening:\n" + "".join(self.lines))
+            time.sleep(0.02)
+        raise TimeoutError("serve child never announced its port")
+
+    def recovery_line(self) -> tuple[int, int, int] | None:
+        for line in self.lines:
+            m = _RECOVER_RE.search(line)
+            if m:
+                return tuple(int(g) for g in m.groups())
+        return None
+
+    def kill9(self) -> None:
+        os.kill(self.proc.pid, signal.SIGKILL)
+        self.proc.wait(timeout=30)
+
+    def sigterm(self, timeout: float = 40.0) -> int | None:
+        self.proc.send_signal(signal.SIGTERM)
+        try:
+            return self.proc.wait(timeout=timeout)
+        except subprocess.TimeoutExpired:
+            self.proc.kill()
+            self.proc.wait(timeout=10)
+            return None
+
+
+def _chaos_server_kill(root: Path) -> dict:
+    """kill -9 the server mid-backlog; a restart must lose zero acks.
+
+    Runs the real CLI (``repro-euler serve``) so the journal, recovery,
+    and drain paths exercised are exactly the production ones.
+    """
+    cache_root = root / "chaos-cache"
+    graph = grid_city(CHAOS_GRID, CHAOS_GRID)
+    first = _ServeProc(cache_root)
+    acked: list[str] = []
+    try:
+        client = JobClient(first.url, retry_seconds=10.0)
+        key = client.put_graph(
+            edges=np.column_stack([graph.edge_u, graph.edge_v]).tolist(),
+            n_vertices=graph.n_vertices, name="chaos",
+        )["graph_key"]
+        t0 = time.perf_counter()
+        for _ in range(CHAOS_JOBS):
+            sub = client.submit("circuit", graph_key=key,
+                                config={"n_parts": 4})
+            acked.append(sub["job_id"])
+        backlog = client.health()["jobs"]
+        ack_wall = time.perf_counter() - t0
+    finally:
+        # The point: no goodbye, no drain, no atexit. SIGKILL.
+        first.kill9()
+
+    t_restart = time.perf_counter()
+    second = _ServeProc(cache_root)
+    try:
+        client = JobClient(second.url, retry_seconds=10.0)
+        states = {jid: None for jid in acked}
+        deadline = time.monotonic() + 240.0
+        while time.monotonic() < deadline:
+            pending = [jid for jid, st in states.items()
+                       if st not in ("DONE", "FAILED", "CANCELLED")]
+            if not pending:
+                break
+            for jid in pending:
+                states[jid] = client.status(jid)["state"]
+            time.sleep(0.05)
+        restart_seconds = time.perf_counter() - t_restart
+        health = client.health()
+        recovery = health.get("fault_tolerance", {}).get("recovery", {})
+        graceful = second.sigterm()
+    finally:
+        if second.proc.poll() is None:
+            second.proc.kill()
+            second.proc.wait(timeout=10)
+
+    done = sum(1 for st in states.values() if st == "DONE")
+    failed = sum(1 for st in states.values() if st == "FAILED")
+    lost = sum(1 for st in states.values()
+               if st not in ("DONE", "FAILED", "CANCELLED"))
+    return {
+        "acked": len(acked),
+        "ack_wall_seconds": ack_wall,
+        "backlog_at_kill": backlog,
+        "recovery_line": second.recovery_line(),
+        "recovery_stats": recovery,
+        "done": done,
+        "failed": failed,
+        "lost": lost,
+        "restart_to_all_terminal_seconds": restart_seconds,
+        "graceful_exit_code": graceful,
+    }
+
+
+def _chaos_worker_kills(root: Path) -> dict:
+    """SIGKILL (or fail-fault) a worker at every superstep boundary in turn;
+    each retried run must be bit-identical to the unfaulted reference."""
+    graph = grid_city(6, 6)
+    config = RunConfig(n_parts=2, seed=0)
+    ref = run_scenario(graph, "circuit", config)
+    use_process = shm.shm_available()
+    before_segments = set(shm.leaked_segments()) if use_process else set()
+    fault_kind = "worker_kill" if use_process else "fail"
+    engine = JobEngine(
+        GraphCatalog(root / "wchaos-cat"),
+        dispatchers=1,
+        dispatcher="process" if use_process else "thread",
+        pool_kind=None if use_process else "thread",
+        pool_workers=2,
+        retry_backoff=0.01,
+    )
+    kills = 0
+    bit_identical = True
+    try:
+        key = engine.catalog.put(graph)
+        boundary = 0
+        while boundary < 50:
+            handle = engine.submit(
+                "circuit", graph_key=key, max_retries=1,
+                config=RunConfig(
+                    n_parts=2, seed=0,
+                    faults=FaultPlan.parse(f"{fault_kind}@at={boundary}")),
+            )
+            got = handle.result(timeout=120)
+            same = (
+                len(ref.circuits) == len(got.circuits)
+                and all(np.array_equal(a.edge_ids, b.edge_ids)
+                        and np.array_equal(a.vertices, b.vertices)
+                        for a, b in zip(ref.circuits, got.circuits))
+                and ref.metrics == got.metrics
+            )
+            bit_identical &= same
+            if engine.job(handle.job_id).attempt == 0:
+                break  # past the last boundary: the sweep is complete
+            kills += 1
+            boundary += 1
+        stats = engine.supervisor_stats()
+        respawns = stats.get("workers", {}).get("respawns", 0)
+    finally:
+        engine.close()
+    leaked = (sorted(set(shm.leaked_segments()) - before_segments)
+              if use_process else [])
+    return {
+        "mode": "sigkill" if use_process else "fail-fault",
+        "boundaries_swept": kills,
+        "respawns": respawns,
+        "bit_identical": bit_identical,
+        "leaked_segments": leaked,
+    }
+
+
+def chaos() -> dict:
+    with tempfile.TemporaryDirectory(prefix="bench-chaos-") as tmp:
+        tmp = Path(tmp)
+        return {
+            "server_kill": _chaos_server_kill(tmp),
+            "worker_chaos": _chaos_worker_kills(tmp),
+        }
+
+
+def check_chaos(report: dict) -> bool:
+    """The chaos gates: zero lost acks, bit-identical retries, no leaks."""
+    ok = True
+    sk = report["server_kill"]
+    verdict = ("OK" if sk["lost"] == 0 and sk["failed"] == 0
+               else f"LOST {sk['lost']} / FAILED {sk['failed']}")
+    print(f"chaos: kill -9 with {sk['acked']} acked jobs -> "
+          f"{sk['done']} done after restart "
+          f"(recovery {sk['recovery_stats']}): {verdict}")
+    ok &= sk["lost"] == 0 and sk["failed"] == 0
+
+    verdict = "OK" if sk["graceful_exit_code"] == 0 else "UNGRACEFUL"
+    print(f"chaos: SIGTERM drain exit code {sk['graceful_exit_code']}: "
+          f"{verdict}")
+    ok &= sk["graceful_exit_code"] == 0
+
+    wc = report["worker_chaos"]
+    verdict = ("OK" if wc["bit_identical"] and wc["boundaries_swept"] >= 1
+               else "DIVERGED")
+    print(f"chaos: {wc['boundaries_swept']} {wc['mode']} kills, "
+          f"{wc['respawns']} respawns, retried runs bit-identical: {verdict}")
+    ok &= wc["bit_identical"] and wc["boundaries_swept"] >= 1
+
+    verdict = "OK" if wc["leaked_segments"] == [] else \
+        f"LEAKED {wc['leaked_segments']}"
+    print(f"chaos: shm leak audit after worker chaos: {verdict}")
+    ok &= wc["leaked_segments"] == []
+    return ok
+
+
 def measure() -> dict:
     out: dict = {
         "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
@@ -261,6 +496,7 @@ def measure() -> dict:
             out["soak_preforked"] = _soak(tmp, dispatcher="process",
                                           frontend="async")
         out["backpressure"] = _backpressure_probe(tmp)
+    out["soak_chaos"] = chaos()
     return out
 
 
@@ -355,6 +591,10 @@ def check(committed: Path, tolerance: float, artifact: Path | None) -> int:
                   f"(floor {floor:.1f} on {cpus} cpus): {verdict}")
             ok &= jps >= floor
 
+    # -- fault-tolerance gates ---------------------------------------------
+    if "soak_chaos" in fresh:
+        ok &= check_chaos(fresh["soak_chaos"])
+
     print(f"  soak: {soak['jobs_per_second']:.1f} jobs/s, "
           f"submit p95 {soak['submit_p95_ms']:.2f}ms, "
           f"rss peak {soak['rss_peak_mb']:.0f}MB, "
@@ -374,8 +614,19 @@ def main(argv=None) -> int:
                    help="allowed p95 status-latency regression (check mode)")
     p.add_argument("--artifact", type=Path, default=None,
                    help="where to write the fresh measurement in check mode")
+    p.add_argument("--chaos", action="store_true",
+                   help="run only the fault-injection chaos soak (kill -9 "
+                        "recovery + worker kills) and gate on its invariants")
     args = p.parse_args(argv)
 
+    if args.chaos:
+        report = chaos()
+        ok = check_chaos(report)
+        if args.artifact is not None:
+            args.artifact.write_text(json.dumps(
+                {"schema_version": SCHEMA_VERSION, "soak_chaos": report,
+                 "passed": ok}, indent=2, default=float) + "\n")
+        return 0 if ok else 1
     if args.check:
         return check(args.against, args.tolerance, args.artifact)
     entry = record(args.label, args.output)

@@ -53,6 +53,7 @@ import atexit
 import os
 import pickle
 import threading
+import time
 from pathlib import Path
 
 import numpy as np
@@ -65,9 +66,12 @@ __all__ = [
     "SharedSegmentStore",
     "attach_arrays",
     "CancelFlags",
+    "HeartbeatSlots",
     "cleanup_token",
     "unlink_segment",
     "leaked_segments",
+    "segment_creator_pid",
+    "sweep_stale_segments",
 ]
 
 try:  # pragma: no cover - import guard for exotic builds
@@ -228,6 +232,52 @@ def leaked_segments(prefix: str = SEGMENT_PREFIX) -> list[str]:
     if not _SHM_DIR.is_dir():  # pragma: no cover - non-Linux
         return []
     return sorted(p.name for p in _SHM_DIR.glob(f"{prefix}*"))
+
+
+def segment_creator_pid(name: str) -> int | None:
+    """The pid baked into a ``repro_`` segment name, or ``None``.
+
+    Every segment this package creates is named
+    ``repro_<tag>_<pid:x>_<seq:x>`` (:func:`_next_name`), so the creating
+    process is recoverable from the name alone — what the startup janitor
+    needs to tell a stale segment from a live one.
+    """
+    if not name.startswith(SEGMENT_PREFIX):
+        return None
+    parts = name.rsplit("_", 2)
+    if len(parts) != 3:
+        return None
+    try:
+        return int(parts[1], 16)
+    except ValueError:
+        return None
+
+
+def sweep_stale_segments(prefix: str = SEGMENT_PREFIX) -> list[str]:
+    """Janitor: unlink ``repro_`` segments whose creating process is dead.
+
+    A SIGKILL'd server (or worker) cannot run its cleanup handlers, so its
+    catalog/flags/message segments stay in ``/dev/shm`` forever. This
+    sweep — run at serve start — removes exactly those: segments whose
+    embedded creator pid no longer exists. Segments belonging to live
+    processes (including this one) are never touched, so concurrent
+    servers on one host are safe. Returns the names actually removed.
+    """
+    swept = []
+    for name in leaked_segments(prefix):
+        pid = segment_creator_pid(name)
+        if pid is None or pid == os.getpid():
+            continue
+        try:
+            os.kill(pid, 0)
+            continue  # creator is alive: not stale
+        except ProcessLookupError:
+            pass  # dead: sweep it
+        except PermissionError:  # pragma: no cover - other-user process
+            continue  # alive (just not ours): not stale
+        if unlink_segment(name):
+            swept.append(name)
+    return swept
 
 
 def cleanup_token(token: str) -> int:
@@ -531,6 +581,71 @@ class CancelFlags:
         if self._flags is None:
             return
         self._flags = None
+        if self._owner:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover
+                pass
+        try:
+            self._shm.close()
+        except BufferError:  # pragma: no cover - stray external view
+            pass
+
+
+class HeartbeatSlots:
+    """One monotonic-nanosecond heartbeat per dispatcher slot.
+
+    The liveness poll in the forked dispatcher pool can tell a *dead*
+    worker (pipe EOF) from a healthy one, but not a *hung* one — a worker
+    spinning in a wedged superstep holds its pipe open forever. Workers
+    therefore stamp ``time.monotonic_ns()`` into their slot at every
+    cancel-token poll (superstep and sub-run boundaries); the parent
+    compares against its own monotonic clock (``CLOCK_MONOTONIC`` is
+    system-wide on Linux) and declares a worker hung once the stamp goes
+    stale past the hang timeout. Same ownership protocol as
+    :class:`CancelFlags`: parent creates and unlinks, workers attach.
+    """
+
+    def __init__(self, shm, n: int, owner: bool):
+        self._shm = shm
+        self._owner = owner
+        self.n = n
+        self._stamps = np.frombuffer(shm.buf, dtype=np.int64, count=n)
+
+    @classmethod
+    def create(cls, n: int) -> "HeartbeatSlots":
+        if n < 1:
+            raise ValueError("need at least one slot")
+        shm = _create_segment(8 * n, "hb")
+        slots = cls(shm, n, owner=True)
+        slots._stamps[:] = 0
+        return slots
+
+    @classmethod
+    def attach(cls, descriptor: dict) -> "HeartbeatSlots":
+        shm = _attach_segment(descriptor["segment"])
+        return cls(shm, int(descriptor["n"]), owner=False)
+
+    @property
+    def descriptor(self) -> dict:
+        return {"segment": self._shm.name, "n": self.n}
+
+    def beat(self, slot: int) -> None:
+        """Stamp 'alive right now' into ``slot``."""
+        self._stamps[slot] = time.monotonic_ns()
+
+    def age_seconds(self, slot: int) -> float | None:
+        """Seconds since the slot's last beat (``None``: never beaten)."""
+        stamp = int(self._stamps[slot])
+        if stamp == 0:
+            return None
+        return max(0.0, (time.monotonic_ns() - stamp) / 1e9)
+
+    def close(self) -> None:
+        """Owner: unlink; attacher: drop the mapping reference."""
+        if self._stamps is None:
+            return
+        self._stamps = None
         if self._owner:
             try:
                 self._shm.unlink()

@@ -171,6 +171,22 @@ def build_parser() -> argparse.ArgumentParser:
                        help="shared executor pool kind (none: each run "
                             "builds its own backend)")
     serve.add_argument("--pool-workers", type=int, default=4)
+    serve.add_argument("--journal-dir", default=None,
+                       help="crash-safe job journal directory (default: "
+                            "<cache-root>/journal; 'none' disables — "
+                            "acknowledged jobs then do not survive kill -9)")
+    serve.add_argument("--max-retries", type=int, default=2,
+                       help="default transient-failure retries per job "
+                            "(killed/hung workers, broken pools; jobs may "
+                            "override via max_retries)")
+    serve.add_argument("--drain-timeout", type=float, default=30.0,
+                       help="SIGTERM graceful-drain budget in seconds: stop "
+                            "intake (503), let running jobs finish, "
+                            "checkpoint the journal")
+    serve.add_argument("--hang-timeout", type=float, default=None,
+                       help="process mode: seconds of worker heartbeat "
+                            "silence before the worker is killed and the "
+                            "job retried (default: disabled)")
 
     def add_server_arg(sp):
         sp.add_argument("--server", default="http://127.0.0.1:8642",
@@ -321,6 +337,12 @@ def _jobs_main(args) -> int:
         # The artifact index is what answers status lookups for jobs the
         # bounded registry evicted — default it on rather than off.
         artifact_dir = args.artifact_dir or str(Path(args.cache_root) / "artifacts")
+        # Same stance for the journal: crash safety should be the default
+        # for a long-lived server, opt-out rather than opt-in.
+        journal_dir = (
+            None if args.journal_dir == "none"
+            else args.journal_dir or str(Path(args.cache_root) / "journal")
+        )
         engine = JobEngine(
             GraphCatalog(args.cache_root, size_budget_bytes=budget),
             dispatchers=args.dispatchers,
@@ -332,8 +354,18 @@ def _jobs_main(args) -> int:
             retention=args.retention or None,
             max_queued=args.max_queued or None,
             default_timeout=args.timeout,
+            journal=journal_dir,
+            default_max_retries=args.max_retries,
+            hang_timeout=args.hang_timeout,
         )
-        serve_forever(engine, args.host, args.port, frontend=args.frontend)
+        recovered = engine.recovery_stats
+        if recovered["requeued"] or recovered["reconciled"] or recovered["failed"]:
+            print(f"repro-euler serve: recovered journal — "
+                  f"requeued={recovered['requeued']} "
+                  f"reconciled={recovered['reconciled']} "
+                  f"failed={recovered['failed']}")
+        serve_forever(engine, args.host, args.port, frontend=args.frontend,
+                      drain_timeout=args.drain_timeout)
         return 0
     if args.command == "batch":
         engine = JobEngine(

@@ -132,6 +132,59 @@ class QueueFullError(JobError):
         self.max_queued = max_queued
 
 
+class TransientJobError(JobError):
+    """A job failure attributable to infrastructure, not the job itself.
+
+    Killed or hung dispatcher workers, shared-memory attach failures on a
+    swept segment, and broken executor pools all land here: re-running the
+    same job on healthy infrastructure is expected to succeed, so the
+    engine re-dispatches transient failures (up to ``Job.max_retries``,
+    with exponential backoff) instead of failing the job outright. Every
+    other exception is treated as permanent — retrying a graph that is not
+    Eulerian cannot ever help.
+    """
+
+
+class FaultInjectedError(TransientJobError):
+    """A deliberate failure raised by the fault-injection harness.
+
+    Transient by definition: the :class:`~repro.faults.FaultPlan` arms
+    faults for specific attempts, so the retried run executes clean and
+    recovery can be asserted deterministically.
+    """
+
+
+class EngineDrainingError(JobError):
+    """Submission rejected because the engine is draining for shutdown.
+
+    Raised by :meth:`repro.jobs.engine.JobEngine.submit` after
+    :meth:`~repro.jobs.engine.JobEngine.drain` began: the server finishes
+    the jobs it already acknowledged but accepts no new work. The serving
+    front end maps this to HTTP 503.
+    """
+
+    def __init__(self):
+        super().__init__("engine is draining; no new submissions accepted")
+
+
+class RetriesExhaustedError(JobError):
+    """A client retry budget ran out without a successful request.
+
+    Raised by :class:`repro.jobs.client.JobClient` once its total retry
+    wall-time cap elapses across 429-with-Retry-After responses and
+    connection failures. Carries the last underlying error so callers see
+    the real cause, not just "gave up".
+    """
+
+    def __init__(self, budget_seconds: float, last_error: Exception):
+        super().__init__(
+            f"retry budget of {budget_seconds:g}s exhausted; "
+            f"last error: {last_error}"
+        )
+        self.budget_seconds = budget_seconds
+        self.last_error = last_error
+
+
 class JobResultEvictedError(JobError):
     """A DONE job's in-memory result was trimmed and no durable copy exists.
 

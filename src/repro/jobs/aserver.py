@@ -35,6 +35,7 @@ __all__ = ["AsyncJobServer"]
 _STATUS_TEXT = {
     200: "OK", 400: "Bad Request", 404: "Not Found", 410: "Gone",
     429: "Too Many Requests", 500: "Internal Server Error",
+    503: "Service Unavailable",
 }
 
 
@@ -177,7 +178,7 @@ class AsyncJobServer:
             "Content-Type: application/json\r\n"
             f"Content-Length: {len(body)}\r\n"
             f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
-            + ("Retry-After: 1\r\n" if status == 429 else "")
+            + ("Retry-After: 1\r\n" if status in (429, 503) else "")
             + "\r\n"
         ).encode("latin-1")
         writer.write(head + body)

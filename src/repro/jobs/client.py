@@ -10,6 +10,15 @@ connect/teardown per request — the difference between ~126 and several
 hundred status round-trips per second against a warm server. A stale
 connection (server restarted, idle timeout) is retried once on a fresh
 one, so callers never see the reconnect.
+
+Resilience is opt-in through ``retry_seconds``: with a budget set, the
+client rides out connection failures (server restarting after a crash)
+and 429/503 rejections — honoring the server's ``Retry-After`` header —
+with capped exponential backoff, until the wall-clock budget is spent,
+then raises a typed :class:`~repro.errors.RetriesExhaustedError`. Pair
+retried ``submit`` calls with an ``idempotency_key``: a retry whose
+original request *did* land then returns the original job instead of
+queueing a duplicate.
 """
 
 from __future__ import annotations
@@ -21,7 +30,7 @@ import threading
 import time
 from urllib.parse import urlsplit
 
-from ..errors import ReproError
+from ..errors import ReproError, RetriesExhaustedError
 
 __all__ = ["JobClient", "JobClientError"]
 
@@ -29,17 +38,36 @@ __all__ = ["JobClient", "JobClientError"]
 class JobClientError(ReproError):
     """An HTTP error from the serve API (carries status and server message)."""
 
-    def __init__(self, status: int, message: str):
+    def __init__(self, status: int, message: str,
+                 retry_after: float | None = None):
         super().__init__(f"HTTP {status}: {message}")
         self.status = status
+        #: The server's ``Retry-After`` hint in seconds, when present
+        #: (429 backpressure and 503 draining responses carry one).
+        self.retry_after = retry_after
 
 
 class JobClient:
-    """Talk to a ``repro-euler serve`` instance at ``base_url``."""
+    """Talk to a ``repro-euler serve`` instance at ``base_url``.
 
-    def __init__(self, base_url: str, timeout: float = 30.0):
+    Parameters
+    ----------
+    timeout:
+        Per-request socket timeout in seconds.
+    retry_seconds:
+        ``None`` (default) keeps the historical behavior: one transparent
+        reconnect for a stale keep-alive socket, everything else raises
+        immediately. A number arms budgeted retrying: connection errors
+        and 429/503 responses back off (honoring ``Retry-After``) and
+        retry until the budget is exhausted, then raise
+        :class:`~repro.errors.RetriesExhaustedError`.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 30.0,
+                 retry_seconds: float | None = None):
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.retry_seconds = retry_seconds
         parts = urlsplit(self.base_url)
         if parts.scheme not in ("http", ""):
             raise ValueError(f"unsupported scheme {parts.scheme!r}")
@@ -71,7 +99,9 @@ class JobClient:
             conn.close()
             self._local.conn = None
 
-    def _request(self, method: str, path: str, payload: dict | None = None) -> dict:
+    def _request_once(self, method: str, path: str,
+                      payload: dict | None = None) -> dict:
+        """One request (with the single stale-socket reconnect)."""
         data = None if payload is None else json.dumps(payload).encode()
         headers = {"Content-Type": "application/json"} if data else {}
         for attempt in (0, 1):
@@ -93,8 +123,37 @@ class JobClient:
                 message = json.loads(body).get("error", resp.reason)
             except ValueError:
                 message = resp.reason
-            raise JobClientError(resp.status, message)
+            retry_after = resp.getheader("Retry-After")
+            try:
+                retry_after = float(retry_after) if retry_after else None
+            except ValueError:
+                retry_after = None
+            raise JobClientError(resp.status, message, retry_after=retry_after)
         return json.loads(body)
+
+    def _request(self, method: str, path: str,
+                 payload: dict | None = None) -> dict:
+        if self.retry_seconds is None:
+            return self._request_once(method, path, payload)
+        deadline = time.monotonic() + self.retry_seconds
+        delay = 0.05
+        last: Exception | None = None
+        while True:
+            try:
+                return self._request_once(method, path, payload)
+            except JobClientError as exc:
+                if exc.status not in (429, 503):
+                    raise  # a real answer, not a transient rejection
+                last = exc
+                wait = exc.retry_after if exc.retry_after is not None else delay
+            except (http.client.HTTPException, ConnectionError, OSError) as exc:
+                # Server down/restarting: keep knocking within the budget.
+                last = exc
+                wait = delay
+            if time.monotonic() + wait > deadline:
+                raise RetriesExhaustedError(self.retry_seconds, last)
+            time.sleep(wait)
+            delay = min(delay * 2, 2.0)
 
     # -- API wrappers ------------------------------------------------------
 
@@ -118,11 +177,17 @@ class JobClient:
     def submit(self, scenario: str, *, graph_key: str | None = None,
                path: str | None = None, config: dict | None = None,
                priority: int = 0, name: str = "",
-               timeout_seconds: float | None = None) -> dict:
+               timeout_seconds: float | None = None,
+               max_retries: int | None = None,
+               idempotency_key: str | None = None) -> dict:
         body: dict = {"scenario": scenario, "priority": priority, "name": name,
                       "config": config or {}}
         if timeout_seconds is not None:
             body["timeout_seconds"] = float(timeout_seconds)
+        if max_retries is not None:
+            body["max_retries"] = int(max_retries)
+        if idempotency_key is not None:
+            body["idempotency_key"] = str(idempotency_key)
         if graph_key is not None:
             body["graph_key"] = graph_key
         elif path is not None:

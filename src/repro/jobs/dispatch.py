@@ -29,18 +29,35 @@ worker ``i``; the worker's :class:`FlagToken` — duck-typed to
 :class:`~repro.pipeline.cancel.CancelToken` — polls that flag (and its
 deadline) at every superstep and sub-run boundary. An explicit cancel
 still wins over a simultaneously-expired deadline.
+
+Supervision (the fault-tolerance layer):
+
+* **death** — a worker that dies mid-job (SIGKILL, OOM, hard crash) is
+  detected by the liveness poll in :meth:`ForkedWorkerPool.run`,
+  respawned, and the job surfaces as a typed
+  :class:`~repro.errors.TransientJobError` the engine may retry;
+* **hangs** — workers stamp a shared :class:`~repro.bsp.shm.HeartbeatSlots`
+  entry at every cancel-token poll (superstep/sub-run boundaries); with a
+  ``hang_timeout`` armed, a stale stamp gets the worker SIGKILL'd and
+  respawned — a wedged superstep can no longer pin a dispatcher forever;
+* **respawn budget + circuit breaker** — respawns are counted per rolling
+  window; past the budget the pool's circuit opens for a cooldown and the
+  engine degrades those jobs to in-process execution instead of feeding a
+  crash loop.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import os
 import time
 import traceback
+from collections import deque
 from dataclasses import replace
 from pathlib import Path
 
 from ..bsp import shm
-from ..errors import RunCancelledError
+from ..errors import RunCancelledError, TransientJobError
 from ..graph.graph import Graph
 
 __all__ = ["FlagToken", "ForkedWorkerPool"]
@@ -52,14 +69,19 @@ class FlagToken:
     Duck-typed to :class:`~repro.pipeline.cancel.CancelToken` (``arm`` /
     ``cancelled`` / ``expired`` / ``should_stop`` / ``check``), so the
     pipeline's safe-point checks work unchanged inside a forked worker.
-    Pickles to an **inert** token (no flags, no deadline): one rides inside
-    every result config shipped back through the pipe, and a revived flag
-    reference would be meaningless in another process.
+    Every poll also stamps the worker's heartbeat slot — the cancel checks
+    run at superstep and sub-run boundaries, which is exactly the "still
+    making progress" signal hang detection needs, for free. Pickles to an
+    **inert** token (no flags, no heartbeat, no deadline): one rides
+    inside every result config shipped back through the pipe, and a
+    revived flag reference would be meaningless in another process.
     """
 
-    def __init__(self, flags, slot: int, timeout_seconds: float | None = None):
+    def __init__(self, flags, slot: int, timeout_seconds: float | None = None,
+                 heartbeats=None):
         self._flags = flags
         self._slot = slot
+        self._heartbeats = heartbeats
         self.timeout_seconds = timeout_seconds
         self._deadline: float | None = None
         self.arm()
@@ -67,9 +89,16 @@ class FlagToken:
     def arm(self) -> None:
         if self.timeout_seconds is not None:
             self._deadline = time.monotonic() + self.timeout_seconds
+        self.beat()
+
+    def beat(self) -> None:
+        """Stamp this worker's heartbeat slot (no-op without one)."""
+        if self._heartbeats is not None:
+            self._heartbeats.beat(self._slot)
 
     @property
     def cancelled(self) -> bool:
+        self.beat()
         return self._flags is not None and self._flags.is_set(self._slot)
 
     @property
@@ -93,13 +122,14 @@ class FlagToken:
     def __setstate__(self, state):
         self._flags = None
         self._slot = -1
+        self._heartbeats = None
         self.timeout_seconds = state.get("timeout_seconds")
         self._deadline = None
 
 
 def _strip_config(config):
     """A config safe to cross the pipe (and land in durable artifacts)."""
-    return replace(config, pool=None, cancel=None, derived=None)
+    return replace(config, pool=None, cancel=None, derived=None, faults=None)
 
 
 def _scrub_result(result) -> None:
@@ -117,18 +147,28 @@ def _attach_graph(descriptor: dict):
     )
 
 
-def _run_spec(spec: dict, flags, slot: int, catalog, graph_cache: dict) -> dict:
-    """Execute one job spec; always returns a terminal-state dict."""
+def _run_spec(spec: dict, flags, slot: int, catalog, graph_cache: dict,
+              heartbeats=None) -> dict:
+    """Execute one job spec; always returns a terminal-state dict.
+
+    Failure dicts carry ``transient``: ``True`` marks infrastructure
+    failures (injected faults, shm trouble) the parent may retry; job
+    errors (bad graph, bad config) stay permanent.
+    """
     from ..scenarios.base import run_scenario
 
     passes: list[tuple] = []
     started = time.perf_counter()
     try:
-        token = FlagToken(flags, slot, spec.get("timeout_seconds"))
+        token = FlagToken(flags, slot, spec.get("timeout_seconds"),
+                          heartbeats=heartbeats)
         token.check("dispatch")
         key = spec["graph_key"]
         if key not in catalog:
             catalog.refresh()  # cataloged after this worker forked
+
+        config = spec["config"]
+        faults = config.faults
 
         t0 = time.perf_counter()
         graph = graph_cache.get(key)
@@ -137,6 +177,8 @@ def _run_spec(spec: dict, flags, slot: int, catalog, graph_cache: dict) -> dict:
             descriptor = spec.get("graph_descriptor")
             if descriptor is not None:
                 try:
+                    if faults:
+                        faults.shm_attach()
                     graph = _attach_graph(descriptor)
                     source = "segment"
                 except FileNotFoundError:
@@ -150,7 +192,6 @@ def _run_spec(spec: dict, flags, slot: int, catalog, graph_cache: dict) -> dict:
         passes.append(("load_graph", time.perf_counter() - t0,
                        {"graph_key": key, "source": source}))
 
-        config = spec["config"]
         t0 = time.perf_counter()
         # The parent persisted the partition map / plan to disk before
         # sending the spec, so this is a disk-cache hit, not a recompute.
@@ -174,47 +215,84 @@ def _run_spec(spec: dict, flags, slot: int, catalog, graph_cache: dict) -> dict:
         passes.append(("cancelled", time.perf_counter() - started,
                        {"reason": exc.reason, "where": exc.where}))
         if exc.reason == "timeout":
-            return {"state": "FAILED", "error": str(exc), "passes": passes}
+            return {"state": "FAILED", "error": str(exc), "passes": passes,
+                    "transient": False}
         return {"state": "CANCELLED", "error": None, "passes": passes}
     except Exception as exc:  # the worker loop must survive any job failure
         detail = "".join(
             traceback.format_exception_only(type(exc), exc)
         ).strip()
         passes.append(("error", 0.0, {"error": detail}))
-        return {"state": "FAILED", "error": detail, "passes": passes}
+        return {"state": "FAILED", "error": detail, "passes": passes,
+                "transient": isinstance(exc, TransientJobError)}
 
 
-def _worker_main(conn, slot: int, catalog_root: str, flags_descriptor: dict):
+def _worker_main(conn, slot: int, catalog_root: str, flags_descriptor: dict,
+                 heartbeat_descriptor: dict | None = None):
     """Forked worker loop: recv spec → run → send result, until sentinel."""
     from .catalog import GraphCatalog
 
+    # Mark this process as a dispatcher worker so an injected
+    # ``worker_kill`` fault dies for real (SIGKILL) instead of raising —
+    # the whole point is exercising unclean worker death.
+    os.environ["REPRO_FAULT_WORKER"] = str(os.getpid())
     flags = shm.CancelFlags.attach(flags_descriptor)
+    heartbeats = (shm.HeartbeatSlots.attach(heartbeat_descriptor)
+                  if heartbeat_descriptor is not None else None)
     catalog = GraphCatalog(catalog_root)
     graph_cache: dict = {}
+    # The fork copies the parent's stack, so this process holds write ends
+    # of its own (and earlier siblings') pipes — recv() would never EOF
+    # after a parent kill -9. Poll the ppid instead: re-parented means the
+    # engine is gone and this worker must not outlive it.
+    parent = os.getppid()
     try:
         while True:
+            if not conn.poll(1.0):
+                if os.getppid() != parent:
+                    return
+                continue
             try:
                 spec = conn.recv()
             except EOFError:
                 return
             if spec is None:
                 return
-            conn.send(_run_spec(spec, flags, slot, catalog, graph_cache))
+            conn.send(_run_spec(spec, flags, slot, catalog, graph_cache,
+                                heartbeats=heartbeats))
     finally:
         flags.close()
+        if heartbeats is not None:
+            heartbeats.close()
         conn.close()
 
 
 class ForkedWorkerPool:
-    """N pre-forked job workers, one pipe and one cancel-flag slot each.
+    """N pre-forked job workers, one pipe, cancel flag and heartbeat each.
 
     Created before the engine's dispatcher threads so the initial fork is
-    single-threaded. A worker that dies mid-job (OOM kill, hard crash) is
-    detected by the liveness poll in :meth:`run`, reported as a failed job,
-    and respawned — the pool survives; only the job on that slot is lost.
+    single-threaded. A worker that dies or hangs mid-job is killed (if
+    needed), respawned, and reported as a :class:`TransientJobError` — the
+    pool survives; only the job on that slot is interrupted. Respawns are
+    budgeted per rolling window: past ``respawn_budget`` respawns in
+    ``respawn_window`` seconds, :meth:`circuit_open` turns true for
+    ``breaker_cooldown`` seconds and the engine degrades to in-process
+    execution instead of feeding a crash loop.
+
+    Parameters
+    ----------
+    hang_timeout:
+        Seconds of heartbeat silence (no superstep/sub-run boundary
+        reached) after which a worker is declared hung and SIGKILL'd.
+        ``None`` (default) disables hang detection — a legitimate
+        superstep may take arbitrarily long.
     """
 
-    def __init__(self, n: int, catalog_root: str | Path):
+    def __init__(self, n: int, catalog_root: str | Path,
+                 hang_timeout: float | None = None,
+                 respawn_budget: int = 5,
+                 respawn_window: float = 60.0,
+                 breaker_cooldown: float = 30.0):
         if n < 1:
             raise ValueError("worker count must be >= 1")
         if not shm.shm_available():
@@ -225,6 +303,15 @@ class ForkedWorkerPool:
         self._catalog_root = str(catalog_root)
         self._ctx = multiprocessing.get_context("fork")
         self.flags = shm.CancelFlags.create(n)
+        self.heartbeats = shm.HeartbeatSlots.create(n)
+        self.hang_timeout = hang_timeout
+        self.respawn_budget = respawn_budget
+        self.respawn_window = respawn_window
+        self.breaker_cooldown = breaker_cooldown
+        self._respawn_times: deque[float] = deque()
+        self._broken_until = 0.0
+        self.total_respawns = 0
+        self.hung_kills = 0
         self._workers: list = [None] * n
         self._closed = False
         for slot in range(n):
@@ -234,7 +321,8 @@ class ForkedWorkerPool:
         parent_conn, child_conn = self._ctx.Pipe(duplex=True)
         proc = self._ctx.Process(
             target=_worker_main,
-            args=(child_conn, slot, self._catalog_root, self.flags.descriptor),
+            args=(child_conn, slot, self._catalog_root, self.flags.descriptor,
+                  self.heartbeats.descriptor),
             name=f"job-worker-{slot}",
             daemon=True,
         )
@@ -242,27 +330,77 @@ class ForkedWorkerPool:
         child_conn.close()
         self._workers[slot] = (proc, parent_conn)
 
-    def run(self, slot: int, spec: dict) -> dict | None:
-        """Run one spec on ``slot``; ``None`` means the worker died.
+    def _respawn_after_failure(self, slot: int) -> None:
+        """Respawn a failed slot and charge it against the breaker budget."""
+        now = time.monotonic()
+        self.total_respawns += 1
+        self._respawn_times.append(now)
+        while (self._respawn_times
+               and now - self._respawn_times[0] > self.respawn_window):
+            self._respawn_times.popleft()
+        if len(self._respawn_times) > self.respawn_budget:
+            self._broken_until = now + self.breaker_cooldown
+        self._spawn(slot)
+
+    def circuit_open(self) -> bool:
+        """Whether the respawn circuit breaker is currently open."""
+        return time.monotonic() < self._broken_until
+
+    def supervisor_stats(self) -> dict:
+        """Respawn/breaker counters for ``/healthz``."""
+        now = time.monotonic()
+        return {
+            "workers": self.n,
+            "respawns": self.total_respawns,
+            "hung_kills": self.hung_kills,
+            "respawn_budget": self.respawn_budget,
+            "respawn_window_seconds": self.respawn_window,
+            "circuit_open": self.circuit_open(),
+            "circuit_reset_seconds": max(0.0, self._broken_until - now),
+            "hang_timeout": self.hang_timeout,
+        }
+
+    def run(self, slot: int, spec: dict) -> dict:
+        """Run one spec on ``slot``; raises :class:`TransientJobError` on
+        worker death or hang (the slot is respawned first).
 
         Blocks the calling dispatcher thread (each thread owns its slot, so
-        there is no cross-thread contention on the pipe). On worker death
-        the slot is respawned before returning.
+        there is no cross-thread contention on the pipe).
         """
         if self._closed:
             raise RuntimeError("ForkedWorkerPool is closed")
         proc, conn = self._workers[slot]
+        # Baseline the heartbeat at dispatch: hang age counts from *now*
+        # even if the worker never reaches its first token poll.
+        self.heartbeats.beat(slot)
         try:
             conn.send(spec)
             while not conn.poll(0.2):
                 if not proc.is_alive() and not conn.poll(0):
                     raise EOFError
+                if self.hang_timeout is not None:
+                    age = self.heartbeats.age_seconds(slot)
+                    if age is not None and age > self.hang_timeout:
+                        self.hung_kills += 1
+                        proc.kill()
+                        proc.join(timeout=2.0)
+                        conn.close()
+                        self._respawn_after_failure(slot)
+                        raise TransientJobError(
+                            f"dispatcher worker {slot} hung (no heartbeat "
+                            f"for {age:.1f}s > {self.hang_timeout:g}s); "
+                            "killed and respawned"
+                        )
             return conn.recv()
+        except TransientJobError:
+            raise
         except (EOFError, BrokenPipeError, OSError):
             conn.close()
             proc.join(timeout=1.0)
-            self._spawn(slot)
-            return None
+            self._respawn_after_failure(slot)
+            raise TransientJobError(
+                f"dispatcher worker {slot} died mid-job; respawned"
+            ) from None
 
     def cancel(self, slot: int) -> None:
         """Signal the job running on ``slot`` (polled at safe points)."""
@@ -295,6 +433,7 @@ class ForkedWorkerPool:
             conn.close()
         self._workers = [None] * self.n
         self.flags.close()
+        self.heartbeats.close()
 
     def __enter__(self) -> "ForkedWorkerPool":
         return self

@@ -25,11 +25,33 @@ RUNNING jobs stop cooperatively — each job carries a
 :class:`~repro.pipeline.cancel.CancelToken` (cancel flag + optional
 deadline) checked at superstep and sub-run boundaries, so
 :meth:`JobEngine.cancel` reaches mid-run jobs on every backend.
+
+Fault tolerance (the crash-safety layer on top):
+
+* **journal** — with a :class:`~repro.jobs.journal.JobJournal` attached,
+  every submission is fsync'd to an append-only WAL *before it is
+  acknowledged*, and every transition after it; :meth:`recover` (run
+  automatically at construction) replays the journal plus the durable
+  artifacts and re-enqueues whatever a crash interrupted, so ``kill -9``
+  loses zero acknowledged submissions;
+* **retries** — transient failures (:class:`~repro.errors.TransientJobError`:
+  killed/hung workers, broken pools, shm attach trouble) re-dispatch with
+  exponential backoff and deterministic jitter, up to the job's
+  ``max_retries``; permanent job errors never retry;
+* **supervision** — the forked worker pool heartbeats, hang-kills and
+  respawns its workers under a budgeted circuit breaker; while the breaker
+  is open the engine *degrades* process-mode jobs to in-process execution
+  instead of feeding a crash loop;
+* **drain** — :meth:`drain` stops intake (HTTP 503 at the front ends),
+  lets running jobs finish inside a deadline, then checkpoints the journal
+  so still-queued jobs survive to the next start.
 """
 
 from __future__ import annotations
 
 import itertools
+import random
+import re
 import threading
 import time
 import traceback
@@ -37,25 +59,48 @@ from collections import deque
 from dataclasses import replace
 from pathlib import Path
 
+from ..bsp import shm
 from ..bsp.executors import SharedPool
-from ..errors import JobError, RunCancelledError
+from ..errors import (
+    EngineDrainingError,
+    JobError,
+    RunCancelledError,
+    TransientJobError,
+)
+from ..faults import FaultPlan
 from ..pipeline.cancel import CancelToken
 from ..pipeline.context import RunConfig
 from ..scenarios.base import run_scenario
 from .catalog import GraphCatalog
 from .dispatch import ForkedWorkerPool
+from .journal import JobJournal, TERMINAL_EVENTS, config_from_dict, reduce_records
 from .queue import (
     CANCELLED,
     DONE,
     FAILED,
     QUEUED,
     RUNNING,
+    TERMINAL_STATES,
     Job,
     JobQueue,
     JobResult,
 )
 
 __all__ = ["JobEngine"]
+
+#: Exception class names (stdlib executor breakage) treated as transient.
+_TRANSIENT_CLASS_NAMES = frozenset(
+    {"BrokenProcessPool", "BrokenThreadPool", "BrokenExecutor"}
+)
+
+
+def _is_transient(exc: BaseException) -> bool:
+    """Whether a failure is infrastructure (retryable), not the job's fault."""
+    if isinstance(exc, TransientJobError):
+        return True
+    if isinstance(exc, (EOFError, BrokenPipeError)):
+        return True
+    return type(exc).__name__ in _TRANSIENT_CLASS_NAMES
 
 
 class JobEngine:
@@ -107,6 +152,22 @@ class JobEngine:
         Default per-job ``timeout_seconds`` applied when a submission does
         not carry its own (``None``: unbounded). The deadline budgets run
         time (armed at dispatch) and fails the job at its next safe point.
+    journal:
+        A :class:`~repro.jobs.journal.JobJournal` (or a path to build one
+        at), or ``None`` (default) for a journal-less engine. With a
+        journal, :meth:`recover` runs during construction — before the
+        dispatcher threads start — replaying whatever a previous process
+        left behind.
+    default_max_retries:
+        ``max_retries`` applied to submissions that do not carry their
+        own. ``0`` (default): transient failures fail like any other.
+    retry_backoff / retry_backoff_max:
+        Exponential-backoff base and cap (seconds) between retry attempts;
+        jitter is deterministic per (job, attempt).
+    hang_timeout / respawn_budget / respawn_window / breaker_cooldown:
+        Process-mode supervision knobs, passed through to
+        :class:`~repro.jobs.dispatch.ForkedWorkerPool` (see its docs).
+        Ignored in thread mode.
     """
 
     def __init__(
@@ -122,6 +183,14 @@ class JobEngine:
         retention: int | None = None,
         max_queued: int | None = None,
         default_timeout: float | None = None,
+        journal: JobJournal | str | Path | None = None,
+        default_max_retries: int = 0,
+        retry_backoff: float = 0.05,
+        retry_backoff_max: float = 5.0,
+        hang_timeout: float | None = None,
+        respawn_budget: int = 5,
+        respawn_window: float = 60.0,
+        breaker_cooldown: float = 30.0,
     ):
         if dispatchers < 1:
             raise ValueError("dispatchers must be >= 1")
@@ -131,8 +200,16 @@ class JobEngine:
             )
         if keep_results is not None and keep_results < 0:
             raise ValueError("keep_results must be >= 0 or None")
+        if default_max_retries < 0:
+            raise ValueError("default_max_retries must be >= 0")
         self.catalog = (
             catalog if isinstance(catalog, GraphCatalog) else GraphCatalog(catalog)
+        )
+        # Startup janitor: segments named by a previous, now-dead process
+        # (a crashed server's cancel flags, heartbeats, graph shares) are
+        # unreachable garbage — sweep them before creating our own.
+        self.swept_segments: list[str] = (
+            shm.sweep_stale_segments() if shm.shm_available() else []
         )
         self.dispatcher = dispatcher
         self.dispatchers = dispatchers
@@ -142,7 +219,13 @@ class JobEngine:
             # Fork the workers *before* any dispatcher thread exists: a
             # single-threaded parent makes fork semantics trivial (no lock
             # can be mid-held in the children).
-            self._forked = ForkedWorkerPool(dispatchers, self.catalog.root)
+            self._forked = ForkedWorkerPool(
+                dispatchers, self.catalog.root,
+                hang_timeout=hang_timeout,
+                respawn_budget=respawn_budget,
+                respawn_window=respawn_window,
+                breaker_cooldown=breaker_cooldown,
+            )
         else:
             self._owns_pool = pool is None and pool_kind is not None
             self.pool = pool if pool is not None else (
@@ -156,11 +239,39 @@ class JobEngine:
         self.artifact_dir = Path(artifact_dir) if artifact_dir is not None else None
         self.keep_results = keep_results
         self.default_timeout = default_timeout
+        self.default_max_retries = default_max_retries
+        self.retry_backoff = retry_backoff
+        self.retry_backoff_max = retry_backoff_max
         self._resident: deque[Job] = deque()
         self._resident_lock = threading.Lock()
         self.queue = JobQueue(retention=retention, max_queued=max_queued)
+        self.journal = (
+            journal if (journal is None or isinstance(journal, JobJournal))
+            else JobJournal(journal)
+        )
+        #: idempotency key → job id (seeded from the journal at recovery).
+        self._idem: dict[str, str] = {}
+        self._idem_lock = threading.Lock()
+        #: Minimal status rows for journal-only jobs (terminal at crash
+        #: with no artifact, or unrecoverable) — the job_summary fallback
+        #: of last resort.
+        self._journal_fallback: dict[str, dict] = {}
+        #: Pending backoff timers → their jobs; close() resolves survivors.
+        self._retry_timers: dict[threading.Timer, Job] = {}
+        self._timers_lock = threading.Lock()
+        self._retries_scheduled = 0
+        self._degraded_jobs = 0
+        self._draining = False
+        self._stop_dispatch = False
         self._ids = itertools.count(1)
         self._closed = False
+        #: What :meth:`recover` found and did (all zero without a journal).
+        self.recovery_stats: dict = {
+            "replayed": 0, "requeued": 0, "reconciled": 0,
+            "failed": 0, "terminal": 0,
+        }
+        if self.journal is not None:
+            self.recover()
         self._threads = [
             threading.Thread(
                 target=self._dispatch_loop, args=(i,),
@@ -182,6 +293,8 @@ class JobEngine:
         priority: int = 0,
         name: str = "",
         timeout_seconds: float | None = None,
+        max_retries: int | None = None,
+        idempotency_key: str | None = None,
     ) -> JobResult:
         """Queue one scenario run; returns its future-style handle.
 
@@ -189,15 +302,37 @@ class JobEngine:
         (already cataloged) must be given. ``timeout_seconds`` bounds the
         job's *run* time (the engine's ``default_timeout`` applies when
         omitted); an overrunning job fails at its next safe point.
+        ``max_retries`` bounds transient re-dispatches (default:
+        ``default_max_retries``).
+
+        ``idempotency_key`` deduplicates: a resubmission carrying a key
+        already seen (within the registry retention + journal window)
+        returns the original job's handle instead of queueing a duplicate
+        — the client-retry safety net.
+
+        With a journal, the submission is fsync'd durable **before** this
+        method returns: an acknowledged job survives ``kill -9``.
 
         Raises :class:`~repro.errors.QueueFullError` under backpressure
-        (``max_queued``) — the graph pin taken here is released on the way
-        out, so rejected submissions leak nothing.
+        (``max_queued``) and :class:`~repro.errors.EngineDrainingError`
+        during graceful shutdown — the graph pin taken here is released on
+        the way out, so rejected submissions leak nothing.
         """
         if self._closed:
             raise RuntimeError("engine is closed")
+        if self._draining:
+            raise EngineDrainingError()
         if (graph is None) == (graph_key is None):
             raise ValueError("pass exactly one of graph or graph_key")
+        if idempotency_key:
+            existing = self.idempotent_job_id(idempotency_key)
+            if existing is not None:
+                try:
+                    return self.queue.handle(existing)
+                except JobError:
+                    # The original aged out of the registry (terminal long
+                    # ago); treat the resubmission as a fresh job.
+                    pass
         # Pinned until the job is terminal: budget eviction must never pull
         # the graph out from under an accepted job. For a fresh graph the
         # pin rides inside put()'s lock hold (no catalog-then-pin TOCTOU);
@@ -211,6 +346,8 @@ class JobEngine:
             meta = self.catalog.meta(graph_key)
             if timeout_seconds is None:
                 timeout_seconds = self.default_timeout
+            if max_retries is None:
+                max_retries = self.default_max_retries
             job = Job(
                 id=f"job-{next(self._ids):06d}",
                 scenario=scenario,
@@ -222,11 +359,29 @@ class JobEngine:
                 n_edges=int(meta["n_edges"]),
                 timeout_seconds=timeout_seconds,
                 cancel_token=CancelToken(timeout_seconds),
+                max_retries=int(max_retries),
+                idempotency_key=idempotency_key,
             )
-            return self.queue.submit(job)
+            handle = self.queue.submit(job)
+            try:
+                self._journal_submit(job)
+            except BaseException:
+                # Never acknowledge what the journal couldn't record: pull
+                # the job back out before the handle escapes.
+                self.queue.cancel(job.id)
+                raise
+            if idempotency_key:
+                with self._idem_lock:
+                    self._idem[idempotency_key] = job.id
+            return handle
         except BaseException:
             self.catalog.unpin(graph_key)
             raise
+
+    def idempotent_job_id(self, key: str) -> str | None:
+        """The job id previously submitted under ``key``, if any."""
+        with self._idem_lock:
+            return self._idem.get(key)
 
     def cancel(self, job_id: str) -> bool:
         """Cancel a job: QUEUED terminally, RUNNING cooperatively.
@@ -248,6 +403,7 @@ class JobEngine:
             # Cancelled-while-queued jobs never reach a dispatcher; write
             # their artifact here so the registry can evict them too.
             self._write_artifact(job, swallow_errors=True)
+            self._journal_event("cancelled", job)
             return True
         if job.state == RUNNING and job.cancel_token is not None:
             job.cancel_token.cancel()
@@ -263,12 +419,14 @@ class JobEngine:
         return self.queue.get(job_id)
 
     def job_summary(self, job_id: str) -> dict:
-        """Status row for any job ever run: registry, then artifact index.
+        """Status row for any job ever run: registry, artifact, journal.
 
         The bounded registry answers live and recently-terminal jobs; for
         evicted ones the durable per-job artifact
         (:func:`~repro.bench.report_io.load_job_summary`) still serves the
-        exact :meth:`~repro.jobs.queue.Job.summary` shape.
+        exact :meth:`~repro.jobs.queue.Job.summary` shape; jobs known only
+        to the journal (terminal at a crash before their artifact landed)
+        answer from the recovery fallback rows.
         """
         from ..bench.report_io import load_job_summary
 
@@ -276,6 +434,8 @@ class JobEngine:
             return self.queue.get(job_id).summary()
         except JobError:
             summary = load_job_summary(self.artifact_dir, job_id)
+            if summary is None:
+                summary = self._journal_fallback.get(job_id)
             if summary is None:
                 raise
             return summary
@@ -294,26 +454,224 @@ class JobEngine:
     def jobs(self) -> list[Job]:
         return self.queue.jobs()
 
+    # -- journal ------------------------------------------------------------
+
+    def _journal_submit(self, job: Job) -> None:
+        """Durably record an accepted submission (raises on failure)."""
+        if self.journal is None:
+            return
+        from .journal import config_to_dict
+
+        self.journal.append(
+            "submitted", job.id,
+            scenario=job.scenario,
+            graph_key=job.graph_key,
+            config=config_to_dict(job.config),
+            priority=job.priority,
+            name=job.graph_name,
+            timeout_seconds=job.timeout_seconds,
+            max_retries=job.max_retries,
+            idempotency_key=job.idempotency_key,
+        )
+
+    def _journal_event(self, event: str, job: Job, **fields) -> None:
+        """Record a transition; never lets journal trouble kill a dispatcher."""
+        if self.journal is None:
+            return
+        try:
+            self.journal.append(event, job.id, **fields)
+        except Exception:
+            pass
+
+    def recover(self) -> dict:
+        """Replay the journal + artifacts; re-enqueue interrupted jobs.
+
+        Runs during construction (before any dispatcher thread), so by the
+        time the engine serves traffic every job a crash interrupted is
+        either back in the queue (original id — clients keep polling the
+        id they were acknowledged with) or journaled terminal:
+
+        * jobs QUEUED at the crash re-enqueue as-is;
+        * jobs RUNNING at the crash consume one attempt (the run died with
+          the process) and re-enqueue while ``attempt <= max_retries``,
+          else fail terminally;
+        * jobs whose terminal record was lost but whose durable artifact
+          landed (the artifact is written *before* the terminal journal
+          record) are reconciled from the artifact;
+        * jobs missing their ``submitted`` spec fail as unrecoverable.
+
+        Idempotency keys from every replayed spec re-seed the dedup map.
+        Returns (and stores as ``recovery_stats``) what was done.
+        """
+        from ..bench.report_io import load_job_summary
+
+        stats = {"replayed": 0, "requeued": 0, "reconciled": 0,
+                 "failed": 0, "terminal": 0}
+        if self.journal is None:
+            self.recovery_stats = stats
+            return stats
+        records = self.journal.replay()
+        stats["replayed"] = len(records)
+        states = reduce_records(records)
+        max_id = 0
+        for job_id, state in sorted(states.items()):
+            m = re.fullmatch(r"job-(\d+)", job_id)
+            if m:
+                max_id = max(max_id, int(m.group(1)))
+            spec = state["spec"] or {}
+            key = spec.get("idempotency_key")
+            if key:
+                self._idem[key] = job_id
+            if state["event"] in TERMINAL_EVENTS:
+                stats["terminal"] += 1
+                if (load_job_summary(self.artifact_dir, job_id) is None
+                        and job_id not in self._journal_fallback):
+                    self._journal_fallback[job_id] = self._fallback_summary(
+                        job_id, state["event"].upper(), spec, state["error"]
+                    )
+                continue
+            # Interrupted (QUEUED/RUNNING at crash). The durable artifact
+            # is written before the terminal journal record, so an
+            # artifact in a terminal state wins: the job finished; only
+            # its journal record was lost.
+            summary = load_job_summary(self.artifact_dir, job_id)
+            if summary is not None and summary.get("state") in TERMINAL_STATES:
+                self._journal_event(
+                    summary["state"].lower(), _Ref(job_id), reconciled=True
+                )
+                stats["reconciled"] += 1
+                continue
+            if state["spec"] is None:
+                self._recover_failed(
+                    job_id, spec, stats,
+                    "unrecoverable: submitted record lost",
+                )
+                continue
+            was_running = state["event"] == "started"
+            attempt = state["attempt"] + (1 if was_running else 0)
+            max_retries = int(spec.get("max_retries") or 0)
+            if was_running and attempt > max_retries:
+                self._recover_failed(
+                    job_id, spec, stats,
+                    "lost at crash; retry budget exhausted",
+                )
+                continue
+            try:
+                config = config_from_dict(spec.get("config") or {})
+                self.catalog.pin(spec["graph_key"])
+            except (KeyError, ValueError) as exc:
+                self._recover_failed(
+                    job_id, spec, stats, f"unrecoverable: {exc}"
+                )
+                continue
+            try:
+                meta = self.catalog.meta(spec["graph_key"])
+                timeout = spec.get("timeout_seconds")
+                job = Job(
+                    id=job_id,
+                    scenario=spec.get("scenario", ""),
+                    graph_key=spec["graph_key"],
+                    config=config,
+                    priority=int(spec.get("priority") or 0),
+                    graph_name=spec.get("name", ""),
+                    n_vertices=int(meta["n_vertices"]),
+                    n_edges=int(meta["n_edges"]),
+                    timeout_seconds=timeout,
+                    cancel_token=CancelToken(timeout),
+                    max_retries=max_retries,
+                    attempt=attempt,
+                    idempotency_key=key,
+                )
+                job.record_pass(
+                    "recovered", 0.0,
+                    was=("RUNNING" if was_running else "QUEUED"),
+                    attempt=attempt,
+                )
+                if was_running:
+                    self._journal_event(
+                        "retry", job, attempt=attempt,
+                        error="recovered: running at crash",
+                    )
+                self.queue.submit(job, force=True)
+                stats["requeued"] += 1
+            except BaseException:
+                self.catalog.unpin(spec["graph_key"])
+                raise
+        if max_id:
+            self._ids = itertools.count(max_id + 1)
+        self.recovery_stats = stats
+        return stats
+
+    def _recover_failed(self, job_id: str, spec: dict, stats: dict,
+                        error: str) -> None:
+        """Journal a terminal failure for a job recovery cannot re-run."""
+        self._journal_event("failed", _Ref(job_id), error=error)
+        self._journal_fallback[job_id] = self._fallback_summary(
+            job_id, FAILED, spec, error
+        )
+        stats["failed"] += 1
+
+    @staticmethod
+    def _fallback_summary(job_id: str, state: str, spec: dict,
+                          error: str | None) -> dict:
+        """A minimal :meth:`Job.summary`-shaped row from journal data."""
+        return {
+            "id": job_id,
+            "scenario": spec.get("scenario", ""),
+            "graph_key": spec.get("graph_key", ""),
+            "graph_name": spec.get("name", ""),
+            "n_vertices": 0,
+            "n_edges": 0,
+            "priority": int(spec.get("priority") or 0),
+            "state": state,
+            "executor": "",
+            "submitted_at": spec.get("ts"),
+            "started_at": None,
+            "finished_at": None,
+            "queue_latency_seconds": None,
+            "run_seconds": None,
+            "error": error,
+            "artifact_path": None,
+            "timeout_seconds": spec.get("timeout_seconds"),
+            "max_retries": int(spec.get("max_retries") or 0),
+            "attempt": 0,
+            "idempotency_key": spec.get("idempotency_key"),
+            "recovered": True,
+        }
+
     # -- dispatch ----------------------------------------------------------
 
     def _dispatch_loop(self, slot: int) -> None:
         while True:
+            if self._stop_dispatch:
+                return
             job = self.queue.pop(timeout=0.2)
             if job is None:
-                if self._closed:
+                if self._closed or self._stop_dispatch:
                     return
                 continue
-            if self._forked is not None:
+            self._journal_event("started", job, attempt=job.attempt)
+            if self._forked is not None and self._forked.circuit_open():
+                # Graceful degradation: the worker pool is crash-looping;
+                # run in-process (slower, shared GIL) rather than feeding
+                # jobs to workers that keep dying.
+                self._degraded_jobs += 1
+                job.record_pass("degraded_dispatch", 0.0,
+                                reason="worker circuit breaker open")
+                self._run_job(job)
+            elif self._forked is not None:
                 self._run_job_forked(job, slot)
             else:
                 self._run_job(job)
 
     def _run_job(self, job: Job) -> None:
+        retried = False
         try:
-            self._run_job_inner(job)
+            retried = self._run_job_inner(job)
         finally:
-            self.catalog.unpin(job.graph_key)
-            self._trim_resident(job)
+            if not retried:
+                self.catalog.unpin(job.graph_key)
+                self._trim_resident(job)
 
     def _trim_resident(self, job: Job) -> None:
         """Bound the in-memory results a long-lived engine retains."""
@@ -324,7 +682,22 @@ class JobEngine:
             while len(self._resident) > self.keep_results:
                 self._resident.popleft().result = None
 
-    def _run_job_inner(self, job: Job) -> None:
+    def _armed_faults(self, job: Job):
+        """The job's fault plan, armed for its current attempt.
+
+        A plan rides either the job's own config or the process-wide
+        ``REPRO_FAULTS`` variable; the attempt arming is what makes retried
+        runs execute clean (see :meth:`~repro.faults.FaultPlan.for_attempt`).
+        """
+        plan = job.config.faults
+        if plan is None:
+            plan = FaultPlan.from_env()
+        if plan is None:
+            return None
+        return plan.for_attempt(job.attempt)
+
+    def _run_job_inner(self, job: Job) -> bool:
+        """Run one job in-process; returns True when a retry was scheduled."""
         started = time.perf_counter()
         try:
             token = job.cancel_token
@@ -346,7 +719,8 @@ class JobEngine:
             config = job.config
             if self.pool is not None and config.pool is None:
                 config = replace(config, pool=self.pool)
-            config = replace(config, derived=derived, cancel=token)
+            config = replace(config, derived=derived, cancel=token,
+                             faults=self._armed_faults(job))
             # The backend the job actually runs on (post pool injection) —
             # what status rows and the batch report must attribute to.
             job.executor = config.executor_name
@@ -366,7 +740,9 @@ class JobEngine:
             job.state = DONE
             job.finished_at = time.time()
             self._write_artifact(job)
+            self._journal_event("done", job)
             self.queue.finish(job, DONE)
+            return False
         except RunCancelledError as exc:
             # Cooperative stop at a safe point. The passes recorded so far
             # ARE the partial pass history — persisted with the terminal
@@ -381,31 +757,85 @@ class JobEngine:
             job.error = error
             job.finished_at = time.time()
             self._write_artifact(job, swallow_errors=True)
+            self._journal_event(state.lower(), job, error=error)
             self.queue.finish(job, state, error=error)
+            return False
         except Exception as exc:  # a failed job must never kill its dispatcher
             detail = "".join(
                 traceback.format_exception_only(type(exc), exc)
             ).strip()
             job.record_pass("error", 0.0, error=detail)
-            job.state = FAILED
-            job.error = detail
+            if _is_transient(exc) and self._schedule_retry(job, detail):
+                return True
+            self._finish_failed(job, detail)
+            return False
+
+    # -- retry/backoff ------------------------------------------------------
+
+    def _schedule_retry(self, job: Job, error: str) -> bool:
+        """Arrange a backoff'd re-dispatch; False when out of budget."""
+        if job.attempt >= job.max_retries or self._closed:
+            return False
+        next_attempt = job.attempt + 1
+        base = min(self.retry_backoff_max,
+                   self.retry_backoff * (2 ** job.attempt))
+        # Deterministic jitter: reproducible schedules (the chaos tests
+        # replay exactly), yet distinct jobs never thundering-herd.
+        jitter = random.Random(f"{job.id}:{next_attempt}").random()
+        backoff = base * (1.0 + jitter)
+        job.record_pass("retry", backoff, attempt=next_attempt,
+                        error=error, backoff_seconds=backoff)
+        job.attempt = next_attempt
+        job.error = None
+        self._journal_event("retry", job, attempt=next_attempt,
+                            error=error, backoff=backoff)
+        timer = threading.Timer(backoff, self._requeue_after_backoff, args=())
+        # The timer must know itself to claim its registry slot (the
+        # close() race: exactly one of timer-fire / close resolves a job).
+        timer.args = (timer, job)
+        timer.daemon = True
+        with self._timers_lock:
+            self._retry_timers[timer] = job
+        self._retries_scheduled += 1
+        timer.start()
+        return True
+
+    def _requeue_after_backoff(self, timer: threading.Timer, job: Job) -> None:
+        with self._timers_lock:
+            if self._retry_timers.pop(timer, None) is None:
+                return  # close() claimed (and resolved) this job already
+        token = job.cancel_token
+        if token is not None and token.cancelled:
+            # Cancelled while waiting out the backoff.
+            job.record_pass("cancelled", 0.0, reason="cancel",
+                            where="retry backoff")
+            job.state = CANCELLED
             job.finished_at = time.time()
             self._write_artifact(job, swallow_errors=True)
-            self.queue.finish(job, FAILED, error=detail)
+            self._journal_event("cancelled", job)
+            self.queue.finish(job, CANCELLED)
+        elif not self.queue.requeue(job):
+            self._finish_failed(job, "engine closed during retry backoff")
+        else:
+            return  # back in the queue; the pin stays held
+        self.catalog.unpin(job.graph_key)
+        self._trim_resident(job)
 
     # -- pre-forked dispatch (process mode) ---------------------------------
 
     def _run_job_forked(self, job: Job, slot: int) -> None:
+        retried = False
         try:
-            self._run_job_forked_inner(job, slot)
+            retried = self._run_job_forked_inner(job, slot)
         finally:
             with self._slots_lock:
                 self._job_slots.pop(job.id, None)
             self._forked.clear(slot)
-            self.catalog.unpin(job.graph_key)
-            self._trim_resident(job)
+            if not retried:
+                self.catalog.unpin(job.graph_key)
+                self._trim_resident(job)
 
-    def _run_job_forked_inner(self, job: Job, slot: int) -> None:
+    def _run_job_forked_inner(self, job: Job, slot: int) -> bool:
         started = time.perf_counter()
         try:
             self._forked.clear(slot)
@@ -436,14 +866,12 @@ class JobEngine:
                 "scenario": job.scenario,
                 "graph_key": job.graph_key,
                 "config": replace(job.config, pool=None, cancel=None,
-                                  derived=None),
+                                  derived=None,
+                                  faults=self._armed_faults(job)),
                 "graph_descriptor": descriptor,
                 "timeout_seconds": job.timeout_seconds,
             }
             out = self._forked.run(slot, spec)
-            if out is None:
-                self._finish_failed(job, "dispatcher worker died")
-                return
             for name, seconds, extra in out.get("passes", []):
                 job.record_pass(name, seconds, **extra)
             job.executor = out.get("executor", "") or job.executor
@@ -453,14 +881,30 @@ class JobEngine:
                 job.state = DONE
                 job.finished_at = time.time()
                 self._write_artifact(job)
+                self._journal_event("done", job)
                 self.queue.finish(job, DONE)
             elif state == CANCELLED:
                 job.state = CANCELLED
                 job.finished_at = time.time()
                 self._write_artifact(job, swallow_errors=True)
+                self._journal_event("cancelled", job)
                 self.queue.finish(job, CANCELLED)
             else:
-                self._finish_failed(job, out.get("error") or "job failed")
+                error = out.get("error") or "job failed"
+                if out.get("transient") and self._schedule_retry(job, error):
+                    return True
+                self._finish_failed(job, error)
+            return False
+        except TransientJobError as exc:
+            # Worker death or hang: the pool already respawned the slot;
+            # the job retries (budget permitting) on the fresh worker.
+            detail = str(exc)
+            job.record_pass("worker_failure", time.perf_counter() - started,
+                            error=detail)
+            if self._schedule_retry(job, detail):
+                return True
+            self._finish_failed(job, detail)
+            return False
         except Exception as exc:  # parent-side failure must not kill the loop
             detail = "".join(
                 traceback.format_exception_only(type(exc), exc)
@@ -468,12 +912,14 @@ class JobEngine:
             job.record_pass("error", time.perf_counter() - started,
                             error=detail)
             self._finish_failed(job, detail)
+            return False
 
     def _finish_failed(self, job: Job, error: str) -> None:
         job.state = FAILED
         job.error = error
         job.finished_at = time.time()
         self._write_artifact(job, swallow_errors=True)
+        self._journal_event("failed", job, error=error)
         self.queue.finish(job, FAILED, error=error)
 
     def _write_artifact(self, job: Job, swallow_errors: bool = False) -> None:
@@ -497,16 +943,75 @@ class JobEngine:
 
     # -- lifecycle ---------------------------------------------------------
 
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def drain(self, timeout: float = 30.0, grace: float = 5.0) -> dict:
+        """Graceful shutdown, phase one: stop intake, let work land.
+
+        New submissions raise :class:`~repro.errors.EngineDrainingError`
+        (HTTP 503 with ``Retry-After`` at the front ends) while queued and
+        running jobs keep executing. Past ``timeout`` seconds, dispatch
+        stops, still-RUNNING jobs are asked to cancel at their next safe
+        point (waited on for ``grace`` seconds), and the journal is
+        checkpointed — **still-QUEUED jobs stay journaled** and will be
+        re-enqueued by the next process's :meth:`recover`, so even an
+        impatient drain loses nothing that was acknowledged.
+
+        Follow with ``close(cancel_queued=False)``: cancelling the
+        leftovers would journal them terminal and forfeit that recovery.
+        """
+        self._draining = True
+        deadline = time.monotonic() + max(0.0, timeout)
+        while time.monotonic() < deadline:
+            counts = self.queue.counts()
+            if counts[QUEUED] + counts[RUNNING] == 0:
+                break
+            time.sleep(0.05)
+        # Past the deadline (or drained): stop dispatch so leftovers stay
+        # QUEUED, then push RUNNING jobs to their next safe point.
+        self._stop_dispatch = True
+        for job in self.queue.jobs():
+            if job.state == RUNNING and job.cancel_token is not None:
+                self.cancel(job.id)
+        grace_deadline = time.monotonic() + max(0.0, grace)
+        while time.monotonic() < grace_deadline:
+            if self.queue.counts()[RUNNING] == 0:
+                break
+            time.sleep(0.05)
+        counts = self.queue.counts()
+        kept = self.journal.checkpoint() if self.journal is not None else 0
+        return {
+            "drained": counts[QUEUED] + counts[RUNNING] == 0,
+            "remaining_queued": counts[QUEUED],
+            "remaining_running": counts[RUNNING],
+            "journal_records_kept": kept,
+            "timeout": timeout,
+        }
+
     def close(self, cancel_queued: bool = True) -> None:
         """Drain dispatchers and release the pool (idempotent).
 
         Queued jobs are cancelled by default so close cannot hang behind a
-        deep queue; pass ``cancel_queued=False`` to let the queue drain.
-        Running jobs always finish — their shared pool stays up until the
-        dispatchers exit.
+        deep queue; pass ``cancel_queued=False`` to let the queue drain
+        (or, after :meth:`drain`, to leave journaled leftovers for the
+        next process to recover). Running jobs always finish — their
+        shared pool stays up until the dispatchers exit.
         """
         if self._closed:
             return
+        # Resolve pending backoff timers first: each job is either claimed
+        # here (failed terminally so its handle unblocks) or by its timer
+        # firing — never both (the registry pop below arbitrates).
+        with self._timers_lock:
+            pending = dict(self._retry_timers)
+            self._retry_timers.clear()
+        for timer, job in pending.items():
+            timer.cancel()
+            self._finish_failed(job, "engine closed during retry backoff")
+            self.catalog.unpin(job.graph_key)
+            self._trim_resident(job)
         if cancel_queued:
             for job in self.queue.jobs():
                 if job.state == QUEUED:
@@ -519,6 +1024,8 @@ class JobEngine:
             self._forked.close()
         if self.pool is not None and self._owns_pool:
             self.pool.close()
+        if self.journal is not None:
+            self.journal.close()
         self.catalog.close_shared()
 
     def segment_stats(self) -> dict:
@@ -529,8 +1036,33 @@ class JobEngine:
                 stats[k] = stats.get(k, 0) + v
         return stats
 
+    def supervisor_stats(self) -> dict:
+        """Fault-tolerance counters for ``/healthz``."""
+        stats = {
+            "dispatcher": self.dispatcher,
+            "retries_scheduled": self._retries_scheduled,
+            "degraded_jobs": self._degraded_jobs,
+            "draining": self._draining,
+            "swept_segments": list(self.swept_segments),
+            "recovery": dict(self.recovery_stats),
+        }
+        if self._forked is not None:
+            stats["workers"] = self._forked.supervisor_stats()
+        if self.journal is not None:
+            stats["journal"] = self.journal.stats()
+        return stats
+
     def __enter__(self) -> "JobEngine":
         return self
 
     def __exit__(self, *exc) -> None:
         self.close()
+
+
+class _Ref:
+    """A job-id stand-in for journal calls with no live :class:`Job`."""
+
+    __slots__ = ("id",)
+
+    def __init__(self, job_id: str):
+        self.id = job_id

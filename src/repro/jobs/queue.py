@@ -86,6 +86,17 @@ class Job:
     #: Per-job run-time budget in seconds (``None``: unbounded). Rides the
     #: cancel token; a tripped deadline fails the job at the next safe point.
     timeout_seconds: float | None = None
+    #: How many times a **transient** failure (killed/hung worker, broken
+    #: pool, shm attach failure — :class:`~repro.errors.TransientJobError`)
+    #: may be re-dispatched before the job fails for good. Permanent
+    #: failures never retry.
+    max_retries: int = 0
+    #: Current attempt index (0 = first run; incremented per retry and by
+    #: crash recovery for jobs that were RUNNING at the crash).
+    attempt: int = 0
+    #: Client-supplied deduplication key: re-submitting the same key
+    #: returns the original job instead of queueing a duplicate.
+    idempotency_key: str | None = None
     #: The :class:`~repro.pipeline.cancel.CancelToken` the engine threads
     #: into the run — how ``DELETE /jobs/<id>`` reaches a RUNNING job.
     cancel_token: Any = None
@@ -132,6 +143,9 @@ class Job:
             "error": self.error,
             "artifact_path": self.artifact_path,
             "timeout_seconds": self.timeout_seconds,
+            "max_retries": self.max_retries,
+            "attempt": self.attempt,
+            "idempotency_key": self.idempotency_key,
         }
 
 
@@ -236,11 +250,13 @@ class JobQueue:
         #: ``/healthz`` stays O(1) however long the server has been up.
         self._counts = {s: 0 for s in JOB_STATES}
 
-    def submit(self, job: Job) -> JobResult:
+    def submit(self, job: Job, force: bool = False) -> JobResult:
         """Enqueue a QUEUED job; returns its handle.
 
         Raises :class:`~repro.errors.QueueFullError` when the
-        ``max_queued`` backpressure bound is hit.
+        ``max_queued`` backpressure bound is hit. ``force`` bypasses the
+        bound — crash recovery re-enqueues already-acknowledged jobs, and
+        bouncing those on backpressure would lose accepted work.
         """
         with self._lock:
             if self._closed:
@@ -249,7 +265,7 @@ class JobQueue:
                 raise JobError(f"duplicate job id {job.id!r}")
             if job.state != QUEUED:
                 raise JobError(f"job {job.id} submitted in state {job.state}")
-            if (self.max_queued is not None
+            if (not force and self.max_queued is not None
                     and self._counts[QUEUED] >= self.max_queued):
                 raise QueueFullError(self.max_queued)
             handle = JobResult(job)
@@ -325,6 +341,28 @@ class JobQueue:
             self._counts[CANCELLED] += 1
             self._handles[job_id]._mark_done()
             self._retire_locked(job_id)
+            return True
+
+    def requeue(self, job: Job) -> bool:
+        """Put a RUNNING job back in the queue (the transient-retry path).
+
+        Bypasses the ``max_queued`` backpressure bound — the job was
+        already acknowledged; rejecting its retry would turn a transient
+        infrastructure failure into a lost submission. Returns ``False``
+        when the queue is closed (the engine fails the job instead) or the
+        job is not RUNNING (e.g. it reached a terminal state while its
+        backoff timer was pending).
+        """
+        with self._lock:
+            if self._closed or job.state != RUNNING:
+                return False
+            job.state = QUEUED
+            job.started_at = None
+            self._counts[RUNNING] -= 1
+            self._counts[QUEUED] += 1
+            heapq.heappush(self._heap, (-job.priority, self._seq, job.id))
+            self._seq += 1
+            self._not_empty.notify()
             return True
 
     def _retire_locked(self, job_id: str) -> None:

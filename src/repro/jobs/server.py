@@ -43,17 +43,25 @@ the queue with an absurd value) and ``timeout_seconds`` (run deadline).
 from __future__ import annotations
 
 import json
+import signal
+import threading
+from dataclasses import replace
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 
 import numpy as np
 
-from ..errors import JobError, QueueFullError, ReproError
+from ..errors import EngineDrainingError, JobError, QueueFullError, ReproError
+from ..faults import FaultPlan
 from ..graph.graph import Graph
 from ..graph.io import load_edge_list, load_npz
-from ..pipeline.context import RunConfig
 from ..scenarios.base import scenario_names
 from .engine import JobEngine
+# Wire-config parsing lives with the journal now (the same respawn spec
+# crosses both the HTTP wire and the WAL); re-exported here for the
+# established import path.
+from .journal import WIRE_CONFIG_FIELDS as _CONFIG_FIELDS  # noqa: F401
+from .journal import config_from_dict
 from .queue import DONE, TERMINAL_STATES
 
 __all__ = ["JobApi", "make_server", "serve_forever", "config_from_dict",
@@ -62,42 +70,6 @@ __all__ = ["JobApi", "make_server", "serve_forever", "config_from_dict",
 #: Wire-level priority clamp: submissions outside ±this are clamped, so a
 #: single client cannot monopolize (or bury) the priority queue.
 MAX_WIRE_PRIORITY = 100
-
-#: RunConfig fields settable over the wire (pool/derived/spill are
-#: deliberately server-owned).
-_CONFIG_FIELDS = {
-    "n_parts": int,
-    "partitioner": str,
-    "strategy": str,
-    "matching": str,
-    "seed": int,
-    "executor": str,
-    "workers": int,
-    "transport": str,
-    "validate": bool,
-    "verify": bool,
-}
-
-
-def config_from_dict(payload: dict) -> RunConfig:
-    """Build a :class:`RunConfig` from a request body's ``config`` object."""
-    kwargs = {}
-    for key, value in (payload or {}).items():
-        caster = _CONFIG_FIELDS.get(key)
-        if caster is None:
-            raise ValueError(f"unknown config field {key!r}")
-        if caster is bool:
-            # bool("false") is True — reject anything but a JSON boolean
-            # rather than silently flipping the request's meaning.
-            if not isinstance(value, bool):
-                raise ValueError(
-                    f"config field {key!r} must be a JSON boolean, "
-                    f"got {value!r}"
-                )
-            kwargs[key] = value
-        else:
-            kwargs[key] = caster(value)
-    return RunConfig(**kwargs)
 
 
 def _graph_from_body(body: dict, engine: JobEngine) -> tuple[Graph | None, str | None, str]:
@@ -162,6 +134,10 @@ class JobApi:
         except QueueFullError as exc:
             # Backpressure: overload degrades into fast typed rejections.
             return 429, {"error": str(exc), "max_queued": exc.max_queued}
+        except EngineDrainingError as exc:
+            # Graceful shutdown in progress: tell clients to come back
+            # after the restart instead of failing them permanently.
+            return 503, {"error": str(exc), "draining": True}
         except (KeyError, JobError) as exc:
             return 404, {"error": str(exc)}
         except (ValueError, ReproError) as exc:
@@ -189,7 +165,12 @@ class JobApi:
                 "max_queued": queue.max_queued,
                 "keep_results": engine.keep_results,
                 "default_timeout": engine.default_timeout,
+                "default_max_retries": engine.default_max_retries,
             },
+            # Fault-tolerance telemetry: draining flag, retry/degradation
+            # counters, worker supervision, journal stats, recovery
+            # outcome, and the startup janitor's swept stale segments.
+            "fault_tolerance": engine.supervisor_stats(),
         }
 
     def _GET_catalog(self, parts, body, path):  # noqa: N802
@@ -214,15 +195,41 @@ class JobApi:
         priority = max(-MAX_WIRE_PRIORITY,
                        min(MAX_WIRE_PRIORITY, int(body.get("priority", 0))))
         timeout = body.get("timeout_seconds")
+        max_retries = body.get("max_retries")
+        idem_key = body.get("idempotency_key")
+        idem_key = str(idem_key) if idem_key else None
+        if idem_key:
+            existing = self.engine.idempotent_job_id(idem_key)
+            if existing is not None:
+                # Client retry of an already-accepted submission: answer
+                # with the original job (registry, artifact, or journal —
+                # whichever still knows it) instead of running it twice.
+                try:
+                    summary = self.engine.job_summary(existing)
+                    return 200, {"job_id": existing,
+                                 "state": summary["state"],
+                                 "graph_key": summary["graph_key"],
+                                 "deduplicated": True}
+                except JobError:
+                    pass  # aged out everywhere; accept as a fresh job
+        config_payload = dict(body.get("config", {}) or {})
+        faults_text = config_payload.pop("faults", None)
+        config = config_from_dict(config_payload)
+        if faults_text:
+            # The fault-injection harness rides the same wire config the
+            # chaos benchmarks use (grammar: "kind@at=2,attempts=1;...").
+            config = replace(config, faults=FaultPlan.parse(str(faults_text)))
         graph, key, name = _graph_from_body(body, self.engine)
         handle = self.engine.submit(
             scenario,
             graph=graph,
             graph_key=key,
-            config=config_from_dict(body.get("config", {})),
+            config=config,
             priority=priority,
             name=name,
             timeout_seconds=None if timeout is None else float(timeout),
+            max_retries=None if max_retries is None else int(max_retries),
+            idempotency_key=idem_key,
         )
         job = self.engine.job(handle.job_id)
         return 200, {"job_id": handle.job_id,
@@ -297,7 +304,7 @@ class _JobRequestHandler(BaseHTTPRequestHandler):
         try:
             self.send_response(status)
             self.send_header("Content-Type", "application/json")
-            if status == 429:
+            if status in (429, 503):
                 self.send_header("Retry-After", "1")
             self.send_header("Content-Length", str(len(body)))
             self.end_headers()
@@ -349,12 +356,19 @@ def serve_forever(
     port: int,
     quiet: bool = False,
     frontend: str = "thread",
+    drain_timeout: float = 30.0,
 ) -> None:
     """Run the API until interrupted, then close the engine cleanly.
 
     ``frontend="async"`` serves through the asyncio front end
     (:class:`repro.jobs.aserver.AsyncJobServer`); both front ends expose
     the identical :class:`JobApi` surface.
+
+    ``SIGTERM`` triggers a graceful drain: new submissions get 503 (with
+    ``Retry-After``), running jobs get up to ``drain_timeout`` seconds to
+    finish, the journal is checkpointed, and still-queued jobs stay
+    journaled for the next start's recovery. ``SIGINT``/Ctrl-C keeps the
+    historical fast path (cancel queued jobs, close).
     """
     if frontend == "async":
         from .aserver import AsyncJobServer
@@ -366,6 +380,33 @@ def serve_forever(
         raise ValueError(
             f"unknown frontend {frontend!r}; use 'thread' or 'async'"
         )
+    drained = threading.Event()
+
+    def _drain_and_stop() -> None:
+        stats = engine.drain(timeout=drain_timeout)
+        drained.set()
+        if not quiet:
+            print(f"repro-euler serve: drained "
+                  f"(finished={stats['drained']}, "
+                  f"queued_left={stats['remaining_queued']}, "
+                  f"journal_kept={stats['journal_records_kept']})")
+        server.shutdown()
+
+    def _on_sigterm(signum, frame):  # pragma: no cover - signal path
+        if drained.is_set():
+            return
+        if not quiet:
+            print(f"repro-euler serve: SIGTERM — draining "
+                  f"(up to {drain_timeout:g}s)...")
+        # Drain off the signal handler: engine.drain blocks, and a signal
+        # handler must not (the server loop still has requests to 503).
+        threading.Thread(target=_drain_and_stop, daemon=True,
+                         name="serve-drain").start()
+
+    try:
+        signal.signal(signal.SIGTERM, _on_sigterm)
+    except ValueError:
+        pass  # not the main thread (tests drive serve_forever directly)
     addr = server.server_address
     print(f"repro-euler serve: listening on http://{addr[0]}:{addr[1]} "
           f"(frontend={frontend}, dispatcher={engine.dispatcher}"
@@ -378,4 +419,7 @@ def serve_forever(
         pass
     finally:
         server.server_close()
-        engine.close()
+        # After a drain, queued leftovers are journaled on purpose —
+        # cancelling them here would mark them terminal and forfeit the
+        # next start's recovery.
+        engine.close(cancel_queued=not drained.is_set())

@@ -82,6 +82,13 @@ class RunConfig:
     #: between scenario sub-runs. Never serialized; stripped before any
     #: process fan-out — all checks run in the submitting process.
     cancel: Any = None
+    #: Deterministic fault-injection plan (a
+    #: :class:`~repro.faults.FaultPlan`, or ``None`` for the universal
+    #: no-faults default). Checked at the same safe points as ``cancel``;
+    #: faults only abort or delay a run, never change its result. The job
+    #: engine re-arms the plan per retry attempt so recovered runs execute
+    #: clean.
+    faults: Any = None
     #: Superstep state transport: ``"pickle"`` (portable default) or
     #: ``"shm"`` — child→parent states ship as shared-memory segment
     #: descriptors (:mod:`repro.bsp.shm`) instead of pickled byte blobs.

@@ -23,6 +23,25 @@ from .setup import Setup
 __all__ = ["run_pipeline"]
 
 
+def _make_checkpoint(token, faults):
+    """The superstep-boundary hook: cancel check + fault injection.
+
+    Both ride the same safe points so an injected fault interrupts a run
+    exactly where a real failure (cancel, deadline, worker death) would —
+    never mid-superstep, never with shared structures inconsistent.
+    """
+    if token is None and not faults:
+        return None
+
+    def check() -> None:
+        if token is not None:
+            token.check("superstep boundary")
+        if faults:
+            faults.superstep()
+
+    return check
+
+
 def run_pipeline(graph: Graph, config: RunConfig) -> RunContext:
     """Run the full partition-centric pipeline; returns the run artifact.
 
@@ -32,6 +51,7 @@ def run_pipeline(graph: Graph, config: RunConfig) -> RunContext:
     :class:`~repro.errors.RunCancelledError` at the first tripped check.
     """
     token = config.cancel
+    faults = config.faults
     if token is not None:
         token.check("pipeline start")
     ctx = RunContext.for_graph(graph, config)
@@ -65,10 +85,7 @@ def run_pipeline(graph: Graph, config: RunConfig) -> RunContext:
             program,
             max_supersteps=n_levels + 2,
             on_commit=program.make_commit(ctx.store),
-            check_abort=(
-                None if token is None
-                else lambda: token.check("superstep boundary")
-            ),
+            check_abort=_make_checkpoint(token, faults),
         )
     finally:
         # Janitor: a run that aborts between ship and receive (cancel,

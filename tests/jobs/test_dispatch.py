@@ -172,7 +172,7 @@ def test_killed_worker_fails_job_and_respawns(tmp_path, spin_scenario):
         handle = engine.submit("test-spin", graph=tri)
         _wait_for(spin_scenario)
         os.kill(victim_pid, signal.SIGKILL)
-        with pytest.raises(JobFailedError, match="dispatcher worker died"):
+        with pytest.raises(JobFailedError, match="died mid-job"):
             handle.result(timeout=60)
         # The slot respawned: a fresh pid, and it serves the next job.
         assert engine._forked._workers[0][0].pid != victim_pid
