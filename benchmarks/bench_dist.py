@@ -1,0 +1,196 @@
+#!/usr/bin/env python
+"""Distributed loopback smoke soak: N jobs over real worker processes.
+
+Spawns two ``repro-euler worker`` host processes on loopback (real
+processes, real sockets — the same topology as a 2-machine deployment,
+minus the network), points a coordinator :class:`~repro.jobs.JobEngine`
+at them (``dispatcher="remote"``) and pushes a soak of jobs through,
+one of which carries an injected ``host_kill`` fault that SIGKILLs the
+worker it lands on mid-superstep.
+
+What must hold — and what this script asserts and reports:
+
+* every job finishes ``DONE``, including the faulted one (retried on the
+  surviving host);
+* every result is bit-identical to an in-process serial run of the same
+  scenario;
+* at least one host failure was observed and retried;
+* after the janitor sweep, no shared-memory segment created by either
+  worker pid is left behind.
+
+Writes a machine-readable ``dist-report.json`` (CI uploads it as an
+artifact) and exits non-zero on any violation.
+
+Usage::
+
+    python benchmarks/bench_dist.py --jobs 20 --output dist-report.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.bench.report_io import SCHEMA_VERSION  # noqa: E402
+from repro.bsp import shm  # noqa: E402
+from repro.faults import FaultPlan  # noqa: E402
+from repro.generate.synthetic import random_eulerian  # noqa: E402
+from repro.jobs import DONE, JobEngine  # noqa: E402
+from repro.pipeline import RunConfig  # noqa: E402
+from repro.scenarios import run_scenario  # noqa: E402
+
+REPO_SRC = str(Path(__file__).resolve().parents[1] / "src")
+
+
+def spawn_worker(root: Path, name: str):
+    """Start one ``repro-euler worker`` process; returns (proc, addr, pid)."""
+    port_file = root / f"{name}.port"
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "worker",
+         "--cache-root", str(root / name),
+         "--port-file", str(port_file)],
+        env={**os.environ, "PYTHONPATH": REPO_SRC},
+    )
+    deadline = time.monotonic() + 30
+    while not port_file.exists() or len(port_file.read_text().split()) < 3:
+        if time.monotonic() >= deadline:
+            proc.kill()
+            raise RuntimeError(f"worker {name} never wrote its port file")
+        time.sleep(0.05)
+    host, port, pid = port_file.read_text().split()
+    return proc, f"{host}:{port}", int(pid)
+
+
+def same_result(a, b) -> bool:
+    if len(a.circuits) != len(b.circuits) or a.metrics != b.metrics:
+        return False
+    return all(
+        np.array_equal(ca.vertices, cb.vertices)
+        and np.array_equal(ca.edge_ids, cb.edge_ids)
+        for ca, cb in zip(a.circuits, b.circuits)
+    )
+
+
+def run_soak(n_jobs: int, fault_job: int, root: Path) -> dict:
+    graphs = [random_eulerian(60 + 10 * i, 5, 16, seed=i) for i in range(4)]
+    config = RunConfig(n_parts=4, seed=0)
+    serial = {i: run_scenario(g, "circuit", config)
+              for i, g in enumerate(graphs)}
+
+    p1, addr1, pid1 = spawn_worker(root, "w1")
+    p2, addr2, pid2 = spawn_worker(root, "w2")
+    report: dict = {
+        "schema_version": SCHEMA_VERSION,
+        "jobs": n_jobs,
+        "fault_job": fault_job,
+        "worker_pids": [pid1, pid2],
+        "failures": [],
+    }
+    t0 = time.monotonic()
+    try:
+        with JobEngine(root / "coord", dispatcher="remote",
+                       hosts=f"{addr1},{addr2}",
+                       default_max_retries=2) as engine:
+            handles = []
+            for i in range(n_jobs):
+                faults = (FaultPlan.parse("host_kill@at=2")
+                          if i == fault_job else None)
+                handles.append((i % len(graphs), engine.submit(
+                    "circuit", graph=graphs[i % len(graphs)],
+                    config=RunConfig(n_parts=4, seed=0, faults=faults),
+                )))
+            states = []
+            for i, (gi, handle) in enumerate(handles):
+                try:
+                    res = handle.result(timeout=180)
+                except Exception as exc:  # noqa: BLE001 - soak records, not raises
+                    report["failures"].append(
+                        {"job": i, "error": f"{type(exc).__name__}: {exc}"})
+                    states.append("FAILED")
+                    continue
+                job = engine.job(handle.job_id)
+                states.append(job.state)
+                if job.state != DONE:
+                    report["failures"].append(
+                        {"job": i, "error": f"terminal state {job.state}"})
+                elif not same_result(serial[gi], res):
+                    report["failures"].append(
+                        {"job": i, "error": "result diverged from serial run"})
+            stats = engine.supervisor_stats()
+    finally:
+        for p in (p1, p2):
+            if p.poll() is None:
+                p.send_signal(signal.SIGTERM)
+        for p in (p1, p2):
+            try:
+                p.wait(timeout=10)
+            except subprocess.TimeoutExpired:  # pragma: no cover
+                p.kill()
+                p.wait(timeout=10)
+
+    report["elapsed_seconds"] = round(time.monotonic() - t0, 3)
+    report["states"] = {s: states.count(s) for s in sorted(set(states))}
+    report["host_failures"] = stats["hosts"]["host_failures"]
+    report["retries_scheduled"] = stats["retries_scheduled"]
+    report["dispatched"] = stats["hosts"]["dispatched"]
+    if report["host_failures"] < 1:
+        report["failures"].append(
+            {"job": fault_job, "error": "host_kill fault never took a host down"})
+
+    # The SIGKILL'd worker ran no cleanup; the janitor must reclaim its
+    # segments by creator-pid liveness, leaving /dev/shm clean.
+    if shm.shm_available():
+        shm.sweep_stale_segments()
+        leaked = [n for n in shm.leaked_segments()
+                  if shm.segment_creator_pid(n) in (pid1, pid2)]
+        report["leaked_segments"] = leaked
+        if leaked:
+            report["failures"].append(
+                {"job": None, "error": f"leaked shm segments: {leaked}"})
+    report["ok"] = not report["failures"]
+    return report
+
+
+def main(argv=None) -> int:
+    p = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    p.add_argument("--jobs", type=int, default=20)
+    p.add_argument("--fault-job", type=int, default=7,
+                   help="index of the job that carries the host_kill fault")
+    p.add_argument("--output", type=Path, default=Path("dist-report.json"))
+    p.add_argument("--workdir", type=Path, default=None,
+                   help="scratch dir for worker caches and the coordinator "
+                        "journal (a temp dir when omitted)")
+    args = p.parse_args(argv)
+
+    if args.workdir is not None:
+        args.workdir.mkdir(parents=True, exist_ok=True)
+        report = run_soak(args.jobs, args.fault_job, args.workdir)
+    else:
+        import tempfile
+
+        with tempfile.TemporaryDirectory(prefix="dist_smoke_") as td:
+            report = run_soak(args.jobs, args.fault_job, Path(td))
+
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    verdict = "OK" if report["ok"] else "FAILED"
+    print(f"dist-smoke: {report['jobs']} jobs in "
+          f"{report['elapsed_seconds']}s, states {report['states']}, "
+          f"{report['host_failures']} host failure(s), "
+          f"{report['retries_scheduled']} retrie(s) -> {args.output}: {verdict}")
+    for failure in report["failures"]:
+        print(f"  job {failure['job']}: {failure['error']}")
+    return 0 if report["ok"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -16,7 +16,13 @@ R-MAT workloads:
   ``copy_reduction_vs_pickle`` ratio;
 * phase-1 walk-table cache — serial superstep wall with the content-hash
   table cache warm versus force-disabled (``REPRO_PHASE1_TABLE_CACHE=0``),
-  the repeated-serve scenario the cache exists for.
+  the repeated-serve scenario the cache exists for;
+* remote loopback — the same workload through the ``remote`` executor
+  against two loopback :class:`~repro.jobs.remote.WorkerHost` processes,
+  recording the frame-protocol byte counters. The gate: bytes on the wire
+  must not exceed the raw packed-column payload plus a *fixed* per-message
+  framing allowance (``FRAME_OVERHEAD_CAP``) — i.e. the transport ships
+  the already-packed columns with zero re-encoding.
 
 Results are recorded into ``BENCH_dataplane.json`` at the repo root under a
 ``baseline`` (pre-change) or ``current`` (post-change) label, so the speedup
@@ -53,11 +59,21 @@ import numpy as np  # noqa: E402
 
 from repro.bench.report_io import SCHEMA_VERSION  # noqa: E402
 from repro.bsp import shm  # noqa: E402
+from repro.bsp import transport as wire  # noqa: E402
 from repro.bsp.accounting import CAT_COPY_SINK, CAT_COPY_SRC  # noqa: E402
 from repro.core import find_euler_circuit  # noqa: E402
 from repro.generate.eulerize import eulerian_rmat  # noqa: E402
 
 DEFAULT_OUTPUT = Path(__file__).resolve().parents[1] / "BENCH_dataplane.json"
+
+#: Framing allowance per frame on the remote wire: header, buffer length
+#: prefixes and the pickled task/result *structure* (not its array
+#: payload). Measured ~4.5 KB/frame on smoke and ~13.7 KB/frame on
+#: rmat500k (~0.3% of payload — structure grows with fragment count, far
+#: sublinear in bytes); a payload-re-encoding regression inflates this by
+#: 10-100x, which is what the cap catches. Byte counts are deterministic,
+#: so the gate needs no machine-speed scaling.
+FRAME_OVERHEAD_CAP = 16384
 
 
 @dataclass(frozen=True)
@@ -105,7 +121,7 @@ def calibration_seconds(repeats: int = 3) -> float:
 
 
 def _measure_once(g, spec: BenchSpec, executor: str, workers: int,
-                  transport: str | None = None) -> dict:
+                  transport: str | None = None, hosts=None) -> dict:
     t0 = time.perf_counter()
     res = find_euler_circuit(
         g,
@@ -115,6 +131,7 @@ def _measure_once(g, spec: BenchSpec, executor: str, workers: int,
         executor=executor,
         engine_workers=workers,
         transport=transport,
+        hosts=hosts,
         verify=False,
     )
     wall = time.perf_counter() - t0
@@ -162,7 +179,38 @@ def measure(spec: BenchSpec, repeats: int) -> dict:
         )
         out["process_shm"] = best
     out["phase1_cache"] = _phase1_cache_delta(g, spec, repeats)
+    out["remote_loopback"] = _remote_loopback(g, spec, repeats)
     return out
+
+
+def _remote_loopback(g, spec: BenchSpec, repeats: int) -> dict:
+    """The workload through two loopback worker hosts, with wire counters.
+
+    Each timed run resets the process-wide frame counters first, so the
+    recorded bytes are exactly one run's traffic (both directions — the
+    hosts are in-process, so their sends land in the same accumulator).
+    """
+    import tempfile
+
+    from repro.jobs.remote import WorkerHost
+
+    best = None
+    with tempfile.TemporaryDirectory(prefix="bench_remote_") as td:
+        root = Path(td)
+        with WorkerHost(root / "h0") as h0, WorkerHost(root / "h1") as h1:
+            hosts = [h0.address, h1.address]
+            for _ in range(repeats):
+                wire.reset_wire_stats()
+                run = _measure_once(g, spec, "remote", 2, hosts=hosts)
+                run["wire"] = wire.wire_stats()
+                if best is None or run["superstep_wall"] < best["superstep_wall"]:
+                    best = run
+    stats = best["wire"]
+    best["wire"]["overhead_per_message"] = (
+        stats["overhead_bytes"] / stats["messages"] if stats["messages"] else 0.0
+    )
+    best["frame_overhead_cap"] = FRAME_OVERHEAD_CAP
+    return best
 
 
 def _phase1_cache_delta(g, spec: BenchSpec, repeats: int) -> dict:
@@ -267,6 +315,21 @@ def check(spec: BenchSpec, repeats: int, committed: Path, tolerance: float,
               f"{cache['warm']['superstep_wall']:.3f}s vs disabled "
               f"{cache['disabled']['superstep_wall']:.3f}s "
               f"(saves {cache['saved_seconds']:.3f}s)")
+    loop = fresh.get("remote_loopback")
+    if loop is not None:
+        # Byte counts are machine-independent, so the wire gate applies
+        # directly (no calibration scale): everything beyond the raw packed
+        # buffers must fit in a fixed per-message framing allowance.
+        w = loop["wire"]
+        limit = w["buffer_bytes"] + w["messages"] * FRAME_OVERHEAD_CAP
+        wire_ok = w["bytes_total"] <= limit
+        ok &= wire_ok
+        print(f"{spec.name}: remote loopback {w['messages']} frames, "
+              f"{w['bytes_total']} B on the wire vs {w['buffer_bytes']} B "
+              f"packed buffers + {FRAME_OVERHEAD_CAP} B/frame cap "
+              f"(limit {limit} B, overhead "
+              f"{w['overhead_per_message']:.0f} B/frame): "
+              f"{'OK' if wire_ok else 'REGRESSION'}")
     return 0 if ok else 1
 
 
@@ -305,6 +368,10 @@ def main(argv=None) -> int:
     print(f"{spec.name} [{args.label}]: phase-1 cache saves "
           f"{entry['phase1_cache']['saved_seconds']:.3f}s serial "
           "superstep wall")
+    w = entry["remote_loopback"]["wire"]
+    print(f"{spec.name} [{args.label}]: remote loopback {w['messages']} "
+          f"frames, {w['bytes_total']} B total, "
+          f"{w['overhead_per_message']:.0f} B/frame overhead")
     return 0
 
 

@@ -18,10 +18,19 @@ from .engine import BSPEngine, ComputeResult
 from .executors import (
     EXECUTORS,
     ProcessExecutor,
+    RemoteExecutor,
     SerialExecutor,
     SharedPool,
     ThreadExecutor,
     make_executor,
+    resolve_executor_name,
+)
+from .transport import (
+    TRANSPORTS,
+    StaticPlacement,
+    parse_hosts,
+    resolve_transport,
+    wire_stats,
 )
 from .programs import bsp_connected_components, bsp_degree_histogram
 from .messages import MailRouter
@@ -34,8 +43,15 @@ __all__ = [
     "SerialExecutor",
     "ThreadExecutor",
     "ProcessExecutor",
+    "RemoteExecutor",
     "SharedPool",
     "make_executor",
+    "resolve_executor_name",
+    "TRANSPORTS",
+    "StaticPlacement",
+    "parse_hosts",
+    "resolve_transport",
+    "wire_stats",
     "bsp_connected_components",
     "bsp_degree_histogram",
     "MailRouter",

@@ -25,6 +25,22 @@ paper's Spark cluster:
     bodies as one concatenated ItemArray buffer plus a metadata table —
     a few raw buffers per task instead of per-element tuple encoding.
 
+``remote``
+    Partitions run on :class:`~repro.jobs.remote.WorkerHost` processes
+    reached over TCP sockets — the paper's actual deployment shape. Tasks
+    and result triples cross as length-prefixed binary frames
+    (:mod:`repro.bsp.transport`) whose packed int64 columns ship raw,
+    out-of-band of the meta pickle; the superstep program installs once
+    per host (shared-memory descriptor when co-located, framed pickle
+    otherwise) and partitions pin to hosts via
+    :class:`~repro.bsp.transport.StaticPlacement`.
+
+Orthogonal to *where* compute runs is *how* payloads move: the serial and
+thread backends accept a ``transport`` codec
+(:data:`repro.bsp.transport.TRANSPORTS`) that round-trips every task and
+result triple through a real encode/decode, so wire-format parity can be
+asserted without paying for a process pool.
+
 All backends produce ``(pid, record, result)`` triples that the engine
 commits in pid order, so the *outcome* of a run is identical under every
 backend; only wall-clock interleaving (and serialization cost) changes.
@@ -41,7 +57,10 @@ import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Any, Callable, Hashable
 
+from ..errors import BSPError, TransientJobError, UnknownExecutorError
 from . import shm
+from . import transport as transport_mod
+
 from .accounting import PartitionStepRecord
 
 __all__ = [
@@ -50,6 +69,7 @@ __all__ = [
     "SerialExecutor",
     "ThreadExecutor",
     "ProcessExecutor",
+    "RemoteExecutor",
     "SharedPool",
     "make_executor",
     "resolve_executor_name",
@@ -108,21 +128,31 @@ class _Closable:
 
 
 class SerialExecutor(_Closable):
-    """Run every partition inline, in the order given (ascending pid)."""
+    """Run every partition inline, in the order given (ascending pid).
+
+    ``transport`` selects a task codec from
+    :data:`repro.bsp.transport.TRANSPORTS`; every task and result triple is
+    round-tripped through it, so ``SerialExecutor(transport="socket")`` is
+    the remote wire format minus the network — the transport-matrix parity
+    suite runs exactly this.
+    """
 
     name = "serial"
 
-    def __init__(self, max_workers: int = 1):
+    def __init__(self, max_workers: int = 1, transport=None):
         self.max_workers = 1
+        self._transport = transport_mod.resolve_transport(transport)
 
     def start(self, compute: Callable) -> None:
         self._compute = compute
 
     def run_superstep(self, tasks: list[SuperstepTask]) -> list:
-        return [run_task(self._compute, t) for t in tasks]
+        wire = self._transport
+        return [wire.roundtrip(run_task(self._compute, wire.roundtrip(t)))
+                for t in tasks]
 
     def close(self) -> None:
-        pass
+        self._transport.close()
 
 
 class ThreadExecutor(_Closable):
@@ -130,10 +160,11 @@ class ThreadExecutor(_Closable):
 
     name = "thread"
 
-    def __init__(self, max_workers: int = 4):
+    def __init__(self, max_workers: int = 4, transport=None):
         if max_workers < 1:
             raise ValueError("max_workers must be >= 1")
         self.max_workers = max_workers
+        self._transport = transport_mod.resolve_transport(transport)
         self._pool: ThreadPoolExecutor | None = None
 
     def start(self, compute: Callable) -> None:
@@ -142,12 +173,16 @@ class ThreadExecutor(_Closable):
 
     def run_superstep(self, tasks: list[SuperstepTask]) -> list:
         assert self._pool is not None, "start() must be called before supersteps"
-        return list(self._pool.map(lambda t: run_task(self._compute, t), tasks))
+        wire = self._transport
+        return list(self._pool.map(
+            lambda t: wire.roundtrip(run_task(self._compute, wire.roundtrip(t))),
+            tasks))
 
     def close(self) -> None:
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+        self._transport.close()
 
 
 class ProcessExecutor(_Closable):
@@ -161,9 +196,14 @@ class ProcessExecutor(_Closable):
 
     name = "process"
 
-    def __init__(self, max_workers: int = 4):
+    def __init__(self, max_workers: int = 4, transport=None):
         if max_workers < 1:
             raise ValueError("max_workers must be >= 1")
+        if transport not in (None, "pickle"):
+            raise ValueError(
+                "the process executor's pipe is already a pickle transport; "
+                f"task transport {transport!r} is not supported on it"
+            )
         self.max_workers = max_workers
         self._pool: ProcessPoolExecutor | None = None
 
@@ -182,6 +222,208 @@ class ProcessExecutor(_Closable):
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+
+
+class RemoteExecutor(_Closable):
+    """Run partitions on remote :class:`~repro.jobs.remote.WorkerHost`\\ s.
+
+    The paper's deployment made real: each superstep's tasks are pinned to
+    hosts by :class:`~repro.bsp.transport.StaticPlacement` (a partition's
+    state always lands on the same host), pipelined down one framed socket
+    per host, and the ``(pid, record, result)`` triples come back as frames
+    whose packed columns were never re-encoded.
+
+    The superstep program installs once per host at :meth:`start` — as a
+    shared-memory descriptor when the host is co-located on this machine
+    (it attaches the segment instead of receiving bytes), falling back to
+    the framed raw pickle when the host replies it cannot attach. A host
+    that evicted the program mid-run answers ``need_install`` and the
+    affected tasks are replayed after a raw re-install, mirroring
+    :class:`SharedPool`'s ``ProgramSegmentGone`` fallback.
+
+    A host that disconnects mid-superstep raises
+    :class:`~repro.errors.TransientJobError`: partition state for its shard
+    is lost, so the *run* cannot be salvaged — but the job level can and
+    does retry on the surviving hosts (the coordinator's re-dispatch path).
+    """
+
+    name = "remote"
+
+    def __init__(self, hosts, max_workers: int | None = None,
+                 connect_timeout: float = 10.0, transport=None):
+        addrs = transport_mod.parse_hosts(hosts)
+        if not addrs:
+            raise ValueError(
+                "remote executor requires at least one worker host "
+                "(hosts='host:port,...')"
+            )
+        if transport not in (None, "socket"):
+            raise ValueError(
+                "the remote executor always speaks the socket frame "
+                f"transport; task transport {transport!r} is not supported"
+            )
+        self.hosts = addrs
+        self.max_workers = len(addrs)
+        self.connect_timeout = connect_timeout
+        self.placement = transport_mod.StaticPlacement(len(addrs))
+        self._conns: list[transport_mod.FrameConnection] = []
+        self._pool: ThreadPoolExecutor | None = None
+        self._segstore: shm.SharedSegmentStore | None = None
+        self._key = ""
+        self._payload = b""
+
+    def start(self, compute: Callable) -> None:
+        self._payload = pickle.dumps(compute, protocol=pickle.HIGHEST_PROTOCOL)
+        self._key = hashlib.sha256(self._payload).hexdigest()[:16]
+        wire = ("raw", self._payload)
+        if shm.shm_available():
+            try:
+                self._segstore = shm.SharedSegmentStore(tag="rprog")
+                self._segstore.publish_bytes(self._key, self._payload)
+                wire = ("seg", self._segstore.descriptor(self._key))
+            except Exception:
+                if self._segstore is not None:
+                    self._segstore.close()
+                    self._segstore = None
+                wire = ("raw", self._payload)
+        try:
+            for addr in self.hosts:
+                try:
+                    conn = transport_mod.FrameConnection.open(
+                        addr, self.connect_timeout)
+                except OSError as exc:
+                    raise TransientJobError(
+                        f"cannot reach worker host {addr[0]}:{addr[1]}: {exc}"
+                    ) from exc
+                self._conns.append(conn)
+            for conn in self._conns:
+                reply = self._request(
+                    conn, {"op": "install", "key": self._key, "wire": wire})
+                if reply.get("need_payload"):
+                    reply = self._request(
+                        conn, {"op": "install", "key": self._key,
+                               "wire": ("raw", self._payload)})
+                if not reply.get("ok"):
+                    raise TransientJobError(
+                        f"worker host {conn.addr} rejected program install: "
+                        f"{reply.get('error')}"
+                    )
+        except BaseException:
+            self.close()
+            raise
+        self._pool = ThreadPoolExecutor(max_workers=len(self._conns))
+
+    def _request(self, conn: "transport_mod.FrameConnection", msg: dict) -> dict:
+        try:
+            return conn.request(msg)
+        except (EOFError, OSError) as exc:
+            raise TransientJobError(
+                f"worker host {conn.addr} disconnected: {exc}"
+            ) from exc
+
+    def run_superstep(self, tasks: list[SuperstepTask]) -> list:
+        assert self._pool is not None, "start() must be called before supersteps"
+        groups = self.placement.group(tasks)
+        futures = {slot: self._pool.submit(self._run_host, slot, group)
+                   for slot, group in groups.items()}
+        out: list = []
+        first_error: BaseException | None = None
+        for slot in sorted(futures):
+            try:
+                out.extend(futures[slot].result())
+            except BaseException as exc:
+                if first_error is None:
+                    first_error = exc
+        if first_error is not None:
+            raise first_error
+        return out
+
+    def _run_host(self, slot: int, tasks: list[SuperstepTask]) -> list:
+        conn = self._conns[slot]
+        # The task burst is pumped from a helper thread while this thread
+        # drains replies. Sending everything first and only then receiving
+        # deadlocks once frames outgrow the socket buffers: the host blocks
+        # sending reply 1 to a peer that is itself blocked sending task 2.
+        # Draining concurrently means the host's replies always have a
+        # reader, so its recv loop always makes progress.
+        send_err: list[BaseException] = []
+
+        def pump():
+            try:
+                for t in tasks:
+                    conn.send({"op": "task", "key": self._key, "task": t})
+            except BaseException as exc:
+                send_err.append(exc)
+
+        sender = threading.Thread(
+            target=pump, name=f"remote-send-{slot}", daemon=True)
+        sender.start()
+        try:
+            replies = [conn.recv() for _ in tasks]
+        except (EOFError, OSError) as exc:
+            # The sender may still be blocked mid-frame; closing the
+            # connection (the caller's error path) unblocks it.
+            raise TransientJobError(
+                f"worker host {conn.addr} disconnected mid-superstep: {exc}"
+            ) from exc
+        # All replies arrived, so the host consumed every task frame and
+        # the sender is finished (or completing its final buffered write).
+        sender.join()
+        if send_err:
+            exc = send_err[0]
+            if isinstance(exc, (EOFError, OSError)):
+                raise TransientJobError(
+                    f"worker host {conn.addr} disconnected mid-superstep: "
+                    f"{exc}"
+                ) from exc
+            raise exc
+        if any(r.get("need_install") for r in replies):
+            # The host evicted (or never saw) this program; a pipelined
+            # burst then fails wholesale, so re-install raw and replay only
+            # the tasks that bounced.
+            self._request(conn, {"op": "install", "key": self._key,
+                                 "wire": ("raw", self._payload)})
+            for i, (t, r) in enumerate(zip(tasks, replies)):
+                if r.get("need_install"):
+                    replies[i] = self._request(
+                        conn, {"op": "task", "key": self._key, "task": t})
+        return [self._unpack(conn, t, r) for t, r in zip(tasks, replies)]
+
+    def _unpack(self, conn, task: SuperstepTask, reply: dict):
+        if reply.get("ok"):
+            pid, rec, res = reply["triple"]
+            return pid, rec, res
+        exc_bytes = reply.get("exc")
+        if exc_bytes is not None:
+            try:
+                exc = pickle.loads(exc_bytes)
+            except Exception:
+                exc = None
+            if isinstance(exc, BaseException):
+                raise exc
+        raise BSPError(
+            f"remote task pid={task[0]} failed on {conn.addr}: "
+            f"{reply.get('error')}"
+        )
+
+    def wire_stats(self) -> dict:
+        return {
+            "hosts": len(self.hosts),
+            "frames_sent": sum(c.frames_sent for c in self._conns),
+            "frames_received": sum(c.frames_received for c in self._conns),
+            "bytes_sent": sum(c.bytes_sent for c in self._conns),
+        }
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        for conn in self._conns:
+            conn.close()
+        self._conns = []
+        if self._segstore is not None:
+            self._segstore.close()
+            self._segstore = None
 
 
 # ---------------------------------------------------------------------------
@@ -387,37 +629,46 @@ EXECUTORS: dict[str, type] = {
     "serial": SerialExecutor,
     "thread": ThreadExecutor,
     "process": ProcessExecutor,
+    "remote": RemoteExecutor,
 }
 
 
-def resolve_executor_name(executor: str | None, max_workers: int = 1) -> str:
-    """The backend name a ``None``/string spec resolves to.
+def resolve_executor_name(executor: str | Any | None,
+                          max_workers: int = 1) -> str:
+    """The backend name an executor spec resolves to.
 
     ``None`` keeps the historical default: serial when ``max_workers == 1``,
     a thread pool otherwise. The single source of truth for that rule —
-    run artifacts report executors through this resolution too.
+    run artifacts report executors through this resolution too. An unknown
+    string raises :class:`~repro.errors.UnknownExecutorError` (a
+    ``ValueError``) listing the valid backends instead of flowing through
+    to a confusing downstream ``KeyError``; an executor *instance* resolves
+    to its ``name`` attribute.
     """
     if executor is None:
         return "serial" if max_workers <= 1 else "thread"
+    if not isinstance(executor, str):
+        return getattr(executor, "name", type(executor).__name__)
+    if executor not in EXECUTORS:
+        raise UnknownExecutorError(executor, EXECUTORS)
     return executor
 
 
-def make_executor(executor: str | Any | None, max_workers: int = 1):
+def make_executor(executor: str | Any | None, max_workers: int = 1,
+                  transport=None, hosts=None):
     """Resolve an executor spec into a backend instance.
 
     A string (or ``None``, via :func:`resolve_executor_name`) selects from
     :data:`EXECUTORS`; an object with ``start``/``run_superstep``/``close``
-    is used as-is.
+    is used as-is. ``transport`` selects the task codec (backends that fix
+    their own wire reject incompatible codecs); ``hosts`` is required by —
+    and only meaningful for — the ``remote`` backend.
     """
     if executor is None or isinstance(executor, str):
-        executor = resolve_executor_name(executor, max_workers)
-        try:
-            cls = EXECUTORS[executor]
-        except KeyError:
-            raise ValueError(
-                f"unknown executor {executor!r}; choose from {sorted(EXECUTORS)}"
-            ) from None
-        return cls(max_workers=max_workers)
+        name = resolve_executor_name(executor, max_workers)
+        if name == "remote":
+            return RemoteExecutor(hosts, transport=transport)
+        return EXECUTORS[name](max_workers=max_workers, transport=transport)
     if all(hasattr(executor, a) for a in ("start", "run_superstep", "close")):
         return executor
     raise TypeError(f"not an executor: {executor!r}")

@@ -253,28 +253,58 @@ def segment_creator_pid(name: str) -> int | None:
         return None
 
 
+def _pid_running(pid: int) -> bool:
+    """Is a process with this pid alive (and not a zombie)?
+
+    The janitor's liveness oracle. ``os.kill(pid, 0)`` alone has two
+    failure modes this helper closes:
+
+    * it *succeeds* for zombies — a creator that died unreaped would keep
+      its segments pinned forever (a zombie has no address space; nothing
+      can ever dispose them), so ``/proc/<pid>/stat`` state ``Z`` is
+      treated as dead;
+    * it raises ``PermissionError`` for live processes owned by another
+      user — e.g. a :class:`~repro.jobs.remote.WorkerHost` started by a
+      different parent/uid — which must be treated as *alive*, never
+      swept.
+    """
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - other-user process
+        return True
+    try:
+        stat = open(f"/proc/{pid}/stat", "rb").read()
+    except OSError:  # pragma: no cover - no procfs (non-Linux)
+        return True
+    # Field 3 is the state char; the comm field before it may contain
+    # spaces/parens, so split from the *last* ')'.
+    _, _, rest = stat.rpartition(b")")
+    return rest.split()[:1] != [b"Z"]
+
+
 def sweep_stale_segments(prefix: str = SEGMENT_PREFIX) -> list[str]:
     """Janitor: unlink ``repro_`` segments whose creating process is dead.
 
-    A SIGKILL'd server (or worker) cannot run its cleanup handlers, so its
-    catalog/flags/message segments stay in ``/dev/shm`` forever. This
-    sweep — run at serve start — removes exactly those: segments whose
-    embedded creator pid no longer exists. Segments belonging to live
-    processes (including this one) are never touched, so concurrent
-    servers on one host are safe. Returns the names actually removed.
+    A SIGKILL'd server (or worker host) cannot run its cleanup handlers,
+    so its catalog/flags/message segments stay in ``/dev/shm`` forever.
+    This sweep — run at serve start — removes exactly those: segments
+    whose embedded creator pid (:func:`segment_creator_pid`, baked into
+    every segment name at creation) no longer runs. Liveness is judged by
+    :func:`_pid_running`, which counts foreign live processes — worker
+    hosts launched by a different parent, even a different user — as
+    alive and unreaped zombies as dead, so concurrent servers and
+    independently-started hosts on one machine are safe from each other.
+    Returns the names actually removed.
     """
     swept = []
     for name in leaked_segments(prefix):
         pid = segment_creator_pid(name)
         if pid is None or pid == os.getpid():
             continue
-        try:
-            os.kill(pid, 0)
+        if _pid_running(pid):
             continue  # creator is alive: not stale
-        except ProcessLookupError:
-            pass  # dead: sweep it
-        except PermissionError:  # pragma: no cover - other-user process
-            continue  # alive (just not ours): not stale
         if unlink_segment(name):
             swept.append(name)
     return swept

@@ -1,0 +1,550 @@
+"""Task transport and placement: how superstep payloads move, and where.
+
+The executor backends (:mod:`repro.bsp.executors`) answer two questions
+that PR 1 fused into one class hierarchy and this module splits apart:
+
+* **transport** — how a :data:`~repro.bsp.executors.SuperstepTask` and its
+  result triple cross an execution boundary. Four interchangeable codecs:
+  ``memory`` (by reference, the in-process identity), ``pickle`` (a real
+  serialization round-trip), ``shm`` (buffers placed in a POSIX
+  shared-memory segment, descriptor crosses), and ``socket`` (the
+  length-prefixed binary frame the remote backend speaks, run through an
+  in-memory loopback). Every codec is bit-parity equivalent by contract —
+  the transport-matrix suite enforces it.
+* **placement** — which worker slot runs which partition.
+  :class:`StaticPlacement` pins each pid to a slot by value (ints) or
+  stable hash (everything else), so a partition's state always lands on
+  the same host across supersteps — the paper's one-machine-per-partition
+  deployment, made explicit.
+
+The frame protocol (``send_frame`` / ``recv_frame``) is what
+:class:`~repro.bsp.executors.RemoteExecutor` and
+:class:`~repro.jobs.remote.WorkerHost` speak over TCP or Unix sockets::
+
+    frame  := header | meta | buffer*
+    header := magic "REF1" (4s) | n_buffers (<I) | meta_len (<Q)
+    buffer := nbytes (<Q) | raw bytes
+
+``meta`` is a pickle-protocol-5 payload whose contiguous array buffers are
+externalized via ``buffer_callback`` and written to the socket *raw*, after
+the meta pickle — the packed int64 EdgeTable/ItemArray/CoarseTable columns
+PR 2 built ship with zero re-encoding, and the receive side rebuilds the
+arrays as views over the received buffers. Module-level :data:`WIRE`
+counters record total vs out-of-band bytes, which is exactly the
+"bytes-on-wire ≤ packed columns + framing overhead" gate the data-plane
+benchmark asserts.
+"""
+
+from __future__ import annotations
+
+import io
+import pickle
+import socket
+import struct
+import threading
+import zlib
+from typing import Any, Iterable
+
+import numpy as np
+
+from . import shm
+
+__all__ = [
+    "TRANSPORTS",
+    "FrameConnection",
+    "MemoryTransport",
+    "PickleTransport",
+    "ShmTransport",
+    "SocketTransport",
+    "StaticPlacement",
+    "WireStats",
+    "connect",
+    "encode_frame",
+    "decode_frame",
+    "parse_hosts",
+    "recv_frame",
+    "resolve_transport",
+    "send_frame",
+    "slot_of",
+    "wire_stats",
+    "reset_wire_stats",
+]
+
+_MAGIC = b"REF1"
+_HEADER = struct.Struct("<4sIQ")
+_BUFLEN = struct.Struct("<Q")
+
+#: Hard ceiling on a single frame (1 GiB) — a corrupted or hostile length
+#: prefix must not become an allocation bomb.
+MAX_FRAME_BYTES = 1 << 30
+
+
+class WireStats:
+    """Thread-safe byte accounting for the frame protocol.
+
+    ``buffer_bytes`` counts the out-of-band raw array buffers; everything
+    else (headers, length prefixes, meta pickles) is framing/encoding
+    overhead. The benchmark gate is ``bytes_total - buffer_bytes`` per
+    message staying under a fixed cap — a pickle blowup (arrays re-encoded
+    element-wise into the meta) shows up there immediately.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.messages = 0
+        self.bytes_total = 0
+        self.buffer_bytes = 0
+
+    def add(self, total: int, buffers: int) -> None:
+        with self._lock:
+            self.messages += 1
+            self.bytes_total += int(total)
+            self.buffer_bytes += int(buffers)
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "messages": self.messages,
+                "bytes_total": self.bytes_total,
+                "buffer_bytes": self.buffer_bytes,
+                "overhead_bytes": self.bytes_total - self.buffer_bytes,
+            }
+
+    def reset(self) -> None:
+        with self._lock:
+            self.messages = 0
+            self.bytes_total = 0
+            self.buffer_bytes = 0
+
+
+#: Process-wide accumulator every frame send adds to (receives are counted
+#: by the sending side of the peer, so loopback runs see both directions).
+WIRE = WireStats()
+
+
+def wire_stats() -> dict:
+    """Snapshot of the process-wide frame-protocol byte counters."""
+    return WIRE.snapshot()
+
+
+def reset_wire_stats() -> None:
+    WIRE.reset()
+
+
+#: ``bytes`` payloads at least this large are shipped out-of-band like
+#: array buffers, instead of being copied into the meta pickle.
+_BYTES_OOB_MIN = 4096
+
+
+#: Persistent-id tag marking an out-of-band ``bytes`` buffer slot.
+_OOB_BYTES_PID = "repro-oob-bytes"
+
+
+class _FramePickler(pickle.Pickler):
+    """Protocol-5 pickler that also externalizes large ``bytes`` payloads.
+
+    NumPy arrays go out-of-band natively under protocol 5, but
+    already-serialized payloads (pickled superstep *messages* riding
+    inside a task result) are plain ``bytes`` — the default pickler would
+    copy them into the meta, double-buffering the frame and blowing the
+    fixed-framing-overhead budget the data-plane benchmark gates on.
+
+    ``reducer_override``/``dispatch_table`` are skipped for exact core
+    types like ``bytes``; ``persistent_id`` is the one hook consulted for
+    every object, so large ``bytes`` are diverted here into the same
+    buffer list the ``buffer_callback`` fills. Pickle streams are strictly
+    sequential, so encode-side appends and decode-side pulls happen in the
+    same order and one shared cursor serves both kinds of slot.
+    """
+
+    def __init__(self, sink, buffers: list):
+        super().__init__(sink, protocol=5, buffer_callback=buffers.append)
+        self._oob = buffers
+
+    def persistent_id(self, obj):
+        if type(obj) is bytes and len(obj) >= _BYTES_OOB_MIN:
+            self._oob.append(pickle.PickleBuffer(obj))
+            return _OOB_BYTES_PID
+        return None
+
+
+class _FrameUnpickler(pickle.Unpickler):
+    """Counterpart to :class:`_FramePickler`: restores oob ``bytes``."""
+
+    def __init__(self, meta, buffers):
+        self._cursor = iter(buffers)
+        super().__init__(io.BytesIO(meta), buffers=self._cursor)
+
+    def persistent_load(self, pid):
+        if pid == _OOB_BYTES_PID:
+            return bytes(next(self._cursor))
+        raise pickle.UnpicklingError(f"unknown persistent id {pid!r}")
+
+
+def _load_meta(meta, buffers) -> Any:
+    return _FrameUnpickler(bytes(meta), buffers).load()
+
+
+def encode_frame(obj: Any) -> tuple[list, int, int]:
+    """Serialize ``obj`` into frame parts; ``(parts, total, buffer_bytes)``.
+
+    ``parts`` is a list of bytes-like chunks to be written in order —
+    nothing is concatenated, so the raw array buffers are never copied
+    into an intermediate bytestring.
+    """
+    buffers: list = []
+    sink = io.BytesIO()
+    _FramePickler(sink, buffers).dump(obj)
+    meta = sink.getvalue()
+    raws = [b.raw() for b in buffers]
+    parts: list = [_HEADER.pack(_MAGIC, len(raws), len(meta)), meta]
+    total = _HEADER.size + len(meta)
+    buffer_bytes = 0
+    for r in raws:
+        n = r.nbytes
+        parts.append(_BUFLEN.pack(n))
+        parts.append(r if r.contiguous else bytes(r))
+        total += _BUFLEN.size + n
+        buffer_bytes += n
+    return parts, total, buffer_bytes
+
+
+def decode_frame(data: bytes | bytearray | memoryview) -> Any:
+    """Parse one complete frame from a contiguous byte block."""
+    view = memoryview(data)
+    magic, n_buffers, meta_len = _HEADER.unpack_from(view, 0)
+    if magic != _MAGIC:
+        raise ValueError(f"bad frame magic {magic!r}")
+    off = _HEADER.size
+    meta = view[off:off + meta_len]
+    off += meta_len
+    buffers = []
+    for _ in range(n_buffers):
+        (n,) = _BUFLEN.unpack_from(view, off)
+        off += _BUFLEN.size
+        # A bytearray copy keeps the rebuilt arrays writable (a read-only
+        # view would poison downstream in-place merges).
+        buffers.append(bytearray(view[off:off + n]))
+        off += n
+    return _load_meta(meta, buffers)
+
+
+def send_frame(sock: socket.socket, obj: Any) -> int:
+    """Write one frame to a connected socket; returns bytes sent."""
+    parts, total, buffer_bytes = encode_frame(obj)
+    for part in parts:
+        sock.sendall(part)
+    WIRE.add(total, buffer_bytes)
+    return total
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytearray:
+    """Read exactly ``n`` bytes; ``EOFError`` on a clean peer close."""
+    out = bytearray(n)
+    view = memoryview(out)
+    got = 0
+    while got < n:
+        k = sock.recv_into(view[got:], n - got)
+        if k == 0:
+            raise EOFError("peer closed the connection")
+        got += k
+    return out
+
+
+def recv_frame(sock: socket.socket) -> Any:
+    """Read one frame from a connected socket (blocking).
+
+    Raises ``EOFError`` when the peer closed cleanly between frames, and
+    ``ValueError`` on a corrupt header.
+    """
+    header = _recv_exact(sock, _HEADER.size)
+    magic, n_buffers, meta_len = _HEADER.unpack(bytes(header))
+    if magic != _MAGIC:
+        raise ValueError(f"bad frame magic {magic!r}")
+    if meta_len > MAX_FRAME_BYTES:
+        raise ValueError(f"frame meta too large ({meta_len} bytes)")
+    meta = _recv_exact(sock, meta_len)
+    buffers = []
+    for _ in range(n_buffers):
+        (n,) = _BUFLEN.unpack(bytes(_recv_exact(sock, _BUFLEN.size)))
+        if n > MAX_FRAME_BYTES:
+            raise ValueError(f"frame buffer too large ({n} bytes)")
+        buffers.append(_recv_exact(sock, n))
+    return _load_meta(meta, buffers)
+
+
+# ---------------------------------------------------------------------------
+# Host addressing
+# ---------------------------------------------------------------------------
+
+
+def parse_hosts(spec) -> list[tuple[str, int]]:
+    """Normalize a host spec into ``[(host, port), ...]``.
+
+    Accepts ``"h1:p1,h2:p2"`` strings (the ``--hosts`` CLI flag), an
+    iterable of ``"host:port"`` strings, ``(host, port)`` tuples, or a mix.
+    ``None``/empty specs return ``[]``.
+    """
+    if spec is None:
+        return []
+    if isinstance(spec, str):
+        items: Iterable = [s for s in (p.strip() for p in spec.split(",")) if s]
+    else:
+        items = spec
+    hosts: list[tuple[str, int]] = []
+    for item in items:
+        if isinstance(item, str):
+            host, sep, port = item.rpartition(":")
+            if not sep or not host:
+                raise ValueError(
+                    f"bad host spec {item!r}; expected 'host:port'"
+                )
+            hosts.append((host, int(port)))
+        else:
+            host, port = item
+            hosts.append((str(host), int(port)))
+    return hosts
+
+
+def connect(addr: tuple[str, int], timeout: float | None = 10.0) -> socket.socket:
+    """A connected TCP socket to ``(host, port)`` with Nagle disabled.
+
+    ``TCP_NODELAY`` matters here for the same reason it did for the HTTP
+    front end: superstep frames are small and latency-bound; batching them
+    behind delayed ACKs would serialize the barrier on the network timer.
+    """
+    sock = socket.create_connection(addr, timeout=timeout)
+    try:
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    except OSError:  # pragma: no cover - non-TCP transports
+        pass
+    sock.settimeout(None)
+    return sock
+
+
+class FrameConnection:
+    """One framed peer connection: ``send``/``recv``/``request`` + counters.
+
+    Send and receive sides carry independent locks so a pipelined caller
+    (send N frames, then collect N replies) can overlap directions; callers
+    multiplexing one connection across threads must serialize
+    request/response pairs themselves (the remote pool gives each
+    connection a single owning thread instead).
+    """
+
+    def __init__(self, sock: socket.socket, addr=None):
+        self.sock = sock
+        self.addr = addr if addr is not None else _peername(sock)
+        self._send_lock = threading.Lock()
+        self._recv_lock = threading.Lock()
+        self.bytes_sent = 0
+        self.frames_sent = 0
+        self.frames_received = 0
+
+    @classmethod
+    def open(cls, addr: tuple[str, int],
+             timeout: float | None = 10.0) -> "FrameConnection":
+        return cls(connect(addr, timeout), addr=addr)
+
+    def send(self, obj: Any) -> int:
+        with self._send_lock:
+            n = send_frame(self.sock, obj)
+        self.bytes_sent += n
+        self.frames_sent += 1
+        return n
+
+    def recv(self, timeout: float | None = None) -> Any:
+        """Receive one frame; ``socket.timeout`` when ``timeout`` elapses."""
+        with self._recv_lock:
+            if timeout is not None:
+                self.sock.settimeout(timeout)
+                try:
+                    obj = recv_frame(self.sock)
+                finally:
+                    self.sock.settimeout(None)
+            else:
+                obj = recv_frame(self.sock)
+        self.frames_received += 1
+        return obj
+
+    def request(self, obj: Any, timeout: float | None = None) -> Any:
+        self.send(obj)
+        return self.recv(timeout)
+
+    def close(self) -> None:
+        try:
+            self.sock.close()
+        except OSError:  # pragma: no cover
+            pass
+
+
+def _peername(sock: socket.socket):
+    try:
+        return sock.getpeername()
+    except OSError:
+        return None
+
+
+# ---------------------------------------------------------------------------
+# Placement
+# ---------------------------------------------------------------------------
+
+
+def slot_of(pid, n_slots: int) -> int:
+    """The stable worker slot for a partition id.
+
+    Integer pids map by value (``pid % n_slots`` — consecutive partitions
+    spread round-robin and the mapping is obvious in logs); other hashables
+    map by CRC of their string form, which is stable across processes and
+    interpreter hash randomization — ``hash()`` is not.
+    """
+    if n_slots < 1:
+        raise ValueError("n_slots must be >= 1")
+    if isinstance(pid, (int, np.integer)) and not isinstance(pid, bool):
+        return int(pid) % n_slots
+    return zlib.crc32(str(pid).encode()) % n_slots
+
+
+class StaticPlacement:
+    """Pid → slot assignment, fixed for a run (the paper's static sharding).
+
+    Partition state lives on the worker that computes it only if the
+    mapping never moves mid-run; this object is that guarantee, and the
+    single place a future dynamic/rebalancing policy would replace.
+    """
+
+    def __init__(self, n_slots: int):
+        if n_slots < 1:
+            raise ValueError("n_slots must be >= 1")
+        self.n_slots = n_slots
+
+    def slot_of(self, pid) -> int:
+        return slot_of(pid, self.n_slots)
+
+    def group(self, tasks) -> dict[int, list]:
+        """Superstep tasks bucketed by slot (insertion order preserved)."""
+        groups: dict[int, list] = {}
+        for task in tasks:
+            groups.setdefault(self.slot_of(task[0]), []).append(task)
+        return groups
+
+
+# ---------------------------------------------------------------------------
+# Task transports (codecs)
+# ---------------------------------------------------------------------------
+
+
+class MemoryTransport:
+    """In-memory identity: payloads cross by reference (serial/thread)."""
+
+    name = "memory"
+
+    def encode(self, obj: Any) -> Any:
+        return obj
+
+    def decode(self, wire: Any) -> Any:
+        return wire
+
+    def roundtrip(self, obj: Any) -> Any:
+        return self.decode(self.encode(obj))
+
+    def close(self) -> None:
+        pass
+
+
+class PickleTransport(MemoryTransport):
+    """A real pickle round-trip — what a process pool's pipe does."""
+
+    name = "pickle"
+
+    def encode(self, obj: Any) -> bytes:
+        return pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+
+    def decode(self, wire: bytes) -> Any:
+        return pickle.loads(wire)
+
+
+class ShmTransport(MemoryTransport):
+    """Buffers through a shared-memory segment; descriptor crosses.
+
+    Wraps :func:`repro.bsp.shm.ship` / :class:`~repro.bsp.shm.ShmBlob`:
+    the encode side copies the payload's array buffers once into a fresh
+    segment; decode attaches, rebuilds, and unlinks. ``close()`` sweeps
+    any segment an aborted round-trip stranded (by this transport's unique
+    token), so the codec upholds the no-leak contract on every exit path.
+    """
+
+    name = "shm"
+
+    def __init__(self):
+        import os
+
+        self._token = f"t{os.urandom(3).hex()}"
+
+    def encode(self, obj: Any):
+        return shm.ship(obj, token=self._token)
+
+    def decode(self, wire) -> Any:
+        if isinstance(wire, shm.ShmBlob):
+            obj = wire.load()
+            wire.dispose()
+            return obj
+        return pickle.loads(wire)
+
+    def close(self) -> None:
+        shm.cleanup_token(self._token)
+
+
+class SocketTransport(MemoryTransport):
+    """The remote backend's frame codec, run through an in-memory loopback.
+
+    Encodes exactly the bytes :func:`send_frame` would put on a socket and
+    decodes them exactly as :func:`recv_frame` would — the transport-matrix
+    parity suite exercises the real wire format without binding a port.
+    """
+
+    name = "socket"
+
+    def encode(self, obj: Any) -> bytes:
+        parts, total, buffer_bytes = encode_frame(obj)
+        out = io.BytesIO()
+        for part in parts:
+            out.write(part)
+        WIRE.add(total, buffer_bytes)
+        return out.getvalue()
+
+    def decode(self, wire: bytes) -> Any:
+        return decode_frame(wire)
+
+
+#: Registry of task-transport codecs selectable by name.
+TRANSPORTS: dict[str, type] = {
+    "memory": MemoryTransport,
+    "pickle": PickleTransport,
+    "shm": ShmTransport,
+    "socket": SocketTransport,
+}
+
+
+def resolve_transport(transport) -> MemoryTransport:
+    """A transport spec (name, ``None``, or instance) → codec instance.
+
+    ``None`` means in-memory. ``"shm"`` falls back to pickle when POSIX
+    shared memory is unavailable, mirroring ``RunConfig.transport_name``.
+    """
+    if transport is None:
+        return MemoryTransport()
+    if isinstance(transport, str):
+        if transport == "shm" and not shm.shm_available():
+            return PickleTransport()
+        try:
+            cls = TRANSPORTS[transport]
+        except KeyError:
+            raise ValueError(
+                f"unknown task transport {transport!r}; "
+                f"valid transports: {', '.join(sorted(TRANSPORTS))}"
+            ) from None
+        return cls()
+    if all(hasattr(transport, a) for a in ("encode", "decode", "roundtrip")):
+        return transport
+    raise TypeError(f"not a task transport: {transport!r}")

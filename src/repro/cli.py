@@ -15,7 +15,11 @@ Subcommands
     ``fig4`` ... ``fig9``, ``supersteps``, ``baselines``, ``ablations``).
 ``serve``
     Long-lived JSON-over-HTTP job server: graph catalog + shared-pool
-    scheduler (see :mod:`repro.jobs`).
+    scheduler (see :mod:`repro.jobs`). With ``--dispatcher remote`` it
+    becomes the coordinator of a multi-host cluster (``--hosts``).
+``worker``
+    One worker host process serving BSP supersteps and whole jobs to a
+    remote-mode coordinator (see :mod:`repro.jobs.remote`).
 ``submit`` / ``status`` / ``jobs``
     HTTP clients for a running ``serve`` instance: queue a job on an input
     file, poll one job, list all jobs.
@@ -88,6 +92,14 @@ def build_parser() -> argparse.ArgumentParser:
                           "--workers > 1)")
     run.add_argument("--workers", type=int, default=1,
                      help="worker count for the thread/process backends")
+    run.add_argument("--task-transport", default=None,
+                     choices=("memory", "pickle", "shm", "socket"),
+                     help="per-task wire codec for the serial/thread "
+                          "backends (parity/benchmark knob; results are "
+                          "bit-identical either way)")
+    run.add_argument("--hosts", default=None,
+                     help="remote executor: comma-separated worker host "
+                          "addresses (each runs `repro-euler worker`)")
     run.add_argument("--verify", action="store_true",
                      help="verify the produced walk(s)")
     run.add_argument("--report-json",
@@ -143,11 +155,16 @@ def build_parser() -> argparse.ArgumentParser:
                        help="concurrent jobs (dispatcher threads or forked "
                             "worker processes)")
     serve.add_argument("--dispatcher", default="thread",
-                       choices=("thread", "process"),
-                       help="job dispatch mode: in-process threads, or one "
+                       choices=("thread", "process", "remote"),
+                       help="job dispatch mode: in-process threads, one "
                             "pre-forked worker process per dispatcher "
                             "(zero-copy shared-memory graphs, true "
-                            "multi-core)")
+                            "multi-core), or a coordinator scheduling over "
+                            "remote worker hosts (--hosts)")
+    serve.add_argument("--hosts", default=None,
+                       help="remote mode: comma-separated worker host "
+                            "addresses, e.g. 10.0.0.1:9701,10.0.0.2:9701 "
+                            "(each runs `repro-euler worker`)")
     serve.add_argument("--frontend", default="thread",
                        choices=("thread", "async"),
                        help="HTTP front end: thread-per-connection, or a "
@@ -187,6 +204,19 @@ def build_parser() -> argparse.ArgumentParser:
                        help="process mode: seconds of worker heartbeat "
                             "silence before the worker is killed and the "
                             "job retried (default: disabled)")
+
+    worker = sub.add_parser(
+        "worker", help="run one worker host process (serves BSP supersteps "
+                       "and whole jobs to a remote-mode coordinator over a "
+                       "length-prefixed binary protocol)")
+    worker.add_argument("--host", default="127.0.0.1")
+    worker.add_argument("--port", type=int, default=0,
+                        help="listen port (0: pick a free port and print it)")
+    worker.add_argument("--cache-root", default=".worker_catalog",
+                        help="this host's graph catalog shard directory")
+    worker.add_argument("--port-file", default=None,
+                        help="write 'host port pid' here once listening "
+                             "(for scripted loopback clusters)")
 
     def add_server_arg(sp):
         sp.add_argument("--server", default="http://127.0.0.1:8642",
@@ -252,7 +282,7 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "experiment":
         _EXPERIMENTS[args.name]()
         return 0
-    if args.command in ("serve", "submit", "status", "jobs", "batch"):
+    if args.command in ("serve", "worker", "submit", "status", "jobs", "batch"):
         return _jobs_main(args)
     if args.command == "postman":
         g = load_edge_list(args.input)
@@ -290,6 +320,8 @@ def main(argv: list[str] | None = None) -> int:
         seed=args.seed,
         executor=args.executor,
         workers=args.workers,
+        task_transport=args.task_transport,
+        hosts=args.hosts,
         verify=args.verify,
     )
     result = run_scenario(g, scenario, config)
@@ -324,6 +356,12 @@ def _jobs_main(args) -> int:
     from .jobs import GraphCatalog, JobEngine, load_job_specs, run_batch, write_report_csv
     from .jobs.client import JobClient
 
+    if args.command == "worker":
+        from .jobs.remote import worker_serve
+
+        worker_serve(args.host, args.port, args.cache_root,
+                     port_file=args.port_file)
+        return 0
     if args.command == "serve":
         from pathlib import Path
 
@@ -357,6 +395,7 @@ def _jobs_main(args) -> int:
             journal=journal_dir,
             default_max_retries=args.max_retries,
             hang_timeout=args.hang_timeout,
+            hosts=args.hosts,
         )
         recovered = engine.recovery_stats
         if recovered["requeued"] or recovered["reconciled"] or recovered["failed"]:

@@ -48,6 +48,8 @@ def find_euler_circuit(
     engine_workers: int = 1,
     executor: str | None = None,
     transport: str | None = None,
+    task_transport: str | None = None,
+    hosts=None,
 ) -> EulerResult:
     """Find an Euler circuit with the partition-centric distributed algorithm.
 
@@ -62,15 +64,20 @@ def find_euler_circuit(
     graph is Eulerian + connected.
 
     ``executor`` selects the BSP backend: ``"serial"`` (deterministic
-    timings), ``"thread"``, or ``"process"`` (one OS process per worker with
+    timings), ``"thread"``, ``"process"`` (one OS process per worker with
     real pickle round-trips — the truthful analogue of the paper's
-    distributed machines). ``engine_workers`` sets the pool width; the
-    default ``executor=None`` keeps the historical behavior (serial when
-    ``engine_workers == 1``, threads otherwise). Every backend produces an
-    identical circuit and fragment store. ``transport`` picks how superstep
-    messages cross process boundaries: ``"pickle"`` (portable default) or
-    ``"shm"`` (single-copy POSIX shared-memory segments; only meaningful —
-    and only accepted — where ``/dev/shm`` exists).
+    distributed machines), or ``"remote"`` (partitions on
+    :class:`~repro.jobs.remote.WorkerHost` processes reached over sockets;
+    requires ``hosts="host:port,..."``). ``engine_workers`` sets the pool
+    width; the default ``executor=None`` keeps the historical behavior
+    (serial when ``engine_workers == 1``, threads otherwise). Every backend
+    produces an identical circuit and fragment store. ``transport`` picks
+    how superstep messages cross process boundaries: ``"pickle"`` (portable
+    default) or ``"shm"`` (single-copy POSIX shared-memory segments; only
+    meaningful — and only accepted — where ``/dev/shm`` exists).
+    ``task_transport`` independently selects the per-task wire codec
+    (``"memory"`` | ``"pickle"`` | ``"shm"`` | ``"socket"``) round-tripped
+    by the serial/thread backends — all codecs are bit-parity equivalent.
 
     Raises
     ------
@@ -87,6 +94,8 @@ def find_euler_circuit(
         seed=seed,
         executor=executor,
         transport=transport,
+        task_transport=task_transport,
+        hosts=hosts,
         workers=engine_workers,
         spill_dir=spill_dir,
         validate=validate,

@@ -65,6 +65,23 @@ class BSPError(ReproError):
     """Raised for misuse of the BSP engine (e.g. messaging a dead partition)."""
 
 
+class UnknownExecutorError(ReproError, ValueError):
+    """An executor spec names a backend that does not exist.
+
+    Subclasses :class:`ValueError` so callers that validated with a broad
+    ``except ValueError`` keep working; carries the offending name and the
+    valid choices so CLI/HTTP surfaces can render an actionable message.
+    """
+
+    def __init__(self, name, choices):
+        self.name = name
+        self.choices = sorted(choices)
+        super().__init__(
+            f"unknown executor {name!r}; valid backends: "
+            f"{', '.join(self.choices)}"
+        )
+
+
 class RunCancelledError(ReproError):
     """A run stopped cooperatively at a safe point (cancel request or deadline).
 

@@ -27,6 +27,15 @@ Fault kinds
 ``shm_attach``
     Make the next shared-memory graph attach raise ``FileNotFoundError``
     — exercises the catalog-NPZ fallback in the forked workers.
+``host_kill``
+    ``os.kill(getpid(), SIGKILL)`` at superstep ``at`` — inside a
+    dedicated :class:`~repro.jobs.remote.WorkerHost` process (the
+    ``repro-euler worker`` entry sets ``REPRO_FAULT_HOST``) this is a
+    real, unclean host death: the coordinator sees the socket drop and
+    must re-dispatch the job to a surviving host. Anywhere else it
+    degrades to a :class:`~repro.errors.FaultInjectedError`, so an
+    in-process :class:`WorkerHost` (tests) survives and merely fails
+    the run transiently.
 
 Attempt arming
 --------------
@@ -59,7 +68,7 @@ from .errors import FaultInjectedError
 __all__ = ["FaultSpec", "FaultPlan", "FAULT_KINDS"]
 
 #: Every fault kind the harness can inject.
-FAULT_KINDS = ("worker_kill", "fail", "slow", "shm_attach")
+FAULT_KINDS = ("worker_kill", "fail", "slow", "shm_attach", "host_kill")
 
 
 @dataclass(frozen=True)
@@ -158,6 +167,8 @@ class FaultPlan:
                 )
             elif spec.kind == "worker_kill":
                 self._kill(k)
+            elif spec.kind == "host_kill":
+                self._kill(k, host=True)
 
     def shm_attach(self) -> None:
         """Fire a pending ``shm_attach`` fault (consume it, then raise)."""
@@ -168,12 +179,17 @@ class FaultPlan:
                     "injected shared-memory attach failure"
                 )
 
-    def _kill(self, k: int) -> None:
-        if os.environ.get("REPRO_FAULT_WORKER") == str(os.getpid()):
-            # A forked dispatcher worker: die the way a real crash does.
+    def _kill(self, k: int, host: bool = False) -> None:
+        # Only a process that *opted in* by exporting the marker with its
+        # own pid dies for real; everything else — including an in-process
+        # WorkerHost inside a test — degrades to a transient raise.
+        marker = "REPRO_FAULT_HOST" if host else "REPRO_FAULT_WORKER"
+        if os.environ.get(marker) == str(os.getpid()):
+            # A forked worker / dedicated host: die the way a real crash does.
             os.kill(os.getpid(), signal.SIGKILL)
+        what = "host" if host else "worker"
         raise FaultInjectedError(
-            f"injected worker kill at superstep {k} "
+            f"injected {what} kill at superstep {k} "
             "(in-process: raised instead of SIGKILL)"
         )
 

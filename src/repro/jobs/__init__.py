@@ -18,6 +18,11 @@ package turns the library into a long-lived, multi-request system:
 * :mod:`~repro.jobs.server` / :mod:`~repro.jobs.client` — a stdlib JSON
   HTTP API (``repro-euler serve``) and its client
   (``repro-euler submit|status|jobs``);
+* :mod:`~repro.jobs.remote` — multi-host execution: ``repro-euler
+  worker`` host processes serving a length-prefixed binary protocol, and
+  the coordinator-side :class:`~repro.jobs.remote.RemoteHostPool` that
+  ``JobEngine(dispatcher="remote", hosts=...)`` schedules over with
+  content-hash shard placement and dead-host re-dispatch;
 * :mod:`~repro.jobs.batch` — offline JSONL batches with a
   ``run_table.csv``-style one-row-per-job report.
 
@@ -31,8 +36,9 @@ Quickstart::
 """
 
 from .batch import load_job_specs, run_batch, write_report_csv
-from .catalog import GraphCatalog, graph_key
+from .catalog import GraphCatalog, graph_key, shard_of
 from .engine import JobEngine
+from .remote import RemoteHostPool, WorkerHost, worker_serve
 from .queue import (
     CANCELLED,
     DONE,
@@ -48,7 +54,11 @@ from .queue import (
 __all__ = [
     "GraphCatalog",
     "graph_key",
+    "shard_of",
     "JobEngine",
+    "WorkerHost",
+    "RemoteHostPool",
+    "worker_serve",
     "Job",
     "JobQueue",
     "JobResult",

@@ -41,7 +41,7 @@ from ..graph.graph import Graph
 from ..graph.io import atomic_write, load_npz, save_npz
 from ..partitioning import partition as partition_graph
 
-__all__ = ["graph_key", "GraphCatalog"]
+__all__ = ["graph_key", "shard_of", "GraphCatalog"]
 
 
 def graph_key(graph: Graph) -> str:
@@ -56,6 +56,20 @@ def graph_key(graph: Graph) -> str:
     h.update(np.ascontiguousarray(graph.edge_u, dtype=np.int64).tobytes())
     h.update(np.ascontiguousarray(graph.edge_v, dtype=np.int64).tobytes())
     return h.hexdigest()[:16]
+
+
+def shard_of(key: str, n_shards: int) -> int:
+    """The home shard of a graph key among ``n_shards`` worker hosts.
+
+    Content-hash sharding: the key is already a uniform sha256 prefix, so
+    its leading 32 bits modulo the host count spread graphs evenly and —
+    crucially — *deterministically*: every coordinator, restarted or not,
+    computes the same home for the same graph, so a host's partition-local
+    NPZ cache keeps hitting across coordinator restarts.
+    """
+    if n_shards < 1:
+        raise ValueError("n_shards must be >= 1")
+    return int(key[:8], 16) % n_shards
 
 
 def _dir_bytes(path: Path) -> int:
@@ -200,6 +214,45 @@ class GraphCatalog:
             self._live[key] = weakref.ref(g)
             self._touch(key)
             return g
+
+    def export_bytes(self, key: str) -> bytes:
+        """The raw NPZ bytes of a cataloged graph (for host provisioning).
+
+        What a coordinator frames to a remote :class:`WorkerHost` that does
+        not hold ``key`` yet — the uncompressed archive written at
+        :meth:`put`, byte for byte, so the receiving host's
+        :meth:`put_bytes` re-derives the *same* content key.
+        """
+        with self._lock:
+            path = self._graph_path(key)
+            if key not in self._index or not path.exists():
+                raise KeyError(f"unknown graph key {key!r}")
+            self._touch(key)
+            return path.read_bytes()
+
+    def put_bytes(self, data: bytes, name: str = "", pin: bool = False) -> str:
+        """Catalog a graph received as NPZ bytes; returns its content key.
+
+        The inverse of :meth:`export_bytes`. The archive is parsed and
+        re-keyed through :meth:`put`, so the returned key is derived from
+        the actual edge arrays — a corrupted or mislabeled transfer can
+        never poison the catalog under a wrong key.
+        """
+        import io
+
+        with np.load(io.BytesIO(data)) as z:
+            graph = Graph.from_arrays(
+                int(z["n_vertices"]),
+                np.array(z["edge_u"], dtype=np.int64),
+                np.array(z["edge_v"], dtype=np.int64),
+                check=False,
+            )
+        return self.put(graph, name=name, pin=pin)
+
+    def shard_of(self, key: str, n_shards: int) -> int:
+        """See module-level :func:`shard_of` (kept on the class for callers
+        holding only a catalog)."""
+        return shard_of(key, n_shards)
 
     def meta(self, key: str) -> dict:
         """Index metadata for one graph (raises ``KeyError`` if unknown)."""

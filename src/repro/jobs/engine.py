@@ -73,6 +73,7 @@ from ..pipeline.context import RunConfig
 from ..scenarios.base import run_scenario
 from .catalog import GraphCatalog
 from .dispatch import ForkedWorkerPool
+from .remote import RemoteHostPool
 from .journal import JobJournal, TERMINAL_EVENTS, config_from_dict, reduce_records
 from .queue import (
     CANCELLED,
@@ -121,7 +122,20 @@ class JobEngine:
         on separate cores, with graphs attached from shared memory and
         cancellation delivered through a shared flag array. In process
         mode no pool is injected (``pool_kind`` is ignored): each worker
-        picks its backend from the job's own config.
+        picks its backend from the job's own config. ``"remote"`` is the
+        coordinator mode: jobs dispatch over the registered ``hosts``
+        (:class:`~repro.jobs.remote.RemoteHostPool`) with content-hash
+        placement, host-side catalog provisioning, and the same
+        transient-retry/circuit-breaker supervision — a dead or hung host
+        cools down, its jobs re-dispatch elsewhere, and with every host
+        down the engine degrades to in-process execution.
+    hosts:
+        Worker host addresses for ``dispatcher="remote"`` — a
+        ``"host:port,host:port"`` string or a list of ``(host, port)``
+        pairs. Required in remote mode, ignored otherwise.
+    host_cooldown:
+        Seconds a dead/hung remote host stays out of scheduling before
+        the coordinator tries it again.
     pool:
         An externally-owned :class:`SharedPool`, or ``None`` to have the
         engine build (and own) one from ``pool_kind``/``pool_workers``.
@@ -191,12 +205,15 @@ class JobEngine:
         respawn_budget: int = 5,
         respawn_window: float = 60.0,
         breaker_cooldown: float = 30.0,
+        hosts=None,
+        host_cooldown: float = 5.0,
     ):
         if dispatchers < 1:
             raise ValueError("dispatchers must be >= 1")
-        if dispatcher not in ("thread", "process"):
+        if dispatcher not in ("thread", "process", "remote"):
             raise ValueError(
-                f"unknown dispatcher {dispatcher!r}; use 'thread' or 'process'"
+                f"unknown dispatcher {dispatcher!r}; "
+                "use 'thread', 'process' or 'remote'"
             )
         if keep_results is not None and keep_results < 0:
             raise ValueError("keep_results must be >= 0 or None")
@@ -213,6 +230,7 @@ class JobEngine:
         )
         self.dispatcher = dispatcher
         self.dispatchers = dispatchers
+        self._remote = None
         if dispatcher == "process":
             self._owns_pool = False
             self.pool = None
@@ -225,6 +243,15 @@ class JobEngine:
                 respawn_budget=respawn_budget,
                 respawn_window=respawn_window,
                 breaker_cooldown=breaker_cooldown,
+            )
+        elif dispatcher == "remote":
+            self._owns_pool = False
+            self.pool = None
+            self._forked = None
+            self._remote = RemoteHostPool(
+                hosts, self.catalog,
+                hang_timeout=hang_timeout,
+                host_cooldown=host_cooldown,
             )
         else:
             self._owns_pool = pool is None and pool_kind is not None
@@ -412,6 +439,8 @@ class JobEngine:
                     slot = self._job_slots.get(job_id)
                 if slot is not None:
                     self._forked.cancel(slot)
+            if self._remote is not None:
+                self._remote.cancel(job_id)
             return True
         return False
 
@@ -661,6 +690,15 @@ class JobEngine:
                 self._run_job(job)
             elif self._forked is not None:
                 self._run_job_forked(job, slot)
+            elif self._remote is not None and self._remote.circuit_open():
+                # Every registered host is down/cooling: run on the
+                # coordinator itself rather than queueing into the void.
+                self._degraded_jobs += 1
+                job.record_pass("degraded_dispatch", 0.0,
+                                reason="remote host circuit open")
+                self._run_job(job)
+            elif self._remote is not None:
+                self._run_job_remote(job)
             else:
                 self._run_job(job)
 
@@ -849,52 +887,14 @@ class JobEngine:
                 self._forked.cancel(slot)
 
             t0 = time.perf_counter()
-            descriptor = self.catalog.share(job.graph_key)
-            job.record_pass("share_graph", time.perf_counter() - t0,
-                            graph_key=job.graph_key,
-                            shared=descriptor is not None)
-
-            t0 = time.perf_counter()
             # Compute (and persist) the derived artifacts parent-side; the
             # worker re-reads them as a disk-cache hit instead of receiving
             # the arrays through the pipe.
             self.catalog.derived_for(job.graph_key, job.config, job.scenario)
             job.record_pass("persist_derived", time.perf_counter() - t0)
 
-            spec = {
-                "job_id": job.id,
-                "scenario": job.scenario,
-                "graph_key": job.graph_key,
-                "config": replace(job.config, pool=None, cancel=None,
-                                  derived=None,
-                                  faults=self._armed_faults(job)),
-                "graph_descriptor": descriptor,
-                "timeout_seconds": job.timeout_seconds,
-            }
-            out = self._forked.run(slot, spec)
-            for name, seconds, extra in out.get("passes", []):
-                job.record_pass(name, seconds, **extra)
-            job.executor = out.get("executor", "") or job.executor
-            state = out["state"]
-            if state == DONE:
-                job.result = out["result"]
-                job.state = DONE
-                job.finished_at = time.time()
-                self._write_artifact(job)
-                self._journal_event("done", job)
-                self.queue.finish(job, DONE)
-            elif state == CANCELLED:
-                job.state = CANCELLED
-                job.finished_at = time.time()
-                self._write_artifact(job, swallow_errors=True)
-                self._journal_event("cancelled", job)
-                self.queue.finish(job, CANCELLED)
-            else:
-                error = out.get("error") or "job failed"
-                if out.get("transient") and self._schedule_retry(job, error):
-                    return True
-                self._finish_failed(job, error)
-            return False
+            out = self._forked.run(slot, self._job_spec(job))
+            return self._apply_spec_out(job, out)
         except TransientJobError as exc:
             # Worker death or hang: the pool already respawned the slot;
             # the job retries (budget permitting) on the fresh worker.
@@ -906,6 +906,86 @@ class JobEngine:
             self._finish_failed(job, detail)
             return False
         except Exception as exc:  # parent-side failure must not kill the loop
+            detail = "".join(
+                traceback.format_exception_only(type(exc), exc)
+            ).strip()
+            job.record_pass("error", time.perf_counter() - started,
+                            error=detail)
+            self._finish_failed(job, detail)
+            return False
+
+    def _job_spec(self, job: Job) -> dict:
+        """The wire spec shipped to a forked worker or a remote host."""
+        t0 = time.perf_counter()
+        descriptor = self.catalog.share(job.graph_key)
+        job.record_pass("share_graph", time.perf_counter() - t0,
+                        graph_key=job.graph_key,
+                        shared=descriptor is not None)
+        return {
+            "job_id": job.id,
+            "scenario": job.scenario,
+            "graph_key": job.graph_key,
+            "config": replace(job.config, pool=None, cancel=None,
+                              derived=None,
+                              faults=self._armed_faults(job)),
+            "graph_descriptor": descriptor,
+            "timeout_seconds": job.timeout_seconds,
+        }
+
+    def _apply_spec_out(self, job: Job, out: dict) -> bool:
+        """Land a worker/host result dict; True when a retry was scheduled."""
+        for name, seconds, extra in out.get("passes", []):
+            job.record_pass(name, seconds, **extra)
+        job.executor = out.get("executor", "") or job.executor
+        state = out["state"]
+        if state == DONE:
+            job.result = out["result"]
+            job.state = DONE
+            job.finished_at = time.time()
+            self._write_artifact(job)
+            self._journal_event("done", job)
+            self.queue.finish(job, DONE)
+        elif state == CANCELLED:
+            job.state = CANCELLED
+            job.finished_at = time.time()
+            self._write_artifact(job, swallow_errors=True)
+            self._journal_event("cancelled", job)
+            self.queue.finish(job, CANCELLED)
+        else:
+            error = out.get("error") or "job failed"
+            if out.get("transient") and self._schedule_retry(job, error):
+                return True
+            self._finish_failed(job, error)
+        return False
+
+    # -- remote dispatch (coordinator mode) ----------------------------------
+
+    def _run_job_remote(self, job: Job) -> None:
+        retried = False
+        try:
+            retried = self._run_job_remote_inner(job)
+        finally:
+            if not retried:
+                self.catalog.unpin(job.graph_key)
+                self._trim_resident(job)
+
+    def _run_job_remote_inner(self, job: Job) -> bool:
+        started = time.perf_counter()
+        try:
+            spec = self._job_spec(job)
+            out = self._remote.run(spec)
+            return self._apply_spec_out(job, out)
+        except TransientJobError as exc:
+            # Host death, hang, or total unreachability: the pool marked
+            # the host down; the retry re-dispatches to a surviving one.
+            detail = str(exc)
+            job.record_pass("host_failure", time.perf_counter() - started,
+                            error=detail)
+            if self._schedule_retry(job, detail):
+                return True
+            self._finish_failed(job, detail)
+            return False
+        except Exception as exc:  # coordinator-side failure: contain it
             detail = "".join(
                 traceback.format_exception_only(type(exc), exc)
             ).strip()
@@ -1022,6 +1102,8 @@ class JobEngine:
             t.join()
         if self._forked is not None:
             self._forked.close()
+        if self._remote is not None:
+            self._remote.close()
         if self.pool is not None and self._owns_pool:
             self.pool.close()
         if self.journal is not None:
@@ -1048,6 +1130,8 @@ class JobEngine:
         }
         if self._forked is not None:
             stats["workers"] = self._forked.supervisor_stats()
+        if self._remote is not None:
+            stats["hosts"] = self._remote.supervisor_stats()
         if self.journal is not None:
             stats["journal"] = self.journal.stats()
         return stats

@@ -55,8 +55,9 @@ class RunConfig:
     strategy: str = "eager"
     matching: str = "greedy"
     seed: int = 0
-    #: Executor backend name (``serial`` | ``thread`` | ``process``); ``None``
-    #: keeps the historical default (serial iff ``workers == 1``).
+    #: Executor backend name (``serial`` | ``thread`` | ``process`` |
+    #: ``remote``); ``None`` keeps the historical default (serial iff
+    #: ``workers == 1``).
     executor: str | None = None
     #: Worker count for the thread/process backends.
     workers: int = 1
@@ -96,6 +97,19 @@ class RunConfig:
     #: pickle when POSIX shared memory is unavailable, so a config is
     #: portable either way. Both transports are bit-parity equivalent.
     transport: str | None = None
+    #: Per-task wire codec for the superstep executor
+    #: (:data:`repro.bsp.transport.TRANSPORTS`: ``"memory"`` | ``"pickle"``
+    #: | ``"shm"`` | ``"socket"``). Orthogonal to ``transport`` above (which
+    #: ships whole child→parent states): this round-trips each
+    #: ``SuperstepTask``/result triple through a real encode/decode on the
+    #: serial and thread backends, and is fixed by construction on the
+    #: process (pipe pickle) and remote (socket frame) backends. ``None``
+    #: means by-reference. All codecs are bit-parity equivalent.
+    task_transport: str | None = None
+    #: Worker host addresses for the ``remote`` executor backend — a
+    #: ``"host:port,host:port"`` string or a list of ``(host, port)``
+    #: pairs. Ignored by every other backend.
+    hosts: Any = None
 
     @property
     def transport_name(self) -> str:

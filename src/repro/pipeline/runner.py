@@ -77,7 +77,8 @@ def run_pipeline(graph: Graph, config: RunConfig) -> RunContext:
     # the pool's owner while this run still goes through the normal barrier
     # and commit machinery.
     executor = config.pool.session() if config.pool is not None else config.executor
-    engine = BSPEngine(max_workers=config.workers, executor=executor)
+    engine = BSPEngine(max_workers=config.workers, executor=executor,
+                       transport=config.task_transport, hosts=config.hosts)
     states = {pid: None for pid in range(ctx.n_parts)}
     try:
         ctx.final_states, ctx.run_stats = engine.run(

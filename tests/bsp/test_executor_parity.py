@@ -20,14 +20,33 @@ import pytest
 
 from repro.bsp import EXECUTORS, BSPEngine, ComputeResult, make_executor
 from repro.core import find_euler_circuit, verify_circuit
+from repro.errors import UnknownExecutorError
 from repro.generate.eulerize import eulerian_rmat
 from repro.generate.synthetic import grid_city, random_eulerian
+from repro.jobs.remote import WorkerHost
 
-BACKENDS = sorted(EXECUTORS)  # process, serial, thread
+BACKENDS = sorted(EXECUTORS)  # process, remote, serial, thread
 
 GOLDEN = json.loads(
     (Path(__file__).resolve().parent / "golden_dataplane.json").read_text()
 )
+
+
+@pytest.fixture(scope="module")
+def remote_hosts(tmp_path_factory):
+    """Two loopback worker hosts, so ``remote`` joins the parity matrix."""
+    hosts = [
+        WorkerHost(tmp_path_factory.mktemp(f"host{i}")).start()
+        for i in range(2)
+    ]
+    yield [h.address for h in hosts]
+    for h in hosts:
+        h.close()
+
+
+def _run(g, backend, remote_hosts, **kw):
+    hosts = remote_hosts if backend == "remote" else None
+    return find_euler_circuit(g, executor=backend, hosts=hosts, **kw)
 
 
 def _fragment_census(store):
@@ -46,11 +65,11 @@ def graphs():
 
 
 @pytest.mark.parametrize("name", ["grid", "rand"])
-def test_same_circuit_and_census_on_every_backend(graphs, name):
+def test_same_circuit_and_census_on_every_backend(graphs, name, remote_hosts):
     g = graphs[name]
     results = {
-        backend: find_euler_circuit(
-            g, n_parts=4, seed=0, executor=backend, engine_workers=3,
+        backend: _run(
+            g, backend, remote_hosts, n_parts=4, seed=0, engine_workers=3,
             validate=True,
         )
         for backend in BACKENDS
@@ -77,20 +96,33 @@ def test_process_backend_matches_serial_per_strategy(graphs, strategy):
     assert a.report.census_rows() == b.report.census_rows()
 
 
-def test_census_identical_across_backends(graphs):
+def test_census_identical_across_backends(graphs, remote_hosts):
     g = graphs["rand"]
     rows = {
-        backend: find_euler_circuit(
-            g, n_parts=4, seed=0, executor=backend, engine_workers=2
+        backend: _run(
+            g, backend, remote_hosts, n_parts=4, seed=0, engine_workers=2
         ).report.census_rows()
         for backend in BACKENDS
     }
-    assert rows["serial"] == rows["thread"] == rows["process"]
+    assert (
+        rows["serial"] == rows["thread"] == rows["process"] == rows["remote"]
+    )
 
 
 def test_unknown_executor_rejected(graphs):
     with pytest.raises(ValueError, match="unknown executor"):
         find_euler_circuit(graphs["grid"], executor="spark")
+
+
+def test_unknown_executor_error_is_typed_and_lists_backends():
+    with pytest.raises(UnknownExecutorError) as exc_info:
+        make_executor("spark")
+    err = exc_info.value
+    assert isinstance(err, ValueError)
+    assert err.name == "spark"
+    assert err.choices == sorted(EXECUTORS)
+    for backend in EXECUTORS:
+        assert backend in str(err)
 
 
 def test_make_executor_defaults():
@@ -109,14 +141,16 @@ def golden_graphs():
 
 @pytest.mark.parametrize("case", sorted(GOLDEN["cases"]))
 @pytest.mark.parametrize("backend", BACKENDS)
-def test_columnar_path_matches_seed_goldens(golden_graphs, case, backend):
+def test_columnar_path_matches_seed_goldens(
+    golden_graphs, case, backend, remote_hosts
+):
     """Bit-identical circuits and fragment censuses vs the recorded seed
     (tuple-representation) outputs, on every executor backend."""
     gname, cname = case.split("/")
     strategy = cname.rsplit("-", 1)[0]
     g = golden_graphs[gname]
-    res = find_euler_circuit(
-        g, n_parts=4, seed=0, strategy=strategy, executor=backend,
+    res = _run(
+        g, backend, remote_hosts, n_parts=4, seed=0, strategy=strategy,
         engine_workers=2, validate=True, verify=True,
     )
     ref = GOLDEN["cases"][case]
@@ -149,3 +183,44 @@ def test_generic_program_on_process_backend():
     serial, _ = BSPEngine(executor="serial").run({0: 0, 1: 0}, Doubler())
     procs, _ = BSPEngine(max_workers=2, executor="process").run({0: 0, 1: 0}, Doubler())
     assert serial == procs
+
+
+class EchoState:
+    """Module-level so the remote host can unpickle it; ships the (big)
+    state straight back as the result."""
+
+    def __call__(self, pid, state, msgs, rec, step):
+        return ComputeResult(state=state, halt=True)
+
+
+def test_remote_frames_larger_than_socket_buffers_do_not_deadlock(tmp_path):
+    """Regression: the remote executor pipelines a burst of task frames
+    down one socket per host. Sending the whole burst before reading any
+    reply deadlocks once frames outgrow the kernel socket buffers — the
+    host blocks sending reply 1 to a peer still blocked sending task 2.
+    Replies must be drained concurrently with the send pump."""
+    import threading
+
+    from repro.bsp.executors import RemoteExecutor
+
+    big = np.arange(1 << 21, dtype=np.int64)  # 16 MiB per state, each way
+    with WorkerHost(tmp_path / "h") as host:
+        ex = RemoteExecutor([host.address])
+        try:
+            ex.start(EchoState())
+            tasks = [(pid, {"arr": big + pid}, [], 0) for pid in range(3)]
+            done: dict = {}
+
+            def run():
+                done["out"] = ex.run_superstep(tasks)
+
+            t = threading.Thread(target=run, daemon=True)
+            t.start()
+            t.join(timeout=120)
+            assert not t.is_alive(), "remote superstep deadlocked"
+            out = sorted(done["out"])
+            assert [pid for pid, _, _ in out] == [0, 1, 2]
+            for pid, _, res in out:
+                np.testing.assert_array_equal(res.state["arr"], big + pid)
+        finally:
+            ex.close()

@@ -1,0 +1,249 @@
+"""Unit tests for the frame protocol, task-transport codecs and placement.
+
+The parity suites prove the transports are invisible in pipeline *output*;
+this file pins the wire-level contracts they rely on: exact framing, byte
+accounting, writable receive-side arrays, allocation-bomb guards, host-spec
+parsing and the stable pid → slot map.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import struct
+import threading
+
+import numpy as np
+import pytest
+
+from repro.bsp import shm
+from repro.bsp import transport as tr
+
+needs_shm = pytest.mark.skipif(
+    not shm.shm_available(), reason="POSIX shared memory not available"
+)
+
+
+@pytest.fixture(autouse=True)
+def no_new_segments():
+    before = set(shm.leaked_segments())
+    yield
+    leaked = sorted(set(shm.leaked_segments()) - before)
+    assert leaked == [], f"test leaked shm segments: {leaked}"
+
+
+def _payload():
+    return {
+        "cols": np.arange(64, dtype=np.int64),
+        "mask": np.ones(8, dtype=np.int64),
+        "meta": {"pid": 3, "k": 2},
+    }
+
+
+def _assert_payload_equal(a, b):
+    np.testing.assert_array_equal(a["cols"], b["cols"])
+    np.testing.assert_array_equal(a["mask"], b["mask"])
+    assert a["meta"] == b["meta"]
+
+
+# -- frame protocol ----------------------------------------------------------
+
+
+def test_encode_decode_frame_roundtrip():
+    obj = _payload()
+    parts, total, buffer_bytes = tr.encode_frame(obj)
+    blob = b"".join(bytes(p) for p in parts)
+    assert len(blob) == total
+    # int64 columns ship raw, out of band: every array byte is a buffer byte.
+    assert buffer_bytes == obj["cols"].nbytes + obj["mask"].nbytes
+    back = tr.decode_frame(blob)
+    _assert_payload_equal(obj, back)
+
+
+def test_decoded_arrays_are_writable():
+    back = tr.decode_frame(b"".join(
+        bytes(p) for p in tr.encode_frame(_payload())[0]
+    ))
+    back["cols"][0] = -7  # must not raise: downstream merges write in place
+    assert back["cols"][0] == -7
+
+
+def test_frame_overhead_is_fixed_not_proportional():
+    """Framing/meta overhead must not scale with array payload size —
+    the guarantee the bytes-on-wire benchmark gate is built on."""
+    def overhead(n):
+        arr = np.arange(n, dtype=np.int64)
+        _, total, buffer_bytes = tr.encode_frame({"a": arr})
+        return total - buffer_bytes
+
+    small, big = overhead(16), overhead(1 << 16)
+    assert big - small < 64  # length digits only, not re-encoded elements
+
+
+def test_decode_rejects_bad_magic():
+    with pytest.raises(ValueError, match="bad frame magic"):
+        tr.decode_frame(b"NOPE" + b"\x00" * 16)
+
+
+def test_recv_rejects_allocation_bomb():
+    a, b = socket.socketpair()
+    try:
+        # A forged header advertising a giant meta must be rejected before
+        # any allocation of that size is attempted.
+        a.sendall(struct.Struct("<4sIQ").pack(b"REF1", 0, tr.MAX_FRAME_BYTES + 1))
+        with pytest.raises(ValueError, match="too large"):
+            tr.recv_frame(b)
+    finally:
+        a.close()
+        b.close()
+
+
+def test_send_recv_over_socketpair_and_wire_stats():
+    tr.reset_wire_stats()
+    a, b = socket.socketpair()
+    try:
+        obj = _payload()
+        got = {}
+
+        def rx():
+            got["obj"] = tr.recv_frame(b)
+
+        t = threading.Thread(target=rx)
+        t.start()
+        sent = tr.send_frame(a, obj)
+        t.join(timeout=10)
+        _assert_payload_equal(obj, got["obj"])
+        stats = tr.wire_stats()
+        assert stats["messages"] == 1
+        assert stats["bytes_total"] == sent
+        assert stats["buffer_bytes"] == obj["cols"].nbytes + obj["mask"].nbytes
+        assert stats["overhead_bytes"] == sent - stats["buffer_bytes"]
+    finally:
+        a.close()
+        b.close()
+
+
+def test_recv_frame_eof_on_clean_close():
+    a, b = socket.socketpair()
+    a.close()
+    try:
+        with pytest.raises(EOFError):
+            tr.recv_frame(b)
+    finally:
+        b.close()
+
+
+def test_frame_connection_request_reply():
+    a, b = socket.socketpair()
+    server = tr.FrameConnection(b)
+    client = tr.FrameConnection(a)
+    try:
+        def serve_one():
+            req = server.recv()
+            server.send({"echo": req})
+
+        t = threading.Thread(target=serve_one)
+        t.start()
+        reply = client.request({"op": "ping"}, timeout=10)
+        t.join(timeout=10)
+        assert reply == {"echo": {"op": "ping"}}
+        assert client.frames_sent == 1 and client.frames_received == 1
+        assert client.bytes_sent > 0
+    finally:
+        client.close()
+        server.close()
+
+
+# -- host addressing ---------------------------------------------------------
+
+
+def test_parse_hosts_forms():
+    want = [("10.0.0.1", 9701), ("10.0.0.2", 9702)]
+    assert tr.parse_hosts("10.0.0.1:9701,10.0.0.2:9702") == want
+    assert tr.parse_hosts(["10.0.0.1:9701", ("10.0.0.2", 9702)]) == want
+    assert tr.parse_hosts(None) == []
+    assert tr.parse_hosts("") == []
+    with pytest.raises(ValueError, match="bad host spec"):
+        tr.parse_hosts("no-port")
+
+
+# -- placement ---------------------------------------------------------------
+
+
+def test_slot_of_stable_and_in_range():
+    assert [tr.slot_of(p, 3) for p in range(6)] == [0, 1, 2, 0, 1, 2]
+    assert tr.slot_of(np.int64(7), 3) == 1
+    # Non-int pids map via CRC of their string form — identical across
+    # processes (unlike hash()), and always in range.
+    assert tr.slot_of("part-a", 4) == tr.slot_of("part-a", 4)
+    assert 0 <= tr.slot_of("part-a", 4) < 4
+    with pytest.raises(ValueError):
+        tr.slot_of(0, 0)
+
+
+def test_static_placement_groups_tasks_by_pid():
+    placement = tr.StaticPlacement(2)
+    tasks = [(pid, "state", "msgs", "rec") for pid in range(5)]
+    groups = placement.group(tasks)
+    assert sorted(groups) == [0, 1]
+    assert [t[0] for t in groups[0]] == [0, 2, 4]
+    assert [t[0] for t in groups[1]] == [1, 3]
+
+
+# -- codecs ------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name", sorted(tr.TRANSPORTS))
+def test_codec_roundtrip(name):
+    if name == "shm" and not shm.shm_available():
+        pytest.skip("POSIX shared memory not available")
+    codec = tr.resolve_transport(name)
+    try:
+        obj = _payload()
+        back = codec.roundtrip(obj)
+        _assert_payload_equal(obj, back)
+        if name == "memory":
+            assert back is obj
+        else:
+            assert back is not obj
+    finally:
+        codec.close()
+
+
+def test_resolve_transport_defaults_and_errors():
+    assert tr.resolve_transport(None).name == "memory"
+    assert tr.resolve_transport("pickle").name == "pickle"
+    with pytest.raises(ValueError, match="unknown task transport"):
+        tr.resolve_transport("carrier-pigeon")
+    with pytest.raises(TypeError):
+        tr.resolve_transport(42)
+    codec = tr.resolve_transport("socket")
+    assert tr.resolve_transport(codec) is codec  # instances pass through
+
+
+@needs_shm
+def test_shm_codec_close_sweeps_stranded_segments():
+    codec = tr.resolve_transport("shm")
+    wire = codec.encode(_payload())  # encode without decode strands a segment
+    assert isinstance(wire, shm.ShmBlob)
+    codec.close()
+    # the autouse fixture asserts nothing is left behind
+
+
+def test_socket_codec_counts_wire_bytes():
+    tr.reset_wire_stats()
+    codec = tr.resolve_transport("socket")
+    obj = _payload()
+    blob = codec.encode(obj)
+    _assert_payload_equal(obj, codec.decode(blob))
+    stats = tr.wire_stats()
+    assert stats["messages"] == 1
+    assert stats["bytes_total"] == len(blob)
+    assert stats["buffer_bytes"] == obj["cols"].nbytes + obj["mask"].nbytes
+
+
+def test_pickle_codec_yields_real_bytes():
+    codec = tr.resolve_transport("pickle")
+    wire = codec.encode({"a": 1})
+    assert isinstance(wire, bytes)
+    assert pickle.loads(wire) == {"a": 1}

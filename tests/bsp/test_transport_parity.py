@@ -93,6 +93,59 @@ def test_default_transport_is_pickle():
         RunConfig(transport="carrier-pigeon").transport_name
 
 
+# -- task-transport matrix ---------------------------------------------------
+#
+# The per-task wire codec (repro.bsp.transport) is orthogonal to the message
+# transport above: it governs how SuperstepTask payloads and results cross
+# the executor boundary. Every codec must be invisible in the output.
+
+TASK_TRANSPORTS = ["memory", "pickle", "shm", "socket"]
+
+
+@pytest.mark.parametrize("name", ["grid", "rand"])
+@pytest.mark.parametrize("task_transport", TASK_TRANSPORTS)
+def test_task_transport_matrix_bit_identical(graphs, name, task_transport):
+    if task_transport == "shm" and not shm.shm_available():
+        pytest.skip("POSIX shared memory not available")
+    g = graphs[name]
+    ref = find_euler_circuit(g, n_parts=4, seed=0)
+    res = find_euler_circuit(g, n_parts=4, seed=0,
+                             task_transport=task_transport)
+    verify_circuit(g, res.circuit)
+    np.testing.assert_array_equal(ref.circuit.vertices, res.circuit.vertices)
+    np.testing.assert_array_equal(ref.circuit.edge_ids, res.circuit.edge_ids)
+    assert _census(ref.store) == _census(res.store)
+
+
+@pytest.mark.parametrize("task_transport", TASK_TRANSPORTS)
+def test_task_transport_matrix_on_thread_backend(graphs, task_transport):
+    if task_transport == "shm" and not shm.shm_available():
+        pytest.skip("POSIX shared memory not available")
+    g = graphs["rand"]
+    ref = find_euler_circuit(g, n_parts=4, seed=0)
+    res = find_euler_circuit(g, n_parts=4, seed=0, executor="thread",
+                             engine_workers=3, task_transport=task_transport)
+    np.testing.assert_array_equal(ref.circuit.vertices, res.circuit.vertices)
+    np.testing.assert_array_equal(ref.circuit.edge_ids, res.circuit.edge_ids)
+    assert _census(ref.store) == _census(res.store)
+
+
+def test_remote_loopback_matches_serial(graphs, tmp_path):
+    """The socket-framed remote backend joins the same parity contract."""
+    from repro.jobs.remote import WorkerHost
+
+    g = graphs["rand"]
+    ref = find_euler_circuit(g, n_parts=4, seed=0)
+    with WorkerHost(tmp_path / "a") as h1, WorkerHost(tmp_path / "b") as h2:
+        res = find_euler_circuit(
+            g, n_parts=4, seed=0, executor="remote",
+            hosts=[h1.address, h2.address],
+        )
+    np.testing.assert_array_equal(ref.circuit.vertices, res.circuit.vertices)
+    np.testing.assert_array_equal(ref.circuit.edge_ids, res.circuit.edge_ids)
+    assert _census(ref.store) == _census(res.store)
+
+
 @needs_shm
 def test_transport_survives_cancellation_cleanup(graphs):
     """A run killed at a superstep boundary sweeps its message segments."""

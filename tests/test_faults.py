@@ -107,6 +107,29 @@ def test_worker_kill_raises_in_process(monkeypatch):
         plan.superstep()
 
 
+def test_host_kill_parses_and_raises_in_process(monkeypatch):
+    # host_kill only SIGKILLs inside a dedicated `repro-euler worker`
+    # process (REPRO_FAULT_HOST marker); everywhere else — including an
+    # in-process WorkerHost in a test — it degrades to a transient raise.
+    monkeypatch.delenv("REPRO_FAULT_HOST", raising=False)
+    plan = FaultPlan.parse("host_kill@at=1,attempts=2")
+    assert plan.specs[0].kind == "host_kill"
+    assert "host_kill" in FAULT_KINDS
+    plan.superstep()  # boundary 0 — not yet
+    with pytest.raises(FaultInjectedError, match="host kill"):
+        plan.superstep()
+
+
+def test_host_kill_ignores_worker_marker(monkeypatch):
+    # The worker marker must NOT arm host kills: a forked dispatcher
+    # worker hit by host_kill raises transiently instead of dying.
+    monkeypatch.setenv("REPRO_FAULT_WORKER", str(__import__("os").getpid()))
+    monkeypatch.delenv("REPRO_FAULT_HOST", raising=False)
+    plan = FaultPlan.parse("host_kill@at=0")
+    with pytest.raises(FaultInjectedError, match="host kill"):
+        plan.superstep()
+
+
 # ---------------------------------------------------------------------------
 # Through the pipeline
 # ---------------------------------------------------------------------------
