@@ -1,0 +1,245 @@
+#!/usr/bin/env python
+"""Dynamic-graph perf trajectory: incremental repair vs full recompute.
+
+Proves the delta subsystem's core promise on one fixed Eulerian R-MAT: a
+captured :class:`RepairSession` rolled across a mutation re-does only the
+dirty partitions' Phase-1 tours, while a full recompute re-tours every
+partition. Three workloads, per mutation size:
+
+* ``1-edge`` — one edge detoured through a fresh vertex (the street-closed
+  case). Dirty partitions: the two the detour touches.
+* ``1pct`` / ``10pct`` — 1% / 10% of edges detoured. These trip the
+  dirty-fraction threshold: the session correctly *declines* to repair and
+  falls back to a clean recompute, which the JSON records.
+
+Two quantities per workload, both over best-of-``--repeats``:
+
+* ``leaf_tour_speedup`` — level-0 ``phase1_tour`` seconds (the paper's
+  Fig. 6 dominant compute category) cold vs repaired. This is the work the
+  subsystem exists to avoid, and what CI gates (``--min-speedup``, default
+  5x on the 1-edge workload).
+* ``end_to_end_speedup`` — wall seconds of the whole repaired emission vs
+  the whole cold recompute. Reported, regression-gated against the
+  committed point, but not held to 5x: merge levels above a dirty leaf and
+  the Phase-3 splice legitimately re-run either way.
+
+Repaired and cold circuits are asserted bit-identical (the cold run is
+pinned to the session's extended partition map) before any timing counts.
+
+Usage::
+
+    python benchmarks/bench_deltas.py --label current
+    python benchmarks/bench_deltas.py --check --min-speedup 5.0
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from dataclasses import replace
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+import numpy as np  # noqa: E402
+
+from bench_perf_dataplane import calibration_seconds  # noqa: E402
+from repro.bench.report_io import SCHEMA_VERSION  # noqa: E402
+from repro.bsp.accounting import CAT_PHASE1  # noqa: E402
+from repro.deltas import GraphDelta, RepairSession  # noqa: E402
+from repro.generate.eulerize import eulerian_rmat  # noqa: E402
+from repro.pipeline import RunConfig  # noqa: E402
+from repro.pipeline.runner import run_pipeline  # noqa: E402
+
+DEFAULT_OUTPUT = Path(__file__).resolve().parents[1] / "BENCH_deltas.json"
+
+#: The fixed base graph and partitioning (mirrors the jobs bench scale).
+SCALE = 15
+N_PARTS = 32
+THRESHOLD = 0.5
+GRAPH_SEED = 7
+DELTA_SEED = 0
+
+
+def _detour_delta(graph, eids) -> GraphDelta:
+    """Delete each edge and route it through a fresh vertex (Eulerian-safe)."""
+    eids = sorted({int(e) for e in np.asarray(eids).reshape(-1)})
+    ins, w = [], graph.n_vertices
+    for eid in eids:
+        u, v = graph.endpoints(eid)
+        ins.append((int(u), w))
+        ins.append((w, int(v)))
+        w += 1
+    return GraphDelta.from_edits(graph, insert=np.array(ins, dtype=np.int64),
+                                 delete_eids=np.array(eids, dtype=np.int64))
+
+
+def _leaf_tour_seconds(ctx) -> float:
+    """Level-0 ``phase1_tour`` seconds — the per-partition work the repair
+    engine avoids re-doing on clean partitions."""
+    return sum(r.timings.get(CAT_PHASE1, 0.0)
+               for r in ctx.run_stats.records[0])
+
+
+def _workloads(n_edges: int) -> list[tuple[str, int]]:
+    return [("1-edge", 1),
+            ("1pct", max(1, n_edges // 100)),
+            ("10pct", n_edges // 10)]
+
+
+def _measure_workload(graph, delta, repeats: int) -> dict:
+    cfg = RunConfig(n_parts=N_PARTS, partitioner="ldg", seed=0)
+    best: dict = {"warm_wall": np.inf, "cold_wall": np.inf,
+                  "warm_leaf_tour": np.inf, "cold_leaf_tour": np.inf}
+    child = delta.apply(graph)
+    decision = None
+    for _ in range(repeats):
+        session = RepairSession(threshold=THRESHOLD)
+        run_pipeline(graph, replace(cfg, repair=session))  # capture (untimed)
+        report = session.advance(delta)
+        decision = report
+        t0 = time.perf_counter()
+        warm_ctx = run_pipeline(child, replace(cfg, repair=session))
+        warm_wall = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        cold_ctx = run_pipeline(
+            child, replace(cfg, derived=session.derived_entry(child, cfg)))
+        cold_wall = time.perf_counter() - t0
+        a, b = warm_ctx.circuit, cold_ctx.circuit
+        assert np.array_equal(a.vertices, b.vertices) and \
+            np.array_equal(a.edge_ids, b.edge_ids), \
+            "repaired circuit diverged from the cold recompute"
+        best["warm_wall"] = min(best["warm_wall"], warm_wall)
+        best["cold_wall"] = min(best["cold_wall"], cold_wall)
+        best["warm_leaf_tour"] = min(best["warm_leaf_tour"],
+                                     _leaf_tour_seconds(warm_ctx))
+        best["cold_leaf_tour"] = min(best["cold_leaf_tour"],
+                                     _leaf_tour_seconds(cold_ctx))
+    return {
+        "decision": decision["decision"],
+        "dirty_parts": len(decision.get("dirty_parts", ())),
+        "delta": {"n_inserts": delta.n_inserts, "n_deletes": delta.n_deletes},
+        **best,
+        "leaf_tour_speedup": best["cold_leaf_tour"] / best["warm_leaf_tour"],
+        "end_to_end_speedup": best["cold_wall"] / best["warm_wall"],
+    }
+
+
+def measure(repeats: int) -> dict:
+    graph, _ = eulerian_rmat(SCALE, avg_degree=4.0, seed=GRAPH_SEED)
+    rng = np.random.default_rng(DELTA_SEED)
+    out: dict = {
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "calibration_seconds": calibration_seconds(),
+        "workload": {
+            "scale": SCALE,
+            "n_vertices": graph.n_vertices,
+            "n_edges": graph.n_edges,
+            "n_parts": N_PARTS,
+            "threshold": THRESHOLD,
+            "mutation": "edge detours through fresh vertices",
+        },
+        "workloads": {},
+    }
+    for name, k in _workloads(graph.n_edges):
+        eids = rng.choice(graph.n_edges, size=k, replace=False)
+        delta = _detour_delta(graph, eids)
+        out["workloads"][name] = _measure_workload(graph, delta, repeats)
+    return out
+
+
+def record(label: str, repeats: int, output: Path) -> dict:
+    doc = json.loads(output.read_text()) if output.exists() else {
+        "metric": "incremental circuit repair vs pinned full recompute on "
+                  "one mutated Eulerian R-MAT: level-0 phase1_tour seconds "
+                  "(gated) and end-to-end wall seconds per workload size",
+    }
+    doc["schema_version"] = SCHEMA_VERSION
+    doc[label] = measure(repeats)
+    output.write_text(json.dumps(doc, indent=2, default=float) + "\n")
+    return doc[label]
+
+
+def check(repeats: int, committed: Path, tolerance: float, min_speedup: float,
+          artifact: Path | None) -> int:
+    """Fail on a lost repair win or a regression vs the committed point."""
+    doc = json.loads(committed.read_text())
+    ref = doc.get("current")
+    if ref is None:
+        print("no committed 'current' entry; record one with --label current")
+        return 1
+    fresh = measure(repeats)
+    if artifact is not None:
+        artifact.write_text(json.dumps(
+            {"schema_version": doc.get("schema_version"),
+             "measured": fresh, "committed": ref},
+            indent=2, default=float) + "\n")
+
+    ok = True
+    one = fresh["workloads"]["1-edge"]
+    speedup = one["leaf_tour_speedup"]
+    verdict = "OK" if speedup >= min_speedup else "LOST REPAIR WIN"
+    print(f"deltas: 1-edge leaf-tour speedup {speedup:.2f}x "
+          f"(gate >= {min_speedup:.2f}x): {verdict}")
+    ok &= speedup >= min_speedup
+    if one["decision"] != "repair":
+        print(f"deltas: 1-edge decision {one['decision']!r} != 'repair': "
+              "THRESHOLD MISCLASSIFIED")
+        ok = False
+
+    measured = one["warm_wall"]
+    reference = ref["workloads"]["1-edge"]["warm_wall"]
+    ref_cal = ref.get("calibration_seconds")
+    scale = 1.0
+    if ref_cal:
+        scale = min(4.0, max(0.25, fresh["calibration_seconds"] / ref_cal))
+    limit = reference * scale * (1.0 + tolerance)
+    verdict = "OK" if measured <= limit else "REGRESSION"
+    print(f"deltas: 1-edge repaired emission {measured:.3f}s vs committed "
+          f"{reference:.3f}s x {scale:.2f} machine-speed scale "
+          f"(limit {limit:.3f}s, +{tolerance:.0%}): {verdict}")
+    ok &= measured <= limit
+
+    for name, run in fresh["workloads"].items():
+        print(f"  {name}: decision={run['decision']} "
+              f"dirty={run['dirty_parts']}/{N_PARTS} "
+              f"leaf-tour {run['leaf_tour_speedup']:.2f}x "
+              f"end-to-end {run['end_to_end_speedup']:.2f}x")
+    return 0 if ok else 1
+
+
+def main(argv=None) -> int:
+    p = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    p.add_argument("--label", choices=("baseline", "current"), default="current")
+    p.add_argument("--repeats", type=int, default=3, help="best-of-N runs")
+    p.add_argument("--output", type=Path, default=DEFAULT_OUTPUT)
+    p.add_argument("--check", action="store_true",
+                   help="compare a fresh run against the committed numbers")
+    p.add_argument("--against", type=Path, default=DEFAULT_OUTPUT)
+    p.add_argument("--tolerance", type=float, default=0.35,
+                   help="allowed repaired-emission regression (check mode)")
+    p.add_argument("--min-speedup", type=float, default=5.0,
+                   help="required 1-edge leaf-tour speedup (check mode)")
+    p.add_argument("--artifact", type=Path, default=None,
+                   help="where to write the fresh measurement in check mode")
+    args = p.parse_args(argv)
+
+    if args.check:
+        return check(args.repeats, args.against, args.tolerance,
+                     args.min_speedup, args.artifact)
+    entry = record(args.label, args.repeats, args.output)
+    one = entry["workloads"]["1-edge"]
+    print(f"[{args.label}] 1-edge: leaf-tour {one['leaf_tour_speedup']:.2f}x, "
+          f"end-to-end {one['end_to_end_speedup']:.2f}x, "
+          f"repaired emission {one['warm_wall']:.3f}s -> {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

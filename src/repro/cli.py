@@ -23,6 +23,11 @@ Subcommands
 ``submit`` / ``status`` / ``jobs``
     HTTP clients for a running ``serve`` instance: queue a job on an input
     file, poll one job, list all jobs.
+``mutate`` / ``watch``
+    Dynamic graphs against a running server: ``mutate`` applies an edge
+    delta to a cataloged graph (``PATCH /graphs/<key>``); ``watch``
+    manages watch jobs — a pinned (graph, scenario) pair that re-emits an
+    incrementally repaired result after every mutation.
 ``batch``
     Execute a JSONL job file through a local job engine and write a
     ``run_table.csv``-style report (one row per job).
@@ -254,6 +259,41 @@ def build_parser() -> argparse.ArgumentParser:
     jobs = sub.add_parser("jobs", help="list all jobs on a server")
     add_server_arg(jobs)
 
+    mutate = sub.add_parser(
+        "mutate", help="apply an edge delta to a cataloged graph "
+                       "(watches on it re-emit repaired results)")
+    mutate.add_argument("graph_key", help="base graph key in the server's "
+                                          "catalog")
+    mutate.add_argument("--insert", action="append", default=[],
+                        metavar="U,V",
+                        help="edge to insert, as 'u,v' (repeatable; "
+                             "endpoints beyond |V| grow the graph)")
+    mutate.add_argument("--delete-eid", action="append", default=[],
+                        type=int, metavar="EID",
+                        help="edge id to delete (repeatable)")
+    mutate.add_argument("--name", default="",
+                        help="display name for the mutated graph")
+    add_server_arg(mutate)
+
+    watch = sub.add_parser(
+        "watch", help="manage watch jobs: pin a (graph, scenario) pair so "
+                      "every mutation re-emits a repaired result")
+    watch.add_argument("graph_key", nargs="?", default=None,
+                       help="create a watch on this cataloged graph key "
+                            "(omit with --list/--delete)")
+    watch.add_argument("--scenario", default="circuit",
+                       choices=scenario_names())
+    watch.add_argument("--parts", type=int, default=4)
+    watch.add_argument("--seed", type=int, default=0)
+    watch.add_argument("--threshold", type=float, default=0.5,
+                       help="dirty-partition fraction above which an "
+                            "emission falls back to full recompute")
+    watch.add_argument("--list", action="store_true",
+                       help="list the server's watches")
+    watch.add_argument("--delete", default=None, metavar="WATCH_ID",
+                       help="tear down one watch")
+    add_server_arg(watch)
+
     batch = sub.add_parser(
         "batch", help="run a JSONL job file locally and write a run-table CSV")
     batch.add_argument("jobs_file", help="one JSON job spec per line")
@@ -282,7 +322,8 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "experiment":
         _EXPERIMENTS[args.name]()
         return 0
-    if args.command in ("serve", "worker", "submit", "status", "jobs", "batch"):
+    if args.command in ("serve", "worker", "submit", "status", "jobs",
+                        "batch", "mutate", "watch"):
         return _jobs_main(args)
     if args.command == "postman":
         g = load_edge_list(args.input)
@@ -425,6 +466,44 @@ def _jobs_main(args) -> int:
                   f"{r['throughput_edges_per_s']:,.0f} edges/s")
         return 0 if done == len(rows) else 1
     client = JobClient(args.server)
+    if args.command == "mutate":
+        insert = []
+        for text in args.insert:
+            u, _, v = text.partition(",")
+            insert.append((int(u), int(v)))
+        out = client.mutate(args.graph_key, insert=insert or None,
+                            delete_eids=args.delete_eid or None,
+                            name=args.name)
+        d = out["delta"]
+        print(f"mutated {out['base_key']} -> {out['graph_key']} "
+              f"(+{d['n_inserts']}/-{d['n_deletes']} edges, "
+              f"|V| {d['n_vertices_before']} -> {d['n_vertices_after']})")
+        for wid, info in sorted(out.get("watches", {}).items()):
+            print(f"  {wid}: {info['decision']} -> job {info['job_id']}")
+        return 0
+    if args.command == "watch":
+        if args.delete:
+            client.delete_watch(args.delete)
+            print(f"deleted {args.delete}")
+            return 0
+        if args.list or args.graph_key is None:
+            listed = client.watches()
+            if not listed:
+                print("no watches")
+                return 0
+            print(f"{'ID':<14} {'SCENARIO':<11} {'GRAPH':<18} "
+                  f"{'MUTATIONS':>9} {'LAST JOB':<12}")
+            for w in listed:
+                print(f"{w['id']:<14} {w['scenario']:<11} "
+                      f"{w['graph_key']:<18} {w['mutations']:>9} "
+                      f"{w['last_job_id'] or '-':<12}")
+            return 0
+        w = client.create_watch(
+            args.graph_key, scenario=args.scenario,
+            config={"n_parts": args.parts, "seed": args.seed},
+            threshold=args.threshold)
+        print(f"created {w['id']} on {w['graph_key']} ({w['scenario']})")
+        return 0
     if args.command == "submit":
         config = {
             "n_parts": args.parts,

@@ -1,0 +1,15 @@
+"""Dynamic graphs: delta mutations and incremental circuit repair.
+
+:class:`GraphDelta` packs edge inserts/deletes between two graphs into
+columnar int64 tables (apply / invert / compose / eid_map);
+:func:`extend_part_of` is the shared canonical-partition extension rule;
+:class:`RepairSession` caches Phase-1 inputs/outputs across runs and
+replays the merge-tree nodes a delta provably didn't touch — falling
+back to full recompute past a dirty-partition threshold. See the
+"Dynamic graphs" section of ARCHITECTURE.md.
+"""
+
+from .delta import GraphDelta, extend_part_of
+from .repair import RepairProgram, RepairSession
+
+__all__ = ["GraphDelta", "extend_part_of", "RepairSession", "RepairProgram"]

@@ -27,6 +27,11 @@ Fault kinds
 ``shm_attach``
     Make the next shared-memory graph attach raise ``FileNotFoundError``
     — exercises the catalog-NPZ fallback in the forked workers.
+``delta_apply``
+    Make the next catalog delta application raise
+    :class:`~repro.errors.FaultInjectedError` — exercises the mutation
+    front end's error path and proves a failed ``PATCH`` leaves the
+    catalog (and any watch jobs on the base graph) untouched.
 ``host_kill``
     ``os.kill(getpid(), SIGKILL)`` at superstep ``at`` — inside a
     dedicated :class:`~repro.jobs.remote.WorkerHost` process (the
@@ -68,7 +73,8 @@ from .errors import FaultInjectedError
 __all__ = ["FaultSpec", "FaultPlan", "FAULT_KINDS"]
 
 #: Every fault kind the harness can inject.
-FAULT_KINDS = ("worker_kill", "fail", "slow", "shm_attach", "host_kill")
+FAULT_KINDS = ("worker_kill", "fail", "slow", "shm_attach", "host_kill",
+               "delta_apply")
 
 
 @dataclass(frozen=True)
@@ -177,6 +183,15 @@ class FaultPlan:
                 self.specs = tuple(s for s in self.specs if s is not spec)
                 raise FileNotFoundError(
                     "injected shared-memory attach failure"
+                )
+
+    def delta_apply(self) -> None:
+        """Fire a pending ``delta_apply`` fault (consume it, then raise)."""
+        for spec in self.specs:
+            if spec.kind == "delta_apply":
+                self.specs = tuple(s for s in self.specs if s is not spec)
+                raise FaultInjectedError(
+                    "injected delta application failure"
                 )
 
     def _kill(self, k: int, host: bool = False) -> None:

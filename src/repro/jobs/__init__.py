@@ -26,6 +26,14 @@ package turns the library into a long-lived, multi-request system:
 * :mod:`~repro.jobs.batch` — offline JSONL batches with a
   ``run_table.csv``-style one-row-per-job report.
 
+Dynamic graphs ride the same surfaces: the catalog stores
+:class:`~repro.deltas.GraphDelta` chains between content hashes
+(``mutate`` / ``export_delta_bytes``), the engine advances **watch jobs**
+(:meth:`~repro.jobs.engine.JobEngine.add_watch` /
+:meth:`~repro.jobs.engine.JobEngine.mutate_graph`) that re-emit
+incrementally repaired results per mutation, and the coordinator ships
+deltas instead of full NPZs to worker hosts that hold the parent hash.
+
 Quickstart::
 
     from repro.jobs import GraphCatalog, JobEngine

@@ -19,6 +19,18 @@ per request. The catalog amortizes it:
   per-graph metadata and last-use ordering; :meth:`GraphCatalog.put`
   enforces an optional on-disk **size budget** by evicting
   least-recently-used graphs together with their derived artifacts.
+* **Delta chains** make mutations first-class: :meth:`GraphCatalog.mutate`
+  applies a :class:`~repro.deltas.GraphDelta` to a cataloged base, keys
+  the child by content hash, and persists only the (tiny) delta NPZ under
+  ``<root>/deltas/<child>.npz`` with a ``delta_of`` back-pointer in the
+  index — the child's full NPZ is materialized lazily
+  (:meth:`GraphCatalog.materialize`), on the first export or disk load
+  that needs it. A child's canonical partition map is the parent's cached
+  map *extended* over the delta (new vertices join the partition of their
+  first already-placed neighbour), which is what lets incremental repair
+  and full recompute of the child agree bit-for-bit. Eviction never
+  unlinks a base graph an unmaterialized child still needs — chain
+  parents are protected alongside pins.
 
 All public methods are thread-safe — the job engine's dispatcher threads
 and the HTTP front end share one catalog instance.
@@ -110,9 +122,13 @@ class GraphCatalog:
             "plan_hits": 0,
             "plan_misses": 0,
             "evictions": 0,
+            "mutations": 0,
+            "delta_rebuilds": 0,
+            "partition_extensions": 0,
         }
         (self.root / "graphs").mkdir(parents=True, exist_ok=True)
         (self.root / "derived").mkdir(parents=True, exist_ok=True)
+        (self.root / "deltas").mkdir(parents=True, exist_ok=True)
         self._index: dict[str, dict] = self._load_index()
 
     # -- index ------------------------------------------------------------
@@ -151,6 +167,9 @@ class GraphCatalog:
 
     def _graph_path(self, key: str) -> Path:
         return self.root / "graphs" / f"{key}.npz"
+
+    def _delta_path(self, key: str) -> Path:
+        return self.root / "deltas" / f"{key}.npz"
 
     def _derived_dir(self, key: str) -> Path:
         return self.root / "derived" / key
@@ -204,12 +223,20 @@ class GraphCatalog:
                 self._touch(key)
                 return g
             path = self._graph_path(key)
-            if key not in self._index or not path.exists():
+            if key not in self._index:
                 raise KeyError(f"unknown graph key {key!r}")
-            self.stats["graph_misses"] += 1
-            # The archive was written from a validated Graph at put();
-            # skip the range re-scan so the mapping stays lazy.
-            g, _ = load_npz(path, mmap=True, validate=False)
+            if not path.exists():
+                # Unmaterialized delta child: rebuild from the chain.
+                parent = self._index[key].get("delta_of")
+                if parent is None:
+                    raise KeyError(f"unknown graph key {key!r}")
+                g = self.load_delta(key).apply(self.get(parent))
+                self.stats["delta_rebuilds"] += 1
+            else:
+                self.stats["graph_misses"] += 1
+                # The archive was written from a validated Graph at put();
+                # skip the range re-scan so the mapping stays lazy.
+                g, _ = load_npz(path, mmap=True, validate=False)
             self._graphs[key] = g
             self._live[key] = weakref.ref(g)
             self._touch(key)
@@ -225,8 +252,12 @@ class GraphCatalog:
         """
         with self._lock:
             path = self._graph_path(key)
-            if key not in self._index or not path.exists():
+            if key not in self._index:
                 raise KeyError(f"unknown graph key {key!r}")
+            if not path.exists():
+                if self._index[key].get("delta_of") is None:
+                    raise KeyError(f"unknown graph key {key!r}")
+                self.materialize(key)
             self._touch(key)
             return path.read_bytes()
 
@@ -280,7 +311,18 @@ class GraphCatalog:
 
     def __contains__(self, key: str) -> bool:
         with self._lock:
-            return key in self._index and self._graph_path(key).exists()
+            seen: set[str] = set()
+            while key in self._index and key not in seen:
+                if self._graph_path(key).exists():
+                    return True
+                seen.add(key)
+                # Unmaterialized delta child: resolvable iff the delta
+                # file survives and the chain bottoms out in a real NPZ.
+                parent = self._index[key].get("delta_of")
+                if parent is None or not self._delta_path(key).exists():
+                    return False
+                key = parent
+            return False
 
     def keys(self) -> list[str]:
         with self._lock:
@@ -292,6 +334,137 @@ class GraphCatalog:
             return [
                 {"graph_key": k, **self._index[k]} for k in sorted(self._index)
             ]
+
+    # -- delta chains -------------------------------------------------------
+
+    def mutate(self, base_key: str, delta, name: str = "",
+               pin: bool = False, faults=None) -> str:
+        """Apply ``delta`` to a cataloged graph; the child's content key.
+
+        The child graph is kept hot in the in-process table and keyed by
+        its true content hash, but **only the delta NPZ** is persisted
+        (``deltas/<child>.npz`` plus a ``delta_of`` index back-pointer) —
+        the full child archive is written lazily by :meth:`materialize`.
+        Idempotent: re-applying the same delta lands on the same key.
+        """
+        from ..deltas.delta import GraphDelta
+
+        if not isinstance(delta, GraphDelta):
+            raise ValueError(f"mutate expects a GraphDelta, got {type(delta)}")
+        with self._lock:
+            if base_key not in self._index:
+                raise KeyError(f"unknown graph key {base_key!r}")
+            if faults is not None:
+                faults.delta_apply()
+            base = self.get(base_key)
+            child = delta.apply(base)
+            key = graph_key(child)
+            self.stats["mutations"] += 1
+            if key in self._index:
+                self._touch(key)
+                self._graphs.setdefault(key, child)
+                if pin:
+                    self._pins[key] = self._pins.get(key, 0) + 1
+                return key
+            dpath = self._delta_path(key)
+            dpath.write_bytes(delta.to_bytes())
+            self._index[key] = {
+                "name": name,
+                "n_vertices": child.n_vertices,
+                "n_edges": child.n_edges,
+                "bytes": dpath.stat().st_size,
+                "created": time.time(),
+                "last_used": time.time(),
+                "delta_of": base_key,
+            }
+            self._graphs[key] = child
+            self._live[key] = weakref.ref(child)
+            if pin:
+                self._pins[key] = self._pins.get(key, 0) + 1
+            self._evict_to_budget(protect=key)
+            self._save_index()
+        return key
+
+    def delta_parent(self, key: str) -> str | None:
+        """The chain parent of ``key`` (``None`` for root graphs)."""
+        with self._lock:
+            entry = self._index.get(key)
+            if entry is None:
+                raise KeyError(f"unknown graph key {key!r}")
+            return entry.get("delta_of")
+
+    def load_delta(self, key: str):
+        """The stored :class:`GraphDelta` producing ``key`` from its parent."""
+        from ..deltas.delta import GraphDelta
+
+        with self._lock:
+            path = self._delta_path(key)
+            if key not in self._index or not path.exists():
+                raise KeyError(f"no stored delta for graph key {key!r}")
+            return GraphDelta.from_bytes(path.read_bytes())
+
+    def export_delta_bytes(self, key: str) -> tuple[str, bytes]:
+        """``(parent_key, delta_npz_bytes)`` for remote delta shipping.
+
+        Raises ``KeyError`` when ``key`` is a root graph or its delta file
+        is gone — callers fall back to :meth:`export_bytes`.
+        """
+        with self._lock:
+            entry = self._index.get(key)
+            if entry is None:
+                raise KeyError(f"unknown graph key {key!r}")
+            parent = entry.get("delta_of")
+            path = self._delta_path(key)
+            if parent is None or not path.exists():
+                raise KeyError(f"no stored delta for graph key {key!r}")
+            return parent, path.read_bytes()
+
+    def put_delta_bytes(self, parent_key: str, data: bytes,
+                        name: str = "") -> str:
+        """Catalog a delta received as NPZ bytes (remote host side).
+
+        The inverse of :meth:`export_delta_bytes`: the delta is re-applied
+        against the locally-held parent and the child is re-keyed from the
+        actual arrays, so a corrupted transfer cannot poison the shard.
+        """
+        from ..deltas.delta import GraphDelta
+
+        return self.mutate(parent_key, GraphDelta.from_bytes(data), name=name)
+
+    def materialize(self, key: str) -> Path:
+        """Write the full NPZ for a delta child (idempotent); its path.
+
+        The delta file and ``delta_of`` pointer survive materialization —
+        they keep serving remote delta shipping and provenance — but the
+        chain no longer *needs* the parent, so eviction protection lapses.
+        """
+        with self._lock:
+            if key not in self._index:
+                raise KeyError(f"unknown graph key {key!r}")
+            path = self._graph_path(key)
+            if not path.exists():
+                g = self.get(key)
+                save_npz(g, path, compressed=False)
+                self._index[key]["bytes"] = path.stat().st_size
+                self._save_index()
+            return path
+
+    def _chain_protected(self) -> set[str]:
+        """Keys some *unmaterialized* delta child still needs to rebuild."""
+        protected: set[str] = set()
+        for key, entry in self._index.items():
+            parent = entry.get("delta_of")
+            if parent is None or self._graph_path(key).exists():
+                continue
+            seen = {key}
+            while parent is not None and parent in self._index:
+                protected.add(parent)
+                if (self._graph_path(parent).exists()
+                        or parent in seen):
+                    break  # chain bottoms out (or is cyclic/corrupt)
+                seen.add(parent)
+                parent = self._index[parent].get("delta_of")
+        return protected
 
     # -- derived artifacts -------------------------------------------------
 
@@ -323,12 +496,24 @@ class GraphCatalog:
                     part_of = np.array(z["part_of"], dtype=np.int64)
                 self.stats["partition_hits"] += 1
             else:
-                self.stats["partition_misses"] += 1
-                g = self.get(key)
-                part_of = np.asarray(
-                    partition_graph(g, n_eff, method=partitioner, seed=seed).part_of,
-                    dtype=np.int64,
+                # A delta child's canonical map is the parent's map
+                # extended over the delta — this is what makes incremental
+                # repair and a full recompute of the child see the same
+                # partitioning (and therefore the same circuit).
+                part_of = self._extended_partition(
+                    key, meta, partitioner, n_parts, seed, n_eff
                 )
+                if part_of is None:
+                    self.stats["partition_misses"] += 1
+                    g = self.get(key)
+                    part_of = np.asarray(
+                        partition_graph(
+                            g, n_eff, method=partitioner, seed=seed
+                        ).part_of,
+                        dtype=np.int64,
+                    )
+                else:
+                    self.stats["partition_extensions"] += 1
                 with atomic_write(path, suffix=".npz") as fh:
                     np.savez(fh, part_of=part_of)
             entry = {
@@ -341,6 +526,28 @@ class GraphCatalog:
             }
             self._partitions[ck] = entry
             return entry
+
+    def _extended_partition(self, key: str, meta: dict, partitioner: str,
+                            n_parts: int, seed: int, n_eff: int):
+        """Parent map extended over ``key``'s delta, or ``None``.
+
+        New vertices join the partition of their first already-placed
+        endpoint in delta-insert order (partition 0 when every neighbour
+        is also new) — deterministic, so every process derives the same
+        extension. Falls back to ``None`` (cold partitioning) when the
+        clamped part counts disagree between parent and child.
+        """
+        parent = meta.get("delta_of")
+        if parent is None or parent not in self._index:
+            return None
+        if not self._delta_path(key).exists():
+            return None
+        parent_entry = self.partition_map(parent, partitioner, n_parts, seed)
+        if parent_entry["n_parts"] != n_eff:
+            return None
+        from ..deltas.delta import extend_part_of
+
+        return extend_part_of(parent_entry["part_of"], self.load_delta(key))
 
     def eulerize_plan(self, key: str) -> dict:
         """A cached postman eulerization plan for this graph (see postman)."""
@@ -441,9 +648,9 @@ class GraphCatalog:
         with self._lock:
             total = 0
             for key in self._index:
-                p = self._graph_path(key)
-                if p.exists():
-                    total += p.stat().st_size
+                for p in (self._graph_path(key), self._delta_path(key)):
+                    if p.exists():
+                        total += p.stat().st_size
                 d = self._derived_dir(key)
                 if d.exists():
                     total += _dir_bytes(d)
@@ -453,9 +660,14 @@ class GraphCatalog:
         if self.size_budget_bytes is None:
             return
         while self.disk_bytes() > self.size_budget_bytes and len(self._index) > 1:
+            # Chain parents an unmaterialized child still rebuilds through
+            # are as untouchable as pins: evicting one would strand every
+            # descendant delta (see the evict-parent regression test).
+            chained = self._chain_protected()
             victims = sorted(
                 (k for k in self._index
-                 if k != protect and k not in self._pins),
+                 if k != protect and k not in self._pins
+                 and k not in chained),
                 key=lambda k: self._index[k]["last_used"],
             )
             if not victims:
@@ -487,6 +699,7 @@ class GraphCatalog:
 
     def _unlink_files(self, key: str) -> None:
         self._graph_path(key).unlink(missing_ok=True)
+        self._delta_path(key).unlink(missing_ok=True)
         shutil.rmtree(self._derived_dir(key), ignore_errors=True)
 
     def _deferred_unlink(self, key: str) -> None:

@@ -196,6 +196,42 @@ class JobClient:
             raise ValueError("submit needs graph_key or path")
         return self._request("POST", "/jobs", body)
 
+    def mutate(self, graph_key: str, *, insert=None, delete_eids=None,
+               name: str = "") -> dict:
+        """Apply an edge delta to a cataloged graph (``PATCH /graphs/<key>``).
+
+        ``insert``: iterable of ``(u, v)`` pairs (endpoints beyond the
+        base vertex count grow the graph); ``delete_eids``: edge ids in
+        the base graph's edge list. Returns the child graph's content key
+        plus one emission-job entry per watch on the base graph.
+        """
+        body: dict = {"name": name}
+        if insert is not None:
+            body["insert"] = [[int(u), int(v)] for u, v in insert]
+        if delete_eids is not None:
+            body["delete_eids"] = [int(e) for e in delete_eids]
+        return self._request("PATCH", f"/graphs/{graph_key}", body)
+
+    def create_watch(self, graph_key: str, scenario: str = "circuit", *,
+                     config: dict | None = None, name: str = "",
+                     threshold: float | None = None,
+                     priority: int = 0) -> dict:
+        body: dict = {"graph_key": graph_key, "scenario": scenario,
+                      "config": config or {}, "name": name,
+                      "priority": int(priority)}
+        if threshold is not None:
+            body["threshold"] = float(threshold)
+        return self._request("POST", "/watches", body)
+
+    def watches(self) -> list[dict]:
+        return self._request("GET", "/watches")["watches"]
+
+    def watch(self, watch_id: str) -> dict:
+        return self._request("GET", f"/watches/{watch_id}")
+
+    def delete_watch(self, watch_id: str) -> dict:
+        return self._request("DELETE", f"/watches/{watch_id}")
+
     def jobs(self) -> list[dict]:
         return self._request("GET", "/jobs")["jobs"]
 

@@ -129,7 +129,8 @@ class FlagToken:
 
 def _strip_config(config):
     """A config safe to cross the pipe (and land in durable artifacts)."""
-    return replace(config, pool=None, cancel=None, derived=None, faults=None)
+    return replace(config, pool=None, cancel=None, derived=None, faults=None,
+                   repair=None)
 
 
 def _scrub_result(result) -> None:

@@ -45,6 +45,14 @@ Fault tolerance (the crash-safety layer on top):
 * **drain** — :meth:`drain` stops intake (HTTP 503 at the front ends),
   lets running jobs finish inside a deadline, then checkpoints the journal
   so still-queued jobs survive to the next start.
+
+Dynamic graphs (see :mod:`repro.deltas` and ``PATCH /graphs/<key>``):
+:meth:`mutate_graph` applies a :class:`~repro.deltas.GraphDelta` through
+the catalog's delta-chain store, and :meth:`add_watch` pins a (graph,
+scenario) pair so every mutation re-emits an incrementally repaired
+result as an ordinary job. Watch lifecycle records ride the same journal
+(``watch_created``/``watch_advanced``/``watch_deleted``) and survive
+restarts — recovery re-pins each watch to its last journaled graph head.
 """
 
 from __future__ import annotations
@@ -61,6 +69,7 @@ from pathlib import Path
 
 from ..bsp import shm
 from ..bsp.executors import SharedPool
+from ..deltas import GraphDelta, RepairSession
 from ..errors import (
     EngineDrainingError,
     JobError,
@@ -74,7 +83,13 @@ from ..scenarios.base import run_scenario
 from .catalog import GraphCatalog
 from .dispatch import ForkedWorkerPool
 from .remote import RemoteHostPool
-from .journal import JobJournal, TERMINAL_EVENTS, config_from_dict, reduce_records
+from .journal import (
+    JobJournal,
+    TERMINAL_EVENTS,
+    config_from_dict,
+    reduce_records,
+    reduce_watches,
+)
 from .queue import (
     CANCELLED,
     DONE,
@@ -292,10 +307,16 @@ class JobEngine:
         self._stop_dispatch = False
         self._ids = itertools.count(1)
         self._closed = False
+        #: watch id → live watch record (see :meth:`add_watch`).
+        self._watches: dict[str, dict] = {}
+        self._watch_lock = threading.Lock()
+        self._watch_ids = itertools.count(1)
+        self._mutations = 0
+        self._watch_emissions = 0
         #: What :meth:`recover` found and did (all zero without a journal).
         self.recovery_stats: dict = {
             "replayed": 0, "requeued": 0, "reconciled": 0,
-            "failed": 0, "terminal": 0,
+            "failed": 0, "terminal": 0, "watches": 0,
         }
         if self.journal is not None:
             self.recover()
@@ -483,6 +504,164 @@ class JobEngine:
     def jobs(self) -> list[Job]:
         return self.queue.jobs()
 
+    # -- dynamic graphs: mutations and watch jobs ----------------------------
+
+    def mutate_graph(self, base_key: str, delta: GraphDelta, name: str = "",
+                     faults: FaultPlan | None = None) -> dict:
+        """Apply a delta through the catalog; advance every watch on it.
+
+        The catalog mints the child's content hash from a delta chain
+        (no full NPZ until something exports it). Each watch currently
+        pinned to ``base_key`` then rolls forward: its repair session
+        advances across the delta (deciding incremental repair vs full
+        recompute), the watch re-pins onto the child hash, and one
+        emission job is submitted carrying the session — the repaired
+        result lands as a normal job whose artifact pass history records
+        the decision. Returns the child key plus per-watch emissions.
+
+        ``faults`` (a plan with a ``delta_apply`` spec armed) makes the
+        catalog application itself fail *before* any watch moves — a
+        failed mutation leaves the catalog and every watch untouched.
+        """
+        if self._closed:
+            raise RuntimeError("engine is closed")
+        if self._draining:
+            raise EngineDrainingError()
+        new_key = self.catalog.mutate(base_key, delta, name=name,
+                                      faults=faults)
+        self._mutations += 1
+        with self._watch_lock:
+            targets = [w for w in self._watches.values()
+                       if w["graph_key"] == base_key]
+        out: dict = {"graph_key": new_key, "base_key": base_key,
+                     "delta": delta.summary(), "watches": {}}
+        for w in targets:
+            report = w["session"].advance(delta)
+            self.catalog.pin(new_key)
+            self.catalog.unpin(w["graph_key"])
+            w["graph_key"] = new_key
+            w["mutations"] += 1
+            handle = self.submit(
+                w["scenario"], graph_key=new_key,
+                config=replace(w["config"], repair=w["session"]),
+                priority=w["priority"], name=w["name"] or name,
+            )
+            # The decision is stamped coordinator-side so it reaches the
+            # artifact on every dispatcher mode (process/remote workers
+            # run the emission cold — the session never crosses a pipe).
+            self.queue.get(handle.job_id).record_pass(
+                "repair_decision", 0.0, watch_id=w["id"], **report
+            )
+            w["emitted"].append(handle.job_id)
+            w["last_job_id"] = handle.job_id
+            self._watch_emissions += 1
+            self._journal_event(
+                "watch_advanced", _Ref(w["id"]), graph_key=new_key,
+                emitted=handle.job_id, decision=report.get("decision"),
+            )
+            out["watches"][w["id"]] = {
+                "job_id": handle.job_id,
+                "decision": report.get("decision"),
+                "dirty_parts": report.get("dirty_parts"),
+            }
+        return out
+
+    def add_watch(self, graph_key: str, scenario: str = "circuit",
+                  config: RunConfig | None = None, name: str = "",
+                  threshold: float = 0.5, priority: int = 0) -> dict:
+        """Pin a (graph, scenario) pair: every mutation re-emits a result.
+
+        The watch holds a :class:`~repro.deltas.RepairSession` across
+        mutations, so successive emissions repair incrementally instead
+        of recomputing (``threshold``: the dirty-partition fraction past
+        which a mutation falls back to full recompute). With a journal
+        the watch is durable — :meth:`recover` rebuilds the registry on
+        restart, re-pinned to the watch's last journaled graph head (the
+        Phase-1 cache is process memory, so the first post-restart
+        emission is a cold capture). Returns the watch summary row.
+        """
+        if self._closed:
+            raise RuntimeError("engine is closed")
+        if self._draining:
+            raise EngineDrainingError()
+        self.catalog.pin(graph_key)  # KeyError on an unknown key
+        config = config if config is not None else RunConfig()
+        watch_id = f"watch-{next(self._watch_ids):06d}"
+        record = {
+            "id": watch_id,
+            "graph_key": graph_key,
+            "base_key": graph_key,
+            "scenario": scenario,
+            "config": config,
+            "name": name,
+            "priority": int(priority),
+            "session": RepairSession(threshold=threshold),
+            "threshold": float(threshold),
+            "mutations": 0,
+            "emitted": [],
+            "last_job_id": None,
+            "created_at": time.time(),
+            "recovered": False,
+        }
+        with self._watch_lock:
+            self._watches[watch_id] = record
+        if self.journal is not None:
+            from .journal import config_to_dict
+
+            try:
+                # Like submissions: never acknowledge a watch the journal
+                # couldn't record.
+                self.journal.append(
+                    "watch_created", watch_id,
+                    graph_key=graph_key, scenario=scenario,
+                    config=config_to_dict(config), name=name,
+                    threshold=float(threshold), priority=int(priority),
+                )
+            except BaseException:
+                with self._watch_lock:
+                    self._watches.pop(watch_id, None)
+                self.catalog.unpin(graph_key)
+                raise
+        return self.watch_summary(watch_id)
+
+    def watch_summary(self, watch_id: str) -> dict:
+        """One watch's status row (raises ``KeyError`` on unknown ids)."""
+        with self._watch_lock:
+            w = self._watches.get(watch_id)
+            if w is None:
+                raise KeyError(f"unknown watch {watch_id!r}")
+            return {
+                "id": w["id"],
+                "graph_key": w["graph_key"],
+                "base_key": w["base_key"],
+                "scenario": w["scenario"],
+                "name": w["name"],
+                "threshold": w["threshold"],
+                "mutations": w["mutations"],
+                "emitted_jobs": len(w["emitted"]),
+                "last_job_id": w["last_job_id"],
+                "last_repair": dict(w["session"].last_report),
+                "created_at": w["created_at"],
+                "recovered": w["recovered"],
+            }
+
+    def watches(self) -> list[dict]:
+        """Status rows for every live watch, in id order."""
+        with self._watch_lock:
+            ids = sorted(self._watches)
+        return [self.watch_summary(i) for i in ids]
+
+    def delete_watch(self, watch_id: str) -> bool:
+        """Tear a watch down (unpins its graph head); ``KeyError`` when
+        unknown."""
+        with self._watch_lock:
+            w = self._watches.pop(watch_id, None)
+        if w is None:
+            raise KeyError(f"unknown watch {watch_id!r}")
+        self.catalog.unpin(w["graph_key"])
+        self._journal_event("watch_deleted", _Ref(watch_id))
+        return True
+
     # -- journal ------------------------------------------------------------
 
     def _journal_submit(self, job: Job) -> None:
@@ -535,7 +714,7 @@ class JobEngine:
         from ..bench.report_io import load_job_summary
 
         stats = {"replayed": 0, "requeued": 0, "reconciled": 0,
-                 "failed": 0, "terminal": 0}
+                 "failed": 0, "terminal": 0, "watches": 0}
         if self.journal is None:
             self.recovery_stats = stats
             return stats
@@ -628,8 +807,55 @@ class JobEngine:
                 raise
         if max_id:
             self._ids = itertools.count(max_id + 1)
+        self._recover_watches(records, stats)
         self.recovery_stats = stats
         return stats
+
+    def _recover_watches(self, records: list[dict], stats: dict) -> None:
+        """Rebuild the watch registry from journaled watch events.
+
+        A recovered watch re-pins its last journaled graph head and gets
+        a *fresh* repair session — the Phase-1 cache died with the old
+        process, so its first post-restart emission is a cold capture and
+        subsequent mutations repair incrementally again. Watches whose
+        head graph is no longer cataloged (evicted while down) are
+        dropped rather than resurrected broken.
+        """
+        watch_states = reduce_watches(records)
+        max_watch = 0
+        for watch_id, wstate in sorted(watch_states.items()):
+            m = re.fullmatch(r"watch-(\d+)", watch_id)
+            if m:
+                max_watch = max(max_watch, int(m.group(1)))
+            if wstate["deleted"] or wstate["spec"] is None:
+                continue
+            spec = wstate["spec"]
+            head = wstate["graph_key"] or spec.get("graph_key")
+            try:
+                config = config_from_dict(spec.get("config") or {})
+                self.catalog.pin(head)
+            except (KeyError, ValueError):
+                continue
+            threshold = float(spec.get("threshold") or 0.5)
+            self._watches[watch_id] = {
+                "id": watch_id,
+                "graph_key": head,
+                "base_key": spec.get("graph_key", head),
+                "scenario": spec.get("scenario", "circuit"),
+                "config": config,
+                "name": spec.get("name", ""),
+                "priority": int(spec.get("priority") or 0),
+                "session": RepairSession(threshold=threshold),
+                "threshold": threshold,
+                "mutations": int(wstate["mutations"]),
+                "emitted": [],
+                "last_job_id": wstate["last_job_id"],
+                "created_at": spec.get("ts"),
+                "recovered": True,
+            }
+            stats["watches"] += 1
+        if max_watch:
+            self._watch_ids = itertools.count(max_watch + 1)
 
     def _recover_failed(self, job_id: str, spec: dict, stats: dict,
                         error: str) -> None:
@@ -771,6 +997,10 @@ class JobEngine:
                 n_sub_runs=len(result.sub_runs),
                 walk_edges=int(sum(c.n_edges for c in result.circuits)),
             )
+            if config.repair is not None:
+                # The decision plus live hit/miss counters — how much of
+                # this run was replayed vs recomputed.
+                job.record_pass("repair", 0.0, **config.repair.report())
             job.result = result
 
             # Pre-stamp the terminal state so the durable artifact records
@@ -926,7 +1156,7 @@ class JobEngine:
             "scenario": job.scenario,
             "graph_key": job.graph_key,
             "config": replace(job.config, pool=None, cancel=None,
-                              derived=None,
+                              derived=None, repair=None,
                               faults=self._armed_faults(job)),
             "graph_descriptor": descriptor,
             "timeout_seconds": job.timeout_seconds,
@@ -1096,6 +1326,13 @@ class JobEngine:
             for job in self.queue.jobs():
                 if job.state == QUEUED:
                     self.cancel(job.id)  # also unpins the graph
+        # Watch pins are in-process state; release them (the journal, not
+        # the pin table, is what makes watches survive the restart).
+        with self._watch_lock:
+            heads = [w["graph_key"] for w in self._watches.values()]
+            self._watches.clear()
+        for key in heads:
+            self.catalog.unpin(key)
         self._closed = True
         self.queue.close()
         for t in self._threads:
@@ -1120,6 +1357,8 @@ class JobEngine:
 
     def supervisor_stats(self) -> dict:
         """Fault-tolerance counters for ``/healthz``."""
+        with self._watch_lock:
+            n_watches = len(self._watches)
         stats = {
             "dispatcher": self.dispatcher,
             "retries_scheduled": self._retries_scheduled,
@@ -1127,6 +1366,9 @@ class JobEngine:
             "draining": self._draining,
             "swept_segments": list(self.swept_segments),
             "recovery": dict(self.recovery_stats),
+            "watches": n_watches,
+            "mutations": self._mutations,
+            "watch_emissions": self._watch_emissions,
         }
         if self._forked is not None:
             stats["workers"] = self._forked.supervisor_stats()

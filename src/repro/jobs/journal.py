@@ -34,10 +34,17 @@ Events
     A transient failure was re-enqueued (attempt index, error, backoff).
 ``done`` / ``failed`` / ``cancelled``
     Terminal states.
+``watch_created`` / ``watch_advanced`` / ``watch_deleted``
+    Watch-job lifecycle (the ``job_id`` field carries the watch id).
+    Invisible to :func:`reduce_records` — a watch is not a job — but
+    folded by :func:`reduce_watches` so a restarted engine rebuilds its
+    watch registry: the ``watch_created`` spec plus the *latest*
+    ``watch_advanced`` record pin the watch's current graph head.
 
 :func:`reduce_records` folds a replayed record list into per-job state;
 :meth:`JobJournal.checkpoint` atomically rewrites the file keeping only
-live (non-terminal) jobs — the graceful-drain compaction.
+live (non-terminal) jobs — plus, for each live watch, its creation spec
+and latest advance — the graceful-drain compaction.
 """
 
 from __future__ import annotations
@@ -54,9 +61,11 @@ from ..pipeline.context import RunConfig
 __all__ = [
     "JobJournal",
     "reduce_records",
+    "reduce_watches",
     "config_to_dict",
     "config_from_dict",
     "WIRE_CONFIG_FIELDS",
+    "WATCH_EVENTS",
 ]
 
 #: RunConfig fields that cross the wire and the journal (pool/derived/
@@ -77,6 +86,9 @@ WIRE_CONFIG_FIELDS = {
 
 #: Journal events that end a job's lifecycle.
 TERMINAL_EVENTS = frozenset({"done", "failed", "cancelled"})
+
+#: Watch-lifecycle events (``job_id`` carries the watch id, not a job's).
+WATCH_EVENTS = frozenset({"watch_created", "watch_advanced", "watch_deleted"})
 
 #: Journal event → registry state name.
 EVENT_STATE = {
@@ -256,7 +268,32 @@ class JobJournal:
                     if state["event"] not in TERMINAL_EVENTS
                 }
             keep_job_ids = set(keep_job_ids)
-            kept = [r for r in records if r["job_id"] in keep_job_ids]
+            # Live watches survive compaction as their creation spec plus
+            # the *latest* advance (all recover() needs to rebuild the
+            # registry) — never as every mutation ever journaled, and
+            # never dropped just because reduce_records cannot see them.
+            watch_states = reduce_watches(records)
+            live_watches = {
+                wid for wid, state in watch_states.items()
+                if not state["deleted"] and state["spec"] is not None
+            }
+            last_advance: dict[str, int] = {}
+            for r in records:
+                if (r.get("event") == "watch_advanced"
+                        and r["job_id"] in live_watches):
+                    last_advance[r["job_id"]] = r["seq"]
+            kept = []
+            for r in records:
+                event = r.get("event")
+                if event in WATCH_EVENTS:
+                    if r["job_id"] not in live_watches:
+                        continue
+                    if (event == "watch_advanced"
+                            and r["seq"] != last_advance.get(r["job_id"])):
+                        continue
+                    kept.append(r)
+                elif r["job_id"] in keep_job_ids:
+                    kept.append(r)
             tmp = self.path.with_suffix(".tmp")
             self.path.parent.mkdir(parents=True, exist_ok=True)
             with open(tmp, "wb") as fh:
@@ -328,3 +365,40 @@ def reduce_records(records: list[dict]) -> dict[str, dict]:
         if record.get("error"):
             state["error"] = record["error"]
     return jobs
+
+
+def reduce_watches(records: list[dict]) -> dict[str, dict]:
+    """Fold replayed records into per-watch recovery state.
+
+    Returns ``watch_id → state`` where each state dict carries:
+
+    * ``spec`` — the ``watch_created`` record (scenario, config, name,
+      threshold), when seen;
+    * ``graph_key`` — the watch's current graph head (the latest
+      ``watch_advanced`` key, else the created key);
+    * ``mutations`` — how many advances were journaled;
+    * ``last_job_id`` — the last emission job id, if any;
+    * ``deleted`` — whether a ``watch_deleted`` record closed the watch.
+    """
+    watches: dict[str, dict] = {}
+    for record in records:
+        wid = record.get("job_id")
+        event = record.get("event")
+        if not wid or event not in WATCH_EVENTS:
+            continue
+        state = watches.setdefault(
+            wid, {"spec": None, "graph_key": None, "mutations": 0,
+                  "last_job_id": None, "deleted": False},
+        )
+        if event == "watch_created":
+            state["spec"] = record
+            state["graph_key"] = record.get("graph_key")
+            state["deleted"] = False
+        elif event == "watch_advanced":
+            state["graph_key"] = record.get("graph_key") or state["graph_key"]
+            state["mutations"] += 1
+            if record.get("emitted"):
+                state["last_job_id"] = record["emitted"]
+        elif event == "watch_deleted":
+            state["deleted"] = True
+    return watches

@@ -224,6 +224,15 @@ class WorkerHost:
         if op == "put_graph":
             key = self.catalog.put_bytes(msg["data"], name=msg.get("name", ""))
             return {"ok": True, "key": key}
+        if op == "put_delta":
+            # Delta provisioning: re-applied against the locally-held
+            # parent and re-keyed from the actual arrays (an unknown
+            # parent or corrupt delta raises → generic error reply → the
+            # coordinator falls back to full put_graph).
+            key = self.catalog.put_delta_bytes(
+                msg["parent"], msg["data"], name=msg.get("name", "")
+            )
+            return {"ok": True, "key": key}
         if op == "cancel":
             return self._op_cancel(msg)
         if op == "ping":
@@ -351,6 +360,13 @@ class RemoteHostPool:
         self.total_dispatched = 0
         self.total_host_failures = 0
         self.hung_kills = 0
+        #: Provisioning telemetry: how graphs reached the hosts, and how
+        #: many bytes crossed the wire each way (the delta path ships
+        #: kilobytes where the full path ships the whole NPZ).
+        self.graphs_shipped_full = 0
+        self.graphs_shipped_delta = 0
+        self.full_bytes_shipped = 0
+        self.delta_bytes_shipped = 0
         self._closed = False
 
     # -- host bookkeeping ---------------------------------------------------
@@ -436,11 +452,39 @@ class RemoteHostPool:
             self._release(host)
 
     def _provision(self, host: dict, conn, key: str) -> None:
-        """Make sure the host's local catalog shard holds the job's graph."""
+        """Make sure the host's local catalog shard holds the job's graph.
+
+        A graph minted by a delta chain ships as the delta NPZ whenever
+        the host already holds the parent hash — kilobytes instead of the
+        full graph archive — falling back to full provisioning when the
+        parent is absent or the host cannot re-key the delta to the
+        expected hash. Either path ends in the same verified content key:
+        the host re-applies and re-keys, so transfer corruption cannot
+        poison a shard regardless of how the bytes arrived.
+        """
         reply = conn.request({"op": "ensure_graph", "key": key},
                              timeout=self.connect_timeout)
         if reply.get("have"):
             return
+        try:
+            parent, delta_data = self.catalog.export_delta_bytes(key)
+        except KeyError:
+            parent, delta_data = None, None
+        if parent is not None:
+            reply = conn.request({"op": "ensure_graph", "key": parent},
+                                 timeout=self.connect_timeout)
+            if reply.get("have"):
+                reply = conn.request(
+                    {"op": "put_delta", "parent": parent,
+                     "data": delta_data, "key": key},
+                    timeout=max(self.connect_timeout, 60.0))
+                if reply.get("ok") and reply.get("key") == key:
+                    with self._cond:
+                        self.graphs_shipped_delta += 1
+                        self.delta_bytes_shipped += len(delta_data)
+                    return
+                # A mismatched re-key or host-side apply failure falls
+                # through to full provisioning rather than failing the job.
         data = self.catalog.export_bytes(key)
         reply = conn.request({"op": "put_graph", "data": data, "key": key},
                              timeout=max(self.connect_timeout, 60.0))
@@ -450,6 +494,9 @@ class RemoteHostPool:
                 f"graph provisioning to {self._host_name(host)} failed: "
                 f"sent {key}, host keyed {got!r} ({reply.get('error')})"
             )
+        with self._cond:
+            self.graphs_shipped_full += 1
+            self.full_bytes_shipped += len(data)
 
     def _await_reply(self, host: dict, conn, spec: dict) -> dict:
         """Block for the job reply, watching host liveness via pings.
@@ -520,6 +567,12 @@ class RemoteHostPool:
                 "dispatched": self.total_dispatched,
                 "host_failures": self.total_host_failures,
                 "hung_kills": self.hung_kills,
+                "provisioning": {
+                    "full": self.graphs_shipped_full,
+                    "delta": self.graphs_shipped_delta,
+                    "full_bytes": self.full_bytes_shipped,
+                    "delta_bytes": self.delta_bytes_shipped,
+                },
                 "circuit_open": all(now < h["down_until"]
                                     for h in self._hosts),
                 "hang_timeout": self.hang_timeout,

@@ -30,6 +30,15 @@ Method      Path                     Meaning
                                      evicted with no durable artifact)
 ``DELETE``  ``/jobs/<id>``           cancel: queued jobs on the spot, RUNNING
                                      jobs cooperatively (next safe point)
+``PATCH``   ``/graphs/<key>``        apply an edge delta (``insert`` /
+                                     ``delete_eids``) → the child graph's
+                                     content key; watches on the base graph
+                                     each re-emit a repaired result
+``POST``    ``/watches``             pin a (graph, scenario) pair: every
+                                     mutation re-emits an incrementally
+                                     repaired result job
+``GET``     ``/watches[/<id>]``      watch registry / one watch's status
+``DELETE``  ``/watches/<id>``        tear a watch down
 ==========  =======================  ===========================================
 
 Submission bodies name the graph one of three ways: ``graph_key`` (already
@@ -51,7 +60,14 @@ from pathlib import Path
 
 import numpy as np
 
-from ..errors import EngineDrainingError, JobError, QueueFullError, ReproError
+from ..deltas import GraphDelta
+from ..errors import (
+    EngineDrainingError,
+    FaultInjectedError,
+    JobError,
+    QueueFullError,
+    ReproError,
+)
 from ..faults import FaultPlan
 from ..graph.graph import Graph
 from ..graph.io import load_edge_list, load_npz
@@ -138,6 +154,11 @@ class JobApi:
             # Graceful shutdown in progress: tell clients to come back
             # after the restart instead of failing them permanently.
             return 503, {"error": str(exc), "draining": True}
+        except FaultInjectedError as exc:
+            # An armed chaos fault (e.g. delta_apply on a PATCH) is a
+            # server-side failure, not a client error — and must not hide
+            # behind the JobError → 404 mapping below.
+            return 500, {"error": str(exc), "fault": True}
         except (KeyError, JobError) as exc:
             return 404, {"error": str(exc)}
         except (ValueError, ReproError) as exc:
@@ -281,6 +302,64 @@ class JobApi:
         return 200, {"job_id": parts[1], "cancelled": cancelled,
                      "state": self.engine.job_summary(parts[1])["state"]}
 
+    # -- dynamic graphs ----------------------------------------------------
+
+    def _PATCH_graphs(self, parts, body, path):  # noqa: N802
+        if len(parts) != 2:
+            raise ValueError("PATCH /graphs/<key>")
+        base_key = parts[1]
+        graph = self.engine.catalog.get(base_key)  # KeyError → 404
+        insert = np.asarray(
+            body.get("insert", []), dtype=np.int64
+        ).reshape(-1, 2)
+        delete_eids = np.asarray(body.get("delete_eids", []), dtype=np.int64)
+        if insert.size == 0 and delete_eids.size == 0:
+            raise ValueError(
+                "mutation must insert or delete at least one edge"
+            )
+        delta = GraphDelta.from_edits(
+            graph,
+            insert=insert if insert.size else None,
+            delete_eids=delete_eids if delete_eids.size else None,
+        )
+        faults_text = body.get("faults")
+        faults = FaultPlan.parse(str(faults_text)) if faults_text else None
+        return 200, self.engine.mutate_graph(
+            base_key, delta, name=str(body.get("name", "")), faults=faults
+        )
+
+    def _POST_watches(self, parts, body, path):  # noqa: N802
+        scenario = str(body.get("scenario", "circuit"))
+        if scenario not in scenario_names():
+            raise ValueError(
+                f"unknown scenario {scenario!r}; choose from {scenario_names()}"
+            )
+        if "graph_key" not in body:
+            raise ValueError(
+                "watch needs graph_key (POST /graphs catalogs one)"
+            )
+        priority = max(-MAX_WIRE_PRIORITY,
+                       min(MAX_WIRE_PRIORITY, int(body.get("priority", 0))))
+        return 200, self.engine.add_watch(
+            str(body["graph_key"]),
+            scenario=scenario,
+            config=config_from_dict(dict(body.get("config", {}) or {})),
+            name=str(body.get("name", "")),
+            threshold=float(body.get("threshold", 0.5)),
+            priority=priority,
+        )
+
+    def _GET_watches(self, parts, body, path):  # noqa: N802
+        if len(parts) == 1:
+            return 200, {"watches": self.engine.watches()}
+        return 200, self.engine.watch_summary(parts[1])
+
+    def _DELETE_watches(self, parts, body, path):  # noqa: N802
+        if len(parts) != 2:
+            raise ValueError("DELETE /watches/<id>")
+        self.engine.delete_watch(parts[1])
+        return 200, {"watch_id": parts[1], "deleted": True}
+
 
 class _JobRequestHandler(BaseHTTPRequestHandler):
     """Thin HTTP adapter: reads the body, delegates to :class:`JobApi`."""
@@ -332,6 +411,9 @@ class _JobRequestHandler(BaseHTTPRequestHandler):
 
     def do_DELETE(self):  # noqa: N802
         self._route("DELETE")
+
+    def do_PATCH(self):  # noqa: N802
+        self._route("PATCH")
 
 
 def make_server(

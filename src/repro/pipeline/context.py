@@ -110,6 +110,16 @@ class RunConfig:
     #: ``"host:port,host:port"`` string or a list of ``(host, port)``
     #: pairs. Ignored by every other backend.
     hosts: Any = None
+    #: Process-local incremental-repair session (a
+    #: :class:`~repro.deltas.RepairSession`, or ``None`` for the
+    #: universal cold-run default). When set, ``Setup`` reuses the
+    #: session's partition map and builds its repair program, which
+    #: replays cached Phase-1 fragments for partitions a graph delta did
+    #: not touch. Purely an accelerator: a repaired run is bit-identical
+    #: to a cold one by construction. Never serialized; stripped before
+    #: any process fan-out or wire crossing — repair only accelerates
+    #: in-process runs.
+    repair: Any = None
 
     @property
     def transport_name(self) -> str:

@@ -216,9 +216,7 @@ class SuperstepProgram:
         pre_entries = state.n_pathmap_entries
         batch = FragmentBatch(pid, level, known_edges=known_coarse)
         t0 = time.perf_counter()
-        pathmap, stats = run_phase1(
-            pid, level, local_edges, remote_deg, batch, validate=self.validate
-        )
+        pathmap, stats = self._phase1(pid, level, local_edges, remote_deg, batch)
         rec.add_time(CAT_PHASE1, time.perf_counter() - t0)
         state.level = level
         # CoarseTable rows (src, dst, fid, n_edges) for the just-produced
@@ -263,6 +261,20 @@ class SuperstepProgram:
             )
         still_waiting = target is not None
         return ComputeResult(state=state, halt=not still_waiting, payload=batch)
+
+    # ---- Phase-1 entry (the incremental-repair override point) ------------
+    def _phase1(self, pid, level, local_edges, remote_deg, batch):
+        """Run Phase 1 for one (partition, level) node.
+
+        ``run_phase1`` is a deterministic pure function of exactly these
+        arguments (plus the batch's known-edge weights), which is what the
+        dynamic-graph repair engine exploits: its program subclass
+        intercepts this call, compares the inputs against a cached prior
+        run, and replays the cached fragments when nothing changed.
+        """
+        return run_phase1(
+            pid, level, local_edges, remote_deg, batch, validate=self.validate
+        )
 
     # ---- parent-side commit (the single shared-state mutation point) ------
     def make_commit(self, store: FragmentStore):

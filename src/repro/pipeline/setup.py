@@ -76,6 +76,12 @@ class Setup:
         dedup, deferred = strategy_flags(cfg.strategy)
 
         pg = cached_partition(graph, cfg, n_parts)
+        if pg is None and cfg.repair is not None:
+            # The repair session carries the canonical partition map it
+            # captured (and extended across deltas) — reusing it is what
+            # keeps a repaired run on the same partitioning as the cold
+            # run it is compared against.
+            pg = cfg.repair.partitioned(graph, n_parts)
         if pg is None:
             pg = partition_graph(graph, n_parts, method=cfg.partitioner, seed=cfg.seed)
         # Static per-partition edge grouping: built here, once, so level-0
@@ -132,7 +138,7 @@ class Setup:
         ctx.partitioned = pg
         ctx.metagraph = mg
         ctx.tree = tree
-        program = SuperstepProgram(
+        program_kwargs = dict(
             pg=pg,
             held0=held0,
             send_plan=send_plan,
@@ -142,5 +148,9 @@ class Setup:
             transport=cfg.transport_name,
             run_token=os.urandom(4).hex(),
         )
+        if cfg.repair is not None:
+            program = cfg.repair.build_program(**program_kwargs)
+        else:
+            program = SuperstepProgram(**program_kwargs)
         ctx.setup_seconds = time.perf_counter() - t_setup
         return program

@@ -239,7 +239,8 @@ def _run_batch(subs: list[SubProblem], config: RunConfig) -> list[RunContext]:
     token = config.cancel
     if (n > 1 and config.pool is None
             and config.executor == "process" and config.workers > 1):
-        inner = replace(config, executor="serial", workers=1, cancel=None)
+        inner = replace(config, executor="serial", workers=1, cancel=None,
+                        repair=None)
         tasks = [(s.graph, _sub_config(inner, s, n)) for s in subs]
         with ProcessPoolExecutor(max_workers=min(config.workers, n)) as pool:
             if token is None:

@@ -1,0 +1,1 @@
+"""Dynamic-graph suite: deltas, incremental repair, watches, delta shipping."""

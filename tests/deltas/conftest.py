@@ -1,0 +1,23 @@
+"""Deltas-suite fixtures: the same shm-leak audit the jobs suite runs.
+
+Watch and remote-shipping tests spin up real engines and worker hosts,
+which publish ``/dev/shm/repro_*`` segments; every test must leave none
+behind (diffed against whatever pre-existed on the box).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bsp import shm
+
+
+@pytest.fixture(autouse=True)
+def _no_shm_leaks():
+    if not shm.shm_available():
+        yield
+        return
+    before = set(shm.leaked_segments())
+    yield
+    leaked = sorted(set(shm.leaked_segments()) - before)
+    assert leaked == [], f"test leaked shm segments: {leaked}"

@@ -1,0 +1,135 @@
+"""Catalog delta chains: mutate, rebuild, materialize, eviction safety."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.deltas import extend_part_of
+from repro.errors import FaultInjectedError
+from repro.faults import FaultPlan
+from repro.jobs import GraphCatalog
+
+from tests.deltas.util import detour_delta, superposed_cycles
+
+
+def _graphs_equal(a, b):
+    assert a.n_vertices == b.n_vertices
+    assert np.array_equal(np.asarray(a.edge_u), np.asarray(b.edge_u))
+    assert np.array_equal(np.asarray(a.edge_v), np.asarray(b.edge_v))
+
+
+def test_mutate_persists_only_the_delta(tmp_path):
+    cat = GraphCatalog(tmp_path)
+    g0 = superposed_cycles(40)
+    k0 = cat.put(g0, name="base")
+    delta = detour_delta(g0, [3])
+    k1 = cat.mutate(k0, delta, name="child")
+    assert k1 != k0 and k1 in cat
+    _graphs_equal(cat.get(k1), delta.apply(g0))
+    assert (tmp_path / "deltas" / f"{k1}.npz").exists()
+    assert not (tmp_path / "graphs" / f"{k1}.npz").exists()
+    assert cat.delta_parent(k1) == k0 and cat.delta_parent(k0) is None
+    assert cat.load_delta(k1) == delta
+    assert cat.stats["mutations"] == 1
+    # idempotent: the same delta lands on the same key
+    assert cat.mutate(k0, delta) == k1
+    assert cat.stats["mutations"] == 2
+    assert len(cat.keys()) == 2
+
+
+def test_chain_rebuild_in_a_fresh_catalog(tmp_path):
+    cat = GraphCatalog(tmp_path)
+    g0 = superposed_cycles(30, seed=2)
+    k0 = cat.put(g0)
+    d1 = detour_delta(g0, [1])
+    k1 = cat.mutate(k0, d1)
+    g1 = d1.apply(g0)
+    d2 = detour_delta(g1, [4])
+    k2 = cat.mutate(k1, d2)
+    # a fresh catalog on the same root rebuilds the grandchild by
+    # walking the persisted delta chain down to the base archive
+    cat2 = GraphCatalog(tmp_path)
+    assert k2 in cat2
+    _graphs_equal(cat2.get(k2), d2.apply(g1))
+    assert cat2.stats["delta_rebuilds"] >= 1
+
+
+def test_materialize_writes_the_full_archive(tmp_path):
+    cat = GraphCatalog(tmp_path)
+    g0 = superposed_cycles(30, seed=8)
+    k0 = cat.put(g0)
+    d = detour_delta(g0, [2])
+    k1 = cat.mutate(k0, d)
+    path = cat.materialize(k1)
+    assert path.exists()
+    assert cat.materialize(k1) == path  # idempotent
+    # the delta survives materialization (still serves remote shipping)
+    parent, _ = cat.export_delta_bytes(k1)
+    assert parent == k0
+    cat2 = GraphCatalog(tmp_path)
+    _graphs_equal(cat2.get(k1), d.apply(g0))
+    assert cat2.stats["delta_rebuilds"] == 0
+
+
+def test_export_put_delta_bytes_round_trip(tmp_path):
+    a = GraphCatalog(tmp_path / "a")
+    b = GraphCatalog(tmp_path / "b")
+    g0 = superposed_cycles(30, seed=4)
+    k0 = a.put(g0)
+    d = detour_delta(g0, [2])
+    k1 = a.mutate(k0, d)
+    parent, blob = a.export_delta_bytes(k1)
+    assert parent == k0
+    b.put(g0)
+    # the receiving side re-applies and re-keys: same content hash
+    assert b.put_delta_bytes(parent, blob) == k1
+    _graphs_equal(b.get(k1), a.get(k1))
+    with pytest.raises(KeyError):
+        a.export_delta_bytes(k0)  # root graphs have no stored delta
+
+
+def test_partition_extension_is_canonical(tmp_path):
+    cat = GraphCatalog(tmp_path)
+    g0 = superposed_cycles(40, seed=6)
+    k0 = cat.put(g0)
+    d = detour_delta(g0, [7])
+    k1 = cat.mutate(k0, d)
+    child_map = cat.partition_map(k1, "ldg", 4, 0)
+    assert cat.stats["partition_extensions"] == 1
+    base_map = cat.partition_map(k0, "ldg", 4, 0)
+    assert np.array_equal(child_map["part_of"],
+                          extend_part_of(base_map["part_of"], d))
+
+
+def test_delta_apply_fault_leaves_the_catalog_unchanged(tmp_path):
+    cat = GraphCatalog(tmp_path)
+    g0 = superposed_cycles(20, seed=1)
+    k0 = cat.put(g0)
+    before = cat.keys()
+    plan = FaultPlan.parse("delta_apply")
+    with pytest.raises(FaultInjectedError):
+        cat.mutate(k0, detour_delta(g0, [0]), faults=plan)
+    assert cat.keys() == before
+    # the plan is consume-then-raise: the retry goes through clean
+    assert cat.mutate(k0, detour_delta(g0, [0]), faults=plan) in cat
+
+
+def test_eviction_never_strands_a_delta_chain(tmp_path):
+    # Satellite regression: under budget pressure the LRU sweep must not
+    # unlink a parent an unmaterialized delta child still rebuilds
+    # through — evict-parent-then-materialize-child used to 404.
+    cat = GraphCatalog(tmp_path, size_budget_bytes=1)
+    g0 = superposed_cycles(60, seed=3)
+    k0 = cat.put(g0)
+    d = detour_delta(g0, [5])
+    k1 = cat.mutate(k0, d, pin=True)  # a live watch pins its head
+    cat.put(superposed_cycles(60, seed=9))
+    assert (tmp_path / "graphs" / f"{k0}.npz").exists()
+    _graphs_equal(GraphCatalog(tmp_path).get(k1), d.apply(g0))
+    # materializing the child releases the parent for eviction ...
+    cat.materialize(k1)
+    cat.put(superposed_cycles(60, seed=10))
+    assert k0 not in cat.keys()
+    # ... and the child keeps serving from its own archive
+    _graphs_equal(GraphCatalog(tmp_path).get(k1), d.apply(g0))

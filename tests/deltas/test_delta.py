@@ -1,0 +1,150 @@
+"""GraphDelta unit suite: algebra, serialization, validation, partitions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.deltas import GraphDelta, extend_part_of
+from repro.graph.graph import Graph
+
+from tests.deltas.util import detour_delta, ring, superposed_cycles
+
+
+def _edges(g: Graph):
+    return np.asarray(g.edge_u), np.asarray(g.edge_v)
+
+
+def _graphs_equal(a: Graph, b: Graph):
+    assert a.n_vertices == b.n_vertices
+    au, av = _edges(a)
+    bu, bv = _edges(b)
+    assert np.array_equal(au, bu) and np.array_equal(av, bv)
+
+
+def test_from_edits_apply_detour():
+    g = ring(8)
+    d = detour_delta(g, [2])
+    assert (d.n_inserts, d.n_deletes) == (2, 1)
+    g1 = d.apply(g)
+    assert g1.n_vertices == 9 and g1.n_edges == 9
+    u, v = _edges(g1)
+    # inserts land at the tail, routing the old edge through the new vertex
+    assert [(u[7], v[7]), (u[8], v[8])] == [(2, 8), (8, 3)]
+    # surviving base edges keep their relative order
+    keep = np.ones(8, dtype=bool)
+    keep[2] = False
+    bu, bv = _edges(g)
+    assert np.array_equal(u[:7], bu[keep]) and np.array_equal(v[:7], bv[keep])
+
+
+def test_invert_round_trip():
+    g = superposed_cycles(20, seed=3)
+    d = detour_delta(g, [0, 7, 13])
+    back = d.invert().apply(d.apply(g))
+    _graphs_equal(back, g)
+    assert d.invert().invert() == d
+
+
+def test_eid_map_is_monotonic_over_survivors():
+    g = ring(8)
+    d = GraphDelta.from_edits(g, delete_eids=np.array([1, 4]))
+    emap = d.eid_map()
+    assert emap.tolist() == [0, -1, 1, 2, -1, 3, 4, 5]
+    survivors = emap[emap >= 0]
+    assert np.all(np.diff(survivors) > 0)
+
+
+def test_compose_matches_sequential_application():
+    g = superposed_cycles(20, seed=3)
+    d1 = detour_delta(g, [0, 5])
+    g1 = d1.apply(g)
+    # eid 60 of g1 is one of d1's inserted edges: the composition must
+    # cancel that delete against d1's insert pool, not the base graph.
+    d2 = detour_delta(g1, [3, 60])
+    c = d1.compose(d2)
+    _graphs_equal(c.apply(g), d2.apply(g1))
+    assert c.n_vertices_after == d2.n_vertices_after
+
+
+def test_compose_cancels_a_deleted_insert():
+    g = ring(6)
+    d1 = GraphDelta.from_edits(g, insert=np.array([[0, 2]]))
+    d2 = GraphDelta.from_edits(d1.apply(g), delete_eids=np.array([6]))
+    c = d1.compose(d2)
+    assert c.n_inserts == 0 and c.n_deletes == 0
+    _graphs_equal(c.apply(g), g)
+
+
+def test_compose_shape_mismatch_raises():
+    g = ring(6)
+    d = detour_delta(g, [1])
+    with pytest.raises(ValueError):
+        d.compose(d)  # second before-side is the 6-edge base, not the child
+
+
+def test_bytes_round_trip(tmp_path):
+    g = superposed_cycles(24, seed=9)
+    d = detour_delta(g, [4, 11])
+    assert GraphDelta.from_bytes(d.to_bytes()) == d
+    d.save(tmp_path / "d.npz")
+    assert GraphDelta.load(tmp_path / "d.npz") == d
+
+
+def test_wire_dict_round_trips_through_from_edits():
+    g = ring(10)
+    d = detour_delta(g, [3, 8])
+    wire = d.to_wire()
+    assert GraphDelta.from_edits(
+        g, insert=wire["insert"], delete_eids=wire["delete_eids"]
+    ) == d
+
+
+def test_apply_rejects_the_wrong_base_graph():
+    g = ring(8)
+    d = detour_delta(g, [0])
+    with pytest.raises(ValueError):
+        d.apply(ring(9))  # wrong sizes
+    shifted = Graph.from_edges(8, [((i + 1) % 8, (i + 2) % 8)
+                                   for i in range(8)])
+    with pytest.raises(ValueError):
+        d.apply(shifted)  # same sizes, disagreeing delete endpoints
+
+
+def test_validation_errors():
+    g = ring(8)
+    with pytest.raises(ValueError):
+        GraphDelta.from_edits(g, delete_eids=np.array([8]))  # out of range
+    with pytest.raises(ValueError):
+        GraphDelta.from_edits(g, insert=np.array([[-1, 0]]))
+    with pytest.raises(ValueError):
+        GraphDelta(n_vertices_before=8, n_vertices_after=8,
+                   n_edges_before=8, n_edges_after=8,
+                   delete_eids=np.array([0]), delete_u=np.array([0]),
+                   delete_v=np.array([1]))  # counts don't balance
+    with pytest.raises(ValueError):
+        GraphDelta(n_vertices_before=8, n_vertices_after=8,
+                   n_edges_before=8, n_edges_after=6,
+                   delete_eids=np.array([4, 2]),  # unsorted
+                   delete_u=np.array([4, 2]), delete_v=np.array([5, 3]))
+
+
+def test_extend_part_of_places_new_vertices():
+    g = ring(4)
+    part_of = np.array([0, 1, 1, 0])
+    d = GraphDelta.from_edits(
+        g, insert=np.array([[1, 4], [4, 5], [6, 7], [5, 2]]))
+    out = extend_part_of(part_of, d)
+    # 4 joins 1's partition, 5 joins 4's (first placed endpoint in insert
+    # order), the 6-7 edge has no placed endpoint -> both default to 0
+    assert out.tolist() == [0, 1, 1, 0, 1, 1, 0, 0]
+    with pytest.raises(ValueError):
+        extend_part_of(np.array([0, 1]), d)  # wrong base shape
+
+
+def test_extend_part_of_no_growth_is_a_copy():
+    g = ring(5)
+    part_of = np.array([0, 0, 1, 1, 2])
+    d = GraphDelta.from_edits(g, insert=np.array([[0, 3]]))
+    out = extend_part_of(part_of, d)
+    assert np.array_equal(out, part_of) and out is not part_of

@@ -1,0 +1,48 @@
+"""Importable builders for the dynamic-graph suite (no fixtures here).
+
+Every builder preserves the Eulerian invariant the circuit scenario
+needs: ``superposed_cycles`` superposes Hamilton cycles (even degree,
+connected), and ``detour_delta`` replaces each deleted edge with a
+two-edge path through a fresh vertex (degrees and connectivity kept).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.deltas import GraphDelta
+from repro.graph.graph import Graph
+
+__all__ = ["superposed_cycles", "ring", "detour_delta"]
+
+
+def superposed_cycles(n: int = 60, rounds: int = 3, seed: int = 0) -> Graph:
+    """A connected Eulerian multigraph: ``rounds`` random Hamilton cycles."""
+    rng = np.random.default_rng(seed)
+    us, vs = [], []
+    for _ in range(rounds):
+        perm = rng.permutation(n)
+        us.append(perm)
+        vs.append(np.roll(perm, -1))
+    return Graph(n, np.concatenate(us), np.concatenate(vs))
+
+
+def ring(n: int) -> Graph:
+    """The n-cycle with edge id ``i`` joining vertices ``i`` and ``i+1``."""
+    return Graph.from_edges(n, [(i, (i + 1) % n) for i in range(n)])
+
+
+def detour_delta(graph: Graph, eids) -> GraphDelta:
+    """Delete each edge and route it through a fresh vertex instead."""
+    eids = sorted({int(e) for e in np.asarray(eids).reshape(-1)})
+    ins, w = [], graph.n_vertices
+    for eid in eids:
+        u, v = graph.endpoints(eid)
+        ins.append((int(u), w))
+        ins.append((w, int(v)))
+        w += 1
+    return GraphDelta.from_edits(
+        graph,
+        insert=np.array(ins, dtype=np.int64),
+        delete_eids=np.array(eids, dtype=np.int64),
+    )

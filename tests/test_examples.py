@@ -24,6 +24,7 @@ FAST_EXAMPLES = [
     "bsp_substrate.py",
     "scenario_tour.py",
     "job_server_tour.py",
+    "live_updates_tour.py",
 ]
 
 #: Examples that need the small-size knob to finish quickly.
