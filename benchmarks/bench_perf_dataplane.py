@@ -59,7 +59,6 @@ import numpy as np  # noqa: E402
 
 from repro.bench.report_io import SCHEMA_VERSION  # noqa: E402
 from repro.bsp import shm  # noqa: E402
-from repro.bsp import transport as wire  # noqa: E402
 from repro.bsp.accounting import CAT_COPY_SINK, CAT_COPY_SRC  # noqa: E402
 from repro.core import find_euler_circuit  # noqa: E402
 from repro.generate.eulerize import eulerian_rmat  # noqa: E402
@@ -183,26 +182,52 @@ def measure(spec: BenchSpec, repeats: int) -> dict:
     return out
 
 
+def _wire_totals(delta: dict) -> dict:
+    """Sum the ``repro_wire_*`` counter deltas across every scope.
+
+    Wire accounting is per-scope now (coordinator pool, worker host,
+    remote executor each own a :class:`~repro.bsp.transport.WireStats`),
+    but every instance mirrors into the process registry — a state diff
+    around one run recovers exactly that run's traffic, both directions.
+    """
+    def _sum(family: str) -> int:
+        children = delta.get("counters", {}).get(family, {}).get("children", {})
+        return int(sum(children.values()))
+
+    totals = {
+        "messages": _sum("repro_wire_messages_total"),
+        "bytes_total": _sum("repro_wire_bytes_total"),
+        "buffer_bytes": _sum("repro_wire_buffer_bytes_total"),
+    }
+    totals["overhead_bytes"] = totals["bytes_total"] - totals["buffer_bytes"]
+    return totals
+
+
 def _remote_loopback(g, spec: BenchSpec, repeats: int) -> dict:
     """The workload through two loopback worker hosts, with wire counters.
 
-    Each timed run resets the process-wide frame counters first, so the
-    recorded bytes are exactly one run's traffic (both directions — the
-    hosts are in-process, so their sends land in the same accumulator).
+    Each timed run diffs the registry's ``repro_wire_*`` counters around
+    itself, so the recorded bytes are exactly one run's traffic across
+    every scope (both directions — the hosts are in-process, so their
+    sends land in the same registry).
     """
     import tempfile
 
     from repro.jobs.remote import WorkerHost
+    from repro.obs import diff_state, get_registry
 
     best = None
     with tempfile.TemporaryDirectory(prefix="bench_remote_") as td:
         root = Path(td)
         with WorkerHost(root / "h0") as h0, WorkerHost(root / "h1") as h1:
             hosts = [h0.address, h1.address]
+            registry = get_registry()
             for _ in range(repeats):
-                wire.reset_wire_stats()
+                before = registry.state()
                 run = _measure_once(g, spec, "remote", 2, hosts=hosts)
-                run["wire"] = wire.wire_stats()
+                run["wire"] = _wire_totals(
+                    diff_state(before, registry.state())
+                )
                 if best is None or run["superstep_wall"] < best["superstep_wall"]:
                     best = run
     stats = best["wire"]

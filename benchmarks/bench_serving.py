@@ -169,6 +169,14 @@ def _soak(root: Path, dispatcher: str = "thread",
 
         health = client.health()
         evicted_status_ok = client.status(job_ids[0])["id"] == job_ids[0]
+        # Queue delay (submit → dispatch) over the retained window: the
+        # registry is bounded, so this samples the soak's tail rather than
+        # re-fetching every evicted artifact.
+        queue_delays = [
+            float(j["queue_latency_seconds"])
+            for j in client.jobs()
+            if j.get("queue_latency_seconds") is not None
+        ]
         result = {
             "dispatcher": dispatcher,
             "frontend": frontend,
@@ -181,6 +189,8 @@ def _soak(root: Path, dispatcher: str = "thread",
             "submit_p95_ms": 1e3 * _pctl(submit_lat, 0.95),
             "status_p50_ms": 1e3 * _pctl(status_lat, 0.50),
             "status_p95_ms": 1e3 * _pctl(status_lat, 0.95),
+            "queue_delay_p50_ms": 1e3 * _pctl(queue_delays, 0.50),
+            "queue_delay_p95_ms": 1e3 * _pctl(queue_delays, 0.95),
             "resident_jobs_after_drain": health["retained_jobs"],
             "retention": RETENTION,
             "counts": health["jobs"],
@@ -597,6 +607,7 @@ def check(committed: Path, tolerance: float, artifact: Path | None) -> int:
 
     print(f"  soak: {soak['jobs_per_second']:.1f} jobs/s, "
           f"submit p95 {soak['submit_p95_ms']:.2f}ms, "
+          f"queue delay p95 {soak.get('queue_delay_p95_ms', 0.0):.2f}ms, "
           f"rss peak {soak['rss_peak_mb']:.0f}MB, "
           f"{soak['rejected_429']} soak-429s, "
           f"{soak['cancel_requests']} cancels")
@@ -633,6 +644,7 @@ def main(argv=None) -> int:
     soak = entry["soak"]
     print(f"[{args.label}] {soak['jobs_per_second']:.1f} jobs/s, "
           f"status p95 {soak['status_p95_ms']:.2f}ms, "
+          f"queue delay p95 {soak.get('queue_delay_p95_ms', 0.0):.2f}ms, "
           f"{soak['resident_jobs_after_drain']} resident jobs "
           f"(bound {RETENTION}), "
           f"{entry['backpressure']['rejected_429']} probe 429s "

@@ -1,0 +1,151 @@
+#!/usr/bin/env python
+"""CI scrape gate for ``GET /metrics``: valid Prometheus text, full schema.
+
+Every scaling claim in the committed ``BENCH_*.json`` trajectory should be
+reproducible from the first-class metrics surface, so the perf-smoke job
+scrapes a live server the way Prometheus would and fails loudly when the
+page stops being scrape-able:
+
+* spin up an in-process :class:`~repro.jobs.engine.JobEngine` behind each
+  front end (threaded and async) with its own registry, drive identical
+  traffic over real HTTP (graph upload, circuit jobs, a status miss),
+* ``GET /metrics``, run the page through
+  :func:`repro.obs.parse_prometheus_text` (any malformed line raises —
+  an unparseable page must not scrape as empty), and
+* require every family in :data:`repro.obs.REQUIRED_FAMILIES` plus a
+  non-zero queue-delay histogram and HTTP response counts.
+
+The scraped pages are written to ``--output`` (default
+``metrics-snapshot.txt``) and uploaded as a CI artifact next to the bench
+JSONs, so a regression's last-good metrics page is one click away.
+
+Usage::
+
+    python benchmarks/scrape_metrics.py --output metrics-snapshot.txt
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import threading
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.generate.synthetic import grid_city  # noqa: E402
+from repro.jobs import GraphCatalog, JobEngine  # noqa: E402
+from repro.jobs.client import JobClient, JobClientError  # noqa: E402
+from repro.jobs.server import make_server  # noqa: E402
+from repro.obs import (  # noqa: E402
+    REQUIRED_FAMILIES,
+    MetricsRegistry,
+    parse_prometheus_text,
+)
+
+N_JOBS = 3
+GRID = 8
+
+
+def _serve(engine, frontend: str):
+    if frontend == "async":
+        from repro.jobs.aserver import AsyncJobServer
+
+        server = AsyncJobServer(engine, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        server.wait_started(10)
+    else:
+        server = make_server(engine, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+    host, port = server.server_address
+    return server, JobClient(f"http://{host}:{port}")
+
+
+def _shutdown(server, frontend: str) -> None:
+    server.shutdown()
+    server.server_close()
+
+
+def scrape_frontend(root: Path, frontend: str) -> tuple[str, list[str]]:
+    """Drive one front end and return ``(metrics_page, problems)``."""
+    graph = grid_city(GRID, GRID)
+    engine = JobEngine(
+        GraphCatalog(root / f"cat-{frontend}"),
+        dispatchers=2,
+        artifact_dir=root / f"arts-{frontend}",
+        metrics=MetricsRegistry(),
+    )
+    server, client = _serve(engine, frontend)
+    try:
+        up = client.put_graph(
+            edges=list(zip(graph.edge_u.tolist(), graph.edge_v.tolist())),
+            name="scrape")
+        for _ in range(N_JOBS):
+            sub = client.submit("circuit", graph_key=up["graph_key"],
+                                config={"n_parts": 2})
+            client.wait(sub["job_id"], timeout=60)
+        try:
+            client.status("job-999999")  # a 404 lands in the HTTP counter
+        except JobClientError:
+            pass
+        text = client.metrics()
+    finally:
+        client.close()
+        _shutdown(server, frontend)
+        engine.close()
+
+    problems: list[str] = []
+    try:
+        families = parse_prometheus_text(text)
+    except ValueError as exc:
+        return text, [f"{frontend}: unparseable exposition text: {exc}"]
+    missing = [f for f in REQUIRED_FAMILIES if f not in families]
+    if missing:
+        problems.append(f"{frontend}: missing required families: {missing}")
+    delay = families.get("repro_queue_delay_seconds", {})
+    if delay.get("type") != "histogram" or not delay.get("samples"):
+        problems.append(f"{frontend}: queue-delay histogram empty or untyped")
+    http = families.get("repro_http_responses_total", {})
+    if not http.get("samples"):
+        problems.append(f"{frontend}: no HTTP response counts recorded")
+    return text, problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", default="metrics-snapshot.txt",
+                        help="write the scraped pages here (CI artifact)")
+    parser.add_argument("--root", default=None,
+                        help="scratch directory (default: a TemporaryDirectory)")
+    args = parser.parse_args(argv)
+
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as tmp:
+        root = Path(args.root) if args.root else Path(tmp)
+        pages: list[str] = []
+        problems: list[str] = []
+        for frontend in ("thread", "async"):
+            text, bad = scrape_frontend(root, frontend)
+            pages.append(f"# --- frontend: {frontend} ---\n{text}")
+            problems.extend(bad)
+            n = len(parse_prometheus_text(text)) if not bad else 0
+            status = "FAIL" if bad else "ok"
+            print(f"[{frontend}] /metrics scrape {status}: "
+                  f"{len(text.splitlines())} lines, {n} families")
+
+    Path(args.output).write_text("\n".join(pages))
+    print(f"snapshot written to {args.output}")
+    if problems:
+        for p in problems:
+            print("FAIL:", p)
+        return 1
+    print(f"all {len(REQUIRED_FAMILIES)} required families present "
+          "on both front ends")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

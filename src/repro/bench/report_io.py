@@ -189,6 +189,9 @@ def job_to_dict(job: "Job") -> dict:
         "job": job.summary(),
         "timings": {
             "queue_latency_seconds": job.queue_latency_seconds,
+            # Alias under the /metrics family name, so artifact consumers
+            # and Prometheus dashboards key on the same term.
+            "queue_delay_seconds": job.queue_latency_seconds,
             "run_seconds": job.run_seconds,
         },
         "pass_history": list(job.passes),

@@ -271,6 +271,8 @@ class RemoteExecutor(_Closable):
         self._segstore: shm.SharedSegmentStore | None = None
         self._key = ""
         self._payload = b""
+        #: Scoped wire accounting for this executor's task frames.
+        self.wire = transport_mod.WireStats(scope="remote_executor")
 
     def start(self, compute: Callable) -> None:
         self._payload = pickle.dumps(compute, protocol=pickle.HIGHEST_PROTOCOL)
@@ -290,7 +292,7 @@ class RemoteExecutor(_Closable):
             for addr in self.hosts:
                 try:
                     conn = transport_mod.FrameConnection.open(
-                        addr, self.connect_timeout)
+                        addr, self.connect_timeout, stats=self.wire)
                 except OSError as exc:
                     raise TransientJobError(
                         f"cannot reach worker host {addr[0]}:{addr[1]}: {exc}"

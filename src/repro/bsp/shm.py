@@ -58,6 +58,8 @@ from pathlib import Path
 
 import numpy as np
 
+from ..obs import ambient
+
 __all__ = [
     "SEGMENT_PREFIX",
     "shm_available",
@@ -499,7 +501,11 @@ class SharedSegmentStore:
             if entry is None:
                 return None
             self._attaches += 1
-            return dict(entry["descriptor"])
+        ambient().counter(
+            "repro_shm_attaches_total",
+            "Shared-segment descriptor handouts",
+        ).inc()
+        return dict(entry["descriptor"])
 
     def __contains__(self, key: str) -> bool:
         with self._lock:

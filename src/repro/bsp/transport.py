@@ -47,6 +47,7 @@ from typing import Any, Iterable
 
 import numpy as np
 
+from ..obs import get_registry
 from . import shm
 
 __all__ = [
@@ -87,19 +88,45 @@ class WireStats:
     overhead. The benchmark gate is ``bytes_total - buffer_bytes`` per
     message staying under a fixed cap — a pickle blowup (arrays re-encoded
     element-wise into the meta) shows up there immediately.
+
+    Instances are **scoped**: the module-level :data:`WIRE` counts frames
+    sent by code that named no narrower accumulator (scope ``process``),
+    while each remote host pool / executor / worker host owns its own
+    ``WireStats(scope=...)`` — so a coordinator and an in-process degrade
+    path running concurrently no longer double-count each other's frames.
+    Every ``add`` is mirrored into the bound metrics registry as the
+    ``repro_wire_*`` counter families labeled by scope; the raw fields
+    keep the historical resettable-snapshot semantics (the data-plane
+    benchmark resets between measurements; Prometheus counters never do).
     """
 
-    def __init__(self):
+    def __init__(self, registry=None, scope: str = "process"):
         self._lock = threading.Lock()
+        self.scope = scope
         self.messages = 0
         self.bytes_total = 0
         self.buffer_bytes = 0
+        reg = registry if registry is not None else get_registry()
+        self._m_messages = reg.counter(
+            "repro_wire_messages_total", "Frames sent", labelnames=("scope",)
+        ).labels(scope=scope)
+        self._m_bytes = reg.counter(
+            "repro_wire_bytes_total", "Frame bytes sent (header+meta+buffers)",
+            labelnames=("scope",),
+        ).labels(scope=scope)
+        self._m_buffer_bytes = reg.counter(
+            "repro_wire_buffer_bytes_total",
+            "Out-of-band array buffer bytes sent", labelnames=("scope",),
+        ).labels(scope=scope)
 
     def add(self, total: int, buffers: int) -> None:
         with self._lock:
             self.messages += 1
             self.bytes_total += int(total)
             self.buffer_bytes += int(buffers)
+        self._m_messages.inc()
+        self._m_bytes.inc(int(total))
+        self._m_buffer_bytes.inc(int(buffers))
 
     def snapshot(self) -> dict:
         with self._lock:
@@ -111,15 +138,57 @@ class WireStats:
             }
 
     def reset(self) -> None:
+        """Zero the snapshot fields (registry counters stay monotonic)."""
         with self._lock:
             self.messages = 0
             self.bytes_total = 0
             self.buffer_bytes = 0
 
 
-#: Process-wide accumulator every frame send adds to (receives are counted
-#: by the sending side of the peer, so loopback runs see both directions).
-WIRE = WireStats()
+class _LazyWire:
+    """Deferred process-wide :class:`WireStats` (created on first use).
+
+    Binding the registry at import time would freeze the global registry
+    before a test (or ``REPRO_METRICS=0``) could swap it; deferring to
+    first frame keeps module import side-effect free.
+    """
+
+    _inner: WireStats | None = None
+    _init_lock = threading.Lock()
+
+    def _get(self) -> WireStats:
+        if self._inner is None:
+            with self._init_lock:
+                if self._inner is None:
+                    self._inner = WireStats(scope="process")
+        return self._inner
+
+    def add(self, total: int, buffers: int) -> None:
+        self._get().add(total, buffers)
+
+    def snapshot(self) -> dict:
+        return self._get().snapshot()
+
+    def reset(self) -> None:
+        self._get().reset()
+
+    @property
+    def messages(self) -> int:
+        return self._get().messages
+
+    @property
+    def bytes_total(self) -> int:
+        return self._get().bytes_total
+
+    @property
+    def buffer_bytes(self) -> int:
+        return self._get().buffer_bytes
+
+
+#: Process-wide accumulator every unscoped frame send adds to (receives
+#: are counted by the sending side of the peer, so loopback runs see both
+#: directions). Scoped senders pass their own :class:`WireStats` instead.
+WIRE = _LazyWire()
 
 
 def wire_stats() -> dict:
@@ -229,12 +298,18 @@ def decode_frame(data: bytes | bytearray | memoryview) -> Any:
     return _load_meta(meta, buffers)
 
 
-def send_frame(sock: socket.socket, obj: Any) -> int:
-    """Write one frame to a connected socket; returns bytes sent."""
+def send_frame(sock: socket.socket, obj: Any, stats=None) -> int:
+    """Write one frame to a connected socket; returns bytes sent.
+
+    ``stats`` names the :class:`WireStats` accumulator charged for the
+    frame; ``None`` charges the process-wide :data:`WIRE`. A scoped
+    accumulator is charged *instead of* (not in addition to) the global
+    one — that exclusivity is the double-counting fix.
+    """
     parts, total, buffer_bytes = encode_frame(obj)
     for part in parts:
         sock.sendall(part)
-    WIRE.add(total, buffer_bytes)
+    (stats if stats is not None else WIRE).add(total, buffer_bytes)
     return total
 
 
@@ -332,9 +407,10 @@ class FrameConnection:
     connection a single owning thread instead).
     """
 
-    def __init__(self, sock: socket.socket, addr=None):
+    def __init__(self, sock: socket.socket, addr=None, stats=None):
         self.sock = sock
         self.addr = addr if addr is not None else _peername(sock)
+        self.stats = stats  # scoped WireStats, or None for the global WIRE
         self._send_lock = threading.Lock()
         self._recv_lock = threading.Lock()
         self.bytes_sent = 0
@@ -343,12 +419,12 @@ class FrameConnection:
 
     @classmethod
     def open(cls, addr: tuple[str, int],
-             timeout: float | None = 10.0) -> "FrameConnection":
-        return cls(connect(addr, timeout), addr=addr)
+             timeout: float | None = 10.0, stats=None) -> "FrameConnection":
+        return cls(connect(addr, timeout), addr=addr, stats=stats)
 
     def send(self, obj: Any) -> int:
         with self._send_lock:
-            n = send_frame(self.sock, obj)
+            n = send_frame(self.sock, obj, stats=self.stats)
         self.bytes_sent += n
         self.frames_sent += 1
         return n
@@ -505,12 +581,16 @@ class SocketTransport(MemoryTransport):
 
     name = "socket"
 
+    def __init__(self, stats=None):
+        self._stats = stats
+
     def encode(self, obj: Any) -> bytes:
         parts, total, buffer_bytes = encode_frame(obj)
         out = io.BytesIO()
         for part in parts:
             out.write(part)
-        WIRE.add(total, buffer_bytes)
+        (self._stats if self._stats is not None else WIRE).add(
+            total, buffer_bytes)
         return out.getvalue()
 
     def decode(self, wire: bytes) -> Any:

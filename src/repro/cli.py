@@ -17,6 +17,8 @@ Subcommands
     Long-lived JSON-over-HTTP job server: graph catalog + shared-pool
     scheduler (see :mod:`repro.jobs`). With ``--dispatcher remote`` it
     becomes the coordinator of a multi-host cluster (``--hosts``).
+    ``GET /metrics`` serves the whole stack's metrics registry in
+    Prometheus text format on both front ends (see :mod:`repro.obs`).
 ``worker``
     One worker host process serving BSP supersteps and whole jobs to a
     remote-mode coordinator (see :mod:`repro.jobs.remote`).
@@ -143,7 +145,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     serve = sub.add_parser(
         "serve", help="run the long-lived job server (graph catalog + "
-                      "shared-pool scheduler, JSON HTTP API)")
+                      "shared-pool scheduler, JSON HTTP API; GET /metrics "
+                      "serves Prometheus text on both front ends)")
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8642)
     serve.add_argument("--cache-root", default=".graph_catalog",

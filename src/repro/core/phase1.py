@@ -44,6 +44,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..errors import InvariantViolation
+from ..obs import ambient
 from .pathmap import ITEM_FRAG, KIND_CYCLE, KIND_PATH, FragmentStore, PathMap
 
 __all__ = [
@@ -263,9 +264,20 @@ def _walk_tables(edges: np.ndarray, rdeg: np.ndarray) -> _WalkTables:
         cache[key] = tables
         while len(cache) > _TABLE_CACHE_CAP:
             cache.popitem(last=False)
+        _cache_counter("miss").inc()
     else:
         cache.move_to_end(key)
+        _cache_counter("hit").inc()
     return tables
+
+
+def _cache_counter(result: str):
+    """Ambient-registry walk-table cache counter (hit/miss by label)."""
+    return ambient().counter(
+        "repro_walk_cache_events_total",
+        "Phase-1 walk-table cache lookups by result",
+        labelnames=("result",),
+    ).labels(result=result)
 
 
 @dataclass

@@ -172,10 +172,16 @@ class AsyncJobServer:
 
     async def _respond(self, writer: asyncio.StreamWriter, status: int,
                        payload: dict, keep_alive: bool) -> None:
-        body = json.dumps(payload, default=float).encode()
+        if isinstance(payload, str):
+            # TextResponse (e.g. /metrics): ship verbatim, not JSON.
+            content_type = getattr(payload, "content_type", "text/plain")
+            body = payload.encode()
+        else:
+            content_type = "application/json"
+            body = json.dumps(payload, default=float).encode()
         head = (
             f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Status')}\r\n"
-            "Content-Type: application/json\r\n"
+            f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body)}\r\n"
             f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
             + ("Retry-After: 1\r\n" if status in (429, 503) else "")

@@ -51,6 +51,7 @@ import numpy as np
 from ..bsp import shm
 from ..graph.graph import Graph
 from ..graph.io import atomic_write, load_npz, save_npz
+from ..obs import MetricsRegistry
 from ..partitioning import partition as partition_graph
 
 __all__ = ["graph_key", "shard_of", "GraphCatalog"]
@@ -88,12 +89,59 @@ def _dir_bytes(path: Path) -> int:
     return sum(p.stat().st_size for p in path.rglob("*") if p.is_file())
 
 
+#: The catalog's counter kinds (one labeled series each on /metrics).
+_STAT_KINDS = (
+    "graph_hits",
+    "graph_misses",
+    "partition_hits",
+    "partition_misses",
+    "plan_hits",
+    "plan_misses",
+    "evictions",
+    "mutations",
+    "delta_rebuilds",
+    "partition_extensions",
+)
+
+
+class _CatalogStats(dict):
+    """Dict-shaped counters mirrored into ``repro_catalog_events_total``.
+
+    Reads, iteration and JSON serialization behave exactly like the old
+    plain dict — the ``/catalog`` endpoint and the caching tests that
+    assert exact counts on fresh catalogs are unchanged. Writes
+    additionally push the new total into the owning registry's
+    ``repro_catalog_events_total{kind=...}`` counter, so ``GET /metrics``
+    reports hit/evict/rebuild rates without a scrape-time bridge.
+    """
+
+    def __init__(self, metrics: MetricsRegistry):
+        super().__init__({k: 0 for k in _STAT_KINDS})
+        family = metrics.counter(
+            "repro_catalog_events_total",
+            "Catalog cache hits/misses, evictions and rebuilds by kind",
+            labelnames=("kind",),
+        )
+        self._children = {k: family.labels(kind=k) for k in _STAT_KINDS}
+
+    def __setitem__(self, key, value):
+        super().__setitem__(key, value)
+        child = self._children.get(key)
+        if child is not None:
+            child.set_total(value)
+
+
 class GraphCatalog:
     """Content-addressed store of graphs and their derived setup artifacts."""
 
-    def __init__(self, root, size_budget_bytes: int | None = None):
+    def __init__(self, root, size_budget_bytes: int | None = None,
+                 metrics: MetricsRegistry | None = None):
         self.root = Path(root)
         self.size_budget_bytes = size_budget_bytes
+        # Private registry by default: tests build fresh catalogs and
+        # assert exact hit/miss counts, so two catalogs must never share
+        # counter series. The engine passes its registry in.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._lock = threading.RLock()
         self._graphs: dict[str, Graph] = {}
         self._partitions: dict[tuple[str, str, int, int], dict] = {}
@@ -113,19 +161,9 @@ class GraphCatalog:
         #: instead of re-reading the NPZ.
         self._segstore: shm.SharedSegmentStore | None = None
         #: Flat hit/miss/eviction counters, served by the ``/catalog``
-        #: endpoint and asserted by the caching tests.
-        self.stats = {
-            "graph_hits": 0,
-            "graph_misses": 0,
-            "partition_hits": 0,
-            "partition_misses": 0,
-            "plan_hits": 0,
-            "plan_misses": 0,
-            "evictions": 0,
-            "mutations": 0,
-            "delta_rebuilds": 0,
-            "partition_extensions": 0,
-        }
+        #: endpoint and asserted by the caching tests; writes mirror into
+        #: ``repro_catalog_events_total`` on the catalog's registry.
+        self.stats = _CatalogStats(self.metrics)
         (self.root / "graphs").mkdir(parents=True, exist_ok=True)
         (self.root / "derived").mkdir(parents=True, exist_ok=True)
         (self.root / "deltas").mkdir(parents=True, exist_ok=True)

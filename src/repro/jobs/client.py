@@ -100,7 +100,8 @@ class JobClient:
             self._local.conn = None
 
     def _request_once(self, method: str, path: str,
-                      payload: dict | None = None) -> dict:
+                      payload: dict | None = None,
+                      raw: bool = False) -> dict | str:
         """One request (with the single stale-socket reconnect)."""
         data = None if payload is None else json.dumps(payload).encode()
         headers = {"Content-Type": "application/json"} if data else {}
@@ -129,18 +130,19 @@ class JobClient:
             except ValueError:
                 retry_after = None
             raise JobClientError(resp.status, message, retry_after=retry_after)
-        return json.loads(body)
+        return body.decode() if raw else json.loads(body)
 
     def _request(self, method: str, path: str,
-                 payload: dict | None = None) -> dict:
+                 payload: dict | None = None,
+                 raw: bool = False) -> dict | str:
         if self.retry_seconds is None:
-            return self._request_once(method, path, payload)
+            return self._request_once(method, path, payload, raw=raw)
         deadline = time.monotonic() + self.retry_seconds
         delay = 0.05
         last: Exception | None = None
         while True:
             try:
-                return self._request_once(method, path, payload)
+                return self._request_once(method, path, payload, raw=raw)
             except JobClientError as exc:
                 if exc.status not in (429, 503):
                     raise  # a real answer, not a transient rejection
@@ -159,6 +161,10 @@ class JobClient:
 
     def health(self) -> dict:
         return self._request("GET", "/healthz")
+
+    def metrics(self) -> str:
+        """``GET /metrics`` — the Prometheus text exposition page, verbatim."""
+        return self._request("GET", "/metrics", raw=True)
 
     def catalog(self) -> dict:
         return self._request("GET", "/catalog")

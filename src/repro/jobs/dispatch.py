@@ -52,13 +52,14 @@ import multiprocessing
 import os
 import time
 import traceback
-from collections import deque
 from dataclasses import replace
 from pathlib import Path
 
 from ..bsp import shm
 from ..errors import RunCancelledError, TransientJobError
 from ..graph.graph import Graph
+from ..obs import SpanRecorder, diff_state, get_registry, use_trace
+from .supervise import RollingBreaker, SupervisedPool
 
 __all__ = ["FlagToken", "ForkedWorkerPool"]
 
@@ -155,7 +156,32 @@ def _run_spec(spec: dict, flags, slot: int, catalog, graph_cache: dict,
     Failure dicts carry ``transient``: ``True`` marks infrastructure
     failures (injected faults, shm trouble) the parent may retry; job
     errors (bad graph, bad config) stay permanent.
+
+    Observability rides the existing result channel: stage spans recorded
+    during the run come back as ``("stage:<name>", wall, extra)`` pass
+    tuples, and every counter/histogram increment this process made lands
+    in ``metrics_delta`` (a :func:`~repro.obs.diff_state` delta) so the
+    coordinator can fold worker-side telemetry — walk-cache hits, stage
+    latencies — into its own registry.
     """
+    registry = get_registry()
+    before = registry.state()
+    recorder = SpanRecorder()
+    with use_trace(spec.get("trace_id") or None), recorder:
+        out = _run_spec_inner(spec, flags, slot, catalog, graph_cache,
+                              heartbeats=heartbeats)
+    for span in recorder.spans:
+        extra = {k: v for k, v in span.items()
+                 if k not in ("stage", "wall")}
+        out["passes"].append(("stage:" + span["stage"], span["wall"], extra))
+    delta = diff_state(before, registry.state())
+    if delta:
+        out["metrics_delta"] = delta
+    return out
+
+
+def _run_spec_inner(spec: dict, flags, slot: int, catalog, graph_cache: dict,
+                    heartbeats=None) -> dict:
     from ..scenarios.base import run_scenario
 
     passes: list[tuple] = []
@@ -268,7 +294,7 @@ def _worker_main(conn, slot: int, catalog_root: str, flags_descriptor: dict,
         conn.close()
 
 
-class ForkedWorkerPool:
+class ForkedWorkerPool(SupervisedPool):
     """N pre-forked job workers, one pipe, cancel flag and heartbeat each.
 
     Created before the engine's dispatcher threads so the initial fork is
@@ -293,7 +319,8 @@ class ForkedWorkerPool:
                  hang_timeout: float | None = None,
                  respawn_budget: int = 5,
                  respawn_window: float = 60.0,
-                 breaker_cooldown: float = 30.0):
+                 breaker_cooldown: float = 30.0,
+                 metrics=None):
         if n < 1:
             raise ValueError("worker count must be >= 1")
         if not shm.shm_available():
@@ -305,18 +332,29 @@ class ForkedWorkerPool:
         self._ctx = multiprocessing.get_context("fork")
         self.flags = shm.CancelFlags.create(n)
         self.heartbeats = shm.HeartbeatSlots.create(n)
-        self.hang_timeout = hang_timeout
         self.respawn_budget = respawn_budget
         self.respawn_window = respawn_window
         self.breaker_cooldown = breaker_cooldown
-        self._respawn_times: deque[float] = deque()
-        self._broken_until = 0.0
-        self.total_respawns = 0
-        self.hung_kills = 0
+        self._breaker = RollingBreaker(respawn_budget, respawn_window,
+                                       breaker_cooldown)
+        self._init_supervision("forked", hang_timeout=hang_timeout,
+                               metrics=metrics)
         self._workers: list = [None] * n
         self._closed = False
         for slot in range(n):
             self._spawn(slot)
+
+    @property
+    def total_respawns(self) -> int:
+        return self._breaker.count
+
+    @property
+    def _broken_until(self) -> float:
+        return self._breaker._broken_until
+
+    @_broken_until.setter
+    def _broken_until(self, value: float) -> None:
+        self._breaker._broken_until = value
 
     def _spawn(self, slot: int) -> None:
         parent_conn, child_conn = self._ctx.Pipe(duplex=True)
@@ -333,33 +371,23 @@ class ForkedWorkerPool:
 
     def _respawn_after_failure(self, slot: int) -> None:
         """Respawn a failed slot and charge it against the breaker budget."""
-        now = time.monotonic()
-        self.total_respawns += 1
-        self._respawn_times.append(now)
-        while (self._respawn_times
-               and now - self._respawn_times[0] > self.respawn_window):
-            self._respawn_times.popleft()
-        if len(self._respawn_times) > self.respawn_budget:
-            self._broken_until = now + self.breaker_cooldown
+        self._breaker.record()
+        self._m_respawns.inc()
         self._spawn(slot)
 
     def circuit_open(self) -> bool:
         """Whether the respawn circuit breaker is currently open."""
-        return time.monotonic() < self._broken_until
+        return self._breaker.open()
+
+    def circuit_reset_seconds(self) -> float:
+        return self._breaker.reset_seconds()
 
     def supervisor_stats(self) -> dict:
         """Respawn/breaker counters for ``/healthz``."""
-        now = time.monotonic()
-        return {
-            "workers": self.n,
-            "respawns": self.total_respawns,
-            "hung_kills": self.hung_kills,
-            "respawn_budget": self.respawn_budget,
-            "respawn_window_seconds": self.respawn_window,
-            "circuit_open": self.circuit_open(),
-            "circuit_reset_seconds": max(0.0, self._broken_until - now),
-            "hang_timeout": self.hang_timeout,
-        }
+        stats = self._breaker.stats()
+        stats["workers"] = self.n
+        stats.update(self.supervisor_base())
+        return stats
 
     def run(self, slot: int, spec: dict) -> dict:
         """Run one spec on ``slot``; raises :class:`TransientJobError` on
@@ -382,7 +410,7 @@ class ForkedWorkerPool:
                 if self.hang_timeout is not None:
                     age = self.heartbeats.age_seconds(slot)
                     if age is not None and age > self.hang_timeout:
-                        self.hung_kills += 1
+                        self.record_hung_kill()
                         proc.kill()
                         proc.join(timeout=2.0)
                         conn.close()

@@ -63,11 +63,13 @@ import re
 import threading
 import time
 import traceback
+import uuid
 from collections import deque
 from dataclasses import replace
 from pathlib import Path
 
 from ..bsp import shm
+from ..bsp import transport as frame
 from ..bsp.executors import SharedPool
 from ..deltas import GraphDelta, RepairSession
 from ..errors import (
@@ -77,9 +79,18 @@ from ..errors import (
     TransientJobError,
 )
 from ..faults import FaultPlan
+from ..obs import (
+    REQUIRED_FAMILIES,
+    MetricsRegistry,
+    SpanRecorder,
+    get_registry,
+    use_registry,
+    use_trace,
+)
 from ..pipeline.cancel import CancelToken
 from ..pipeline.context import RunConfig
 from ..scenarios.base import run_scenario
+from . import supervise
 from .catalog import GraphCatalog
 from .dispatch import ForkedWorkerPool
 from .remote import RemoteHostPool
@@ -222,6 +233,7 @@ class JobEngine:
         breaker_cooldown: float = 30.0,
         hosts=None,
         host_cooldown: float = 5.0,
+        metrics: MetricsRegistry | None = None,
     ):
         if dispatchers < 1:
             raise ValueError("dispatchers must be >= 1")
@@ -234,6 +246,10 @@ class JobEngine:
             raise ValueError("keep_results must be >= 0 or None")
         if default_max_retries < 0:
             raise ValueError("default_max_retries must be >= 0")
+        #: The engine's metric sink: the process-global registry by default,
+        #: or a caller-supplied one (a second in-process engine — the
+        #: degrade path, tests — must not share counter series).
+        self.metrics = metrics if metrics is not None else get_registry()
         self.catalog = (
             catalog if isinstance(catalog, GraphCatalog) else GraphCatalog(catalog)
         )
@@ -258,6 +274,7 @@ class JobEngine:
                 respawn_budget=respawn_budget,
                 respawn_window=respawn_window,
                 breaker_cooldown=breaker_cooldown,
+                metrics=self.metrics,
             )
         elif dispatcher == "remote":
             self._owns_pool = False
@@ -267,6 +284,7 @@ class JobEngine:
                 hosts, self.catalog,
                 hang_timeout=hang_timeout,
                 host_cooldown=host_cooldown,
+                metrics=self.metrics,
             )
         else:
             self._owns_pool = pool is None and pool_kind is not None
@@ -286,7 +304,8 @@ class JobEngine:
         self.retry_backoff_max = retry_backoff_max
         self._resident: deque[Job] = deque()
         self._resident_lock = threading.Lock()
-        self.queue = JobQueue(retention=retention, max_queued=max_queued)
+        self.queue = JobQueue(retention=retention, max_queued=max_queued,
+                              metrics=self.metrics)
         self.journal = (
             journal if (journal is None or isinstance(journal, JobJournal))
             else JobJournal(journal)
@@ -320,6 +339,7 @@ class JobEngine:
         }
         if self.journal is not None:
             self.recover()
+        self._init_metrics()
         self._threads = [
             threading.Thread(
                 target=self._dispatch_loop, args=(i,),
@@ -343,6 +363,7 @@ class JobEngine:
         timeout_seconds: float | None = None,
         max_retries: int | None = None,
         idempotency_key: str | None = None,
+        trace_id: str | None = None,
     ) -> JobResult:
         """Queue one scenario run; returns its future-style handle.
 
@@ -409,6 +430,10 @@ class JobEngine:
                 cancel_token=CancelToken(timeout_seconds),
                 max_retries=int(max_retries),
                 idempotency_key=idempotency_key,
+                # Client-supplied or minted here: every job has a trace id
+                # from the moment it exists, so logs/artifacts/worker spans
+                # downstream can always name the originating request.
+                trace_id=trace_id or uuid.uuid4().hex[:16],
             )
             handle = self.queue.submit(job)
             try:
@@ -911,6 +936,7 @@ class JobEngine:
                 # run in-process (slower, shared GIL) rather than feeding
                 # jobs to workers that keep dying.
                 self._degraded_jobs += 1
+                self.metrics.counter("repro_degraded_dispatch_total").inc()
                 job.record_pass("degraded_dispatch", 0.0,
                                 reason="worker circuit breaker open")
                 self._run_job(job)
@@ -920,6 +946,7 @@ class JobEngine:
                 # Every registered host is down/cooling: run on the
                 # coordinator itself rather than queueing into the void.
                 self._degraded_jobs += 1
+                self.metrics.counter("repro_degraded_dispatch_total").inc()
                 job.record_pass("degraded_dispatch", 0.0,
                                 reason="remote host circuit open")
                 self._run_job(job)
@@ -990,13 +1017,25 @@ class JobEngine:
             job.executor = config.executor_name
 
             t0 = time.perf_counter()
-            result = run_scenario(graph, job.scenario, config)
+            # Ambient registry + trace installed for the run: deep call
+            # sites (walk cache, shm attach) charge this engine's
+            # registry, and stage spans recorded anywhere in the pipeline
+            # land both in repro_stage_seconds and — via the recorder —
+            # in the job's durable pass history as ``stage:<name>`` rows.
+            recorder = SpanRecorder()
+            with use_registry(self.metrics), use_trace(job.trace_id), recorder:
+                result = run_scenario(graph, job.scenario, config)
             job.record_pass(
                 "run_scenario", time.perf_counter() - t0,
                 executor=config.executor_name,
                 n_sub_runs=len(result.sub_runs),
                 walk_edges=int(sum(c.n_edges for c in result.circuits)),
             )
+            for span in recorder.spans:
+                extra = {k: v for k, v in span.items()
+                         if k not in ("stage", "wall")}
+                job.record_pass("stage:" + span["stage"], span["wall"],
+                                **extra)
             if config.repair is not None:
                 # The decision plus live hit/miss counters — how much of
                 # this run was replayed vs recomputed.
@@ -1065,6 +1104,7 @@ class JobEngine:
         with self._timers_lock:
             self._retry_timers[timer] = job
         self._retries_scheduled += 1
+        self.metrics.counter("repro_retries_scheduled_total").inc()
         timer.start()
         return True
 
@@ -1160,12 +1200,17 @@ class JobEngine:
                               faults=self._armed_faults(job)),
             "graph_descriptor": descriptor,
             "timeout_seconds": job.timeout_seconds,
+            "trace_id": job.trace_id,
         }
 
     def _apply_spec_out(self, job: Job, out: dict) -> bool:
         """Land a worker/host result dict; True when a retry was scheduled."""
         for name, seconds, extra in out.get("passes", []):
             job.record_pass(name, seconds, **extra)
+        # Worker-side counter/histogram increments (walk-cache hits, stage
+        # latencies) fold into the coordinator's registry, so one scrape
+        # covers the whole dispatch tree regardless of where jobs ran.
+        self.metrics.merge_state(out.get("metrics_delta") or {})
         job.executor = out.get("executor", "") or job.executor
         state = out["state"]
         if state == DONE:
@@ -1356,27 +1401,100 @@ class JobEngine:
         return stats
 
     def supervisor_stats(self) -> dict:
-        """Fault-tolerance counters for ``/healthz``."""
-        with self._watch_lock:
-            n_watches = len(self._watches)
-        stats = {
-            "dispatcher": self.dispatcher,
-            "retries_scheduled": self._retries_scheduled,
-            "degraded_jobs": self._degraded_jobs,
-            "draining": self._draining,
-            "swept_segments": list(self.swept_segments),
-            "recovery": dict(self.recovery_stats),
-            "watches": n_watches,
-            "mutations": self._mutations,
-            "watch_emissions": self._watch_emissions,
-        }
+        """Fault-tolerance counters for ``/healthz`` (shared assembly)."""
+        return supervise.engine_supervisor_stats(self)
+
+    # -- observability ------------------------------------------------------
+
+    def _init_metrics(self) -> None:
+        """Pre-create every required family so a fresh ``/metrics`` page
+        renders the full schema (zero-valued, but present and typed)."""
+        m = self.metrics
+        m.gauge("repro_queue_depth", "Jobs currently QUEUED")
+        m.gauge("repro_queue_jobs", "Jobs per state (terminal = lifetime)",
+                labelnames=("state",))
+        m.histogram("repro_queue_delay_seconds",
+                    "Seconds between job submit and dispatch")
+        m.counter("repro_jobs_total",
+                  "Job state transitions (entries into each state)",
+                  labelnames=("state",))
+        m.counter("repro_http_responses_total", "HTTP responses by status",
+                  labelnames=("method", "status"))
+        m.histogram("repro_stage_seconds", "Wall seconds per pipeline stage",
+                    labelnames=("stage",))
+        m.counter("repro_catalog_events_total",
+                  "Catalog cache hits/misses, evictions and rebuilds by kind",
+                  labelnames=("kind",))
+        m.gauge("repro_shm_segments", "Live shared-memory segments")
+        m.gauge("repro_shm_bytes", "Bytes resident in shared-memory segments")
+        m.counter("repro_wire_messages_total", "Frames sent",
+                  labelnames=("scope",))
+        m.counter("repro_wire_bytes_total",
+                  "Frame bytes sent (header+meta+buffers)",
+                  labelnames=("scope",))
+        m.counter("repro_walk_cache_events_total",
+                  "Phase-1 walk-table cache lookups by result",
+                  labelnames=("result",))
+        m.counter("repro_dispatcher_respawns_total",
+                  "Worker respawns / host failures charged to the breaker",
+                  labelnames=("pool",))
+        m.gauge("repro_breaker_open",
+                "1 while a dispatcher pool's circuit breaker is open",
+                labelnames=("pool",))
+        m.counter("repro_degraded_dispatch_total",
+                  "Jobs degraded to in-process execution (breaker open)")
+        m.counter("repro_retries_scheduled_total",
+                  "Transient-failure retries scheduled")
+        m.counter("repro_journal_appends_total",
+                  "Durable journal records appended")
+        m.counter("repro_shm_attaches_total",
+                  "Shared-segment descriptor handouts")
+
+    def render_metrics(self) -> str:
+        """``GET /metrics``: bridge the dict-view surfaces into gauges,
+        then render the whole registry as Prometheus text.
+
+        Native counters/histograms (queue transitions, queue delay, wire
+        bytes, stage latency, walk cache, respawns) accumulate in the
+        registry on their hot paths; the surfaces that stayed dict-first
+        (segment stats, catalog stats, breaker state, journal) are read
+        here, at scrape time, so the page is consistent without making
+        every dict write pay for a second bookkeeping scheme.
+        """
+        m = self.metrics
+        counts = self.queue.counts()
+        m.gauge("repro_queue_depth").set(counts[QUEUED])
+        jobs_g = m.gauge("repro_queue_jobs", labelnames=("state",))
+        for state, n in counts.items():
+            jobs_g.labels(state=state).set(n)
+        seg = self.segment_stats()
+        m.gauge("repro_shm_segments").set(seg.get("segments", 0))
+        m.gauge("repro_shm_bytes").set(seg.get("bytes", 0))
+        cat_family = m.counter("repro_catalog_events_total",
+                               labelnames=("kind",))
+        for kind, n in self.catalog.stats.items():
+            cat_family.labels(kind=kind).set_total(n)
+        breaker_g = m.gauge("repro_breaker_open", labelnames=("pool",))
         if self._forked is not None:
-            stats["workers"] = self._forked.supervisor_stats()
+            breaker_g.labels(pool="forked").set(
+                1 if self._forked.circuit_open() else 0)
         if self._remote is not None:
-            stats["hosts"] = self._remote.supervisor_stats()
+            breaker_g.labels(pool="remote").set(
+                1 if self._remote.circuit_open() else 0)
+        m.counter("repro_retries_scheduled_total").labels().set_total(
+            self._retries_scheduled)
+        m.counter("repro_degraded_dispatch_total").labels().set_total(
+            self._degraded_jobs)
         if self.journal is not None:
-            stats["journal"] = self.journal.stats()
-        return stats
+            m.counter("repro_journal_appends_total").labels().set_total(
+                self.journal.appended)
+        # Frames sent by code that named no scoped accumulator (the shared
+        # process-wide WIRE) still belong on this engine's page when the
+        # engine owns the process default registry; scoped senders already
+        # wrote themselves in at add() time.
+        if self.metrics is get_registry():
+            frame.WIRE.snapshot()  # touch: materialize the lazy accumulator
+        return m.render()
 
     def __enter__(self) -> "JobEngine":
         return self

@@ -56,6 +56,7 @@ import time
 import zlib
 from pathlib import Path
 
+from ..obs import MetricsRegistry
 from ..pipeline.context import RunConfig
 
 __all__ = [
@@ -165,7 +166,8 @@ class JobJournal:
 
     FILENAME = "journal.wal"
 
-    def __init__(self, path: str | Path, fsync: bool = True):
+    def __init__(self, path: str | Path, fsync: bool = True,
+                 metrics: MetricsRegistry | None = None):
         path = Path(path)
         if path.suffix == "" and (path.is_dir() or not path.name.count(".")):
             path = path / self.FILENAME
@@ -175,6 +177,14 @@ class JobJournal:
         self._fd: int | None = None
         self._seq = 0
         self.appended = 0
+        # Private registry by default: a throwaway journal in a test must
+        # not leak appends into the process-wide /metrics page. The engine
+        # passes its own registry in.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._m_appends = self.metrics.counter(
+            "repro_journal_appends_total",
+            "Durable journal records appended",
+        )
 
     # -- writing ------------------------------------------------------------
 
@@ -198,6 +208,7 @@ class JobJournal:
             if self.fsync:
                 os.fsync(fd)
             self.appended += 1
+            self._m_appends.inc()
             return record
 
     # -- reading ------------------------------------------------------------

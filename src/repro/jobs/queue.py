@@ -29,6 +29,7 @@ from ..errors import (
     JobResultEvictedError,
     QueueFullError,
 )
+from ..obs import MetricsRegistry
 from ..pipeline.context import RunConfig
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -97,6 +98,10 @@ class Job:
     #: Client-supplied deduplication key: re-submitting the same key
     #: returns the original job instead of queueing a duplicate.
     idempotency_key: str | None = None
+    #: End-to-end trace id: client-supplied or minted at submit, carried
+    #: from the HTTP edge through dispatch into the worker spec so every
+    #: artifact and log line can name the originating request.
+    trace_id: str = ""
     #: The :class:`~repro.pipeline.cancel.CancelToken` the engine threads
     #: into the run — how ``DELETE /jobs/<id>`` reaches a RUNNING job.
     cancel_token: Any = None
@@ -146,6 +151,7 @@ class Job:
             "max_retries": self.max_retries,
             "attempt": self.attempt,
             "idempotency_key": self.idempotency_key,
+            "trace_id": self.trace_id,
         }
 
 
@@ -226,14 +232,32 @@ class JobQueue:
         :class:`~repro.errors.QueueFullError` once the queue is full, so
         overload degrades into fast rejections (HTTP 429 at the serving
         front end) instead of unbounded heap growth.
+    metrics:
+        The :class:`~repro.obs.MetricsRegistry` charged for state
+        transitions (``repro_jobs_total{state}``) and the submit→dispatch
+        queue-delay histogram (``repro_queue_delay_seconds``). The engine
+        passes its own registry; a standalone queue defaults to a private
+        one so throwaway queues in tests never leak into ``/metrics``.
     """
 
     def __init__(self, retention: int | None = None,
-                 max_queued: int | None = None):
+                 max_queued: int | None = None,
+                 metrics: MetricsRegistry | None = None):
         if retention is not None and retention < 1:
             raise ValueError("retention must be >= 1 or None")
         if max_queued is not None and max_queued < 1:
             raise ValueError("max_queued must be >= 1 or None")
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        jobs_total = self.metrics.counter(
+            "repro_jobs_total",
+            "Job state transitions (entries into each state)",
+            labelnames=("state",),
+        )
+        self._m_jobs = {s: jobs_total.labels(state=s) for s in JOB_STATES}
+        self._m_delay = self.metrics.histogram(
+            "repro_queue_delay_seconds",
+            "Seconds between job submit and dispatch",
+        )
         self._lock = threading.Lock()
         self._not_empty = threading.Condition(self._lock)
         self._heap: list[tuple[int, int, str]] = []
@@ -275,6 +299,7 @@ class JobQueue:
             heapq.heappush(self._heap, (-job.priority, self._seq, job.id))
             self._seq += 1
             self._counts[QUEUED] += 1
+            self._m_jobs[QUEUED].inc()
             self._not_empty.notify()
             return handle
 
@@ -299,6 +324,9 @@ class JobQueue:
                     job.started_at = time.time()
                     self._counts[QUEUED] -= 1
                     self._counts[RUNNING] += 1
+                    self._m_jobs[RUNNING].inc()
+                    self._m_delay.observe(
+                        job.started_at - job.submitted_at)
                     return job
                 if self._closed:
                     return None
@@ -323,6 +351,7 @@ class JobQueue:
                 job.finished_at = time.time()
             self._counts[RUNNING] -= 1
             self._counts[state] += 1
+            self._m_jobs[state].inc()
             self._handles[job.id]._mark_done()
             self._retire_locked(job.id)
 
@@ -339,6 +368,7 @@ class JobQueue:
             job.finished_at = time.time()
             self._counts[QUEUED] -= 1
             self._counts[CANCELLED] += 1
+            self._m_jobs[CANCELLED].inc()
             self._handles[job_id]._mark_done()
             self._retire_locked(job_id)
             return True
@@ -360,6 +390,7 @@ class JobQueue:
             job.started_at = None
             self._counts[RUNNING] -= 1
             self._counts[QUEUED] += 1
+            self._m_jobs[QUEUED].inc()
             heapq.heappush(self._heap, (-job.priority, self._seq, job.id))
             self._seq += 1
             self._not_empty.notify()

@@ -59,6 +59,7 @@ from ..bsp.executors import run_task
 from ..errors import TransientJobError
 from .catalog import GraphCatalog, shard_of
 from .dispatch import _run_spec
+from .supervise import SupervisedPool
 
 __all__ = ["WorkerHost", "RemoteHostPool", "worker_serve"]
 
@@ -96,6 +97,9 @@ class WorkerHost:
 
     def __init__(self, catalog_root, host: str = "127.0.0.1", port: int = 0):
         self.catalog = GraphCatalog(catalog_root)
+        #: Scoped wire accounting: this host's reply frames count here (and
+        #: in its own registry), never in the coordinator's accumulator.
+        self.wire = frame.WireStats(scope="worker_host")
         # One cancel flag + heartbeat slot, created by *this* process so the
         # segment names carry this host's pid — the janitor contract.
         self._flags = shm.CancelFlags.create(1) if shm.shm_available() else None
@@ -190,7 +194,7 @@ class WorkerHost:
                         type(exc), exc)).strip()
                     reply = {"ok": False, "error": detail}
                 try:
-                    frame.send_frame(sock, reply)
+                    frame.send_frame(sock, reply, stats=self.wire)
                 except OSError:
                     return
                 if msg.get("op") == "shutdown":
@@ -319,7 +323,7 @@ class WorkerHost:
         return {"ok": True, "state": "pending"}
 
 
-class RemoteHostPool:
+class RemoteHostPool(SupervisedPool):
     """Coordinator-side scheduling and supervision over N worker hosts.
 
     The :class:`ForkedWorkerPool` contract, lifted over sockets: ``run``
@@ -339,7 +343,8 @@ class RemoteHostPool:
     """
 
     def __init__(self, hosts, catalog, hang_timeout: float | None = None,
-                 connect_timeout: float = 10.0, host_cooldown: float = 5.0):
+                 connect_timeout: float = 10.0, host_cooldown: float = 5.0,
+                 metrics=None):
         addrs = frame.parse_hosts(hosts)
         if not addrs:
             raise ValueError(
@@ -347,9 +352,15 @@ class RemoteHostPool:
                 "(hosts='host:port,...')"
             )
         self.catalog = catalog
-        self.hang_timeout = hang_timeout
         self.connect_timeout = connect_timeout
         self.host_cooldown = host_cooldown
+        self._init_supervision("remote", hang_timeout=hang_timeout,
+                               metrics=metrics)
+        #: Scoped wire accounting: every frame this pool sends (dispatch,
+        #: provisioning, control pings) counts here instead of the
+        #: process-wide :data:`repro.bsp.transport.WIRE`, so a coordinator
+        #: and an in-process degrade path no longer double-count.
+        self.wire = frame.WireStats(registry=metrics, scope="remote_pool")
         self._cond = threading.Condition()
         self._hosts = [
             {"index": i, "addr": addr, "conn": None, "control": None,
@@ -359,7 +370,6 @@ class RemoteHostPool:
         ]
         self.total_dispatched = 0
         self.total_host_failures = 0
-        self.hung_kills = 0
         #: Provisioning telemetry: how graphs reached the hosts, and how
         #: many bytes crossed the wire each way (the delta path ships
         #: kilobytes where the full path ships the whole NPZ).
@@ -408,12 +418,13 @@ class RemoteHostPool:
                     host[attr] = None
             self.total_host_failures += 1
             self._cond.notify_all()
+        self._m_respawns.inc()
 
     def _connect(self, host: dict, control: bool = False):
         attr = "control" if control else "conn"
         if host[attr] is None:
             host[attr] = frame.FrameConnection.open(
-                host["addr"], self.connect_timeout)
+                host["addr"], self.connect_timeout, stats=self.wire)
         return host[attr]
 
     def _host_name(self, host: dict) -> str:
@@ -525,7 +536,7 @@ class RemoteHostPool:
                 raise EOFError(f"control ping failed: {exc}") from exc
             age = pong.get("beat_age")
             if age is not None and age > self.hang_timeout:
-                self.hung_kills += 1
+                self.record_hung_kill()
                 self._mark_down(host)
                 raise TransientJobError(
                     f"worker host {self._host_name(host)} hung (no "
@@ -557,25 +568,29 @@ class RemoteHostPool:
         with self._cond:
             return all(now < h["down_until"] for h in self._hosts)
 
+    def circuit_reset_seconds(self) -> float:
+        """Seconds until the *first* host leaves cooldown (0 when any is up)."""
+        now = time.monotonic()
+        with self._cond:
+            if any(now >= h["down_until"] for h in self._hosts):
+                return 0.0
+            return max(0.0, min(h["down_until"] for h in self._hosts) - now)
+
     def supervisor_stats(self) -> dict:
         now = time.monotonic()
         with self._cond:
-            return {
+            stats = {
                 "hosts": len(self._hosts),
                 "up": sum(1 for h in self._hosts if now >= h["down_until"]),
                 "busy": sum(1 for h in self._hosts if h["busy"]),
                 "dispatched": self.total_dispatched,
                 "host_failures": self.total_host_failures,
-                "hung_kills": self.hung_kills,
                 "provisioning": {
                     "full": self.graphs_shipped_full,
                     "delta": self.graphs_shipped_delta,
                     "full_bytes": self.full_bytes_shipped,
                     "delta_bytes": self.delta_bytes_shipped,
                 },
-                "circuit_open": all(now < h["down_until"]
-                                    for h in self._hosts),
-                "hang_timeout": self.hang_timeout,
                 "per_host": [
                     {"addr": self._host_name(h), "jobs": h["jobs"],
                      "failures": h["failures"], "busy": h["busy"],
@@ -583,6 +598,9 @@ class RemoteHostPool:
                     for h in self._hosts
                 ],
             }
+        # Outside the lock: the base block re-takes it via circuit_open().
+        stats.update(self.supervisor_base())
+        return stats
 
     def close(self) -> None:
         """Close every connection (the hosts themselves are not owned)."""

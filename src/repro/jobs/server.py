@@ -80,12 +80,23 @@ from .journal import WIRE_CONFIG_FIELDS as _CONFIG_FIELDS  # noqa: F401
 from .journal import config_from_dict
 from .queue import DONE, TERMINAL_STATES
 
-__all__ = ["JobApi", "make_server", "serve_forever", "config_from_dict",
-           "MAX_WIRE_PRIORITY"]
+__all__ = ["JobApi", "TextResponse", "make_server", "serve_forever",
+           "config_from_dict", "MAX_WIRE_PRIORITY"]
 
 #: Wire-level priority clamp: submissions outside ±this are clamped, so a
 #: single client cannot monopolize (or bury) the priority queue.
 MAX_WIRE_PRIORITY = 100
+
+
+class TextResponse(str):
+    """A plain-text route payload (e.g. ``GET /metrics``).
+
+    Routes normally return JSON dicts; a ``TextResponse`` tells both front
+    ends to ship the string verbatim with ``content_type`` instead of
+    JSON-encoding it.
+    """
+
+    content_type = "text/plain; version=0.0.4; charset=utf-8"
 
 
 def _graph_from_body(body: dict, engine: JobEngine) -> tuple[Graph | None, str | None, str]:
@@ -135,8 +146,22 @@ class JobApi:
 
     def __init__(self, engine: JobEngine):
         self.engine = engine
+        # One counter family per API instance: both front ends report into
+        # the engine's registry, so /metrics sees combined HTTP traffic.
+        self._responses = engine.metrics.counter(
+            "repro_http_responses_total",
+            "HTTP responses by method and status",
+            labelnames=("method", "status"),
+        )
 
     def handle(self, method: str, path: str, body: bytes = b"") -> tuple[int, dict]:
+        status, payload = self._handle_inner(method, path, body)
+        self._responses.labels(method=method, status=str(status)).inc()
+        return status, payload
+
+    def _handle_inner(
+        self, method: str, path: str, body: bytes = b""
+    ) -> tuple[int, dict]:
         try:
             payload = json.loads(body) if body else {}
             if not isinstance(payload, dict):
@@ -194,6 +219,12 @@ class JobApi:
             "fault_tolerance": engine.supervisor_stats(),
         }
 
+    def _GET_metrics(self, parts, body, path):  # noqa: N802
+        # Prometheus text exposition (0.0.4). The engine bridges dict-view
+        # stats (queue counts, segments, catalog, breakers) into gauges at
+        # scrape time, then renders the whole registry.
+        return 200, TextResponse(self.engine.render_metrics())
+
     def _GET_catalog(self, parts, body, path):  # noqa: N802
         return 200, {
             "entries": self.engine.catalog.entries(),
@@ -217,6 +248,8 @@ class JobApi:
                        min(MAX_WIRE_PRIORITY, int(body.get("priority", 0))))
         timeout = body.get("timeout_seconds")
         max_retries = body.get("max_retries")
+        trace_id = body.get("trace_id")
+        trace_id = str(trace_id) if trace_id else None
         idem_key = body.get("idempotency_key")
         idem_key = str(idem_key) if idem_key else None
         if idem_key:
@@ -251,10 +284,12 @@ class JobApi:
             timeout_seconds=None if timeout is None else float(timeout),
             max_retries=None if max_retries is None else int(max_retries),
             idempotency_key=idem_key,
+            trace_id=trace_id,
         )
         job = self.engine.job(handle.job_id)
         return 200, {"job_id": handle.job_id,
-                     "state": handle.state, "graph_key": job.graph_key}
+                     "state": handle.state, "graph_key": job.graph_key,
+                     "trace_id": job.trace_id}
 
     def _GET_jobs(self, parts, body, path):  # noqa: N802
         if len(parts) == 1:
@@ -379,10 +414,16 @@ class _JobRequestHandler(BaseHTTPRequestHandler):
             super().log_message(fmt, *args)
 
     def _send(self, status: int, payload: dict) -> None:
-        body = json.dumps(payload, default=float).encode()
+        if isinstance(payload, str):
+            # TextResponse (e.g. /metrics): ship verbatim, not JSON.
+            content_type = getattr(payload, "content_type", "text/plain")
+            body = payload.encode()
+        else:
+            content_type = "application/json"
+            body = json.dumps(payload, default=float).encode()
         try:
             self.send_response(status)
-            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Type", content_type)
             if status in (429, 503):
                 self.send_header("Retry-After", "1")
             self.send_header("Content-Length", str(len(body)))

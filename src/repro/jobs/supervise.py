@@ -1,0 +1,175 @@
+"""Shared supervision plumbing for the dispatcher pools and the engine.
+
+Before this module, three near-identical ``supervisor_stats()`` grew side
+by side — :class:`~repro.jobs.dispatch.ForkedWorkerPool`,
+:class:`~repro.jobs.remote.RemoteHostPool`, and
+:class:`~repro.jobs.engine.JobEngine` each hand-rolled its breaker
+bookkeeping and stats dict. The common pieces now live here exactly once:
+
+* :class:`RollingBreaker` — the respawn-budget circuit breaker (count
+  failures in a rolling window; past the budget, open for a cooldown).
+  The forked pool charges worker respawns against it; anything else that
+  needs "stop feeding a crash loop" semantics reuses it.
+* :class:`SupervisedPool` — the mixin both pools inherit: hung-kill
+  counting (mirrored into the metrics registry), the shared
+  ``supervisor_base()`` stats block whose key set
+  (:data:`SUPERVISOR_BASE_KEYS`) is pinned by a regression test so the
+  two pools can never drift apart again.
+* :func:`engine_supervisor_stats` — the engine-level assembly that nests
+  the pools' and journal's stats, moved out of ``engine.py`` so the whole
+  ``/healthz`` fault-tolerance document is built in one place.
+
+The old ``supervisor_stats()`` methods survive as thin views over these
+helpers — ``/healthz`` consumers and existing tests see identical keys.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+
+from ..obs import MetricsRegistry, get_registry
+
+__all__ = [
+    "SUPERVISOR_BASE_KEYS",
+    "RollingBreaker",
+    "SupervisedPool",
+    "engine_supervisor_stats",
+]
+
+#: The stats keys every supervised pool reports — the merged key set the
+#: regression test pins (``tests/obs/test_supervisor_stats.py``).
+SUPERVISOR_BASE_KEYS = frozenset({
+    "hung_kills",
+    "hang_timeout",
+    "circuit_open",
+    "circuit_reset_seconds",
+})
+
+
+class RollingBreaker:
+    """Failure-budget circuit breaker over a rolling window.
+
+    ``record()`` charges one failure; once more than ``budget`` failures
+    land inside ``window`` seconds, :meth:`open` turns true for
+    ``cooldown`` seconds. Thread-safe; the clock is injectable for tests.
+    """
+
+    def __init__(self, budget: int, window: float, cooldown: float,
+                 clock=time.monotonic):
+        self.budget = budget
+        self.window = window
+        self.cooldown = cooldown
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._times: deque[float] = deque()
+        self._broken_until = 0.0
+        self.count = 0  # lifetime failures charged
+
+    def record(self) -> bool:
+        """Charge one failure; returns True when this opened the breaker."""
+        now = self._clock()
+        with self._lock:
+            self.count += 1
+            self._times.append(now)
+            while self._times and now - self._times[0] > self.window:
+                self._times.popleft()
+            if len(self._times) > self.budget:
+                self._broken_until = now + self.cooldown
+                return True
+        return False
+
+    def open(self) -> bool:
+        return self._clock() < self._broken_until
+
+    def reset_seconds(self) -> float:
+        """Seconds until the breaker closes again (0 when already closed)."""
+        return max(0.0, self._broken_until - self._clock())
+
+    def stats(self) -> dict:
+        return {
+            "respawns": self.count,
+            "respawn_budget": self.budget,
+            "respawn_window_seconds": self.window,
+            "circuit_open": self.open(),
+            "circuit_reset_seconds": self.reset_seconds(),
+        }
+
+
+class SupervisedPool:
+    """Mixin: the supervision surface shared by the dispatcher pools.
+
+    Subclasses call :meth:`_init_supervision` from their constructor and
+    override :meth:`circuit_open` (the forked pool answers from its
+    :class:`RollingBreaker`; the remote pool from host cooldowns).
+    ``pool_label`` scopes the registry counters so both pools' respawn
+    and hang telemetry coexist in one ``/metrics`` page.
+    """
+
+    hang_timeout: float | None = None
+
+    def _init_supervision(self, pool_label: str,
+                          hang_timeout: float | None = None,
+                          metrics: MetricsRegistry | None = None) -> None:
+        self.hang_timeout = hang_timeout
+        self.hung_kills = 0
+        self._pool_label = pool_label
+        self._metrics = metrics if metrics is not None else get_registry()
+        self._m_respawns = self._metrics.counter(
+            "repro_dispatcher_respawns_total",
+            "Worker respawns / host failures charged to the breaker",
+            labelnames=("pool",),
+        ).labels(pool=pool_label)
+        self._m_hung = self._metrics.counter(
+            "repro_dispatcher_hung_kills_total",
+            "Workers/hosts declared hung by heartbeat age",
+            labelnames=("pool",),
+        ).labels(pool=pool_label)
+
+    def record_hung_kill(self) -> None:
+        self.hung_kills += 1
+        self._m_hung.inc()
+
+    def circuit_open(self) -> bool:
+        raise NotImplementedError
+
+    def circuit_reset_seconds(self) -> float:
+        return 0.0
+
+    def supervisor_base(self) -> dict:
+        """The shared stats block (key set: :data:`SUPERVISOR_BASE_KEYS`)."""
+        return {
+            "hung_kills": self.hung_kills,
+            "hang_timeout": self.hang_timeout,
+            "circuit_open": self.circuit_open(),
+            "circuit_reset_seconds": self.circuit_reset_seconds(),
+        }
+
+
+def engine_supervisor_stats(engine) -> dict:
+    """Assemble the engine's ``/healthz`` fault-tolerance document.
+
+    Engine-level counters plus the nested pool / journal views — the one
+    place the three formerly-duplicated ``supervisor_stats()`` join up.
+    """
+    with engine._watch_lock:
+        n_watches = len(engine._watches)
+    stats = {
+        "dispatcher": engine.dispatcher,
+        "retries_scheduled": engine._retries_scheduled,
+        "degraded_jobs": engine._degraded_jobs,
+        "draining": engine._draining,
+        "swept_segments": list(engine.swept_segments),
+        "recovery": dict(engine.recovery_stats),
+        "watches": n_watches,
+        "mutations": engine._mutations,
+        "watch_emissions": engine._watch_emissions,
+    }
+    if engine._forked is not None:
+        stats["workers"] = engine._forked.supervisor_stats()
+    if engine._remote is not None:
+        stats["hosts"] = engine._remote.supervisor_stats()
+    if engine.journal is not None:
+        stats["journal"] = engine.journal.stats()
+    return stats

@@ -10,17 +10,42 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..bsp.accounting import CAT_COPY_SINK, CAT_COPY_SRC, CAT_CREATE, CAT_PHASE1
 from ..bsp.engine import BSPEngine
 from ..core.circuit import EulerCircuit
 from ..core.pathmap import FragmentStore
 from ..graph.graph import Graph
 from ..graph.partition import PartitionedGraph
 from ..graph.properties import check_eulerian
+from ..obs import Span, record_stage
 from .context import RunConfig, RunContext
 from .reconstruct import Reconstruct
 from .setup import Setup
 
 __all__ = ["run_pipeline"]
+
+#: Superstep stage names derived from the Fig. 6 timing categories: the
+#: BSP engine already times every partition-step category, so the runner
+#: reports phase splits from :class:`~repro.bsp.accounting.RunStats`
+#: instead of re-instrumenting the inner loop.
+_STAGE_CATEGORIES = (
+    ("phase1", (CAT_PHASE1,)),
+    ("merge", (CAT_COPY_SINK, CAT_CREATE)),
+    ("placement", (CAT_COPY_SRC,)),
+)
+
+
+def _record_superstep_stages(run_stats) -> None:
+    """Report per-superstep phase1/merge/placement splits as stage spans."""
+    for s, step in enumerate(run_stats.records):
+        totals: dict[str, float] = {}
+        for rec in step:
+            for cat, sec in rec.timings.items():
+                totals[cat] = totals.get(cat, 0.0) + sec
+        for stage, cats in _STAGE_CATEGORIES:
+            wall = sum(totals.get(cat, 0.0) for cat in cats)
+            if wall > 0.0:
+                record_stage(stage, wall, superstep=s)
 
 
 def _make_checkpoint(token, faults):
@@ -69,7 +94,8 @@ def run_pipeline(graph: Graph, config: RunConfig) -> RunContext:
         )
         return ctx
 
-    program = Setup().run(graph, ctx)
+    with Span("setup"):
+        program = Setup().run(graph, ctx)
 
     n_levels = len(ctx.tree.levels) + 1
     # A shared pool (job engine) supersedes the per-run backend: the engine
@@ -94,7 +120,9 @@ def run_pipeline(graph: Graph, config: RunConfig) -> RunContext:
         # everything carrying this run's token.
         program.cleanup_transport()
 
+    _record_superstep_stages(ctx.run_stats)
     if token is not None:
         token.check("before reconstruct")
-    Reconstruct().run(graph, ctx)
+    with Span("phase3"):
+        Reconstruct().run(graph, ctx)
     return ctx

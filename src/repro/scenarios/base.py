@@ -29,6 +29,7 @@ import numpy as np
 
 from ..core.circuit import EulerCircuit
 from ..graph.graph import Graph
+from ..obs import Span
 from ..pipeline import RunConfig, RunContext, run_pipeline
 from ..pipeline.context import ExecutionReport
 
@@ -283,13 +284,15 @@ def run_scenario(
     sc = get_scenario(scenario) if isinstance(scenario, str) else scenario
     if config is None:
         config = RunConfig()
-    subs = sc.reduce(graph, config)
+    with Span("scenario_reduce", scenario=sc.name):
+        subs = sc.reduce(graph, config)
     if config.cancel is not None:
         # Checkpoint even when the reduction produced no sub-problems, so
         # a cancel that landed during reduce() still stops the scenario.
         config.cancel.check("after reduce")
     contexts = _run_batch(subs, config)
-    circuits, metrics = sc.postprocess(graph, config, subs, contexts)
+    with Span("scenario_postprocess", scenario=sc.name):
+        circuits, metrics = sc.postprocess(graph, config, subs, contexts)
     sub_runs = [
         SubRun(key=s.key, n_parts=s.n_parts, context=ctx, meta=dict(s.meta))
         for s, ctx in zip(subs, contexts)

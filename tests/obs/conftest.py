@@ -1,0 +1,20 @@
+"""Obs-suite fixtures: forked-pool and remote-host tests here spin up the
+same shared-memory machinery as the jobs suite, so every test is audited
+for leaked ``/dev/shm/repro_*`` segments the same way."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bsp import shm
+
+
+@pytest.fixture(autouse=True)
+def _no_shm_leaks():
+    if not shm.shm_available():
+        yield
+        return
+    before = set(shm.leaked_segments())
+    yield
+    leaked = sorted(set(shm.leaked_segments()) - before)
+    assert leaked == [], f"test leaked shm segments: {leaked}"

@@ -1,0 +1,119 @@
+"""``GET /metrics`` parity: both front ends expose the same surface.
+
+The threaded and async servers share one :class:`~repro.jobs.server.JobApi`,
+so after identical traffic they must serve the same metric families with
+the same types — a route added to one front end only, or a family that
+renders on one page but not the other, fails here before it confuses a
+Prometheus scrape config.
+"""
+
+import threading
+
+import pytest
+
+from repro.jobs import GraphCatalog, JobEngine
+from repro.jobs.client import JobClient, JobClientError
+from repro.jobs.server import make_server
+from repro.obs import REQUIRED_FAMILIES, MetricsRegistry, parse_prometheus_text
+
+FRONTENDS = ("thread", "async")
+
+
+def _serve(engine, frontend):
+    if frontend == "async":
+        from repro.jobs.aserver import AsyncJobServer
+
+        server = AsyncJobServer(engine, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        assert server.wait_started(10)
+    else:
+        server = make_server(engine, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+    host, port = server.server_address
+    return server, JobClient(f"http://{host}:{port}")
+
+
+def _drive_identical_traffic(client: JobClient) -> str:
+    """The same request mix against either front end; returns /metrics."""
+    up = client.put_graph(edges=[[0, 1], [1, 2], [2, 0]], name="triangle")
+    for _ in range(2):
+        sub = client.submit("circuit", graph_key=up["graph_key"],
+                            config={"n_parts": 2})
+        client.wait(sub["job_id"], timeout=60)
+    with pytest.raises(JobClientError):
+        client.status("job-999999")  # a 404 for the HTTP counter
+    client.health()
+    return client.metrics()
+
+
+@pytest.fixture
+def pages(tmp_path):
+    out = {}
+    for frontend in FRONTENDS:
+        engine = JobEngine(GraphCatalog(tmp_path / f"cat-{frontend}"),
+                           dispatchers=1,
+                           artifact_dir=tmp_path / f"arts-{frontend}",
+                           metrics=MetricsRegistry())
+        server, client = _serve(engine, frontend)
+        try:
+            out[frontend] = _drive_identical_traffic(client)
+        finally:
+            client.close()
+            server.shutdown()
+            server.server_close()
+            engine.close()
+    return out
+
+
+def test_both_pages_parse_and_cover_required_families(pages):
+    for frontend, text in pages.items():
+        families = parse_prometheus_text(text)  # raises on malformed text
+        missing = [f for f in REQUIRED_FAMILIES if f not in families]
+        assert missing == [], f"{frontend} front end is missing {missing}"
+
+
+def test_same_families_same_types_after_identical_traffic(pages):
+    parsed = {f: parse_prometheus_text(text) for f, text in pages.items()}
+    thread_fams, async_fams = parsed["thread"], parsed["async"]
+    assert set(thread_fams) == set(async_fams)
+    for name in thread_fams:
+        assert thread_fams[name]["type"] == async_fams[name]["type"], name
+
+
+def test_traffic_actually_landed_in_the_counters(pages):
+    for frontend, text in pages.items():
+        families = parse_prometheus_text(text)
+        assert families["repro_queue_delay_seconds"]["type"] == "histogram"
+        # 2 jobs ran: delay histogram has samples, jobs_total counted DONE,
+        # and every request above incremented the HTTP counter.
+        assert 'repro_queue_delay_seconds_count 2' in text, frontend
+        assert 'repro_jobs_total{state="DONE"} 2' in text, frontend
+        assert families["repro_http_responses_total"]["samples"] >= 2
+        assert 'status="404"' in text, frontend
+
+
+def test_content_type_is_prometheus_text(tmp_path):
+    import http.client
+
+    engine = JobEngine(GraphCatalog(tmp_path / "cat"), dispatchers=1,
+                       metrics=MetricsRegistry())
+    for frontend in FRONTENDS:
+        server, client = _serve(engine, frontend)
+        try:
+            host, port = server.server_address
+            conn = http.client.HTTPConnection(host, port, timeout=10)
+            conn.request("GET", "/metrics")
+            resp = conn.getresponse()
+            body = resp.read()
+            assert resp.status == 200
+            assert resp.getheader("Content-Type").startswith("text/plain")
+            assert "version=0.0.4" in resp.getheader("Content-Type")
+            parse_prometheus_text(body.decode())
+            conn.close()
+        finally:
+            client.close()
+            server.shutdown()
+            server.server_close()
+    engine.close()

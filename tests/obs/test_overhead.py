@@ -1,0 +1,53 @@
+"""Hot-path overhead guard: instrumentation must stay within noise.
+
+The registry's pitch is "lock-cheap hot-path increments" — a serial run
+with a live ambient registry must cost about the same as one recording
+into :data:`~repro.obs.NULL_REGISTRY`. The tolerance is deliberately
+generous (2x + absolute slack) so machine noise cannot flake CI, while a
+pathological regression (per-edge locking, per-item allocation in the
+walk cache counter) still fails by an order of magnitude.
+"""
+
+import time
+
+from repro.generate.synthetic import grid_city
+from repro.obs import NULL_REGISTRY, MetricsRegistry, use_registry
+from repro.pipeline import RunConfig
+from repro.scenarios import run_scenario
+
+REPEATS = 4
+TOLERANCE = 2.0
+ABS_SLACK = 0.05  # seconds; sub-100ms runs are dominated by noise
+
+
+def _best_of(registry, graph, config) -> float:
+    best = float("inf")
+    for _ in range(REPEATS):
+        with use_registry(registry):
+            t0 = time.perf_counter()
+            run_scenario(graph, "circuit", config)
+            best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_instrumented_run_stays_within_noise_of_uninstrumented():
+    graph = grid_city(16, 16)
+    config = RunConfig(n_parts=4)
+    # Warm both paths once (walk-table cache, import costs) before timing.
+    for reg in (NULL_REGISTRY, MetricsRegistry()):
+        with use_registry(reg):
+            run_scenario(graph, "circuit", config)
+
+    instrumented = MetricsRegistry()
+    t_null = _best_of(NULL_REGISTRY, graph, config)
+    t_instr = _best_of(instrumented, graph, config)
+
+    assert t_instr <= t_null * TOLERANCE + ABS_SLACK, (
+        f"instrumented {t_instr:.4f}s vs uninstrumented {t_null:.4f}s "
+        f"exceeds {TOLERANCE}x + {ABS_SLACK}s"
+    )
+    # And the instrumented run genuinely recorded: the guard must never
+    # pass because instrumentation silently turned itself off.
+    snap = instrumented.histogram(
+        "repro_stage_seconds", labelnames=("stage",)).snapshot()
+    assert {key[0] for key in snap} >= {"setup", "phase3"}

@@ -1,0 +1,77 @@
+"""Span timing API: histogram + recorder double-landing, trace context."""
+
+import time
+
+from repro.obs import (
+    MetricsRegistry,
+    Span,
+    SpanRecorder,
+    current_trace,
+    record_stage,
+    use_registry,
+    use_trace,
+)
+from repro.obs.spans import STAGE_HISTOGRAM
+
+
+def _stage_counts(m: MetricsRegistry) -> dict:
+    snap = m.histogram(STAGE_HISTOGRAM, labelnames=("stage",)).snapshot()
+    return {key[0]: h["count"] for key, h in snap.items()}
+
+
+def test_span_lands_in_histogram_and_recorder():
+    m = MetricsRegistry()
+    rec = SpanRecorder()
+    with use_registry(m), rec:
+        with Span("setup") as span:
+            time.sleep(0.002)
+    assert span.wall >= 0.002
+    assert _stage_counts(m) == {"setup": 1}
+    (entry,) = rec.spans
+    assert entry["stage"] == "setup"
+    assert entry["wall"] == span.wall
+    assert entry["cpu"] >= 0.0
+
+
+def test_span_extra_kwargs_ride_into_the_recorder():
+    m = MetricsRegistry()
+    rec = SpanRecorder()
+    with use_registry(m), rec:
+        with Span("scenario_reduce", scenario="postman"):
+            pass
+    assert rec.spans[0]["scenario"] == "postman"
+
+
+def test_record_stage_without_recorder_only_observes():
+    m = MetricsRegistry()
+    with use_registry(m):
+        record_stage("phase1", 0.25, superstep=3)
+    assert _stage_counts(m) == {"phase1": 1}
+
+
+def test_record_stage_explicit_registry_beats_ambient():
+    ambient_reg = MetricsRegistry()
+    explicit = MetricsRegistry()
+    with use_registry(ambient_reg):
+        record_stage("merge", 0.1, registry=explicit)
+    assert _stage_counts(explicit) == {"merge": 1}
+    assert _stage_counts(ambient_reg) == {}
+
+
+def test_recorder_preserves_order():
+    m = MetricsRegistry()
+    rec = SpanRecorder()
+    with use_registry(m), rec:
+        for stage in ("setup", "phase1", "phase3"):
+            record_stage(stage, 0.01)
+    assert [e["stage"] for e in rec.spans] == ["setup", "phase1", "phase3"]
+
+
+def test_use_trace_nests_and_restores():
+    assert current_trace() is None
+    with use_trace("abc123"):
+        assert current_trace() == "abc123"
+        with use_trace("inner"):
+            assert current_trace() == "inner"
+        assert current_trace() == "abc123"
+    assert current_trace() is None

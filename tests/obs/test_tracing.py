@@ -1,0 +1,191 @@
+"""End-to-end job tracing: trace ids, stage passes, worker delta merge.
+
+Pins the acceptance criteria of the observability PR: a trace id minted
+at submit (or carried in from HTTP) reaches the job summary and artifact;
+the schema-v5 pass history carries ``stage:<name>`` wall/CPU rows; and a
+job run inside a forked worker or a remote :class:`WorkerHost` ships its
+span + counter increments home as a metrics delta that folds into the
+coordinator's registry.
+"""
+
+import re
+import threading
+
+import pytest
+
+from repro.bench.report_io import job_to_dict
+from repro.generate.synthetic import grid_city
+from repro.jobs import GraphCatalog, JobEngine
+from repro.jobs.client import JobClient
+from repro.jobs.remote import WorkerHost
+from repro.jobs.server import make_server
+from repro.obs import MetricsRegistry
+from repro.pipeline import RunConfig
+
+EXPECTED_STAGES = {"setup", "phase1", "phase3",
+                   "scenario_reduce", "scenario_postprocess"}
+
+
+def _graph():
+    return grid_city(8, 8)
+
+
+def _stage_passes(job) -> set:
+    return {p["pass"][len("stage:"):]
+            for p in job.passes if p["pass"].startswith("stage:")}
+
+
+def _stage_histogram_count(m: MetricsRegistry) -> int:
+    snap = m.histogram("repro_stage_seconds",
+                       labelnames=("stage",)).snapshot()
+    return sum(h["count"] for h in snap.values())
+
+
+# ---------------------------------------------------------------------------
+# trace ids and the schema-v5 artifact
+# ---------------------------------------------------------------------------
+
+
+def test_trace_id_minted_and_carried_to_summary_and_artifact(tmp_path):
+    with JobEngine(GraphCatalog(tmp_path / "cat"), dispatchers=1,
+                   metrics=MetricsRegistry()) as engine:
+        handle = engine.submit("circuit", graph=_graph(),
+                               config=RunConfig(n_parts=2))
+        handle.result(timeout=60)
+        job = engine.job(handle.job_id)
+        assert re.fullmatch(r"[0-9a-f]{16}", job.trace_id)
+        assert job.summary()["trace_id"] == job.trace_id
+
+        explicit = engine.submit("circuit", graph=_graph(),
+                                 config=RunConfig(n_parts=2),
+                                 trace_id="req-42")
+        explicit.result(timeout=60)
+        ejob = engine.job(explicit.job_id)
+        assert ejob.trace_id == "req-42"
+        doc = job_to_dict(ejob)
+        assert doc["job"]["trace_id"] == "req-42"
+
+
+def test_pass_history_carries_per_stage_wall_and_cpu(tmp_path):
+    with JobEngine(GraphCatalog(tmp_path / "cat"), dispatchers=1,
+                   metrics=MetricsRegistry()) as engine:
+        handle = engine.submit("circuit", graph=_graph(),
+                               config=RunConfig(n_parts=2))
+        handle.result(timeout=60)
+        job = engine.job(handle.job_id)
+    assert _stage_passes(job) >= EXPECTED_STAGES
+    by_name = {p["pass"]: p for p in job.passes}
+    setup = by_name["stage:setup"]
+    assert setup["seconds"] >= 0.0 and setup["cpu"] >= 0.0
+    # Superstep-derived stages carry their superstep index.
+    phase1 = [p for p in job.passes if p["pass"] == "stage:phase1"]
+    assert all("superstep" in p for p in phase1)
+
+
+def test_artifact_records_queue_delay(tmp_path):
+    with JobEngine(GraphCatalog(tmp_path / "cat"), dispatchers=1,
+                   metrics=MetricsRegistry()) as engine:
+        handle = engine.submit("circuit", graph=_graph(),
+                               config=RunConfig(n_parts=2))
+        handle.result(timeout=60)
+        doc = job_to_dict(engine.job(handle.job_id))
+    timings = doc["timings"]
+    assert timings["queue_delay_seconds"] is not None
+    assert timings["queue_delay_seconds"] >= 0.0
+    assert timings["queue_delay_seconds"] == timings["queue_latency_seconds"]
+
+
+def test_queue_delay_histogram_observes_each_dispatch(tmp_path):
+    m = MetricsRegistry()
+    with JobEngine(GraphCatalog(tmp_path / "cat"), dispatchers=1,
+                   metrics=m) as engine:
+        for _ in range(3):
+            engine.submit("circuit", graph=_graph(),
+                          config=RunConfig(n_parts=2)).result(timeout=60)
+    snap = m.histogram("repro_queue_delay_seconds").snapshot()
+    assert snap[()]["count"] == 3
+
+
+# ---------------------------------------------------------------------------
+# worker-side delta aggregation (the cross-process half of the tentpole)
+# ---------------------------------------------------------------------------
+
+
+def test_forked_worker_deltas_fold_into_coordinator_registry(tmp_path):
+    m = MetricsRegistry()
+    with JobEngine(GraphCatalog(tmp_path / "cat"), dispatchers=1,
+                   dispatcher="process", metrics=m) as engine:
+        handle = engine.submit("circuit", graph=_graph(),
+                               config=RunConfig(n_parts=2))
+        handle.result(timeout=60)
+        job = engine.job(handle.job_id)
+    # The run happened in a forked worker, yet its spans reached both the
+    # coordinator's pass history and its stage histogram.
+    assert _stage_passes(job) >= EXPECTED_STAGES
+    assert _stage_histogram_count(m) > 0
+    walk = m.counter("repro_walk_cache_events_total",
+                     labelnames=("result",)).snapshot()
+    assert sum(walk.values()) > 0  # worker-side cache lookups came home
+
+
+def test_remote_host_deltas_fold_into_coordinator_registry(tmp_path):
+    hosts = [WorkerHost(tmp_path / f"host{i}").start() for i in range(2)]
+    m = MetricsRegistry()
+    try:
+        with JobEngine(tmp_path / "coord", dispatcher="remote",
+                       hosts=[h.address for h in hosts],
+                       metrics=m) as engine:
+            handle = engine.submit("circuit", graph=_graph(),
+                                   config=RunConfig(n_parts=2))
+            handle.result(timeout=60)
+            job = engine.job(handle.job_id)
+            page = engine.render_metrics()
+    finally:
+        for h in hosts:
+            h.close()
+    assert _stage_passes(job) >= EXPECTED_STAGES
+    assert _stage_histogram_count(m) > 0
+    # The coordinator's own wire accounting is scoped, not process-global.
+    wire = m.counter("repro_wire_messages_total",
+                     labelnames=("scope",)).snapshot()
+    assert wire.get(("remote_pool",), 0) > 0
+    assert 'scope="remote_pool"' in page
+
+
+# ---------------------------------------------------------------------------
+# HTTP edge: trace_id in, trace_id out
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture
+def served(tmp_path):
+    engine = JobEngine(GraphCatalog(tmp_path / "cat"), dispatchers=1,
+                       metrics=MetricsRegistry())
+    server = make_server(engine, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address
+    client = JobClient(f"http://{host}:{port}")
+    try:
+        yield engine, client
+    finally:
+        client.close()
+        server.shutdown()
+        server.server_close()
+        engine.close()
+
+
+def test_http_submit_propagates_trace_id(served):
+    engine, client = served
+    up = client.put_graph(edges=[[0, 1], [1, 2], [2, 0]])
+    sub = client._request("POST", "/jobs", {
+        "scenario": "circuit", "graph_key": up["graph_key"],
+        "config": {"n_parts": 2}, "trace_id": "edge-7",
+    })
+    assert sub["trace_id"] == "edge-7"
+    client.wait(sub["job_id"], timeout=60)
+    assert engine.job(sub["job_id"]).trace_id == "edge-7"
+    # Submissions without one get a minted id echoed back.
+    sub2 = client.submit("circuit", graph_key=up["graph_key"],
+                         config={"n_parts": 2})
+    assert re.fullmatch(r"[0-9a-f]{16}", sub2["trace_id"])
